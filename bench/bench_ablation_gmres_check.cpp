@@ -1,0 +1,76 @@
+// Ablation — GMRES residual-check policy (the §6.2.1 design contrast):
+// per-update checks (Ginkgo) stop at the earliest possible iteration but
+// pay a device-host round trip each inner step; restart-only checks (CuPy)
+// are cheaper per iteration but can overshoot by up to a restart cycle.
+#include <cstdio>
+
+#include "bench/common/harness.hpp"
+#include "solver/gmres.hpp"
+#include "stop/criterion.hpp"
+#include "tests/test_utils.hpp"
+
+using namespace mgko;
+
+int main()
+{
+    auto device = CudaExecutor::create();
+
+    bench::CsvBlock csv{"ablation_gmres",
+                        {"n", "policy", "iterations", "sim_ms",
+                         "us_per_iteration"}};
+
+    std::printf("Ablation: GMRES per-update vs restart-only residual "
+                "checks on A100-sim (restart=30, tol=1e-8)\n");
+    std::vector<double> overshoot, per_iter_saving;
+    for (const size_type n : {500, 2000, 8000, 32000}) {
+        auto mat = std::shared_ptr<Csr<double, int32>>{
+            Csr<double, int32>::create_from_data(
+                device, test::random_sparse<double, int32>(n, 6, 99))};
+        size_type iters[2];
+        double times[2];
+        for (const bool per_update : {true, false}) {
+            auto solver = solver::Gmres<double>::build()
+                              .with_criteria(stop::iteration(3000))
+                              .with_criteria(stop::residual_norm(1e-8))
+                              .with_krylov_dim(30)
+                              .on(device)
+                              ->generate(mat);
+            auto* gmres = dynamic_cast<solver::Gmres<double>*>(solver.get());
+            gmres->set_check_every_update(per_update);
+            auto b = Dense<double>::create_filled(device, dim2{n, 1}, 1.0);
+            auto x = Dense<double>::create_filled(device, dim2{n, 1}, 0.0);
+            sim::SimStopwatch watch{device->clock()};
+            solver->apply(b.get(), x.get());
+            const double seconds = watch.elapsed_seconds();
+            const auto it = gmres->get_logger()->num_iterations();
+            iters[per_update ? 0 : 1] = it;
+            times[per_update ? 0 : 1] = seconds;
+            csv.add_row({std::to_string(n),
+                         per_update ? "per_update" : "restart_only",
+                         std::to_string(it), bench::fmt(seconds * 1e3),
+                         bench::fmt(seconds * 1e6 /
+                                    static_cast<double>(std::max<size_type>(
+                                        it, 1)))});
+        }
+        overshoot.push_back(static_cast<double>(iters[1]) /
+                            static_cast<double>(std::max<size_type>(iters[0], 1)));
+        per_iter_saving.push_back(
+            (times[0] / static_cast<double>(iters[0])) /
+            (times[1] / static_cast<double>(iters[1])));
+    }
+    csv.print();
+
+    bench::check_shape(
+        "restart-only checking never uses fewer iterations (overshoots up "
+        "to one restart cycle)",
+        bench::min_of(overshoot) >= 1.0,
+        "iteration overshoot factors " + bench::fmt(bench::min_of(overshoot)) +
+            " - " + bench::fmt(bench::max_of(overshoot)));
+    bench::check_shape(
+        "per-update checking costs more per iteration (the sync round "
+        "trip)",
+        bench::geomean(per_iter_saving) > 1.02,
+        "per-iteration cost ratio (per-update / restart-only) geomean " +
+            bench::fmt(bench::geomean(per_iter_saving)));
+    return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation — Reverse Cuthill-McKee reordering: bandwidth reduction and its
+// effect on SpMV (vector-access locality) and on triangular-solve level
+// counts (the parallelism of the ILU application path).
+#include <cstdio>
+
+#include "bench/common/harness.hpp"
+#include "matrix/spgemm.hpp"
+#include "solver/triangular.hpp"
+
+using namespace mgko;
+
+namespace {
+
+std::vector<int32> shuffled_identity(size_type n, std::uint64_t seed)
+{
+    std::vector<int32> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::mt19937_64 engine{seed};
+    std::shuffle(perm.begin(), perm.end(), engine);
+    return perm;
+}
+
+}  // namespace
+
+int main()
+{
+    auto host = ReferenceExecutor::create();
+
+    bench::CsvBlock csv{"ablation_rcm",
+                        {"matrix", "nnz", "bandwidth_before",
+                         "bandwidth_after", "spmv_speedup",
+                         "trs_levels_before", "trs_levels_after"}};
+
+    std::printf("Ablation: RCM reordering — bandwidth, serial SpMV "
+                "locality, triangular-solve levels\n");
+    std::vector<double> spmv_gains, level_ratios;
+    // Large matrices: the source vector must exceed the cache for the
+    // locality effect to be visible.
+    for (const char* name :
+         {"syn_stencil2d_l", "syn_planar_xl", "syn_stencil3d_l",
+          "syn_random_xl"}) {
+        const auto spec = matgen::by_name(name);
+        auto data = matgen::generate(spec);
+        auto original = Csr<double, int32>::create_from_data(
+            host, data.cast<double, int32>());
+        // Scramble first: real assembly orders are rarely bandwidth-optimal.
+        auto scrambled = permute_symmetric(
+            original.get(),
+            shuffled_identity(original->get_size().rows, 99));
+        auto rcm = reorder::rcm_ordering(scrambled.get());
+        auto reordered = permute_symmetric(scrambled.get(), rcm);
+
+        const auto bw_before = reorder::bandwidth(scrambled.get());
+        const auto bw_after = reorder::bandwidth(reordered.get());
+
+        const auto n = original->get_size().rows;
+        auto b = Dense<double>::create_filled(host, dim2{n, 1}, 1.0);
+        auto x = Dense<double>::create(host, dim2{n, 1});
+        const double t_before = bench::time_seconds(
+            host.get(), [&] { scrambled->apply(b.get(), x.get()); });
+        const double t_after = bench::time_seconds(
+            host.get(), [&] { reordered->apply(b.get(), x.get()); });
+
+        // Level counts of the lower triangle (ILU-apply parallelism).
+        auto levels_of = [&](const Csr<double, int32>* mat) {
+            matrix_data<double, int32> lower{mat->get_size()};
+            for (const auto& e : mat->to_data().entries) {
+                if (e.col < e.row) {
+                    lower.add(e.row, e.col, e.value);
+                }
+            }
+            for (size_type i = 0; i < n; ++i) {
+                lower.add(static_cast<int32>(i), static_cast<int32>(i), 1.0);
+            }
+            auto l = std::shared_ptr<Csr<double, int32>>{
+                Csr<double, int32>::create_from_data(host, lower)};
+            auto trs = solver::LowerTrs<double, int32>::build().on(host)
+                           ->generate(l);
+            return dynamic_cast<solver::LowerTrs<double, int32>*>(trs.get())
+                ->num_levels();
+        };
+        const auto lv_before = levels_of(scrambled.get());
+        const auto lv_after = levels_of(reordered.get());
+
+        spmv_gains.push_back(t_before / t_after);
+        level_ratios.push_back(static_cast<double>(lv_before) /
+                               static_cast<double>(std::max<size_type>(
+                                   lv_after, 1)));
+        csv.add_row({spec.name, std::to_string(data.num_stored()),
+                     std::to_string(bw_before), std::to_string(bw_after),
+                     bench::fmt(t_before / t_after),
+                     std::to_string(lv_before), std::to_string(lv_after)});
+    }
+    csv.print();
+
+    bench::check_shape(
+        "RCM reduces bandwidth by orders of magnitude on scrambled meshes "
+        "and speeds up serial SpMV via locality",
+        bench::geomean(spmv_gains) > 1.02,
+        "SpMV speedup geomean " + bench::fmt(bench::geomean(spmv_gains)) +
+            "x (modest: the locality model is coarse-grained)");
+    // The flip side: a banded order serializes dependencies, so RCM
+    // *deepens* the triangular-solve level schedule (ratio < 1) — locality
+    // and solve parallelism pull in opposite directions.
+    std::printf("triangular level-count ratio (before/after) geomean: %s "
+                "(RCM trades solve parallelism for locality)\n",
+                bench::fmt(bench::geomean(level_ratios)).c_str());
+    return 0;
+}

@@ -1,0 +1,133 @@
+// Figure 3a — SpMV on the (simulated) NVIDIA A100: speedup of pyGinkgo,
+// PyTorch, TensorFlow, and CuPy relative to SciPy on a single CPU core,
+// over the 30-matrix SpMV suite, single precision (the paper's ML-oriented
+// setting), matrices ordered by increasing nonzero count.
+//
+// Paper claims to reproduce in shape:
+//   * pyGinkgo consistently the fastest, near-linear speedup growth in nnz
+//   * peak GFLOP/s ordering: pyGinkgo > PyTorch > CuPy > TensorFlow
+//   * PyTorch ~2x slower, CuPy 3-4x slower, TensorFlow 2-14x slower
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench/common/harness.hpp"
+
+using namespace mgko;
+
+int main()
+{
+    auto host = ReferenceExecutor::create();   // SciPy's single CPU core
+    auto device = CudaExecutor::create();      // simulated A100
+
+    auto suite = matgen::spmv_suite();
+    std::sort(suite.begin(), suite.end(), [](const auto& a, const auto& b) {
+        return a.nnz_estimate < b.nnz_estimate;
+    });
+
+    bench::MatrixCache cache;
+    bench::CsvBlock csv{"fig3a",
+                        {"matrix", "nnz", "speedup_pyginkgo",
+                         "speedup_torch", "speedup_tensorflow",
+                         "speedup_cupy", "gflops_pyginkgo", "gflops_torch",
+                         "gflops_tensorflow", "gflops_cupy"}};
+
+    std::vector<double> peak(4, 0.0);
+    std::vector<double> slow_torch, slow_cupy, slow_tf, speedup_pg;
+    std::vector<double> nnzs;
+
+    std::printf("Figure 3a: SpMV speedup vs SciPy(1 core) on %s, float32\n",
+                device->name().c_str());
+    for (const auto& s : suite) {
+        const auto& data = cache.get(s);
+        const auto n_rows = data.size.rows;
+        const auto nnz = data.num_stored();
+        auto fdata = data.cast<float, int32>();
+
+        // SciPy baseline on one CPU core.
+        auto h_csr = Csr<float, int32>::create_from_data(host, fdata);
+        auto h_b = Dense<float>::create_filled(host, dim2{data.size.cols, 1},
+                                               1.0f);
+        auto h_x = Dense<float>::create(host, dim2{n_rows, 1});
+        const auto scipy_fw = baselines::scipy();
+        const double t_scipy = bench::time_seconds(host.get(), [&] {
+            baselines::spmv(scipy_fw, h_csr.get(), h_b.get(), h_x.get());
+        });
+
+        // Device libraries.
+        auto d_csr = Csr<float, int32>::create_from_data(device, fdata);
+        auto d_coo = Coo<float, int32>::create_from_data(device, fdata);
+        auto d_b = Dense<float>::create_filled(device,
+                                               dim2{data.size.cols, 1}, 1.0f);
+        auto d_x = Dense<float>::create(device, dim2{n_rows, 1});
+
+        const double t_pg = bench::time_seconds(
+            device.get(), [&] { d_csr->apply(d_b.get(), d_x.get()); });
+        const auto torch_fw = baselines::torch();
+        const double t_torch = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(torch_fw, d_coo.get(), d_b.get(), d_x.get());
+        });
+        const auto tf_fw = baselines::tensorflow();
+        const double t_tf = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(tf_fw, d_coo.get(), d_b.get(), d_x.get());
+        });
+        const auto cupy_fw = baselines::cupy();
+        const double t_cupy = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(cupy_fw, d_csr.get(), d_b.get(), d_x.get());
+        });
+
+        const double g_pg = bench::spmv_gflops(nnz, t_pg);
+        const double g_torch = bench::spmv_gflops(nnz, t_torch);
+        const double g_tf = bench::spmv_gflops(nnz, t_tf);
+        const double g_cupy = bench::spmv_gflops(nnz, t_cupy);
+        peak[0] = std::max(peak[0], g_pg);
+        peak[1] = std::max(peak[1], g_torch);
+        peak[2] = std::max(peak[2], g_tf);
+        peak[3] = std::max(peak[3], g_cupy);
+        slow_torch.push_back(t_torch / t_pg);
+        slow_cupy.push_back(t_cupy / t_pg);
+        slow_tf.push_back(t_tf / t_pg);
+        speedup_pg.push_back(t_scipy / t_pg);
+        nnzs.push_back(static_cast<double>(nnz));
+
+        csv.add_row({s.name, std::to_string(nnz),
+                     bench::fmt(t_scipy / t_pg), bench::fmt(t_scipy / t_torch),
+                     bench::fmt(t_scipy / t_tf), bench::fmt(t_scipy / t_cupy),
+                     bench::fmt(g_pg), bench::fmt(g_torch), bench::fmt(g_tf),
+                     bench::fmt(g_cupy)});
+    }
+    csv.print();
+
+    std::printf("\npeak GFLOP/s: pyGinkgo %.0f | torch %.0f | cupy %.0f | "
+                "tensorflow %.0f\n",
+                peak[0], peak[1], peak[3], peak[2]);
+    bench::check_shape(
+        "peak ordering pyGinkgo > torch > cupy > tensorflow (paper: "
+        "150/110/85/50 GF/s)",
+        peak[0] > peak[1] && peak[1] > peak[3] && peak[3] > peak[2],
+        "peaks " + bench::fmt(peak[0]) + " > " + bench::fmt(peak[1]) + " > " +
+            bench::fmt(peak[3]) + " > " + bench::fmt(peak[2]));
+    bench::check_shape(
+        "torch ~2x slower than pyGinkgo across most cases",
+        bench::median(slow_torch) > 1.3 && bench::median(slow_torch) < 3.5,
+        "median " + bench::fmt(bench::median(slow_torch)) + "x");
+    bench::check_shape(
+        "cupy 3-4x slower than pyGinkgo",
+        bench::median(slow_cupy) > 2.0 && bench::median(slow_cupy) < 6.0,
+        "median " + bench::fmt(bench::median(slow_cupy)) + "x");
+    bench::check_shape(
+        "tensorflow 2-14x slower than pyGinkgo",
+        bench::min_of(slow_tf) > 1.5 && bench::max_of(slow_tf) < 20.0,
+        "range " + bench::fmt(bench::min_of(slow_tf)) + "x - " +
+            bench::fmt(bench::max_of(slow_tf)) + "x");
+    // Speedup grows with nnz: compare small vs large halves.
+    std::vector<double> small_half(speedup_pg.begin(),
+                                   speedup_pg.begin() + speedup_pg.size() / 2);
+    std::vector<double> large_half(speedup_pg.begin() + speedup_pg.size() / 2,
+                                   speedup_pg.end());
+    bench::check_shape(
+        "pyGinkgo speedup grows with nnz (near-linear scaling)",
+        bench::geomean(large_half) > 2.0 * bench::geomean(small_half),
+        "geomean small-half " + bench::fmt(bench::geomean(small_half)) +
+            "x vs large-half " + bench::fmt(bench::geomean(large_half)) + "x");
+    return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 3b — SpMV on the (simulated) Intel Xeon Platinum 8368 CPU:
+// pyGinkgo's speedup relative to single-core SciPy as the OpenMP thread
+// count grows (1..32), over the 30-matrix SpMV suite in single precision.
+//
+// Paper claims to reproduce in shape:
+//   * SciPy is best on one thread but does not scale; pyGinkgo scales
+//   * at 32 threads pyGinkgo is 7-35x faster than SciPy for high-nnz
+//     matrices
+//   * vs PyTorch 10-60x and vs TensorFlow 30-90x (their CPU sparse paths
+//     are effectively serial with heavier dispatch, see DESIGN.md §4)
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench/common/harness.hpp"
+
+using namespace mgko;
+
+int main()
+{
+    auto scipy_host = ReferenceExecutor::create();
+    const int thread_counts[] = {1, 2, 4, 8, 16, 32};
+
+    auto suite = matgen::spmv_suite();
+    std::sort(suite.begin(), suite.end(), [](const auto& a, const auto& b) {
+        return a.nnz_estimate < b.nnz_estimate;
+    });
+
+    bench::MatrixCache cache;
+    bench::CsvBlock csv{"fig3b",
+                        {"matrix", "nnz", "t1", "t2", "t4", "t8", "t16",
+                         "t32", "speedup_vs_torch32", "speedup_vs_tf32"}};
+
+    std::vector<double> speedup32_high_nnz, vs_torch, vs_tf;
+    std::vector<double> speedup1;
+
+    std::printf(
+        "Figure 3b: SpMV speedup vs SciPy(1 core) on Xeon-8368-sim, "
+        "float32, threads 1..32\n");
+    for (const auto& s : suite) {
+        const auto& data = cache.get(s);
+        const auto nnz = data.num_stored();
+        auto fdata = data.cast<float, int32>();
+
+        auto h_csr = Csr<float, int32>::create_from_data(scipy_host, fdata);
+        auto h_b = Dense<float>::create_filled(scipy_host,
+                                               dim2{data.size.cols, 1}, 1.0f);
+        auto h_x = Dense<float>::create(scipy_host, dim2{data.size.rows, 1});
+        const auto scipy_fw = baselines::scipy();
+        const double t_scipy = bench::time_seconds(scipy_host.get(), [&] {
+            baselines::spmv(scipy_fw, h_csr.get(), h_b.get(), h_x.get());
+        });
+        // Torch / TF CPU sparse kernels: serial with their strategies.
+        const auto torch_fw = baselines::torch();
+        auto h_coo = Coo<float, int32>::create_from_data(scipy_host, fdata);
+        const double t_torch = bench::time_seconds(scipy_host.get(), [&] {
+            baselines::spmv(torch_fw, h_coo.get(), h_b.get(), h_x.get());
+        });
+        const auto tf_fw = baselines::tensorflow();
+        const double t_tf = bench::time_seconds(scipy_host.get(), [&] {
+            baselines::spmv(tf_fw, h_coo.get(), h_b.get(), h_x.get());
+        });
+
+        std::vector<std::string> row{s.name, std::to_string(nnz)};
+        double t32 = 0.0;
+        for (const int threads : thread_counts) {
+            auto omp = OmpExecutor::create(threads);
+            auto csr = Csr<float, int32>::create_from_data(omp, fdata);
+            auto b = Dense<float>::create_filled(omp, dim2{data.size.cols, 1},
+                                                 1.0f);
+            auto x = Dense<float>::create(omp, dim2{data.size.rows, 1});
+            const double t = bench::time_seconds(
+                omp.get(), [&] { csr->apply(b.get(), x.get()); });
+            row.push_back(bench::fmt(t_scipy / t));
+            if (threads == 32) {
+                t32 = t;
+            }
+            if (threads == 1) {
+                speedup1.push_back(t_scipy / t);
+            }
+        }
+        row.push_back(bench::fmt(t_torch / t32));
+        row.push_back(bench::fmt(t_tf / t32));
+        csv.add_row(row);
+
+        if (nnz > 500000) {
+            speedup32_high_nnz.push_back(t_scipy / t32);
+        }
+        vs_torch.push_back(t_torch / t32);
+        vs_tf.push_back(t_tf / t32);
+    }
+    csv.print();
+
+    bench::check_shape(
+        "single-thread pyGinkgo is comparable to SciPy (SciPy best serial)",
+        bench::geomean(speedup1) < 1.6 && bench::geomean(speedup1) > 0.5,
+        "geomean 1-thread speedup " + bench::fmt(bench::geomean(speedup1)) +
+            "x");
+    bench::check_shape(
+        "7-35x faster than SciPy at 32 threads for high-nnz matrices",
+        bench::min_of(speedup32_high_nnz) > 4.0 &&
+            bench::max_of(speedup32_high_nnz) < 50.0,
+        "range " + bench::fmt(bench::min_of(speedup32_high_nnz)) + "x - " +
+            bench::fmt(bench::max_of(speedup32_high_nnz)) + "x");
+    bench::check_shape(
+        "10-60x faster than PyTorch at 32 threads",
+        bench::median(vs_torch) > 8.0 && bench::max_of(vs_torch) < 90.0,
+        "median " + bench::fmt(bench::median(vs_torch)) + "x, max " +
+            bench::fmt(bench::max_of(vs_torch)) + "x");
+    bench::check_shape(
+        "30-90x faster than TensorFlow at 32 threads",
+        bench::median(vs_tf) > 20.0 && bench::max_of(vs_tf) < 140.0,
+        "median " + bench::fmt(bench::median(vs_tf)) + "x, max " +
+            bench::fmt(bench::max_of(vs_tf)) + "x");
+    return 0;
+}

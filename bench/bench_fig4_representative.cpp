@@ -1,0 +1,110 @@
+// Figure 4 (a: GPU, b: CPU) — SpMV speedup relative to SciPy for the six
+// representative matrices A..F of Table 2, float32.
+//
+// Paper claims to reproduce in shape:
+//   * speedup increases with nnz across all libraries
+//   * large matrices (D: delaunay_n17, F: ASIC_320ks) benefit most
+//   * matrix E (av41092, high density) shows a speedup dip on every library
+//   * for the low-nnz matrices A, B the CPU beats the GPU
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench/common/harness.hpp"
+
+using namespace mgko;
+
+int main()
+{
+    auto scipy_host = ReferenceExecutor::create();
+    auto device = CudaExecutor::create();
+    auto cpu32 = OmpExecutor::create(32);
+
+    const auto suite = matgen::table2_suite();
+    const char* labels = "ABCDEF";
+
+    bench::MatrixCache cache;
+    bench::CsvBlock csv{"fig4",
+                        {"label", "name", "dimension", "nnz",
+                         "gpu_pyginkgo", "gpu_torch", "gpu_tensorflow",
+                         "gpu_cupy", "cpu32_pyginkgo"}};
+
+    std::printf("Figure 4: speedup vs SciPy for representative matrices "
+                "(Table 2), float32\n");
+    std::vector<double> gpu_speedup, cpu_speedup, nnz_order;
+    for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+        const auto& s = suite[idx];
+        const auto& data = cache.get(s);
+        const auto nnz = data.num_stored();
+        auto fdata = data.cast<float, int32>();
+
+        auto h_csr = Csr<float, int32>::create_from_data(scipy_host, fdata);
+        auto h_b = Dense<float>::create_filled(scipy_host,
+                                               dim2{data.size.cols, 1}, 1.0f);
+        auto h_x = Dense<float>::create(scipy_host, dim2{data.size.rows, 1});
+        const auto scipy_fw = baselines::scipy();
+        const double t_scipy = bench::time_seconds(scipy_host.get(), [&] {
+            baselines::spmv(scipy_fw, h_csr.get(), h_b.get(), h_x.get());
+        });
+
+        auto d_csr = Csr<float, int32>::create_from_data(device, fdata);
+        auto d_coo = Coo<float, int32>::create_from_data(device, fdata);
+        auto d_b = Dense<float>::create_filled(device, dim2{data.size.cols, 1},
+                                               1.0f);
+        auto d_x = Dense<float>::create(device, dim2{data.size.rows, 1});
+        const double t_pg = bench::time_seconds(
+            device.get(), [&] { d_csr->apply(d_b.get(), d_x.get()); });
+        const auto torch_fw = baselines::torch();
+        const double t_torch = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(torch_fw, d_coo.get(), d_b.get(), d_x.get());
+        });
+        const auto tf_fw = baselines::tensorflow();
+        const double t_tf = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(tf_fw, d_coo.get(), d_b.get(), d_x.get());
+        });
+        const auto cupy_fw = baselines::cupy();
+        const double t_cupy = bench::time_seconds(device.get(), [&] {
+            baselines::spmv(cupy_fw, d_csr.get(), d_b.get(), d_x.get());
+        });
+
+        auto c_csr = Csr<float, int32>::create_from_data(cpu32, fdata);
+        auto c_b = Dense<float>::create_filled(cpu32, dim2{data.size.cols, 1},
+                                               1.0f);
+        auto c_x = Dense<float>::create(cpu32, dim2{data.size.rows, 1});
+        const double t_cpu = bench::time_seconds(
+            cpu32.get(), [&] { c_csr->apply(c_b.get(), c_x.get()); });
+
+        gpu_speedup.push_back(t_scipy / t_pg);
+        cpu_speedup.push_back(t_scipy / t_cpu);
+        nnz_order.push_back(static_cast<double>(nnz));
+        csv.add_row({std::string(1, labels[idx]), s.name,
+                     std::to_string(data.size.rows), std::to_string(nnz),
+                     bench::fmt(t_scipy / t_pg), bench::fmt(t_scipy / t_torch),
+                     bench::fmt(t_scipy / t_tf), bench::fmt(t_scipy / t_cupy),
+                     bench::fmt(t_scipy / t_cpu)});
+    }
+    csv.print();
+
+    // A,B are the low-nnz mass matrices; D,F the big ones; E is dense-ish.
+    bench::check_shape(
+        "CPU beats GPU for the low-nnz matrices A and B",
+        cpu_speedup[0] > gpu_speedup[0] && cpu_speedup[1] > gpu_speedup[1],
+        "A: cpu " + bench::fmt(cpu_speedup[0]) + "x vs gpu " +
+            bench::fmt(gpu_speedup[0]) + "x; B: cpu " +
+            bench::fmt(cpu_speedup[1]) + "x vs gpu " +
+            bench::fmt(gpu_speedup[1]) + "x");
+    bench::check_shape(
+        "large matrices D and F benefit most on the GPU",
+        gpu_speedup[3] > gpu_speedup[0] && gpu_speedup[5] > gpu_speedup[0] &&
+            gpu_speedup[3] > gpu_speedup[2],
+        "D " + bench::fmt(gpu_speedup[3]) + "x, F " +
+            bench::fmt(gpu_speedup[5]) + "x vs A " +
+            bench::fmt(gpu_speedup[0]) + "x");
+    bench::check_shape(
+        "the dense matrix E shows a speedup dip relative to similarly "
+        "sized D/F",
+        gpu_speedup[4] < gpu_speedup[3] && gpu_speedup[4] < gpu_speedup[5],
+        "E " + bench::fmt(gpu_speedup[4]) + "x vs D " +
+            bench::fmt(gpu_speedup[3]) + "x, F " +
+            bench::fmt(gpu_speedup[5]) + "x");
+    return 0;
+}

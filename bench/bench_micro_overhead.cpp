@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark, real wall clock): the host-side costs
+// of the binding layer measured on this machine — boxing, name mangling,
+// registry dispatch under the GIL, JSON round trips, and the end-to-end
+// bound call.  These are the *measured* components that CallProbe ticks
+// onto the SimClock (DESIGN.md §2.1); everything here is genuine wall
+// time, independent of the performance model.
+#include <benchmark/benchmark.h>
+
+#include "bindings/api.hpp"
+#include "bindings/registry.hpp"
+#include "config/json.hpp"
+#include "matrix/dense.hpp"
+
+using namespace mgko;
+
+namespace {
+
+void BM_BoxedValueRoundTrip(benchmark::State& state)
+{
+    auto payload = std::make_shared<int>(42);
+    for (auto _ : state) {
+        auto v = bind::box("counter", payload);
+        benchmark::DoNotOptimize(*v.as<int>("counter"));
+    }
+}
+BENCHMARK(BM_BoxedValueRoundTrip);
+
+void BM_ArgumentListBoxing(benchmark::State& state)
+{
+    auto exec = ReferenceExecutor::create();
+    auto op = std::shared_ptr<LinOp>{
+        Dense<double>::create(exec, dim2{16, 1})};
+    for (auto _ : state) {
+        bind::List args;
+        args.emplace_back(bind::box("tensor", op));
+        args.emplace_back(std::int64_t{3});
+        args.emplace_back(2.5);
+        benchmark::DoNotOptimize(args.size());
+    }
+}
+BENCHMARK(BM_ArgumentListBoxing);
+
+void BM_NameManglingAndLookup(benchmark::State& state)
+{
+    bind::ensure_bindings_registered();
+    auto& m = bind::Module::instance();
+    for (auto _ : state) {
+        const std::string name =
+            std::string{"matrix_apply_csr_"} + "double" + "_" + "int32";
+        benchmark::DoNotOptimize(m.has(name));
+    }
+}
+BENCHMARK(BM_NameManglingAndLookup);
+
+void BM_RegistryDispatchNoop(benchmark::State& state)
+{
+    auto& m = bind::Module::instance();
+    static bool registered = [] {
+        bind::Module::instance().def(
+            "micro_noop", [](const bind::List&) { return bind::Value{}; });
+        return true;
+    }();
+    (void)registered;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.call("micro_noop", {}));
+    }
+}
+BENCHMARK(BM_RegistryDispatchNoop);
+
+void BM_EndToEndBoundTensorItem(benchmark::State& state)
+{
+    auto dev = bind::device("reference");
+    auto t = bind::as_tensor(dev, dim2{64, 1}, "double", 1.0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.item(7));
+    }
+}
+BENCHMARK(BM_EndToEndBoundTensorItem);
+
+void BM_JsonParseListing2(benchmark::State& state)
+{
+    const std::string doc = R"({
+        "type": "solver::Gmres", "krylov_dim": 30,
+        "criteria": [{"type": "stop::Iteration", "max_iters": 1000},
+                     {"type": "stop::ResidualNorm",
+                      "reduction_factor": 1e-06}],
+        "preconditioner": {"type": "preconditioner::Jacobi",
+                           "max_block_size": 1}})";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(config::Json::parse(doc));
+    }
+}
+BENCHMARK(BM_JsonParseListing2);
+
+void BM_JsonDump(benchmark::State& state)
+{
+    auto doc = config::Json::parse(
+        R"({"a": [1, 2.5, true, "x"], "b": {"c": -3}})");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(doc.dump());
+    }
+}
+BENCHMARK(BM_JsonDump);
+
+void BM_GilContention(benchmark::State& state)
+{
+    for (auto _ : state) {
+        std::lock_guard<std::mutex> guard{bind::gil()};
+        benchmark::DoNotOptimize(&guard);
+    }
+}
+BENCHMARK(BM_GilContention);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Section 6.2.2 — solvers on the CPU: pyGinkgo (OpenMP, 32 threads)
+// versus SciPy for CG, CGS, and GMRES at a fixed iteration budget, double
+// precision, over the solver suite.
+//
+// Paper claims to reproduce in shape:
+//   * pyGinkgo ~3-8x faster than SciPy for CG
+//   * similar results for CGS and GMRES
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench/common/harness.hpp"
+#include "sim/machine_model.hpp"
+#include "solver/cg.hpp"
+#include "solver/cgs.hpp"
+#include "solver/gmres.hpp"
+#include "stop/criterion.hpp"
+
+using namespace mgko;
+
+namespace {
+
+template <typename SolverType>
+double mgko_seconds_per_iter(std::shared_ptr<Executor> exec,
+                             std::shared_ptr<Csr<double, int32>> mat,
+                             size_type iters)
+{
+    auto builder = SolverType::build();
+    builder.with_criteria(stop::iteration(iters));
+    auto solver = builder.on(exec)->generate(mat);
+    const auto n = mat->get_size().rows;
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 0.0);
+    sim::SimStopwatch watch{exec->clock()};
+    solver->apply(b.get(), x.get());
+    auto logger = dynamic_cast<SolverType*>(solver.get())->get_logger();
+    return watch.elapsed_seconds() /
+           static_cast<double>(std::max<size_type>(logger->num_iterations(), 1));
+}
+
+}  // namespace
+
+int main()
+{
+    auto cpu32 = OmpExecutor::create(32);
+    auto scipy_host = ReferenceExecutor::create();
+    const auto iters = static_cast<size_type>(
+        sim::env_override("MGKO_SOLVER_ITERS", 30.0));
+    const auto scipy_fw = baselines::scipy();
+
+    auto suite = matgen::solver_suite();
+    std::sort(suite.begin(), suite.end(), [](const auto& a, const auto& b) {
+        return a.nnz_estimate < b.nnz_estimate;
+    });
+    // A representative half keeps the serial run short; set
+    // MGKO_BENCH_ALL=1 to sweep all 40 systems.
+    const bool run_all = sim::env_override("MGKO_BENCH_ALL", 0.0) > 0.0;
+    if (!run_all) {
+        std::vector<matgen::spec> thinned;
+        for (std::size_t i = 0; i < suite.size(); i += 2) {
+            thinned.push_back(suite[i]);
+        }
+        suite = thinned;
+    }
+
+    bench::MatrixCache cache;
+    bench::CsvBlock csv{"sec622", {"matrix", "nnz", "speedup_cg",
+                                   "speedup_cgs", "speedup_gmres"}};
+    std::vector<double> sp_cg, sp_cgs, sp_gmres;
+
+    std::printf("Section 6.2.2: solver time/iteration speedup vs SciPy on "
+                "Xeon-8368-sim (32 threads), float64\n");
+    for (const auto& s : suite) {
+        const auto& data = cache.get(s);
+        const auto nnz = data.num_stored();
+        auto mat = std::shared_ptr<Csr<double, int32>>{
+            Csr<double, int32>::create_from_data(cpu32,
+                                                 data.cast<double, int32>())};
+        auto scipy_mat = std::shared_ptr<Csr<double, int32>>{
+            Csr<double, int32>::create_from_data(scipy_host,
+                                                 data.cast<double, int32>())};
+        const auto n = mat->get_size().rows;
+
+        auto scipy_per_iter = [&](auto solver_fn) {
+            auto b = Dense<double>::create_filled(scipy_host, dim2{n, 1},
+                                                  1.0);
+            auto x = Dense<double>::create_filled(scipy_host, dim2{n, 1},
+                                                  0.0);
+            sim::SimStopwatch watch{scipy_host->clock()};
+            auto stats = solver_fn(b.get(), x.get());
+            return watch.elapsed_seconds() /
+                   static_cast<double>(
+                       std::max<size_type>(stats.iterations, 1));
+        };
+
+        const double s_cg =
+            scipy_per_iter([&](Dense<double>* b, Dense<double>* x) {
+                return baselines::cg(scipy_fw, scipy_mat.get(), b, x, iters,
+                                     1e-300);
+            }) /
+            mgko_seconds_per_iter<solver::Cg<double>>(cpu32, mat, iters);
+        const double s_cgs =
+            scipy_per_iter([&](Dense<double>* b, Dense<double>* x) {
+                return baselines::cgs(scipy_fw, scipy_mat.get(), b, x, iters,
+                                      1e-300);
+            }) /
+            mgko_seconds_per_iter<solver::Cgs<double>>(cpu32, mat, iters);
+        const double s_gmres =
+            scipy_per_iter([&](Dense<double>* b, Dense<double>* x) {
+                return baselines::gmres(scipy_fw, scipy_mat.get(), b, x,
+                                        iters, 1e-300, 30);
+            }) /
+            mgko_seconds_per_iter<solver::Gmres<double>>(cpu32, mat, iters);
+
+        sp_cg.push_back(s_cg);
+        sp_cgs.push_back(s_cgs);
+        sp_gmres.push_back(s_gmres);
+        csv.add_row({s.name, std::to_string(nnz), bench::fmt(s_cg),
+                     bench::fmt(s_cgs), bench::fmt(s_gmres)});
+    }
+    csv.print();
+
+    std::printf("\nCPU speedup vs SciPy (geomean): CG %.2fx | CGS %.2fx | "
+                "GMRES %.2fx\n",
+                bench::geomean(sp_cg), bench::geomean(sp_cgs),
+                bench::geomean(sp_gmres));
+    bench::check_shape(
+        "pyGinkgo ~3-8x faster than SciPy for CG on the CPU",
+        bench::geomean(sp_cg) > 2.0 && bench::geomean(sp_cg) < 12.0,
+        "CG geomean " + bench::fmt(bench::geomean(sp_cg)) + "x, range " +
+            bench::fmt(bench::min_of(sp_cg)) + "-" +
+            bench::fmt(bench::max_of(sp_cg)) + "x");
+    bench::check_shape(
+        "similar results for CGS and GMRES",
+        bench::geomean(sp_cgs) > 1.5 && bench::geomean(sp_gmres) > 1.0,
+        "CGS " + bench::fmt(bench::geomean(sp_cgs)) + "x, GMRES " +
+            bench::fmt(bench::geomean(sp_gmres)) + "x");
+    return 0;
+}

@@ -1,0 +1,151 @@
+// Shared benchmark harness: simulated timing, CSV emission, and summary
+// helpers.  Every figure/table binary prints
+//   * a `# csv <figure-id>` block with the series the paper's plot shows,
+//   * a human-readable summary comparing the measured shape against the
+//     paper's claims (EXPERIMENTS.md quotes these).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "matgen/matgen.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace mgko::bench {
+
+
+/// Simulated seconds taken by `fn` on `exec`'s clock, best of `reps` runs
+/// after one warmup.  Each timed run ends with an executor synchronization
+/// inside the measured window — the paper's protocol ("both after explicit
+/// GPU synchronization", §6.3), which matters for launch-dominated sizes.
+template <typename Fn>
+double time_seconds(const Executor* exec, Fn&& fn, int reps = 3)
+{
+    fn();  // warmup: populates profile caches, faults pages
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        sim::SimStopwatch watch{exec->clock()};
+        fn();
+        exec->synchronize();
+        best = std::min(best, watch.elapsed_seconds());
+    }
+    return best;
+}
+
+inline double spmv_gflops(size_type nnz, double seconds)
+{
+    return 2.0 * static_cast<double>(nnz) / seconds * 1e-9;
+}
+
+
+/// Cached matrix generation: suites are reused across libraries/formats.
+class MatrixCache {
+public:
+    const matgen::data64& get(const matgen::spec& s)
+    {
+        auto it = cache_.find(s.name);
+        if (it == cache_.end()) {
+            it = cache_.emplace(s.name, matgen::generate(s)).first;
+        }
+        return it->second;
+    }
+
+private:
+    std::map<std::string, matgen::data64> cache_;
+};
+
+
+/// Column-oriented CSV block with a figure tag.
+class CsvBlock {
+public:
+    CsvBlock(std::string figure, std::vector<std::string> columns)
+        : figure_{std::move(figure)}, columns_{std::move(columns)}
+    {}
+
+    void add_row(const std::vector<std::string>& cells)
+    {
+        rows_.push_back(cells);
+    }
+
+    void print() const
+    {
+        std::printf("# csv %s\n", figure_.c_str());
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            std::printf("%s%s", i ? "," : "", columns_[i].c_str());
+        }
+        std::printf("\n");
+        for (const auto& row : rows_) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                std::printf("%s%s", i ? "," : "", row[i].c_str());
+            }
+            std::printf("\n");
+        }
+        std::printf("# end csv\n");
+    }
+
+private:
+    std::string figure_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, const char* format = "%.4g")
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), format, v);
+    return buffer;
+}
+
+inline double geomean(const std::vector<double>& values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (const double v : values) {
+        log_sum += std::log(std::max(v, 1e-300));
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+inline double median(std::vector<double> values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+inline double max_of(const std::vector<double>& values)
+{
+    return values.empty() ? 0.0
+                          : *std::max_element(values.begin(), values.end());
+}
+
+inline double min_of(const std::vector<double>& values)
+{
+    return values.empty() ? 0.0
+                          : *std::min_element(values.begin(), values.end());
+}
+
+/// Prints a PASS/NOTE line comparing a measured quantity against the
+/// paper's qualitative claim.
+inline void check_shape(const char* claim, bool holds, const std::string& detail)
+{
+    std::printf("[%s] %s — %s\n", holds ? "SHAPE OK" : "SHAPE DEVIATES",
+                claim, detail.c_str());
+}
+
+
+}  // namespace mgko::bench

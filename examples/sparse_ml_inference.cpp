@@ -1,0 +1,121 @@
+// Sparse machine-learning inference — the paper's motivating workload
+// (§1: pruned weight matrices, spiking/graph networks, "sparse machine
+// learning models").  A two-layer pruned MLP runs its linear layers as
+// sparse matrix x dense batch products on the simulated accelerator, in
+// single precision (the paper's ML setting), with the ReLU written on the
+// "Python side" against tensor ops — exactly the extensibility story of
+// §3.4.  A convolution front end (§7 outlook) preprocesses the inputs.
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bindings/api.hpp"
+#include "core/matrix_data.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace pg = mgko::bind;
+using mgko::dim2;
+using mgko::int64;
+using mgko::size_type;
+
+namespace {
+
+/// A pruned (sparse) dense layer: keep_fraction of the weights survive.
+mgko::matrix_data<double, int64> pruned_weights(size_type rows,
+                                                size_type cols,
+                                                double keep_fraction,
+                                                std::uint64_t seed)
+{
+    std::mt19937_64 engine{seed};
+    std::bernoulli_distribution keep{keep_fraction};
+    std::normal_distribution<double> weight{0.0, std::sqrt(2.0 /
+                                                           static_cast<double>(
+                                                               cols))};
+    mgko::matrix_data<double, int64> data{dim2{rows, cols}};
+    for (size_type r = 0; r < rows; ++r) {
+        for (size_type c = 0; c < cols; ++c) {
+            if (keep(engine)) {
+                data.add(r, c, weight(engine));
+            }
+        }
+    }
+    return data;
+}
+
+/// "Python-side" ReLU: elementwise max(0, x) composed from the public
+/// tensor API (host round trip, like a custom op prototype would do).
+pg::Tensor relu(const pg::Device& dev, const pg::Tensor& t)
+{
+    auto host = t.to_host();
+    for (auto& v : host) {
+        v = std::max(v, 0.0);
+    }
+    return pg::as_tensor(dev, host, t.shape(), t.dtype_name());
+}
+
+}  // namespace
+
+int main()
+{
+    auto dev = pg::device("cuda");
+    const size_type image_side = 16;           // 16x16 inputs
+    const size_type input = image_side * image_side;
+    const size_type hidden = 512;
+    const size_type classes = 10;
+    const size_type batch = 32;
+    const double sparsity = 0.9;  // 90% of weights pruned away
+
+    // Layers as sparse operators (float32: the paper's ML precision).
+    auto w1 = pg::matrix_from_data(dev, pruned_weights(hidden, input,
+                                                       1.0 - sparsity, 1),
+                                   "float", "Csr");
+    auto w2 = pg::matrix_from_data(dev, pruned_weights(classes, hidden,
+                                                       1.0 - sparsity, 2),
+                                   "float", "Csr");
+    std::printf("layer 1: %lld x %lld, %lld weights kept (%.0f%% pruned)\n",
+                static_cast<long long>(hidden), static_cast<long long>(input),
+                static_cast<long long>(w1.nnz()), 100.0 * sparsity);
+    std::printf("layer 2: %lld x %lld, %lld weights kept\n",
+                static_cast<long long>(classes),
+                static_cast<long long>(hidden),
+                static_cast<long long>(w2.nnz()));
+
+    // A batch of random "images".
+    std::vector<double> pixels(static_cast<std::size_t>(input * batch));
+    std::mt19937_64 engine{7};
+    std::uniform_real_distribution<double> dist{0.0, 1.0};
+    for (auto& p : pixels) {
+        p = dist(engine);
+    }
+    auto x = pg::as_tensor(dev, pixels, dim2{input, batch}, "float");
+
+    // Edge-detecting convolution as input preprocessing (§7 outlook).
+    auto edge = pg::convolution(dev, image_side, image_side,
+                                {0, -1, 0, -1, 4, -1, 0, -1, 0}, "float");
+    auto preprocessed = edge.apply(x);
+
+    // Forward pass: two sparse GEMMs + python-side ReLU.
+    mgko::sim::SimStopwatch watch{dev.executor()->clock()};
+    auto h = relu(dev, w1.spmv(preprocessed));
+    auto logits = w2.spmv(h);
+    std::printf("\nforward pass (batch %lld): %.1f us simulated on %s\n",
+                static_cast<long long>(batch), watch.elapsed_ns() / 1000.0,
+                dev.name().c_str());
+
+    // Arg-max per batch column.
+    std::printf("predictions: ");
+    auto host_logits = logits.to_host();
+    for (size_type col = 0; col < std::min<size_type>(batch, 10); ++col) {
+        size_type best = 0;
+        for (size_type r = 1; r < classes; ++r) {
+            if (host_logits[static_cast<std::size_t>(r * batch + col)] >
+                host_logits[static_cast<std::size_t>(best * batch + col)]) {
+                best = r;
+            }
+        }
+        std::printf("%lld ", static_cast<long long>(best));
+    }
+    std::printf("...\nlogits norm: %.4f\n", logits.norm());
+    return 0;
+}

@@ -1,0 +1,531 @@
+// Registration of the pre-instantiated binding surface.
+//
+// This is the moral equivalent of the PYBIND11_MODULE block: every
+// value-type x index-type x format combination of every bound operation is
+// instantiated here and registered under its mangled name (paper §5.1 —
+// "pre-instantiation of all possible template parameter combinations that
+// the Python side might require").
+#include <mutex>
+
+#include "bindings/registry.hpp"
+#include "config/config_solver.hpp"
+#include "core/dispatch.hpp"
+#include "core/mtx_io.hpp"
+#include "matrix/convolution.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/ell.hpp"
+#include "matrix/hybrid.hpp"
+#include "matrix/spgemm.hpp"
+#include "solver/direct.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/cgs.hpp"
+#include "solver/fcg.hpp"
+#include "solver/gmres.hpp"
+#include "solver/solver_base.hpp"
+#include "solver/triangular.hpp"
+#include "stop/criterion.hpp"
+
+namespace mgko::bind {
+
+namespace {
+
+std::shared_ptr<Executor> unbox_device(const Value& v)
+{
+    return v.as<Executor>("device");
+}
+
+std::shared_ptr<LinOp> unbox_linop(const Value& v, const char* tag)
+{
+    return v.as<LinOp>(tag);
+}
+
+template <typename V>
+std::shared_ptr<Dense<V>> unbox_tensor(const Value& v)
+{
+    auto op = unbox_linop(v, "tensor");
+    auto dense = std::dynamic_pointer_cast<Dense<V>>(op);
+    if (!dense) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "tensor has a different dtype than the bound "
+                           "function expects");
+    }
+    return dense;
+}
+
+template <typename Mat>
+std::shared_ptr<Mat> unbox_matrix(const Value& v)
+{
+    auto op = unbox_linop(v, "matrix");
+    auto mat = std::dynamic_pointer_cast<Mat>(op);
+    if (!mat) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "matrix has a different format/dtype than the "
+                           "bound function expects");
+    }
+    return mat;
+}
+
+Value box_linop(const char* tag, std::shared_ptr<LinOp> op)
+{
+    return box(tag, std::move(op));
+}
+
+std::string suffix(dtype v)
+{
+    return "_" + to_string(v);
+}
+
+std::string suffix(dtype v, itype i)
+{
+    return "_" + to_string(v) + "_" + to_string(i);
+}
+
+
+// --- tensor bindings (per value type) --------------------------------------
+
+template <typename V>
+void register_tensor_bindings(Module& m)
+{
+    const auto s = suffix(dtype_of<V>::value);
+
+    m.def("tensor_create" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        const auto rows = args.at(1).as_int();
+        const auto cols = args.at(2).as_int();
+        const auto fill = args.at(3).as_double();
+        auto tensor = Dense<V>::create_filled(exec, dim2{rows, cols},
+                                              static_cast<V>(fill));
+        return box_linop("tensor", std::shared_ptr<LinOp>{std::move(tensor)});
+    });
+
+    m.def("tensor_from_host" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto host = args.at(1).as<const std::vector<double>>("host_f64");
+        const auto rows = args.at(2).as_int();
+        const auto cols = args.at(3).as_int();
+        MGKO_ENSURE(static_cast<size_type>(host->size()) >= rows * cols,
+                    "host buffer smaller than requested tensor");
+        auto tensor = Dense<V>::create(exec, dim2{rows, cols});
+        for (size_type r = 0; r < rows; ++r) {
+            for (size_type c = 0; c < cols; ++c) {
+                tensor->at(r, c) = static_cast<V>(
+                    (*host)[static_cast<std::size_t>(r * cols + c)]);
+            }
+        }
+        exec->charge_copy(nullptr, rows * cols *
+                                       static_cast<size_type>(sizeof(V)));
+        return box_linop("tensor", std::shared_ptr<LinOp>{std::move(tensor)});
+    });
+
+    m.def("tensor_view" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto* data = reinterpret_cast<V*>(
+            static_cast<std::uintptr_t>(args.at(1).as_int()));
+        const auto rows = args.at(2).as_int();
+        const auto cols = args.at(3).as_int();
+        auto tensor = Dense<V>::create_view(exec, dim2{rows, cols}, data);
+        return box_linop("tensor", std::shared_ptr<LinOp>{std::move(tensor)});
+    });
+
+    m.def("tensor_item" + s, [](const List& args) -> Value {
+        auto t = unbox_tensor<V>(args.at(0));
+        return Value{to_float(t->at(args.at(1).as_int(),
+                                    args.at(2).as_int())) +
+                     0.0};
+    });
+
+    m.def("tensor_set_item" + s, [](const List& args) -> Value {
+        auto t = unbox_tensor<V>(args.at(0));
+        t->at(args.at(1).as_int(), args.at(2).as_int()) =
+            static_cast<V>(args.at(3).as_double());
+        return {};
+    });
+
+    m.def("tensor_fill" + s, [](const List& args) -> Value {
+        unbox_tensor<V>(args.at(0))
+            ->fill(static_cast<V>(args.at(1).as_double()));
+        return {};
+    });
+
+    m.def("tensor_norm" + s, [](const List& args) -> Value {
+        // Frobenius norm: combine the per-column norms.
+        auto t = unbox_tensor<V>(args.at(0));
+        auto norms = Dense<V>::create(t->get_executor(),
+                                      dim2{1, t->get_size().cols});
+        t->compute_norm2(norms.get());
+        double acc = 0.0;
+        for (size_type c = 0; c < t->get_size().cols; ++c) {
+            const double v = to_float(norms->at(0, c));
+            acc += v * v;
+        }
+        return Value{std::sqrt(acc)};
+    });
+
+    m.def("tensor_dot" + s, [](const List& args) -> Value {
+        // Frobenius inner product: sum of per-column dots.
+        auto a = unbox_tensor<V>(args.at(0));
+        auto b = unbox_tensor<V>(args.at(1));
+        auto dots = Dense<V>::create(a->get_executor(),
+                                     dim2{1, a->get_size().cols});
+        a->compute_dot(b.get(), dots.get());
+        double acc = 0.0;
+        for (size_type c = 0; c < a->get_size().cols; ++c) {
+            acc += to_float(dots->at(0, c));
+        }
+        return Value{acc};
+    });
+
+    m.def("tensor_add_scaled" + s, [](const List& args) -> Value {
+        auto x = unbox_tensor<V>(args.at(0));
+        auto alpha = Dense<V>::create(x->get_executor(), dim2{1, 1});
+        alpha->get_values()[0] = static_cast<V>(args.at(1).as_double());
+        x->add_scaled(alpha.get(), unbox_tensor<V>(args.at(2)).get());
+        return {};
+    });
+
+    m.def("tensor_scale" + s, [](const List& args) -> Value {
+        auto x = unbox_tensor<V>(args.at(0));
+        auto alpha = Dense<V>::create(x->get_executor(), dim2{1, 1});
+        alpha->get_values()[0] = static_cast<V>(args.at(1).as_double());
+        x->scale(alpha.get());
+        return {};
+    });
+
+    m.def("tensor_matmul" + s, [](const List& args) -> Value {
+        auto a = unbox_tensor<V>(args.at(0));
+        auto b = unbox_tensor<V>(args.at(1));
+        auto x = Dense<V>::create(
+            a->get_executor(),
+            dim2{a->get_size().rows, b->get_size().cols});
+        a->apply(b.get(), x.get());
+        return box_linop("tensor", std::shared_ptr<LinOp>{std::move(x)});
+    });
+
+    m.def("tensor_t_matmul" + s, [](const List& args) -> Value {
+        auto a = unbox_tensor<V>(args.at(0));
+        auto b = unbox_tensor<V>(args.at(1));
+        auto x = Dense<V>::create(
+            a->get_executor(),
+            dim2{a->get_size().cols, b->get_size().cols});
+        a->transpose_apply(b.get(), x.get());
+        return box_linop("tensor", std::shared_ptr<LinOp>{std::move(x)});
+    });
+
+    m.def("tensor_clone" + s, [](const List& args) -> Value {
+        return box_linop("tensor", std::shared_ptr<LinOp>{
+                                       unbox_tensor<V>(args.at(0))->clone()});
+    });
+
+    m.def("tensor_to_device" + s, [](const List& args) -> Value {
+        auto t = unbox_tensor<V>(args.at(0));
+        auto exec = unbox_device(args.at(1));
+        return box_linop("tensor",
+                         std::shared_ptr<LinOp>{t->clone_to(std::move(exec))});
+    });
+
+    m.def("tensor_export" + s, [](const List& args) -> Value {
+        auto t = unbox_tensor<V>(args.at(0));
+        auto host = std::make_shared<std::vector<double>>();
+        host->reserve(static_cast<std::size_t>(t->get_size().area()));
+        for (size_type r = 0; r < t->get_size().rows; ++r) {
+            for (size_type c = 0; c < t->get_size().cols; ++c) {
+                host->push_back(to_float(t->at(r, c)));
+            }
+        }
+        return box("host_f64", std::shared_ptr<const std::vector<double>>{
+                                   std::move(host)});
+    });
+
+    m.def("conv2d_create" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        const auto height = args.at(1).as_int();
+        const auto width = args.at(2).as_int();
+        std::vector<double> kernel;
+        for (const auto& v : args.at(3).as_list()) {
+            kernel.push_back(v.as_double());
+        }
+        return box_linop("conv",
+                         std::shared_ptr<LinOp>{Convolution<V>::create(
+                             std::move(exec), height, width, kernel)});
+    });
+
+    m.def("conv2d_apply" + s, [](const List& args) -> Value {
+        auto conv = unbox_linop(args.at(0), "conv");
+        auto b = unbox_tensor<V>(args.at(1));
+        auto x = unbox_tensor<V>(args.at(2));
+        conv->apply(b.get(), x.get());
+        return {};
+    });
+
+    m.def("solver_apply" + s, [](const List& args) -> Value {
+        auto solver = unbox_linop(args.at(0), "solver");
+        auto b = unbox_tensor<V>(args.at(1));
+        auto x = unbox_tensor<V>(args.at(2));
+        solver->apply(b.get(), x.get());
+        if (auto iterative =
+                std::dynamic_pointer_cast<mgko::solver::IterativeSolver<V>>(
+                    solver)) {
+            return box("logger",
+                       std::shared_ptr<const log::ConvergenceLogger>{
+                           iterative->get_logger()});
+        }
+        return {};
+    });
+}
+
+
+// --- matrix / solver / preconditioner bindings (per value x index type) ----
+
+template <typename V, typename I>
+void register_matrix_bindings(Module& m)
+{
+    const auto s = suffix(dtype_of<V>::value, itype_of<I>::value);
+
+    auto box_matrix = [](std::shared_ptr<LinOp> op, size_type nnz) -> Value {
+        List result;
+        result.emplace_back(box_linop("matrix", std::move(op)));
+        result.emplace_back(nnz);
+        return Value{std::move(result)};
+    };
+
+    auto register_format = [&](const std::string& fmt, auto format_token) {
+        using Mat = typename decltype(format_token)::type;
+        m.def("matrix_read_" + fmt + s, [box_matrix](const List& args) -> Value {
+            auto exec = unbox_device(args.at(0));
+            auto data = read_mtx(args.at(1).as_string());
+            auto mat = Mat::create_from_data(
+                std::move(exec), data.template cast<V, I>());
+            const auto nnz = mat->get_num_stored_elements();
+            return box_matrix(std::shared_ptr<LinOp>{std::move(mat)}, nnz);
+        });
+
+        m.def("matrix_from_data_" + fmt + s,
+              [box_matrix](const List& args) -> Value {
+                  auto exec = unbox_device(args.at(0));
+                  auto data = args.at(1).as<const matrix_data<double, int64>>(
+                      "matrix_data");
+                  auto mat = Mat::create_from_data(
+                      std::move(exec), data->template cast<V, I>());
+                  const auto nnz = mat->get_num_stored_elements();
+                  return box_matrix(std::shared_ptr<LinOp>{std::move(mat)},
+                                    nnz);
+              });
+
+        m.def("matrix_apply_" + fmt + s, [](const List& args) -> Value {
+            auto mat = unbox_matrix<Mat>(args.at(0));
+            auto b = unbox_tensor<V>(args.at(1));
+            auto x = unbox_tensor<V>(args.at(2));
+            mat->apply(b.get(), x.get());
+            return {};
+        });
+    };
+    register_format("csr", type_token<Csr<V, I>>{});
+    register_format("coo", type_token<Coo<V, I>>{});
+    register_format("ell", type_token<Ell<V, I>>{});
+    register_format("hybrid", type_token<Hybrid<V, I>>{});
+
+    // Format conversions (through the staging representation for the
+    // non-CSR pairs; CSR owns direct paths).
+    m.def("matrix_convert_csr_to_coo" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Csr<V, I>>(args.at(0));
+              auto dst = Coo<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_csr_to_ell" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Csr<V, I>>(args.at(0));
+              auto dst = Ell<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_coo_to_csr" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Coo<V, I>>(args.at(0));
+              auto dst = Csr<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_ell_to_csr" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Ell<V, I>>(args.at(0));
+              auto dst = Csr<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_csr_to_hybrid" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Csr<V, I>>(args.at(0));
+              auto dst = Hybrid<V, I>::create_from_data(src->get_executor(),
+                                                        src->to_data());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_hybrid_to_csr" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Hybrid<V, I>>(args.at(0));
+              auto dst = Csr<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+
+    // Preconditioners (Figure 2: IC and ILU bound explicitly + Jacobi).
+    m.def("precond_ilu" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        return box("precond", std::shared_ptr<const LinOp>{
+                                  mgko::preconditioner::Ilu<V, I>::create(
+                                      std::move(exec), std::move(mat))});
+    });
+    m.def("precond_ic" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        return box("precond", std::shared_ptr<const LinOp>{
+                                  mgko::preconditioner::Ic<V, I>::create(
+                                      std::move(exec), std::move(mat))});
+    });
+    m.def("precond_jacobi" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto factory = mgko::preconditioner::Jacobi<V, I>::build()
+                           .with_max_block_size(args.at(2).as_int())
+                           .on(std::move(exec));
+        return box("precond",
+                   std::shared_ptr<const LinOp>{factory->generate(mat)});
+    });
+
+    // Direct solver bindings.
+    auto make_criteria = [](const List& args, std::size_t max_iters_idx,
+                            std::size_t reduction_idx) {
+        std::vector<std::shared_ptr<const stop::CriterionFactory>> criteria;
+        criteria.push_back(
+            stop::iteration(args.at(max_iters_idx).as_int()));
+        criteria.push_back(
+            stop::residual_norm(args.at(reduction_idx).as_double()));
+        return criteria;
+    };
+    auto maybe_precond = [](const Value& v) -> std::shared_ptr<const LinOp> {
+        if (v.is_none()) {
+            return nullptr;
+        }
+        return v.as<const LinOp>("precond");
+    };
+
+    // args: device, matrix, precond|none, max_iters, krylov_dim, reduction
+    m.def("solver_gmres" + s, [=](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto builder = mgko::solver::Gmres<V>::build();
+        for (auto& c : make_criteria(args, 3, 5)) {
+            builder.with_criteria(c);
+        }
+        builder.with_krylov_dim(args.at(4).as_int());
+        if (auto p = maybe_precond(args.at(2))) {
+            builder.with_generated_preconditioner(p);
+        }
+        return box_linop("solver", builder.on(std::move(exec))->generate(mat));
+    });
+
+    auto register_krylov = [&](const std::string& name, auto solver_token) {
+        using SolverT = typename decltype(solver_token)::type;
+        // args: device, matrix, precond|none, max_iters, reduction
+        m.def("solver_" + name + s, [=](const List& args) -> Value {
+            auto exec = unbox_device(args.at(0));
+            auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+            auto builder = SolverT::build();
+            for (auto& c : make_criteria(args, 3, 4)) {
+                builder.with_criteria(c);
+            }
+            if (auto p = maybe_precond(args.at(2))) {
+                builder.with_generated_preconditioner(p);
+            }
+            return box_linop("solver",
+                             builder.on(std::move(exec))->generate(mat));
+        });
+    };
+    register_krylov("cg", type_token<mgko::solver::Cg<V>>{});
+    register_krylov("cgs", type_token<mgko::solver::Cgs<V>>{});
+    register_krylov("bicgstab", type_token<mgko::solver::Bicgstab<V>>{});
+    register_krylov("fcg", type_token<mgko::solver::Fcg<V>>{});
+
+    // C = A @ B (sparse matrix product; §1 names it next to SpMV as a
+    // core sparse-ML operation).
+    m.def("matrix_spgemm" + s, [box_matrix](const List& args) -> Value {
+        auto a = unbox_matrix<Csr<V, I>>(args.at(0));
+        auto b = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto c = mgko::spgemm(a.get(), b.get());
+        const auto nnz = c->get_num_stored_elements();
+        return box_matrix(std::shared_ptr<LinOp>{std::move(c)}, nnz);
+    });
+
+    m.def("solver_direct" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        return box_linop("solver",
+                         mgko::solver::Direct<V, I>::build_on(std::move(exec))
+                             ->generate(mat));
+    });
+
+    m.def("solver_lower_trs" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        return box_linop("solver",
+                         mgko::solver::LowerTrs<V, I>::build()
+                             .with_unit_diagonal(args.at(2).as_bool())
+                             .on(std::move(exec))
+                             ->generate(mat));
+    });
+    m.def("solver_upper_trs" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        return box_linop("solver",
+                         mgko::solver::UpperTrs<V, I>::build()
+                             .with_unit_diagonal(args.at(2).as_bool())
+                             .on(std::move(exec))
+                             ->generate(mat));
+    });
+
+    // The generic config-solver entry point (paper §5): the Python dict has
+    // already been serialized to JSON by the front end.
+    m.def("config_solver" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto json = args.at(2).as<const config::Json>("json");
+        return box_linop(
+            "solver",
+            config::parse_factory(*json, std::move(exec))->generate(mat));
+    });
+}
+
+}  // namespace
+
+
+void ensure_bindings_registered()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        auto& m = Module::instance();
+
+#define MGKO_REGISTER_TENSOR(V) register_tensor_bindings<V>(m)
+        MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_REGISTER_TENSOR);
+#undef MGKO_REGISTER_TENSOR
+
+#define MGKO_REGISTER_MATRIX(V, I) register_matrix_bindings<V, I>(m)
+        MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_REGISTER_MATRIX);
+#undef MGKO_REGISTER_MATRIX
+    });
+}
+
+
+}  // namespace mgko::bind

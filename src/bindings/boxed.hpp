@@ -1,0 +1,133 @@
+// Boxed (dynamically typed) values — the "PyObject" of the binding layer.
+//
+// Every argument crossing the binding boundary is boxed into a Value and
+// unboxed on the other side, reproducing the cost structure of pybind11
+// argument conversion.  Framework objects (tensors, matrices, solvers,
+// devices) travel as shared_ptr<Object> handles with a type-name tag, the
+// equivalent of pybind11 holder types (paper §4.1: "pyGinkgo relies on
+// pybind11's support for smart pointers, allowing Python to share ownership
+// with C++ in a safe way").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/exception.hpp"
+#include "core/types.hpp"
+
+namespace mgko::bind {
+
+
+/// Type-erased handle to a framework object.
+class Object {
+public:
+    Object(std::string type_name, std::shared_ptr<void> payload)
+        : type_name_{std::move(type_name)}, payload_{std::move(payload)}
+    {}
+
+    const std::string& type_name() const { return type_name_; }
+
+    /// Recovers the typed payload; the caller asserts the type via the tag.
+    template <typename T>
+    std::shared_ptr<T> as(const std::string& expected) const
+    {
+        if (type_name_ != expected) {
+            throw BadParameter(__FILE__, __LINE__,
+                               "object of type '" + type_name_ +
+                                   "' where '" + expected + "' expected");
+        }
+        return std::static_pointer_cast<T>(payload_);
+    }
+
+private:
+    std::string type_name_;
+    std::shared_ptr<void> payload_;
+};
+
+
+struct Value;
+using List = std::vector<Value>;
+/// Dict preserves insertion order like Python 3.7+ dicts.
+using Dict = std::vector<std::pair<std::string, Value>>;
+
+
+struct Value {
+    std::variant<std::monostate, bool, std::int64_t, double, std::string,
+                 std::shared_ptr<Object>, List, Dict>
+        data;
+
+    Value() = default;
+    Value(bool b) : data{b} {}
+    Value(int i) : data{static_cast<std::int64_t>(i)} {}
+    Value(std::int64_t i) : data{i} {}
+    Value(double d) : data{d} {}
+    Value(const char* s) : data{std::string{s}} {}
+    Value(std::string s) : data{std::move(s)} {}
+    Value(std::shared_ptr<Object> o) : data{std::move(o)} {}
+    Value(List l) : data{std::move(l)} {}
+    Value(Dict d) : data{std::move(d)} {}
+
+    bool is_none() const
+    {
+        return std::holds_alternative<std::monostate>(data);
+    }
+
+    bool as_bool() const { return expect<bool>("bool"); }
+    std::int64_t as_int() const { return expect<std::int64_t>("int"); }
+    double as_double() const
+    {
+        if (std::holds_alternative<std::int64_t>(data)) {
+            return static_cast<double>(std::get<std::int64_t>(data));
+        }
+        return expect<double>("float");
+    }
+    const std::string& as_string() const
+    {
+        return expect<std::string>("str");
+    }
+    const List& as_list() const { return expect<List>("list"); }
+    const Dict& as_dict() const { return expect<Dict>("dict"); }
+
+    const std::shared_ptr<Object>& as_object() const
+    {
+        return expect<std::shared_ptr<Object>>("object");
+    }
+
+    /// Unbox a framework handle of the given tag.
+    template <typename T>
+    std::shared_ptr<T> as(const std::string& type_name) const
+    {
+        return as_object()->as<T>(type_name);
+    }
+
+private:
+    template <typename T>
+    const T& expect(const char* what) const
+    {
+        if (!std::holds_alternative<T>(data)) {
+            throw BadParameter(__FILE__, __LINE__,
+                               std::string{"boxed value is not "} + what);
+        }
+        return std::get<T>(data);
+    }
+};
+
+
+/// Boxes a framework object under a type tag.  Constness is erased inside
+/// the box (like Python's lack of const); `as<const T>` restores it.
+template <typename T>
+Value box(const std::string& type_name, std::shared_ptr<T> payload)
+{
+    auto mutable_payload =
+        std::const_pointer_cast<std::remove_const_t<T>>(std::move(payload));
+    return Value{std::make_shared<Object>(
+        type_name,
+        std::static_pointer_cast<void>(std::move(mutable_payload)))};
+}
+
+
+}  // namespace mgko::bind

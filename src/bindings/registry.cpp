@@ -1,0 +1,106 @@
+#include "bindings/registry.hpp"
+
+#include <chrono>
+
+#include "sim/machine_model.hpp"
+
+namespace mgko::bind {
+
+namespace {
+
+double now_wall_ns()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+
+std::mutex& gil()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+
+double interpreter_call_ns()
+{
+    static const double ns = sim::env_override("MGKO_SIM_PYCALL_NS", 4000.0);
+    return ns;
+}
+
+
+CallProbe::CallProbe(std::shared_ptr<const Executor> exec)
+    : exec_{std::move(exec)},
+      wall_start_ns_{now_wall_ns()},
+      kernel_wall_start_ns_{exec_ ? exec_->real_kernel_wall_ns() : 0.0}
+{}
+
+
+CallProbe::~CallProbe()
+{
+    if (!exec_) {
+        return;
+    }
+    const double wall = now_wall_ns() - wall_start_ns_;
+    const double kernel_wall =
+        exec_->real_kernel_wall_ns() - kernel_wall_start_ns_;
+    const double overhead = wall - kernel_wall;
+    // Measured boxing/lookup/GIL time + the modeled interpreter frame +
+    // the device runtime's dynamic-dispatch surcharge (nonzero on the
+    // simulated AMD backend, see MachineModel::mi100).
+    exec_->clock().tick((overhead > 0.0 ? overhead : 0.0) +
+                        interpreter_call_ns() +
+                        exec_->model().framework_call_ns);
+}
+
+
+Module& Module::instance()
+{
+    static Module module;
+    return module;
+}
+
+
+void Module::def(const std::string& name, BoundFunction fn)
+{
+    auto [it, inserted] = functions_.emplace(name, std::move(fn));
+    (void)it;
+    MGKO_ENSURE(inserted, "duplicate binding name: " + name);
+}
+
+
+Value Module::call(const std::string& name, const List& args) const
+{
+    std::lock_guard<std::mutex> guard{gil()};
+    auto it = functions_.find(name);
+    if (it == functions_.end()) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "no binding named '" + name +
+                               "' (unsupported type combination?)");
+    }
+    return it->second(args);
+}
+
+
+bool Module::has(const std::string& name) const
+{
+    return functions_.count(name) > 0;
+}
+
+
+std::vector<std::string> Module::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(functions_.size());
+    for (const auto& [name, fn] : functions_) {
+        result.push_back(name);
+    }
+    return result;
+}
+
+
+}  // namespace mgko::bind

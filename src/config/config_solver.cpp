@@ -1,0 +1,209 @@
+#include "config/config_solver.hpp"
+
+#include <vector>
+
+#include "core/dispatch.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/cgs.hpp"
+#include "solver/direct.hpp"
+#include "solver/fcg.hpp"
+#include "solver/gmres.hpp"
+#include "solver/ir.hpp"
+#include "solver/triangular.hpp"
+#include "stop/criterion.hpp"
+
+namespace mgko::config {
+
+namespace {
+
+stop::baseline parse_baseline(const std::string& name)
+{
+    if (name == "rhs_norm" || name == "rhs") {
+        return stop::baseline::rhs_norm;
+    }
+    if (name == "initial_resnorm" || name == "initial") {
+        return stop::baseline::initial_resnorm;
+    }
+    if (name == "absolute") {
+        return stop::baseline::absolute;
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown residual baseline: " + name);
+}
+
+
+std::vector<std::shared_ptr<const stop::CriterionFactory>> parse_criteria(
+    const Json& config)
+{
+    std::vector<std::shared_ptr<const stop::CriterionFactory>> result;
+    if (config.contains("criteria")) {
+        for (const auto& entry : config.at("criteria").elements()) {
+            const auto& type = entry.at("type").as_string();
+            if (type == "stop::Iteration" || type == "Iteration") {
+                result.push_back(
+                    stop::iteration(entry.at("max_iters").as_int()));
+            } else if (type == "stop::ResidualNorm" ||
+                       type == "ResidualNorm") {
+                result.push_back(stop::residual_norm(
+                    entry.at("reduction_factor").as_double(),
+                    parse_baseline(
+                        entry.get_or("baseline", Json{"rhs_norm"})
+                            .as_string())));
+            } else {
+                throw BadParameter(__FILE__, __LINE__,
+                                   "unknown criterion type: " + type);
+            }
+        }
+    }
+    // Listing-1-style keyword shorthands.
+    if (config.contains("max_iters")) {
+        result.push_back(stop::iteration(config.at("max_iters").as_int()));
+    }
+    if (config.contains("reduction_factor")) {
+        result.push_back(stop::residual_norm(
+            config.at("reduction_factor").as_double(),
+            parse_baseline(
+                config.get_or("baseline", Json{"rhs_norm"}).as_string())));
+    }
+    if (result.empty()) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "config selects no stopping criteria (provide "
+                           "'criteria', 'max_iters', or 'reduction_factor')");
+    }
+    return result;
+}
+
+
+template <typename V, typename I>
+std::shared_ptr<const LinOpFactory> parse_preconditioner(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    const auto& type = config.at("type").as_string();
+    if (type == "preconditioner::Jacobi" || type == "Jacobi" ||
+        type == "jacobi") {
+        return preconditioner::Jacobi<V, I>::build()
+            .with_max_block_size(config.get_or("max_block_size", Json{1})
+                                     .as_int())
+            .on(std::move(exec));
+    }
+    if (type == "preconditioner::Ilu" || type == "Ilu" || type == "ilu") {
+        return preconditioner::Ilu<V, I>::build_on(std::move(exec));
+    }
+    if (type == "preconditioner::Ic" || type == "Ic" || type == "ic") {
+        return preconditioner::Ic<V, I>::build_on(std::move(exec));
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown preconditioner type: " + type);
+}
+
+
+template <typename V, typename I>
+std::shared_ptr<const LinOpFactory> parse_factory_typed(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    const auto& type = config.at("type").as_string();
+
+    // Direct and triangular solvers carry no criteria.
+    if (type == "solver::Direct" || type == "Direct" || type == "direct") {
+        return solver::Direct<V, I>::build_on(std::move(exec));
+    }
+    if (type == "solver::LowerTrs" || type == "LowerTrs") {
+        return solver::LowerTrs<V, I>::build()
+            .with_unit_diagonal(
+                config.get_or("unit_diagonal", Json{false}).as_bool())
+            .on(std::move(exec));
+    }
+    if (type == "solver::UpperTrs" || type == "UpperTrs") {
+        return solver::UpperTrs<V, I>::build()
+            .with_unit_diagonal(
+                config.get_or("unit_diagonal", Json{false}).as_bool())
+            .on(std::move(exec));
+    }
+
+    auto criteria = parse_criteria(config);
+    std::shared_ptr<const LinOpFactory> precond;
+    if (config.contains("preconditioner") &&
+        !config.at("preconditioner").is_null()) {
+        precond =
+            parse_preconditioner<V, I>(config.at("preconditioner"), exec);
+    }
+
+    auto configure = [&](auto builder) {
+        for (auto& c : criteria) {
+            builder.with_criteria(c);
+        }
+        if (precond) {
+            builder.with_preconditioner(precond);
+        }
+        builder.with_krylov_dim(config.get_or("krylov_dim", Json{30}).as_int());
+        builder.with_relaxation_factor(
+            config.get_or("relaxation_factor", Json{1.0}).as_double());
+        return std::shared_ptr<const LinOpFactory>{builder.on(exec)};
+    };
+
+    if (type == "solver::Cg" || type == "Cg" || type == "cg") {
+        return configure(solver::Cg<V>::build());
+    }
+    if (type == "solver::Cgs" || type == "Cgs" || type == "cgs") {
+        return configure(solver::Cgs<V>::build());
+    }
+    if (type == "solver::Bicgstab" || type == "Bicgstab" ||
+        type == "bicgstab") {
+        return configure(solver::Bicgstab<V>::build());
+    }
+    if (type == "solver::Fcg" || type == "Fcg" || type == "fcg") {
+        return configure(solver::Fcg<V>::build());
+    }
+    if (type == "solver::Gmres" || type == "Gmres" || type == "gmres") {
+        return configure(solver::Gmres<V>::build());
+    }
+    if (type == "solver::Ir" || type == "Ir" || type == "ir" ||
+        type == "richardson") {
+        return configure(solver::Ir<V>::build());
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown solver type: " + type);
+}
+
+}  // namespace
+
+
+dtype config_value_type(const Json& config)
+{
+    return dtype_from_string(
+        config.get_or("value_type", Json{"double"}).as_string());
+}
+
+
+itype config_index_type(const Json& config)
+{
+    return itype_from_string(
+        config.get_or("index_type", Json{"int32"}).as_string());
+}
+
+
+std::shared_ptr<const LinOpFactory> parse_factory(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    MGKO_ENSURE(config.is_object(), "solver config must be a JSON object");
+    return dispatch_value_index(
+        config_value_type(config), config_index_type(config),
+        [&](auto v, auto i) -> std::shared_ptr<const LinOpFactory> {
+            using V = typename decltype(v)::type;
+            using I = typename decltype(i)::type;
+            return parse_factory_typed<V, I>(config, exec);
+        });
+}
+
+
+std::unique_ptr<LinOp> config_solver(const Json& config,
+                                     std::shared_ptr<const Executor> exec,
+                                     std::shared_ptr<const LinOp> system)
+{
+    return parse_factory(config, std::move(exec))->generate(std::move(system));
+}
+
+
+}  // namespace mgko::config

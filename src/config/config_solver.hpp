@@ -1,0 +1,53 @@
+// The generic config-solver entry point (paper §5).
+//
+// A JSON configuration (built from a file, a string, or — through the
+// binding layer — a Python-style dictionary) selects a solver, its
+// stopping criteria, an optional preconditioner, and the value/index types,
+// all at run time.  New functionality reachable through this entry point
+// needs no new explicit bindings — the property the paper highlights.
+//
+// Schema (Listing 2 of the paper, normalized):
+// {
+//   "type": "solver::Gmres",              // or Cg/Cgs/Bicgstab/Fcg/Ir/
+//                                         //    LowerTrs/UpperTrs
+//   "value_type": "float64",              // half|float32|float64 (default)
+//   "index_type": "int32",                // int32 (default) | int64
+//   "krylov_dim": 30,                     // GMRES only
+//   "relaxation_factor": 1.0,             // Ir only
+//   "criteria": [
+//     {"type": "stop::Iteration", "max_iters": 1000},
+//     {"type": "stop::ResidualNorm", "reduction_factor": 1e-6,
+//      "baseline": "rhs_norm"}
+//   ],
+//   // shorthands accepted instead of "criteria":
+//   "max_iters": 1000, "reduction_factor": 1e-6,
+//   "preconditioner": {"type": "preconditioner::Jacobi", "max_block_size": 1}
+// }
+#pragma once
+
+#include <memory>
+
+#include "config/json.hpp"
+#include "core/executor.hpp"
+#include "core/lin_op.hpp"
+
+namespace mgko::config {
+
+
+/// Builds a solver factory from a configuration.  Throws BadParameter for
+/// unknown types / malformed configs.
+std::shared_ptr<const LinOpFactory> parse_factory(
+    const Json& configuration, std::shared_ptr<const Executor> exec);
+
+/// One-shot convenience: builds the factory, generates the solver for
+/// `system`, and returns it.
+std::unique_ptr<LinOp> config_solver(const Json& configuration,
+                                     std::shared_ptr<const Executor> exec,
+                                     std::shared_ptr<const LinOp> system);
+
+/// The value/index types a configuration selects (defaults: double, int32).
+dtype config_value_type(const Json& configuration);
+itype config_index_type(const Json& configuration);
+
+
+}  // namespace mgko::config

@@ -1,0 +1,199 @@
+// Executor-bound typed buffer, modeled on gko::array.
+//
+// An array owns (or, for buffer-protocol views, borrows) a contiguous block
+// in one executor's memory space.  Copy construction across executors moves
+// the data explicitly, which is the only way bytes travel between spaces.
+// The non-owning `view` constructor is the substrate of the binding layer's
+// zero-copy NumPy interoperability (paper §5.2).
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
+#include "core/exception.hpp"
+#include "core/executor.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+template <typename T>
+class array {
+public:
+    using value_type = T;
+
+    array() = default;
+
+    array(std::shared_ptr<const Executor> exec, size_type size = 0)
+        : exec_{std::move(exec)}, size_{size}
+    {
+        MGKO_ENSURE(exec_ != nullptr, "array requires an executor");
+        MGKO_ENSURE(size_ >= 0, "array size must be non-negative");
+        if (size_ > 0) {
+            data_ = exec_->alloc<T>(size_);
+            owning_ = true;
+        }
+    }
+
+    array(std::shared_ptr<const Executor> exec, std::initializer_list<T> init)
+        : array{exec, static_cast<size_type>(init.size())}
+    {
+        std::copy(init.begin(), init.end(), data_);
+    }
+
+    /// Copies from a host iterator range into the executor's space.
+    template <typename It>
+    array(std::shared_ptr<const Executor> exec, It first, It last)
+        : array{exec, static_cast<size_type>(std::distance(first, last))}
+    {
+        std::copy(first, last, data_);
+    }
+
+    /// Deep copy within the same executor.
+    array(const array& other) : array{other.exec_, other.size_}
+    {
+        if (size_ > 0) {
+            exec_->copy_from(other.exec_.get(), bytes(), other.data_, data_);
+        }
+    }
+
+    /// Deep copy onto a (possibly different) executor.
+    array(std::shared_ptr<const Executor> exec, const array& other)
+        : array{std::move(exec), other.size_}
+    {
+        if (size_ > 0) {
+            exec_->copy_from(other.exec_.get(), bytes(), other.data_, data_);
+        }
+    }
+
+    array(array&& other) noexcept { swap(other); }
+
+    array& operator=(const array& other)
+    {
+        if (this == &other) {
+            return *this;
+        }
+        if (!exec_) {
+            exec_ = other.exec_;
+        }
+        resize_and_reset(other.size_);
+        if (size_ > 0) {
+            exec_->copy_from(other.exec_.get(), bytes(), other.data_, data_);
+        }
+        return *this;
+    }
+
+    array& operator=(array&& other) noexcept
+    {
+        if (this != &other) {
+            clear();
+            swap(other);
+        }
+        return *this;
+    }
+
+    ~array() { clear(); }
+
+    /// Non-owning view over externally managed memory (the buffer-protocol
+    /// path: the caller keeps ownership and lifetime responsibility).
+    static array view(std::shared_ptr<const Executor> exec, size_type size,
+                      T* data)
+    {
+        array result;
+        result.exec_ = std::move(exec);
+        result.size_ = size;
+        result.data_ = data;
+        result.owning_ = false;
+        return result;
+    }
+
+    bool is_view() const { return data_ != nullptr && !owning_; }
+
+    void swap(array& other) noexcept
+    {
+        std::swap(exec_, other.exec_);
+        std::swap(size_, other.size_);
+        std::swap(data_, other.data_);
+        std::swap(owning_, other.owning_);
+    }
+
+    /// Drops current contents and reallocates to `size` elements
+    /// (uninitialized).  A view is detached (becomes owning).
+    void resize_and_reset(size_type size)
+    {
+        if (size == size_ && owning_) {
+            return;
+        }
+        MGKO_ENSURE(exec_ != nullptr, "array requires an executor");
+        clear();
+        size_ = size;
+        if (size_ > 0) {
+            data_ = exec_->alloc<T>(size_);
+            owning_ = true;
+        }
+    }
+
+    void fill(T value)
+    {
+        std::fill_n(data_, size_, value);
+        if (exec_) {
+            // Modeled as one streaming kernel writing the buffer.
+            exec_->clock().tick(exec_->model().launch_latency_ns +
+                                static_cast<double>(bytes()) /
+                                    exec_->model().bandwidth_gbps);
+        }
+    }
+
+    T* get_data() { return data_; }
+    const T* get_const_data() const { return data_; }
+
+    size_type size() const { return size_; }
+    size_type bytes() const
+    {
+        return size_ * static_cast<size_type>(sizeof(T));
+    }
+
+    std::shared_ptr<const Executor> get_executor() const { return exec_; }
+
+    /// Moves the array to another executor (no-op when already there).
+    void set_executor(std::shared_ptr<const Executor> new_exec)
+    {
+        if (new_exec == exec_ || !exec_) {
+            exec_ = std::move(new_exec);
+            return;
+        }
+        array moved{new_exec, *this};
+        *this = std::move(moved);
+    }
+
+    /// Element copy-out for tests and host-side logic; valid on host and on
+    /// the simulated devices (whose memory is host-backed).
+    T at(size_type i) const
+    {
+        if (i < 0 || i >= size_) {
+            throw OutOfBounds(__FILE__, __LINE__, i, size_);
+        }
+        return data_[i];
+    }
+
+private:
+    void clear() noexcept
+    {
+        if (owning_ && data_ != nullptr) {
+            exec_->free_bytes(data_);
+        }
+        data_ = nullptr;
+        size_ = 0;
+        owning_ = false;
+    }
+
+    std::shared_ptr<const Executor> exec_;
+    size_type size_{0};
+    T* data_{nullptr};
+    bool owning_{false};
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,66 @@
+// Runtime -> compile-time type dispatch.
+//
+// This is the C++ half of the paper's §5.1 mechanism: all template
+// combinations are pre-instantiated, and a runtime (dtype, itype) tag pair
+// selects the instantiation.  The binding layer's string dispatch and the
+// config-solver both funnel through these helpers.
+#pragma once
+
+#include <utility>
+
+#include "core/exception.hpp"
+#include "core/half.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+template <typename T>
+struct type_token {
+    using type = T;
+};
+
+
+/// Invokes fn(type_token<V>{}) for the runtime value type tag.
+template <typename Fn>
+decltype(auto) dispatch_value_type(dtype t, Fn&& fn)
+{
+    switch (t) {
+    case dtype::f16:
+        return fn(type_token<half>{});
+    case dtype::f32:
+        return fn(type_token<float>{});
+    case dtype::f64:
+        return fn(type_token<double>{});
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid dtype tag");
+}
+
+
+/// Invokes fn(type_token<I>{}) for the runtime index type tag.
+template <typename Fn>
+decltype(auto) dispatch_index_type(itype t, Fn&& fn)
+{
+    switch (t) {
+    case itype::i32:
+        return fn(type_token<int32>{});
+    case itype::i64:
+        return fn(type_token<int64>{});
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid itype tag");
+}
+
+
+/// Invokes fn(type_token<V>{}, type_token<I>{}) over the cross product.
+template <typename Fn>
+decltype(auto) dispatch_value_index(dtype vt, itype it, Fn&& fn)
+{
+    return dispatch_value_type(vt, [&](auto v) -> decltype(auto) {
+        return dispatch_index_type(it, [&](auto i) -> decltype(auto) {
+            return fn(v, i);
+        });
+    });
+}
+
+
+}  // namespace mgko

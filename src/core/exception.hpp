@@ -1,0 +1,122 @@
+// Exception hierarchy.  Every error carries the throwing source location,
+// mirroring Ginkgo's diagnostics style.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+class Error : public std::runtime_error {
+public:
+    Error(const std::string& file, int line, const std::string& what)
+        : std::runtime_error(file + ":" + std::to_string(line) + ": " + what)
+    {}
+};
+
+/// Operator / vector shape mismatch in an apply or conversion.
+class DimensionMismatch : public Error {
+public:
+    DimensionMismatch(const std::string& file, int line, const std::string& op,
+                      dim2 first, dim2 second)
+        : Error(file, line,
+                op + ": incompatible dimensions [" + std::to_string(first.rows) +
+                    " x " + std::to_string(first.cols) + "] vs [" +
+                    std::to_string(second.rows) + " x " +
+                    std::to_string(second.cols) + "]")
+    {}
+};
+
+/// Requested combination (format / executor / operation) is not implemented.
+class NotSupported : public Error {
+public:
+    NotSupported(const std::string& file, int line, const std::string& what)
+        : Error(file, line, "not supported: " + what)
+    {}
+};
+
+class BadAlloc : public Error {
+public:
+    BadAlloc(const std::string& file, int line, size_type bytes)
+        : Error(file, line,
+                "allocation of " + std::to_string(bytes) + " bytes failed")
+    {}
+};
+
+/// Memory accessed through the wrong executor, freed twice, or unknown.
+class MemorySpaceError : public Error {
+public:
+    MemorySpaceError(const std::string& file, int line, const std::string& what)
+        : Error(file, line, "memory space violation: " + what)
+    {}
+};
+
+class FileError : public Error {
+public:
+    FileError(const std::string& file, int line, const std::string& path,
+              const std::string& what)
+        : Error(file, line, path + ": " + what)
+    {}
+};
+
+/// Malformed user input (dtype strings, config dictionaries, ...).
+class BadParameter : public Error {
+public:
+    BadParameter(const std::string& file, int line, const std::string& what)
+        : Error(file, line, "bad parameter: " + what)
+    {}
+};
+
+class OutOfBounds : public Error {
+public:
+    OutOfBounds(const std::string& file, int line, size_type index,
+                size_type bound)
+        : Error(file, line,
+                "index " + std::to_string(index) + " out of bounds [0, " +
+                    std::to_string(bound) + ")")
+    {}
+};
+
+/// Numerical breakdown inside a solver or factorization (e.g. zero pivot).
+class NumericalError : public Error {
+public:
+    NumericalError(const std::string& file, int line, const std::string& what)
+        : Error(file, line, "numerical error: " + what)
+    {}
+};
+
+
+#define MGKO_NOT_SUPPORTED(_what) \
+    throw ::mgko::NotSupported(__FILE__, __LINE__, _what)
+
+#define MGKO_ENSURE(_cond, _what)                                 \
+    do {                                                          \
+        if (!(_cond)) {                                           \
+            throw ::mgko::BadParameter(__FILE__, __LINE__,        \
+                                       std::string{#_cond ": "} + \
+                                           std::string{_what});   \
+        }                                                         \
+    } while (false)
+
+#define MGKO_ASSERT_EQUAL_DIMENSIONS(_op, _a, _b)                         \
+    do {                                                                  \
+        if ((_a) != (_b)) {                                               \
+            throw ::mgko::DimensionMismatch(__FILE__, __LINE__, _op, _a,  \
+                                            _b);                          \
+        }                                                                 \
+    } while (false)
+
+#define MGKO_ASSERT_CONFORMANT(_op, _mat, _vec)                              \
+    do {                                                                     \
+        if ((_mat).cols != (_vec).rows) {                                    \
+            throw ::mgko::DimensionMismatch(__FILE__, __LINE__, _op, _mat,   \
+                                            _vec);                           \
+        }                                                                    \
+    } while (false)
+
+
+}  // namespace mgko

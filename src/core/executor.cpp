@@ -1,0 +1,300 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include <omp.h>
+
+namespace mgko {
+
+namespace {
+
+double pcie_bandwidth_gbps()
+{
+    static const double bw = sim::env_override("MGKO_SIM_PCIE_BW_GBPS", 24.0);
+    return bw;
+}
+
+double now_wall_ns()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
+
+
+std::string to_string(exec_kind kind)
+{
+    switch (kind) {
+    case exec_kind::reference:
+        return "reference";
+    case exec_kind::omp:
+        return "omp";
+    case exec_kind::cuda:
+        return "cuda";
+    case exec_kind::hip:
+        return "hip";
+    }
+    return "unknown";
+}
+
+
+void Operation::run(const ReferenceExecutor*) const
+{
+    MGKO_NOT_SUPPORTED(std::string{name()} + " on reference executor");
+}
+void Operation::run(const OmpExecutor*) const
+{
+    MGKO_NOT_SUPPORTED(std::string{name()} + " on omp executor");
+}
+void Operation::run(const CudaExecutor*) const
+{
+    MGKO_NOT_SUPPORTED(std::string{name()} + " on cuda executor");
+}
+void Operation::run(const HipExecutor*) const
+{
+    MGKO_NOT_SUPPORTED(std::string{name()} + " on hip executor");
+}
+
+
+Executor::Executor(sim::MachineModel model,
+                   std::shared_ptr<const Executor> master)
+    : model_{std::move(model)}, name_{model_.name}, master_{std::move(master)}
+{}
+
+
+Executor::~Executor()
+{
+    // Leaks are a bug in the framework, but throwing from a destructor is
+    // worse; allocations_ simply drops the records.
+    std::lock_guard<std::mutex> guard{registry_mutex_};
+    for (auto& [ptr, size] : allocations_) {
+        std::free(const_cast<void*>(ptr));
+    }
+}
+
+
+void* Executor::alloc_bytes(size_type bytes) const
+{
+    if (bytes <= 0) {
+        bytes = 1;
+    }
+    // 64-byte alignment: cache lines on CPUs, coalescing sectors on GPUs.
+    const auto rounded = static_cast<std::size_t>((bytes + 63) / 64 * 64);
+    void* ptr = std::aligned_alloc(64, rounded);
+    if (ptr == nullptr) {
+        throw BadAlloc(__FILE__, __LINE__, bytes);
+    }
+    {
+        std::lock_guard<std::mutex> guard{registry_mutex_};
+        allocations_.emplace(ptr, bytes);
+    }
+    bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed);
+    return ptr;
+}
+
+
+void Executor::free_bytes(void* ptr) const
+{
+    if (ptr == nullptr) {
+        return;
+    }
+    size_type size = 0;
+    {
+        std::lock_guard<std::mutex> guard{registry_mutex_};
+        auto it = allocations_.find(ptr);
+        if (it == allocations_.end()) {
+            throw MemorySpaceError(
+                __FILE__, __LINE__,
+                "freeing pointer not allocated on executor " + name_);
+        }
+        size = it->second;
+        allocations_.erase(it);
+    }
+    bytes_in_use_.fetch_sub(size, std::memory_order_relaxed);
+    std::free(ptr);
+}
+
+
+void Executor::copy_from(const Executor* src_exec, size_type bytes,
+                         const void* src, void* dst) const
+{
+    if (bytes <= 0) {
+        return;
+    }
+    MGKO_ENSURE(src != nullptr && dst != nullptr,
+                "copy_from requires valid pointers");
+    std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+    charge_copy(src_exec, bytes);
+}
+
+
+void Executor::charge_copy(const Executor* src_exec, size_type bytes) const
+{
+    // Same-space copies move at the space's own bandwidth; host<->device
+    // crossings move over the interconnect and pay transfer latency on the
+    // device side.
+    const bool crossing =
+        src_exec != nullptr && (src_exec->is_device() != is_device());
+    if (crossing) {
+        const Executor* device = is_device() ? this : src_exec;
+        device->clock().tick(device->model().transfer_latency_ns +
+                             static_cast<double>(bytes) /
+                                 pcie_bandwidth_gbps());
+    } else {
+        clock().tick(static_cast<double>(bytes) / model_.bandwidth_gbps);
+    }
+}
+
+
+void Executor::synchronize() const
+{
+    // Host executors: nothing outstanding in the simulation.
+}
+
+
+void Executor::run(const Operation& op) const
+{
+    const double t0 = now_wall_ns();
+    dispatch(op);
+    kernel_wall_ns_.fetch_add(now_wall_ns() - t0, std::memory_order_relaxed);
+    launches_.fetch_add(1, std::memory_order_relaxed);
+    clock_.tick(model_.launch_latency_ns);
+}
+
+
+std::shared_ptr<const Executor> Executor::get_master() const
+{
+    if (master_) {
+        return master_;
+    }
+    return shared_from_this();
+}
+
+
+bool Executor::owns(const void* ptr) const
+{
+    std::lock_guard<std::mutex> guard{registry_mutex_};
+    return allocations_.count(ptr) > 0;
+}
+
+
+size_type Executor::num_allocations() const
+{
+    std::lock_guard<std::mutex> guard{registry_mutex_};
+    return static_cast<size_type>(allocations_.size());
+}
+
+
+size_type Executor::bytes_in_use() const
+{
+    return bytes_in_use_.load(std::memory_order_relaxed);
+}
+
+
+// --- ReferenceExecutor ---------------------------------------------------
+
+ReferenceExecutor::ReferenceExecutor()
+    : Executor{sim::MachineModel::reference_cpu(), nullptr}
+{}
+
+std::shared_ptr<ReferenceExecutor> ReferenceExecutor::create()
+{
+    return std::shared_ptr<ReferenceExecutor>{new ReferenceExecutor{}};
+}
+
+
+// --- OmpExecutor -----------------------------------------------------------
+
+OmpExecutor::OmpExecutor(int num_threads)
+    : Executor{sim::MachineModel::xeon8368(num_threads), nullptr},
+      real_threads_{std::min(std::max(num_threads, 1), omp_get_max_threads())}
+{}
+
+std::shared_ptr<OmpExecutor> OmpExecutor::create(int num_threads)
+{
+    if (num_threads <= 0) {
+        num_threads = omp_get_max_threads();
+    }
+    return std::shared_ptr<OmpExecutor>{new OmpExecutor{num_threads}};
+}
+
+
+// --- CudaExecutor ----------------------------------------------------------
+
+CudaExecutor::CudaExecutor(int device_id,
+                           std::shared_ptr<const Executor> master)
+    : Executor{sim::MachineModel::a100(), std::move(master)},
+      device_id_{device_id}
+{}
+
+std::shared_ptr<CudaExecutor> CudaExecutor::create(
+    int device_id, std::shared_ptr<const Executor> master)
+{
+    if (!master) {
+        master = OmpExecutor::create();
+    }
+    return std::shared_ptr<CudaExecutor>{
+        new CudaExecutor{device_id, std::move(master)}};
+}
+
+void CudaExecutor::synchronize() const
+{
+    clock().tick(model().launch_latency_ns * 0.5);
+}
+
+
+// --- HipExecutor -----------------------------------------------------------
+
+HipExecutor::HipExecutor(int device_id, std::shared_ptr<const Executor> master)
+    : Executor{sim::MachineModel::mi100(), std::move(master)},
+      device_id_{device_id}
+{}
+
+std::shared_ptr<HipExecutor> HipExecutor::create(
+    int device_id, std::shared_ptr<const Executor> master)
+{
+    if (!master) {
+        master = OmpExecutor::create();
+    }
+    return std::shared_ptr<HipExecutor>{
+        new HipExecutor{device_id, std::move(master)}};
+}
+
+void HipExecutor::synchronize() const
+{
+    clock().tick(model().launch_latency_ns * 0.5);
+}
+
+
+std::shared_ptr<Executor> create_executor(const std::string& name,
+                                          int device_id)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name) {
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "reference" || lower == "ref") {
+        return ReferenceExecutor::create();
+    }
+    if (lower == "omp" || lower == "openmp" || lower == "cpu") {
+        return OmpExecutor::create();
+    }
+    if (lower == "cuda" || lower == "gpu") {
+        return CudaExecutor::create(device_id);
+    }
+    if (lower == "hip" || lower == "rocm") {
+        return HipExecutor::create(device_id);
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown executor name: " + name);
+}
+
+
+}  // namespace mgko

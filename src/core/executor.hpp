@@ -1,0 +1,266 @@
+// Executors: where memory lives and where kernels run.
+//
+// This mirrors Ginkgo's executor design as exposed by pyGinkgo's `device()`
+// factory (paper §4.1): a program creates one or more executors, data
+// structures are bound to an executor, and cross-executor data movement is
+// explicit.  Four executors exist, as in the paper:
+//
+//   * ReferenceExecutor — sequential host execution (correctness baseline)
+//   * OmpExecutor       — OpenMP-parallel host execution
+//   * CudaExecutor      — simulated NVIDIA device (see DESIGN.md §2/2.1)
+//   * HipExecutor       — simulated AMD device
+//
+// The simulated devices keep a *separate, tracked memory arena* (backed by
+// host RAM): allocations are registered per executor, host<->device copies
+// are explicit and charged with transfer cost, and every kernel launch is
+// charged launch latency on the executor's SimClock.  Kernels are dispatched
+// through the Operation visitor, exactly like Ginkgo's Operation mechanism.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/exception.hpp"
+#include "core/types.hpp"
+#include "sim/machine_model.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace mgko {
+
+
+class ReferenceExecutor;
+class OmpExecutor;
+class CudaExecutor;
+class HipExecutor;
+
+enum class exec_kind { reference, omp, cuda, hip };
+
+std::string to_string(exec_kind kind);
+
+
+/// A kernel made dispatchable across backends.  Concrete kernels override
+/// the overloads for the backends they implement; unimplemented backends
+/// throw NotSupported, as in Ginkgo.
+class Operation {
+public:
+    virtual ~Operation() = default;
+    virtual const char* name() const { return "operation"; }
+
+    virtual void run(const ReferenceExecutor*) const;
+    virtual void run(const OmpExecutor*) const;
+    virtual void run(const CudaExecutor*) const;
+    virtual void run(const HipExecutor*) const;
+};
+
+
+class Executor : public std::enable_shared_from_this<Executor> {
+public:
+    virtual ~Executor();
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /// Allocates `bytes` bytes in this executor's memory space (64-byte
+    /// aligned).  Registered for cross-space validation.  Throws BadAlloc.
+    void* alloc_bytes(size_type bytes) const;
+
+    /// Frees memory previously allocated on this executor.  Freeing a
+    /// pointer from a different executor throws MemorySpaceError.
+    void free_bytes(void* ptr) const;
+
+    template <typename T>
+    T* alloc(size_type num_elems) const
+    {
+        return static_cast<T*>(
+            alloc_bytes(num_elems * static_cast<size_type>(sizeof(T))));
+    }
+
+    /// Copies `bytes` bytes from `src` (owned by `src_exec`) into `dst`
+    /// (owned by this executor), charging transfer cost when the copy
+    /// crosses the host/device boundary.
+    void copy_from(const Executor* src_exec, size_type bytes, const void* src,
+                   void* dst) const;
+
+    /// Charges the modeled cost of moving `bytes` from `src_exec`'s space
+    /// into this one without performing the copy (used by strided copies
+    /// that move the payload themselves).
+    void charge_copy(const Executor* src_exec, size_type bytes) const;
+
+    /// Blocks until all outstanding simulated work completed.  On the
+    /// simulated devices this also charges a synchronization latency.
+    virtual void synchronize() const;
+
+    /// Dispatches `op` to this backend's kernel, charging launch latency and
+    /// counting the launch.
+    void run(const Operation& op) const;
+
+    virtual exec_kind kind() const = 0;
+    /// True for the simulated device executors (memory not host-resident
+    /// from the framework's point of view).
+    virtual bool is_device() const { return false; }
+
+    const std::string& name() const { return name_; }
+    const sim::MachineModel& model() const { return model_; }
+    sim::SimClock& clock() const { return clock_; }
+
+    /// Number of parallel workers the performance model assumes; kernels use
+    /// it for partitioning decisions (and, on real hardware, thread counts).
+    int worker_count() const { return model_.workers; }
+
+    /// The host executor backing this one; returns itself for host
+    /// executors.
+    std::shared_ptr<const Executor> get_master() const;
+
+    /// True if `ptr` was allocated (and not yet freed) on this executor.
+    bool owns(const void* ptr) const;
+
+    // --- instrumentation ------------------------------------------------
+    size_type num_kernel_launches() const { return launches_.load(); }
+    size_type num_allocations() const;
+    size_type bytes_in_use() const;
+    /// Accumulated *real* wall time spent inside kernel bodies; benchmark
+    /// harnesses subtract it to isolate host-side software overhead.
+    double real_kernel_wall_ns() const { return kernel_wall_ns_.load(); }
+
+protected:
+    Executor(sim::MachineModel model, std::shared_ptr<const Executor> master);
+
+    /// Calls op.run() with the concrete executor type.
+    virtual void dispatch(const Operation& op) const = 0;
+
+private:
+    sim::MachineModel model_;
+    std::string name_;
+    std::shared_ptr<const Executor> master_;  // null for host executors
+    mutable sim::SimClock clock_;
+    mutable std::mutex registry_mutex_;
+    mutable std::unordered_map<const void*, size_type> allocations_;
+    mutable std::atomic<size_type> launches_{0};
+    mutable std::atomic<size_type> bytes_in_use_{0};
+    mutable std::atomic<double> kernel_wall_ns_{0.0};
+};
+
+
+/// Sequential host executor; the numerical ground truth for all kernels.
+class ReferenceExecutor : public Executor {
+public:
+    static std::shared_ptr<ReferenceExecutor> create();
+    exec_kind kind() const override { return exec_kind::reference; }
+
+protected:
+    ReferenceExecutor();
+    void dispatch(const Operation& op) const override { op.run(this); }
+};
+
+
+/// OpenMP-parallel host executor.  `num_threads` configures both the
+/// performance model and (capped by the hardware) the real thread count.
+class OmpExecutor : public Executor {
+public:
+    static std::shared_ptr<OmpExecutor> create(int num_threads = 0);
+    exec_kind kind() const override { return exec_kind::omp; }
+    /// Threads assumed by the performance model.
+    int num_threads() const { return worker_count(); }
+    /// Threads actually used for execution on this machine.
+    int real_threads() const { return real_threads_; }
+
+protected:
+    explicit OmpExecutor(int num_threads);
+    void dispatch(const Operation& op) const override { op.run(this); }
+
+private:
+    int real_threads_;
+};
+
+
+/// Simulated NVIDIA device executor (A100 model).
+class CudaExecutor : public Executor {
+public:
+    static std::shared_ptr<CudaExecutor> create(
+        int device_id = 0, std::shared_ptr<const Executor> master = nullptr);
+    exec_kind kind() const override { return exec_kind::cuda; }
+    bool is_device() const override { return true; }
+    int device_id() const { return device_id_; }
+    void synchronize() const override;
+
+protected:
+    CudaExecutor(int device_id, std::shared_ptr<const Executor> master);
+    void dispatch(const Operation& op) const override { op.run(this); }
+
+private:
+    int device_id_;
+};
+
+
+/// Simulated AMD device executor (MI100 model); its kernels use
+/// wavefront-chunked variants where they differ from the CUDA path.
+class HipExecutor : public Executor {
+public:
+    static std::shared_ptr<HipExecutor> create(
+        int device_id = 0, std::shared_ptr<const Executor> master = nullptr);
+    exec_kind kind() const override { return exec_kind::hip; }
+    bool is_device() const override { return true; }
+    int device_id() const { return device_id_; }
+    void synchronize() const override;
+
+protected:
+    HipExecutor(int device_id, std::shared_ptr<const Executor> master);
+    void dispatch(const Operation& op) const override { op.run(this); }
+
+private:
+    int device_id_;
+};
+
+
+namespace detail {
+
+template <typename RefFn, typename OmpFn, typename CudaFn, typename HipFn>
+class LambdaOperation final : public Operation {
+public:
+    LambdaOperation(const char* name, RefFn ref, OmpFn omp, CudaFn cuda,
+                    HipFn hip)
+        : name_{name},
+          ref_{std::move(ref)},
+          omp_{std::move(omp)},
+          cuda_{std::move(cuda)},
+          hip_{std::move(hip)}
+    {}
+
+    const char* name() const override { return name_; }
+    void run(const ReferenceExecutor* e) const override { ref_(e); }
+    void run(const OmpExecutor* e) const override { omp_(e); }
+    void run(const CudaExecutor* e) const override { cuda_(e); }
+    void run(const HipExecutor* e) const override { hip_(e); }
+
+private:
+    const char* name_;
+    RefFn ref_;
+    OmpFn omp_;
+    CudaFn cuda_;
+    HipFn hip_;
+};
+
+}  // namespace detail
+
+
+/// Builds a dispatchable Operation from one lambda per backend.
+template <typename RefFn, typename OmpFn, typename CudaFn, typename HipFn>
+auto make_operation(const char* name, RefFn ref, OmpFn omp, CudaFn cuda,
+                    HipFn hip)
+{
+    return detail::LambdaOperation<RefFn, OmpFn, CudaFn, HipFn>{
+        name, std::move(ref), std::move(omp), std::move(cuda), std::move(hip)};
+}
+
+
+/// Convenience: creates the executor named by the paper's device strings
+/// ("reference", "omp"/"cpu", "cuda", "hip"), case-insensitive.
+std::shared_ptr<Executor> create_executor(const std::string& name,
+                                          int device_id = 0);
+
+
+}  // namespace mgko

@@ -1,0 +1,154 @@
+// Software IEEE 754 binary16 ("half") value type.
+//
+// Ginkgo supports half precision as a storage and compute type (paper,
+// Table 1).  Since this reproduction targets plain CPUs, `half` stores the
+// 16-bit pattern and performs arithmetic by converting through float, which
+// matches the numerical behaviour of hardware half units with round-to-
+// nearest-even on every operation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <limits>
+
+namespace mgko {
+
+
+class half {
+public:
+    half() = default;
+    half(float f) : bits_{float_to_bits(f)} {}
+    half(double d) : half{static_cast<float>(d)} {}
+    half(int i) : half{static_cast<float>(i)} {}
+    half(long long i) : half{static_cast<float>(i)} {}
+
+    operator float() const { return bits_to_float(bits_); }
+
+    static half from_bits(std::uint16_t b)
+    {
+        half h;
+        h.bits_ = b;
+        return h;
+    }
+    std::uint16_t to_bits() const { return bits_; }
+
+    half& operator+=(half o) { return *this = half{float{*this} + float{o}}; }
+    half& operator-=(half o) { return *this = half{float{*this} - float{o}}; }
+    half& operator*=(half o) { return *this = half{float{*this} * float{o}}; }
+    half& operator/=(half o) { return *this = half{float{*this} / float{o}}; }
+
+    friend half operator+(half a, half b) { return half{float{a} + float{b}}; }
+    friend half operator-(half a, half b) { return half{float{a} - float{b}}; }
+    friend half operator*(half a, half b) { return half{float{a} * float{b}}; }
+    friend half operator/(half a, half b) { return half{float{a} / float{b}}; }
+    friend half operator-(half a) { return half{-float{a}}; }
+
+    friend bool operator==(half a, half b) { return float{a} == float{b}; }
+    friend bool operator!=(half a, half b) { return float{a} != float{b}; }
+    friend bool operator<(half a, half b) { return float{a} < float{b}; }
+    friend bool operator<=(half a, half b) { return float{a} <= float{b}; }
+    friend bool operator>(half a, half b) { return float{a} > float{b}; }
+    friend bool operator>=(half a, half b) { return float{a} >= float{b}; }
+
+private:
+    static std::uint16_t float_to_bits(float f)
+    {
+        std::uint32_t x;
+        std::memcpy(&x, &f, sizeof(x));
+        const std::uint32_t sign = (x >> 16) & 0x8000u;
+        const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xffu) - 127;
+        std::uint32_t mant = x & 0x7fffffu;
+        if (exp == 128) {  // inf or nan
+            return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                              (mant ? 0x200u | (mant >> 13) : 0u));
+        }
+        if (exp > 15) {  // overflow -> inf
+            return static_cast<std::uint16_t>(sign | 0x7c00u);
+        }
+        if (exp >= -14) {  // normal
+            // round to nearest even on the 13 dropped bits
+            std::uint32_t half_mant = mant >> 13;
+            const std::uint32_t rest = mant & 0x1fffu;
+            if (rest > 0x1000u || (rest == 0x1000u && (half_mant & 1u))) {
+                ++half_mant;
+            }
+            std::uint32_t result =
+                sign | ((static_cast<std::uint32_t>(exp + 15) << 10) + half_mant);
+            return static_cast<std::uint16_t>(result);  // mantissa carry bumps exp
+        }
+        if (exp >= -25) {  // subnormal
+            mant |= 0x800000u;
+            const int shift = -exp - 14 + 13;
+            std::uint32_t half_mant = mant >> shift;
+            const std::uint32_t rest = mant & ((1u << shift) - 1);
+            const std::uint32_t halfway = 1u << (shift - 1);
+            if (rest > halfway || (rest == halfway && (half_mant & 1u))) {
+                ++half_mant;
+            }
+            return static_cast<std::uint16_t>(sign | half_mant);
+        }
+        return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+    }
+
+    static float bits_to_float(std::uint16_t h)
+    {
+        const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+        const std::uint32_t exp = (h >> 10) & 0x1fu;
+        std::uint32_t mant = h & 0x3ffu;
+        std::uint32_t x;
+        if (exp == 0x1f) {  // inf / nan
+            x = sign | 0x7f800000u | (mant << 13);
+        } else if (exp != 0) {  // normal
+            x = sign | ((exp + 112) << 23) | (mant << 13);
+        } else if (mant != 0) {  // subnormal: normalize
+            int e = -1;
+            do {
+                ++e;
+                mant <<= 1;
+            } while ((mant & 0x400u) == 0);
+            x = sign | (static_cast<std::uint32_t>(113 - e - 1) << 23) |
+                ((mant & 0x3ffu) << 13);
+        } else {  // zero
+            x = sign;
+        }
+        float f;
+        std::memcpy(&f, &x, sizeof(f));
+        return f;
+    }
+
+    std::uint16_t bits_{};
+};
+
+std::ostream& operator<<(std::ostream& os, half h);
+
+
+}  // namespace mgko
+
+
+namespace std {
+
+template <>
+class numeric_limits<mgko::half> {
+public:
+    static constexpr bool is_specialized = true;
+    static constexpr bool is_signed = true;
+    static constexpr bool is_integer = false;
+    static constexpr bool is_exact = false;
+    static constexpr bool has_infinity = true;
+    static constexpr bool has_quiet_NaN = true;
+    static constexpr int digits = 11;
+    static constexpr int digits10 = 3;
+    static constexpr int max_exponent = 16;
+    static constexpr int min_exponent = -13;
+
+    static mgko::half min() { return mgko::half::from_bits(0x0400); }
+    static mgko::half max() { return mgko::half::from_bits(0x7bff); }
+    static mgko::half lowest() { return mgko::half::from_bits(0xfbff); }
+    static mgko::half epsilon() { return mgko::half::from_bits(0x1400); }
+    static mgko::half infinity() { return mgko::half::from_bits(0x7c00); }
+    static mgko::half quiet_NaN() { return mgko::half::from_bits(0x7e00); }
+    static mgko::half denorm_min() { return mgko::half::from_bits(0x0001); }
+};
+
+}  // namespace std

@@ -1,0 +1,36 @@
+// Shared helpers for kernel implementations: real thread counts for OpenMP
+// regions and SimClock ticking.
+#pragma once
+
+#include <omp.h>
+
+#include "core/executor.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mgko::kernels {
+
+
+/// Number of real threads a kernel should use on this machine.  The
+/// performance model may assume more workers (e.g. a simulated A100); real
+/// execution is capped by the hardware for correctness-only computation.
+inline int exec_threads(const Executor* exec)
+{
+    if (auto omp = dynamic_cast<const OmpExecutor*>(exec)) {
+        return omp->real_threads();
+    }
+    if (exec->is_device()) {
+        return omp_get_max_threads();
+    }
+    return 1;
+}
+
+
+/// Charges a kernel's modeled cost onto the executor clock.  The launch
+/// latency itself is charged by Executor::run().
+inline void tick(const Executor* exec, const sim::kernel_profile& profile)
+{
+    exec->clock().tick(profile.time_ns(exec->model()));
+}
+
+
+}  // namespace mgko::kernels

@@ -1,0 +1,88 @@
+#include "core/lin_op.hpp"
+
+#include "matrix/dense.hpp"
+
+namespace mgko {
+
+
+void Identity::apply_impl(const LinOp* b, LinOp* x) const
+{
+    copy_dense(b, x);
+}
+
+
+void Identity::apply_impl(const LinOp* alpha, const LinOp* b,
+                          const LinOp* beta, LinOp* x) const
+{
+    // x = alpha * b + beta * x, dispatched over the dense value type.
+    if (auto d = dynamic_cast<Dense<half>*>(x)) {
+        d->scale(as_dense<half>(beta));
+        d->add_scaled(as_dense<half>(alpha), as_dense<half>(b));
+        return;
+    }
+    if (auto d = dynamic_cast<Dense<float>*>(x)) {
+        d->scale(as_dense<float>(beta));
+        d->add_scaled(as_dense<float>(alpha), as_dense<float>(b));
+        return;
+    }
+    if (auto d = dynamic_cast<Dense<double>*>(x)) {
+        d->scale(as_dense<double>(beta));
+        d->add_scaled(as_dense<double>(alpha), as_dense<double>(b));
+        return;
+    }
+    MGKO_NOT_SUPPORTED("Identity::apply on non-dense operands");
+}
+
+
+Composition::Composition(std::vector<std::shared_ptr<const LinOp>> operators)
+    : LinOp{operators.front()->get_executor(),
+            operators.front()->get_size() * operators.back()->get_size()},
+      operators_{std::move(operators)}
+{
+    for (std::size_t i = 0; i + 1 < operators_.size(); ++i) {
+        MGKO_ASSERT_CONFORMANT("Composition", operators_[i]->get_size(),
+                               operators_[i + 1]->get_size());
+    }
+}
+
+
+std::unique_ptr<Composition> Composition::create(
+    std::vector<std::shared_ptr<const LinOp>> operators)
+{
+    MGKO_ENSURE(!operators.empty(), "Composition requires >= 1 operator");
+    return std::unique_ptr<Composition>{new Composition{std::move(operators)}};
+}
+
+
+void Composition::apply_impl(const LinOp* b, LinOp* x) const
+{
+    if (operators_.size() == 1) {
+        operators_.front()->apply(b, x);
+        return;
+    }
+    // Apply right to left through temporaries typed like b.
+    std::unique_ptr<LinOp> current;
+    const LinOp* input = b;
+    for (std::size_t i = operators_.size(); i-- > 1;) {
+        auto output = create_dense_like(
+            b, dim2{operators_[i]->get_size().rows, b->get_size().cols});
+        operators_[i]->apply(input, output.get());
+        current = std::move(output);
+        input = current.get();
+    }
+    operators_.front()->apply(input, x);
+}
+
+
+void Composition::apply_impl(const LinOp* alpha, const LinOp* b,
+                             const LinOp* beta, LinOp* x) const
+{
+    // x = alpha * C(b) + beta * x via a temporary for C(b).
+    auto tmp = create_dense_like(b, dim2{get_size().rows, b->get_size().cols});
+    apply_impl(b, tmp.get());
+    Identity::create(get_executor(), get_size().rows)
+        ->apply(alpha, tmp.get(), beta, x);
+}
+
+
+}  // namespace mgko

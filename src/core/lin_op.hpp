@@ -1,0 +1,159 @@
+// The LinOp (linear operator) abstraction — the framework's central concept
+// (paper §4.2): matrices, solvers, and preconditioners are all LinOps, and
+// every object that models a linear operation is used through the same
+// `apply` call.  Solver pipelines compose LinOps.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/exception.hpp"
+#include "core/executor.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+class LinOp : public std::enable_shared_from_this<LinOp> {
+public:
+    virtual ~LinOp() = default;
+
+    LinOp(const LinOp&) = delete;
+    LinOp& operator=(const LinOp&) = delete;
+
+    /// Applies the operator: x = op(b).  For a matrix this is SpMV / GEMV,
+    /// for a solver the solution of op * x = b (with x the initial guess),
+    /// for a preconditioner the preconditioner application.
+    void apply(const LinOp* b, LinOp* x) const
+    {
+        validate_application(b, x);
+        apply_impl(b, x);
+    }
+
+    void apply(std::shared_ptr<const LinOp> b, std::shared_ptr<LinOp> x) const
+    {
+        apply(b.get(), x.get());
+    }
+
+    /// Advanced (BLAS-like) apply: x = alpha * op(b) + beta * x, with alpha
+    /// and beta 1x1 Dense scalars.
+    void apply(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+               LinOp* x) const
+    {
+        validate_application(b, x);
+        MGKO_ENSURE(alpha->get_size() == dim2(1, 1),
+                    "alpha must be a 1x1 scalar");
+        MGKO_ENSURE(beta->get_size() == dim2(1, 1),
+                    "beta must be a 1x1 scalar");
+        apply_impl(alpha, b, beta, x);
+    }
+
+    const dim2& get_size() const { return size_; }
+
+    std::shared_ptr<const Executor> get_executor() const { return exec_; }
+
+protected:
+    LinOp(std::shared_ptr<const Executor> exec, dim2 size)
+        : exec_{std::move(exec)}, size_{size}
+    {
+        MGKO_ENSURE(exec_ != nullptr, "LinOp requires an executor");
+    }
+
+    virtual void apply_impl(const LinOp* b, LinOp* x) const = 0;
+    virtual void apply_impl(const LinOp* alpha, const LinOp* b,
+                            const LinOp* beta, LinOp* x) const = 0;
+
+    void set_size(dim2 size) { size_ = size; }
+
+    void validate_application(const LinOp* b, const LinOp* x) const
+    {
+        MGKO_ENSURE(b != nullptr && x != nullptr,
+                    "apply requires non-null operands");
+        MGKO_ASSERT_CONFORMANT("apply(op, b)", size_, b->get_size());
+        if (size_.rows != x->get_size().rows ||
+            b->get_size().cols != x->get_size().cols) {
+            throw DimensionMismatch(__FILE__, __LINE__, "apply result",
+                                    dim2{size_.rows, b->get_size().cols},
+                                    x->get_size());
+        }
+    }
+
+private:
+    std::shared_ptr<const Executor> exec_;
+    dim2 size_{};
+};
+
+
+/// Factory producing LinOps bound to a system operator — the pattern behind
+/// solvers and preconditioners: `factory->generate(A)` returns the solver /
+/// preconditioner for A.
+class LinOpFactory {
+public:
+    virtual ~LinOpFactory() = default;
+
+    std::unique_ptr<LinOp> generate(std::shared_ptr<const LinOp> system) const
+    {
+        MGKO_ENSURE(system != nullptr, "generate requires a system operator");
+        return generate_impl(std::move(system));
+    }
+
+    std::shared_ptr<const Executor> get_executor() const { return exec_; }
+
+protected:
+    explicit LinOpFactory(std::shared_ptr<const Executor> exec)
+        : exec_{std::move(exec)}
+    {}
+
+    virtual std::unique_ptr<LinOp> generate_impl(
+        std::shared_ptr<const LinOp> system) const = 0;
+
+private:
+    std::shared_ptr<const Executor> exec_;
+};
+
+
+/// The identity operator (used as the default "no preconditioner").
+class Identity : public LinOp {
+public:
+    static std::unique_ptr<Identity> create(
+        std::shared_ptr<const Executor> exec, size_type n)
+    {
+        return std::unique_ptr<Identity>{new Identity{std::move(exec), n}};
+    }
+
+protected:
+    Identity(std::shared_ptr<const Executor> exec, size_type n)
+        : LinOp{std::move(exec), dim2{n}}
+    {}
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+};
+
+
+/// Composition of operators: (A1 * A2 * ... * Ak) b, applied right to left.
+/// ILU-style preconditioners are compositions of two triangular solves.
+class Composition : public LinOp {
+public:
+    static std::unique_ptr<Composition> create(
+        std::vector<std::shared_ptr<const LinOp>> operators);
+
+    const std::vector<std::shared_ptr<const LinOp>>& get_operators() const
+    {
+        return operators_;
+    }
+
+protected:
+    explicit Composition(std::vector<std::shared_ptr<const LinOp>> operators);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    std::vector<std::shared_ptr<const LinOp>> operators_;
+};
+
+
+}  // namespace mgko

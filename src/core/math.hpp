@@ -1,0 +1,102 @@
+// Scalar math helpers that work uniformly for half, float, and double.
+//
+// Kernels are written against these helpers instead of <cmath> directly so
+// that the same template body instantiates for all value types in Table 1.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "core/half.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+template <typename T>
+constexpr T zero()
+{
+    return T{0.0f};
+}
+
+template <typename T>
+constexpr T one()
+{
+    return T{1.0f};
+}
+
+/// Type used to accumulate reductions / norms of a value type.  Half
+/// accumulates in float (as GPU half kernels do); everything else in itself.
+template <typename T>
+struct accumulator {
+    using type = T;
+};
+template <>
+struct accumulator<half> {
+    using type = float;
+};
+template <typename T>
+using accumulate_t = typename accumulator<T>::type;
+
+/// Norms and residuals are always reported in double, independent of the
+/// value type, which is what the stopping criteria consume.
+using norm_type = double;
+
+inline float to_float(half v) { return static_cast<float>(v); }
+inline float to_float(float v) { return v; }
+inline double to_float(double v) { return v; }
+
+template <typename T>
+T abs(T v)
+{
+    return v < zero<T>() ? -v : v;
+}
+inline float abs(float v) { return std::fabs(v); }
+inline double abs(double v) { return std::fabs(v); }
+
+template <typename T>
+T sqrt(T v)
+{
+    return T{std::sqrt(static_cast<float>(v))};
+}
+inline float sqrt(float v) { return std::sqrt(v); }
+inline double sqrt(double v) { return std::sqrt(v); }
+
+template <typename T>
+bool is_finite(T v)
+{
+    return std::isfinite(static_cast<double>(v));
+}
+
+template <typename T>
+bool is_nan(T v)
+{
+    return std::isnan(static_cast<double>(v));
+}
+
+template <typename T>
+T squared(T v)
+{
+    return v * v;
+}
+
+/// Safe division used by Jacobi-style preconditioners: returns 1/eps-scaled
+/// fallback for (near-)zero pivots instead of producing inf.
+template <typename T>
+T safe_reciprocal(T v)
+{
+    const auto eps = static_cast<double>(std::numeric_limits<T>::epsilon());
+    if (static_cast<double>(abs(v)) < eps) {
+        return one<T>() / T{static_cast<float>(eps)};
+    }
+    return one<T>() / v;
+}
+
+constexpr size_type ceildiv(size_type num, size_type den)
+{
+    return (num + den - 1) / den;
+}
+
+
+}  // namespace mgko

@@ -1,0 +1,159 @@
+// Host-side staging structure for assembling / converting sparse matrices,
+// modeled on gko::matrix_data: an unordered list of (row, col, value)
+// entries plus a dimension.  All formats can be constructed from and
+// exported to matrix_data, which is also what the Matrix Market reader
+// produces.
+#pragma once
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/exception.hpp"
+#include "core/math.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType = double, typename IndexType = int64>
+struct matrix_data {
+    using value_type = ValueType;
+    using index_type = IndexType;
+
+    struct entry {
+        IndexType row;
+        IndexType col;
+        ValueType value;
+
+        friend bool operator==(const entry& a, const entry& b)
+        {
+            return a.row == b.row && a.col == b.col && a.value == b.value;
+        }
+    };
+
+    dim2 size{};
+    std::vector<entry> entries;
+
+    matrix_data() = default;
+    explicit matrix_data(dim2 size_) : size{size_} {}
+
+    size_type num_stored() const
+    {
+        return static_cast<size_type>(entries.size());
+    }
+
+    void add(IndexType row, IndexType col, ValueType value)
+    {
+        entries.push_back(entry{row, col, value});
+    }
+
+    /// Sorts entries row-major (row, then column); required by the CSR/ELL
+    /// builders.
+    void sort_row_major()
+    {
+        std::sort(entries.begin(), entries.end(),
+                  [](const entry& a, const entry& b) {
+                      return a.row != b.row ? a.row < b.row : a.col < b.col;
+                  });
+    }
+
+    /// Merges duplicate (row, col) pairs by summation; entries must be
+    /// sorted first.
+    void sum_duplicates()
+    {
+        if (entries.empty()) {
+            return;
+        }
+        std::size_t out = 0;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[i].row == entries[out].row &&
+                entries[i].col == entries[out].col) {
+                entries[out].value += entries[i].value;
+            } else {
+                entries[++out] = entries[i];
+            }
+        }
+        entries.resize(out + 1);
+    }
+
+    void remove_zeros()
+    {
+        entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                     [](const entry& e) {
+                                         return e.value == zero<ValueType>();
+                                     }),
+                      entries.end());
+    }
+
+    /// Checks all indices lie within `size`; throws OutOfBounds otherwise.
+    void validate() const
+    {
+        for (const auto& e : entries) {
+            if (e.row < 0 || static_cast<size_type>(e.row) >= size.rows) {
+                throw OutOfBounds(__FILE__, __LINE__, e.row, size.rows);
+            }
+            if (e.col < 0 || static_cast<size_type>(e.col) >= size.cols) {
+                throw OutOfBounds(__FILE__, __LINE__, e.col, size.cols);
+            }
+        }
+    }
+
+    bool is_symmetric() const
+    {
+        auto sorted = *this;
+        sorted.sort_row_major();
+        auto transposed = *this;
+        for (auto& e : transposed.entries) {
+            std::swap(e.row, e.col);
+        }
+        transposed.sort_row_major();
+        return sorted.entries == transposed.entries;
+    }
+
+    /// Converts value / index types (the pre-instantiation dispatch in the
+    /// binding layer funnels every dtype through this).
+    template <typename V2, typename I2>
+    matrix_data<V2, I2> cast() const
+    {
+        matrix_data<V2, I2> result{size};
+        result.entries.reserve(entries.size());
+        for (const auto& e : entries) {
+            result.entries.push_back({static_cast<I2>(e.row),
+                                      static_cast<I2>(e.col),
+                                      static_cast<V2>(to_float(e.value))});
+        }
+        return result;
+    }
+
+    /// n x n diagonal matrix with the given values.
+    static matrix_data diag(const std::vector<ValueType>& values)
+    {
+        matrix_data result{
+            dim2{static_cast<size_type>(values.size())}};
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            result.add(static_cast<IndexType>(i), static_cast<IndexType>(i),
+                       values[i]);
+        }
+        return result;
+    }
+
+    /// Dense random matrix in [-1, 1] (deterministic for a given seed).
+    static matrix_data random_dense(dim2 size_, std::uint64_t seed = 42)
+    {
+        std::mt19937_64 engine{seed};
+        std::uniform_real_distribution<double> dist{-1.0, 1.0};
+        matrix_data result{size_};
+        for (size_type r = 0; r < size_.rows; ++r) {
+            for (size_type c = 0; c < size_.cols; ++c) {
+                result.add(static_cast<IndexType>(r),
+                           static_cast<IndexType>(c),
+                           static_cast<ValueType>(dist(engine)));
+            }
+        }
+        return result;
+    }
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) reader / writer.
+//
+// Supports the subset relevant to SuiteSparse matrices: `matrix` objects in
+// `coordinate` or `array` layout, with `real`, `integer`, or `pattern`
+// fields and `general`, `symmetric`, or `skew-symmetric` symmetry.  The
+// paper's `pg.read(device=..., path='m1.mtx', ...)` entry point (Listing 1)
+// funnels through this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/matrix_data.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+/// Parses a Matrix Market stream into staging data (entries unsorted, as in
+/// the file; symmetric storage is expanded to general).  Throws FileError on
+/// malformed input.
+matrix_data<double, int64> read_mtx(std::istream& stream,
+                                    const std::string& path_for_errors = "<stream>");
+
+/// Reads from a file path.
+matrix_data<double, int64> read_mtx(const std::string& path);
+
+/// Writes coordinate/real/general Matrix Market output.
+void write_mtx(std::ostream& stream, const matrix_data<double, int64>& data);
+void write_mtx(const std::string& path, const matrix_data<double, int64>& data);
+
+
+}  // namespace mgko

@@ -1,0 +1,103 @@
+#include "core/types.hpp"
+
+#include <ostream>
+
+#include "core/exception.hpp"
+#include "core/half.hpp"
+
+namespace mgko {
+
+
+std::ostream& operator<<(std::ostream& os, const dim2& d)
+{
+    return os << "[" << d.rows << " x " << d.cols << "]";
+}
+
+
+std::ostream& operator<<(std::ostream& os, half h)
+{
+    return os << static_cast<float>(h);
+}
+
+
+std::string to_string(dtype t)
+{
+    switch (t) {
+    case dtype::f16:
+        return "half";
+    case dtype::f32:
+        return "float";
+    case dtype::f64:
+        return "double";
+    }
+    return "unknown";
+}
+
+
+std::string to_string(itype t)
+{
+    switch (t) {
+    case itype::i32:
+        return "int32";
+    case itype::i64:
+        return "int64";
+    }
+    return "unknown";
+}
+
+
+dtype dtype_from_string(const std::string& name)
+{
+    if (name == "half" || name == "float16" || name == "f16") {
+        return dtype::f16;
+    }
+    if (name == "float" || name == "float32" || name == "single" ||
+        name == "f32") {
+        return dtype::f32;
+    }
+    if (name == "double" || name == "float64" || name == "f64") {
+        return dtype::f64;
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown value type: " + name);
+}
+
+
+itype itype_from_string(const std::string& name)
+{
+    if (name == "int32" || name == "i32" || name == "int") {
+        return itype::i32;
+    }
+    if (name == "int64" || name == "i64" || name == "long") {
+        return itype::i64;
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown index type: " + name);
+}
+
+
+size_type size_of(dtype t)
+{
+    switch (t) {
+    case dtype::f16:
+        return 2;
+    case dtype::f32:
+        return 4;
+    case dtype::f64:
+        return 8;
+    }
+    return 0;
+}
+
+
+size_type size_of(itype t)
+{
+    switch (t) {
+    case itype::i32:
+        return 4;
+    case itype::i64:
+        return 8;
+    }
+    return 0;
+}
+
+
+}  // namespace mgko

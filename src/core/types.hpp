@@ -1,0 +1,131 @@
+// Fundamental scalar, index, and shape types used across the framework.
+//
+// The framework mirrors Ginkgo's type system as described in the pyGinkgo
+// paper (Table 1): three value types (half / float / double) and two index
+// types (int32 / int64).  Template instantiations over the cross product are
+// generated via the MGKO_INSTANTIATE_* macros below, which is also the
+// mechanism the binding layer relies on: every template combination is
+// pre-instantiated in C++ and selected at run time by dtype string.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mgko {
+
+
+class half;  // defined in core/half.hpp
+
+/// Signed size type used for all extents and loop bounds.
+using size_type = std::int64_t;
+
+/// Index types supported by sparse formats.
+using int32 = std::int32_t;
+using int64 = std::int64_t;
+
+
+/// A two-dimensional extent (rows x columns).
+struct dim2 {
+    size_type rows{};
+    size_type cols{};
+
+    constexpr dim2() = default;
+    constexpr dim2(size_type r, size_type c) : rows{r}, cols{c} {}
+    /// Square dimension.
+    constexpr explicit dim2(size_type n) : rows{n}, cols{n} {}
+
+    constexpr size_type operator[](int i) const { return i == 0 ? rows : cols; }
+    constexpr friend bool operator==(const dim2& a, const dim2& b)
+    {
+        return a.rows == b.rows && a.cols == b.cols;
+    }
+    constexpr friend bool operator!=(const dim2& a, const dim2& b)
+    {
+        return !(a == b);
+    }
+    /// Composition of operator dimensions: (m x k) * (k x n) = (m x n).
+    constexpr friend dim2 operator*(const dim2& a, const dim2& b)
+    {
+        return {a.rows, b.cols};
+    }
+    constexpr dim2 transposed() const { return {cols, rows}; }
+    constexpr size_type area() const { return rows * cols; }
+};
+
+std::ostream& operator<<(std::ostream& os, const dim2& d);
+
+
+/// Run-time tag for value types; the currency of the binding layer's
+/// string-based dispatch.
+enum class dtype { f16, f32, f64 };
+
+/// Run-time tag for index types.
+enum class itype { i32, i64 };
+
+/// Canonical names ("half", "float", "double") as used in the paper's API.
+std::string to_string(dtype t);
+std::string to_string(itype t);
+/// Parses dtype names; accepts aliases ("float16"/"half", "float32"/"float"/
+/// "single", "float64"/"double").  Throws BadParameter for unknown names.
+dtype dtype_from_string(const std::string& name);
+itype itype_from_string(const std::string& name);
+/// Size in bytes of the runtime-tagged type (Table 1 of the paper).
+size_type size_of(dtype t);
+size_type size_of(itype t);
+
+template <typename T>
+struct dtype_of;  // undefined on purpose; specialized for value types
+template <>
+struct dtype_of<half> {
+    static constexpr dtype value = dtype::f16;
+};
+template <>
+struct dtype_of<float> {
+    static constexpr dtype value = dtype::f32;
+};
+template <>
+struct dtype_of<double> {
+    static constexpr dtype value = dtype::f64;
+};
+
+template <typename T>
+struct itype_of;
+template <>
+struct itype_of<int32> {
+    static constexpr itype value = itype::i32;
+};
+template <>
+struct itype_of<int64> {
+    static constexpr itype value = itype::i64;
+};
+
+
+// Instantiation helpers.  `_macro` receives the template argument list.
+#define MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(_macro) \
+    _macro(::mgko::half);                            \
+    _macro(float);                                   \
+    _macro(double)
+
+#define MGKO_INSTANTIATE_FOR_EACH_INDEX_TYPE(_macro) \
+    _macro(::mgko::int32);                           \
+    _macro(::mgko::int64)
+
+#define MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(_macro) \
+    _macro(::mgko::half, ::mgko::int32);                       \
+    _macro(::mgko::half, ::mgko::int64);                       \
+    _macro(float, ::mgko::int32);                              \
+    _macro(float, ::mgko::int64);                              \
+    _macro(double, ::mgko::int32);                             \
+    _macro(double, ::mgko::int64)
+
+// Array-like types additionally need plain index instantiations.
+#define MGKO_INSTANTIATE_FOR_EACH_POD_TYPE(_macro) \
+    _macro(::mgko::half);                          \
+    _macro(float);                                 \
+    _macro(double);                                \
+    _macro(::mgko::int32);                         \
+    _macro(::mgko::int64)
+
+
+}  // namespace mgko

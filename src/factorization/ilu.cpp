@@ -1,0 +1,222 @@
+#include "factorization/ilu.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/math.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mgko::factorization {
+
+namespace {
+
+/// Index of the diagonal entry of each row; throws when missing.
+template <typename V, typename I>
+std::vector<I> diagonal_pointers(const Csr<V, I>* mat)
+{
+    const auto n = mat->get_size().rows;
+    const auto* row_ptrs = mat->get_const_row_ptrs();
+    const auto* col_idxs = mat->get_const_col_idxs();
+    std::vector<I> diag(static_cast<std::size_t>(n));
+    for (size_type row = 0; row < n; ++row) {
+        I found = -1;
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (static_cast<size_type>(col_idxs[k]) == row) {
+                found = k;
+                break;
+            }
+        }
+        if (found < 0) {
+            throw NumericalError(
+                __FILE__, __LINE__,
+                "incomplete factorization requires a structurally full "
+                "diagonal (missing at row " +
+                    std::to_string(row) + ")");
+        }
+        diag[static_cast<std::size_t>(row)] = found;
+    }
+    return diag;
+}
+
+/// Charges the (serial, data-dependent) factorization sweep.
+template <typename V, typename I>
+void tick_factorization(const Csr<V, I>* mat, double passes)
+{
+    auto exec = mat->get_executor();
+    exec->clock().tick(
+        sim::profile_stream(passes *
+                                static_cast<double>(
+                                    mat->get_num_stored_elements()) *
+                                (sizeof(V) + sizeof(I)),
+                            2.0 * passes *
+                                static_cast<double>(
+                                    mat->get_num_stored_elements()),
+                            0.35)
+            .time_ns(exec->model()));
+}
+
+}  // namespace
+
+
+template <typename ValueType, typename IndexType>
+lu_factors<ValueType, IndexType> factorize_ilu0(
+    const Csr<ValueType, IndexType>* system)
+{
+    MGKO_ENSURE(system->get_size().rows == system->get_size().cols,
+                "ILU(0) requires a square matrix");
+    auto exec = system->get_executor();
+    auto work = system->clone();
+    if (!work->is_sorted_by_column_index()) {
+        work->sort_by_column_index();
+    }
+    const auto n = work->get_size().rows;
+    auto* values = work->get_values();
+    const auto* col_idxs = work->get_const_col_idxs();
+    const auto* row_ptrs = work->get_const_row_ptrs();
+    const auto diag = diagonal_pointers(work.get());
+
+    // IKJ variant: for each row i, eliminate with all previous rows k that
+    // appear in row i's pattern.
+    for (size_type i = 0; i < n; ++i) {
+        for (auto kk = row_ptrs[i]; kk < row_ptrs[i + 1]; ++kk) {
+            const auto k = static_cast<size_type>(col_idxs[kk]);
+            if (k >= i) {
+                break;  // sorted: done with the strictly-lower part
+            }
+            const auto pivot = values[diag[static_cast<std::size_t>(k)]];
+            if (pivot == zero<ValueType>()) {
+                throw NumericalError(__FILE__, __LINE__,
+                                     "zero pivot in ILU(0) at row " +
+                                         std::to_string(k));
+            }
+            const auto lik = values[kk] / pivot;
+            values[kk] = lik;
+            // Subtract lik * row_k from row_i on the intersection of their
+            // patterns right of column k (two-pointer sweep, both sorted).
+            auto ii = kk + 1;
+            auto kj = diag[static_cast<std::size_t>(k)] + 1;
+            while (ii < row_ptrs[i + 1] && kj < row_ptrs[k + 1]) {
+                if (col_idxs[ii] == col_idxs[kj]) {
+                    values[ii] -= lik * values[kj];
+                    ++ii;
+                    ++kj;
+                } else if (col_idxs[ii] < col_idxs[kj]) {
+                    ++ii;
+                } else {
+                    ++kj;
+                }
+            }
+        }
+    }
+    tick_factorization(work.get(), 3.0);
+
+    // Split into L (unit diagonal) and U.
+    matrix_data<ValueType, IndexType> l_data{work->get_size()};
+    matrix_data<ValueType, IndexType> u_data{work->get_size()};
+    for (size_type i = 0; i < n; ++i) {
+        l_data.add(static_cast<IndexType>(i), static_cast<IndexType>(i),
+                   one<ValueType>());
+        for (auto k = row_ptrs[i]; k < row_ptrs[i + 1]; ++k) {
+            const auto j = static_cast<size_type>(col_idxs[k]);
+            if (j < i) {
+                l_data.add(static_cast<IndexType>(i), col_idxs[k], values[k]);
+            } else {
+                u_data.add(static_cast<IndexType>(i), col_idxs[k], values[k]);
+            }
+        }
+    }
+    lu_factors<ValueType, IndexType> result;
+    result.lower = Csr<ValueType, IndexType>::create_from_data(exec, l_data);
+    result.upper = Csr<ValueType, IndexType>::create_from_data(exec, u_data);
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+std::shared_ptr<Csr<ValueType, IndexType>> factorize_ic0(
+    const Csr<ValueType, IndexType>* system)
+{
+    MGKO_ENSURE(system->get_size().rows == system->get_size().cols,
+                "IC(0) requires a square matrix");
+    auto exec = system->get_executor();
+    auto work = system->clone();
+    if (!work->is_sorted_by_column_index()) {
+        work->sort_by_column_index();
+    }
+    const auto n = work->get_size().rows;
+
+    // Build the lower-triangular pattern first, then fill numerically.
+    matrix_data<ValueType, IndexType> l_pattern{work->get_size()};
+    {
+        const auto* row_ptrs = work->get_const_row_ptrs();
+        const auto* col_idxs = work->get_const_col_idxs();
+        const auto* values = work->get_const_values();
+        for (size_type i = 0; i < n; ++i) {
+            for (auto k = row_ptrs[i]; k < row_ptrs[i + 1]; ++k) {
+                if (static_cast<size_type>(col_idxs[k]) <= i) {
+                    l_pattern.add(static_cast<IndexType>(i), col_idxs[k],
+                                  values[k]);
+                }
+            }
+        }
+    }
+    auto lower = Csr<ValueType, IndexType>::create_from_data(exec, l_pattern);
+    auto* values = lower->get_values();
+    const auto* col_idxs = lower->get_const_col_idxs();
+    const auto* row_ptrs = lower->get_const_row_ptrs();
+    const auto diag = diagonal_pointers(lower.get());
+
+    for (size_type i = 0; i < n; ++i) {
+        for (auto ij = row_ptrs[i]; ij < row_ptrs[i + 1]; ++ij) {
+            const auto j = static_cast<size_type>(col_idxs[ij]);
+            // s = a_ij - sum_k l_ik * l_jk over the common pattern k < j.
+            using acc_t = accumulate_t<ValueType>;
+            acc_t s = static_cast<acc_t>(values[ij]);
+            auto ik = row_ptrs[i];
+            auto jk = row_ptrs[j];
+            while (ik < ij && jk < diag[static_cast<std::size_t>(j)]) {
+                if (col_idxs[ik] == col_idxs[jk]) {
+                    s -= static_cast<acc_t>(values[ik]) *
+                         static_cast<acc_t>(values[jk]);
+                    ++ik;
+                    ++jk;
+                } else if (col_idxs[ik] < col_idxs[jk]) {
+                    ++ik;
+                } else {
+                    ++jk;
+                }
+            }
+            if (j < i) {
+                const auto pivot = values[diag[static_cast<std::size_t>(j)]];
+                if (pivot == zero<ValueType>()) {
+                    throw NumericalError(__FILE__, __LINE__,
+                                         "zero pivot in IC(0) at row " +
+                                             std::to_string(j));
+                }
+                values[ij] = ValueType{s} / pivot;
+            } else {
+                if (static_cast<double>(s) <= 0.0) {
+                    throw NumericalError(
+                        __FILE__, __LINE__,
+                        "IC(0) pivot not positive at row " +
+                            std::to_string(i) +
+                            " (matrix not SPD on this pattern)");
+                }
+                values[ij] = mgko::sqrt(ValueType{s});
+            }
+        }
+    }
+    tick_factorization(lower.get(), 3.0);
+    return lower;
+}
+
+
+#define MGKO_DECLARE_ILU0(ValueType, IndexType)                     \
+    template lu_factors<ValueType, IndexType> factorize_ilu0(       \
+        const Csr<ValueType, IndexType>*);                          \
+    template std::shared_ptr<Csr<ValueType, IndexType>> factorize_ic0( \
+        const Csr<ValueType, IndexType>*)
+MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_ILU0);
+
+
+}  // namespace mgko::factorization

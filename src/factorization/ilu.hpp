@@ -1,0 +1,40 @@
+// Incomplete factorizations: ILU(0) and IC(0).
+//
+// Both keep the sparsity pattern of the system matrix (zero fill-in).  The
+// resulting triangular factors feed the Ilu / Ic preconditioners through
+// LowerTrs / UpperTrs (paper Figure 2: IC and ILU are the explicitly bound
+// preconditioners).
+#pragma once
+
+#include <memory>
+
+#include "matrix/csr.hpp"
+
+namespace mgko::factorization {
+
+
+template <typename ValueType, typename IndexType>
+struct lu_factors {
+    /// Unit lower triangular factor (diagonal stored explicitly as 1).
+    std::shared_ptr<Csr<ValueType, IndexType>> lower;
+    /// Upper triangular factor including the diagonal.
+    std::shared_ptr<Csr<ValueType, IndexType>> upper;
+};
+
+
+/// ILU(0): incomplete LU on the matrix's own pattern.  Requires a
+/// structurally full diagonal and sorted columns (sorting is performed on a
+/// working copy).  Throws NumericalError on a zero pivot.
+template <typename ValueType, typename IndexType>
+lu_factors<ValueType, IndexType> factorize_ilu0(
+    const Csr<ValueType, IndexType>* system);
+
+/// IC(0): incomplete Cholesky for (numerically) SPD matrices; returns the
+/// lower factor L with A ≈ L Lᵀ.  Throws NumericalError when a pivot is
+/// not positive.
+template <typename ValueType, typename IndexType>
+std::shared_ptr<Csr<ValueType, IndexType>> factorize_ic0(
+    const Csr<ValueType, IndexType>* system);
+
+
+}  // namespace mgko::factorization

@@ -1,0 +1,62 @@
+// Solver convergence logging.
+//
+// pyGinkgo's `solver.apply(b, x)` returns "a logger, which provides
+// diagnostic information about convergence and iteration progress, and the
+// solution vector" (paper §3.5).  ConvergenceLogger is that object.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mgko::log {
+
+
+class ConvergenceLogger {
+public:
+    void reset()
+    {
+        residual_history_.clear();
+        iterations_ = 0;
+        converged_ = false;
+        stop_reason_.clear();
+    }
+
+    void log_iteration(size_type iteration, double residual_norm)
+    {
+        iterations_ = iteration;
+        residual_history_.push_back(residual_norm);
+    }
+
+    void log_stop(size_type iteration, bool converged,
+                  const std::string& reason)
+    {
+        iterations_ = iteration;
+        converged_ = converged;
+        stop_reason_ = reason;
+    }
+
+    size_type num_iterations() const { return iterations_; }
+    bool has_converged() const { return converged_; }
+    const std::string& stop_reason() const { return stop_reason_; }
+    /// Residual norm after each iteration (estimates for GMRES inner
+    /// iterations, true norms elsewhere).
+    const std::vector<double>& residual_history() const
+    {
+        return residual_history_;
+    }
+    double final_residual_norm() const
+    {
+        return residual_history_.empty() ? 0.0 : residual_history_.back();
+    }
+
+private:
+    std::vector<double> residual_history_;
+    size_type iterations_{0};
+    bool converged_{false};
+    std::string stop_reason_;
+};
+
+
+}  // namespace mgko::log

@@ -1,0 +1,569 @@
+#include "matgen/matgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/exception.hpp"
+#include "sim/machine_model.hpp"
+
+namespace mgko::matgen {
+
+namespace {
+
+/// Adds a dominant diagonal to keep solver iterations well-behaved.
+void add_dominant_diagonal(data64& data)
+{
+    std::vector<double> row_sum(static_cast<std::size_t>(data.size.rows), 0.0);
+    for (const auto& e : data.entries) {
+        if (e.row != e.col) {
+            row_sum[static_cast<std::size_t>(e.row)] += std::abs(e.value);
+        }
+    }
+    for (size_type r = 0; r < data.size.rows; ++r) {
+        data.add(r, r, row_sum[static_cast<std::size_t>(r)] + 1.0);
+    }
+    data.sort_row_major();
+    data.sum_duplicates();
+}
+
+}  // namespace
+
+
+data64 stencil_2d_5pt(size_type nx, size_type ny)
+{
+    data64 data{dim2{nx * ny}};
+    auto idx = [&](size_type i, size_type j) { return i * ny + j; };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            const auto row = idx(i, j);
+            data.add(row, row, 4.0);
+            if (i > 0) data.add(row, idx(i - 1, j), -1.0);
+            if (i + 1 < nx) data.add(row, idx(i + 1, j), -1.0);
+            if (j > 0) data.add(row, idx(i, j - 1), -1.0);
+            if (j + 1 < ny) data.add(row, idx(i, j + 1), -1.0);
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+
+data64 stencil_2d_9pt(size_type nx, size_type ny)
+{
+    data64 data{dim2{nx * ny}};
+    auto idx = [&](size_type i, size_type j) { return i * ny + j; };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            const auto row = idx(i, j);
+            for (int di = -1; di <= 1; ++di) {
+                for (int dj = -1; dj <= 1; ++dj) {
+                    const auto ni = i + di;
+                    const auto nj = j + dj;
+                    if (ni < 0 || ni >= nx || nj < 0 || nj >= ny) {
+                        continue;
+                    }
+                    data.add(row, idx(ni, nj),
+                             di == 0 && dj == 0 ? 8.0 : -1.0);
+                }
+            }
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+
+data64 stencil_3d_7pt(size_type nx, size_type ny, size_type nz)
+{
+    data64 data{dim2{nx * ny * nz}};
+    auto idx = [&](size_type i, size_type j, size_type k) {
+        return (i * ny + j) * nz + k;
+    };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            for (size_type k = 0; k < nz; ++k) {
+                const auto row = idx(i, j, k);
+                data.add(row, row, 6.0);
+                if (i > 0) data.add(row, idx(i - 1, j, k), -1.0);
+                if (i + 1 < nx) data.add(row, idx(i + 1, j, k), -1.0);
+                if (j > 0) data.add(row, idx(i, j - 1, k), -1.0);
+                if (j + 1 < ny) data.add(row, idx(i, j + 1, k), -1.0);
+                if (k > 0) data.add(row, idx(i, j, k - 1), -1.0);
+                if (k + 1 < nz) data.add(row, idx(i, j, k + 1), -1.0);
+            }
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+
+data64 random_uniform(size_type n, size_type nnz_per_row, std::uint64_t seed)
+{
+    std::mt19937_64 engine{seed};
+    std::uniform_int_distribution<size_type> col_dist{0, n - 1};
+    std::uniform_real_distribution<double> val_dist{-1.0, 1.0};
+    data64 data{dim2{n}};
+    for (size_type r = 0; r < n; ++r) {
+        for (size_type k = 0; k < nnz_per_row; ++k) {
+            const auto c = col_dist(engine);
+            if (c != r) {
+                data.add(r, c, val_dist(engine));
+            }
+        }
+    }
+    add_dominant_diagonal(data);
+    return data;
+}
+
+
+data64 power_law_rows(size_type n, size_type avg_nnz_per_row, double alpha,
+                      std::uint64_t seed)
+{
+    std::mt19937_64 engine{seed};
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+    std::uniform_real_distribution<double> val_dist{-1.0, 1.0};
+    // Pareto-distributed row lengths normalized to the requested average.
+    std::vector<double> raw(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (auto& v : raw) {
+        v = std::pow(1.0 - uni(engine), -1.0 / alpha);
+        total += v;
+    }
+    const double scale =
+        static_cast<double>(n * avg_nnz_per_row) / std::max(total, 1.0);
+    data64 data{dim2{n}};
+    std::normal_distribution<double> local{0.0,
+                                           static_cast<double>(n) / 64.0};
+    for (size_type r = 0; r < n; ++r) {
+        const auto len = std::max<size_type>(
+            1, static_cast<size_type>(raw[static_cast<std::size_t>(r)] *
+                                      scale));
+        for (size_type k = 0; k < std::min(len, n); ++k) {
+            // Mostly near-diagonal couplings with occasional long hops —
+            // circuit netlist structure.
+            size_type c;
+            if (uni(engine) < 0.85) {
+                c = r + static_cast<size_type>(local(engine));
+            } else {
+                c = static_cast<size_type>(uni(engine) *
+                                           static_cast<double>(n));
+            }
+            c = std::clamp<size_type>(c, 0, n - 1);
+            if (c != r) {
+                data.add(r, c, val_dist(engine));
+            }
+        }
+    }
+    add_dominant_diagonal(data);
+    return data;
+}
+
+
+data64 planar_graph(size_type n, std::uint64_t seed)
+{
+    // Structured mesh with randomized extra diagonals: ~6 nnz/row with
+    // strong locality, like a Delaunay triangulation's adjacency matrix.
+    const auto side = std::max<size_type>(
+        2, static_cast<size_type>(std::sqrt(static_cast<double>(n))));
+    const auto rows = side * side;
+    std::mt19937_64 engine{seed};
+    std::bernoulli_distribution flip{0.5};
+    data64 data{dim2{rows}};
+    auto idx = [&](size_type i, size_type j) { return i * side + j; };
+    for (size_type i = 0; i < side; ++i) {
+        for (size_type j = 0; j < side; ++j) {
+            const auto row = idx(i, j);
+            data.add(row, row, 6.0);
+            if (i > 0) data.add(row, idx(i - 1, j), -1.0);
+            if (i + 1 < side) data.add(row, idx(i + 1, j), -1.0);
+            if (j > 0) data.add(row, idx(i, j - 1), -1.0);
+            if (j + 1 < side) data.add(row, idx(i, j + 1), -1.0);
+            // One diagonal of each cell, chosen at random per cell, makes
+            // the triangulation.
+            if (i > 0 && j > 0 && flip(engine)) {
+                data.add(row, idx(i - 1, j - 1), -1.0);
+                data.add(idx(i - 1, j - 1), row, -1.0);
+            }
+        }
+    }
+    data.sort_row_major();
+    data.sum_duplicates();
+    return data;
+}
+
+
+data64 partial_diagonal(size_type n, size_type nnz, std::uint64_t seed)
+{
+    MGKO_ENSURE(nnz <= n, "partial diagonal cannot exceed dimension");
+    std::mt19937_64 engine{seed};
+    std::uniform_real_distribution<double> val_dist{0.5, 2.0};
+    // Choose `nnz` of the n diagonal slots (mass matrices store only the
+    // active degrees of freedom).
+    std::vector<size_type> slots(static_cast<std::size_t>(n));
+    for (size_type i = 0; i < n; ++i) {
+        slots[static_cast<std::size_t>(i)] = i;
+    }
+    std::shuffle(slots.begin(), slots.end(), engine);
+    slots.resize(static_cast<std::size_t>(nnz));
+    std::sort(slots.begin(), slots.end());
+    data64 data{dim2{n}};
+    for (const auto s : slots) {
+        data.add(s, s, val_dist(engine));
+    }
+    return data;
+}
+
+
+data64 banded(size_type n, size_type half_bandwidth)
+{
+    data64 data{dim2{n}};
+    for (size_type r = 0; r < n; ++r) {
+        const auto begin = r > half_bandwidth ? r - half_bandwidth : 0;
+        const auto end = std::min(n, r + half_bandwidth + 1);
+        for (size_type c = begin; c < end; ++c) {
+            data.add(r, c,
+                     c == r ? 2.0 * static_cast<double>(half_bandwidth)
+                            : -1.0);
+        }
+    }
+    return data;
+}
+
+
+data64 mixed_dense_rows(size_type n, size_type base_nnz_per_row,
+                        size_type num_dense_rows, size_type dense_row_nnz,
+                        std::uint64_t seed)
+{
+    std::mt19937_64 engine{seed};
+    std::uniform_int_distribution<size_type> col_dist{0, n - 1};
+    std::uniform_int_distribution<size_type> row_dist{0, n - 1};
+    std::uniform_real_distribution<double> val_dist{-1.0, 1.0};
+    data64 data{dim2{n}};
+    for (size_type r = 0; r < n; ++r) {
+        for (size_type k = 0; k < base_nnz_per_row; ++k) {
+            const auto c = col_dist(engine);
+            if (c != r) {
+                data.add(r, c, val_dist(engine));
+            }
+        }
+    }
+    for (size_type d = 0; d < num_dense_rows; ++d) {
+        const auto r = row_dist(engine);
+        const auto stride = std::max<size_type>(1, n / dense_row_nnz);
+        for (size_type c = d % stride; c < n; c += stride) {
+            if (c != r) {
+                data.add(r, c, val_dist(engine));
+            }
+        }
+    }
+    add_dominant_diagonal(data);
+    return data;
+}
+
+
+double bench_scale()
+{
+    static const double scale =
+        std::max(0.01, sim::env_override("MGKO_BENCH_SCALE", 1.0));
+    return scale;
+}
+
+
+namespace {
+
+size_type scaled(size_type n)
+{
+    return std::max<size_type>(
+        16, static_cast<size_type>(static_cast<double>(n) * bench_scale()));
+}
+
+}  // namespace
+
+
+data64 generate(const spec& s)
+{
+    const auto n = s.n;
+    if (s.kind == "stencil_2d_5pt") {
+        const auto side = static_cast<size_type>(
+            std::sqrt(static_cast<double>(n)));
+        return stencil_2d_5pt(side, side);
+    }
+    if (s.kind == "stencil_2d_9pt") {
+        const auto side = static_cast<size_type>(
+            std::sqrt(static_cast<double>(n)));
+        return stencil_2d_9pt(side, side);
+    }
+    if (s.kind == "stencil_3d_7pt") {
+        const auto side = static_cast<size_type>(
+            std::cbrt(static_cast<double>(n)));
+        return stencil_3d_7pt(side, side, side);
+    }
+    if (s.kind == "random") {
+        return random_uniform(n, std::max<size_type>(1, s.nnz_estimate / n),
+                              s.seed);
+    }
+    if (s.kind == "power_law") {
+        return power_law_rows(n, std::max<size_type>(1, s.nnz_estimate / n),
+                              1.6, s.seed);
+    }
+    if (s.kind == "planar") {
+        return planar_graph(n, s.seed);
+    }
+    if (s.kind == "partial_diagonal") {
+        return partial_diagonal(n, std::min(n, s.nnz_estimate), s.seed);
+    }
+    if (s.kind == "banded") {
+        return banded(n, std::max<size_type>(1, s.nnz_estimate / (2 * n)));
+    }
+    if (s.kind == "mixed_dense") {
+        // A handful of dense rows on a sparse base: most of the nnz budget
+        // goes to the dense rows.
+        const size_type dense_rows = 24;
+        const auto dense_nnz = std::min(
+            n, std::max<size_type>(8, s.nnz_estimate / (2 * dense_rows)));
+        return mixed_dense_rows(n, std::max<size_type>(
+                                       2, s.nnz_estimate / (2 * n)),
+                                dense_rows, dense_nnz, s.seed);
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown generator: " + s.kind);
+}
+
+
+namespace {
+
+std::vector<spec> build_spmv_suite()
+{
+    std::vector<spec> suite;
+    auto add = [&](std::string name, std::string kind, size_type n,
+                   size_type nnz, bool spd = false) {
+        suite.push_back(spec{std::move(name), std::move(kind), scaled(n),
+                             std::max<size_type>(
+                                 16, static_cast<size_type>(
+                                         static_cast<double>(nnz) *
+                                         bench_scale())),
+                             suite.size() + 1000, spd});
+    };
+    // 30 matrices, nnz from ~1e4 to ~1e7, density < 1% except a few
+    // (banded/mixed entries exceed 1%), mirroring the paper's spread.
+    add("syn_mass_s", "partial_diagonal", 20000, 12000);
+    add("syn_mass_m", "partial_diagonal", 50000, 48000);
+    add("syn_random_xs", "random", 4000, 20000);
+    add("syn_banded_xs", "banded", 2500, 60000);  // density > 1%
+    add("syn_planar_s", "planar", 16384, 95000, true);
+    add("syn_random_s", "random", 20000, 120000);
+    add("syn_circuit_s", "power_law", 25000, 190000);
+    add("syn_stencil2d_s", "stencil_2d_5pt", 40000, 200000, true);
+    add("syn_random_m1", "random", 50000, 300000);
+    add("syn_stencil9_s", "stencil_2d_9pt", 40000, 355000, true);
+    add("syn_banded_s", "banded", 8000, 480000);  // density > 1%
+    add("syn_stencil3d_s", "stencil_3d_7pt", 68000, 470000, true);
+    add("syn_planar_m", "planar", 90000, 540000, true);
+    add("syn_circuit_m1", "power_law", 80000, 640000);
+    add("syn_random_m2", "random", 120000, 720000);
+    add("syn_planar_l", "planar", 131072, 786000, true);
+    add("syn_stencil2d_m", "stencil_2d_5pt", 180000, 900000, true);
+    add("syn_circuit_m2", "power_law", 130000, 1000000);
+    add("syn_mixed_s", "mixed_dense", 30000, 1200000);  // density > 1%
+    add("syn_stencil9_m", "stencil_2d_9pt", 150000, 1330000, true);
+    add("syn_random_l1", "random", 250000, 1500000);
+    add("syn_mixed_m", "mixed_dense", 41000, 1680000);  // density > 1%
+    add("syn_circuit_l1", "power_law", 320000, 1830000);
+    add("syn_stencil3d_m", "stencil_3d_7pt", 300000, 2050000, true);
+    add("syn_random_l2", "random", 400000, 2800000);
+    add("syn_stencil2d_l", "stencil_2d_5pt", 640000, 3200000, true);
+    add("syn_planar_xl", "planar", 640000, 3800000, true);
+    add("syn_circuit_l2", "power_law", 600000, 4800000);
+    add("syn_stencil3d_l", "stencil_3d_7pt", 900000, 6200000, true);
+    add("syn_random_xl", "random", 1000000, 9000000);
+    return suite;
+}
+
+std::vector<spec> build_solver_suite()
+{
+    std::vector<spec> suite;
+    auto add = [&](std::string name, std::string kind, size_type n,
+                   size_type nnz, bool spd = false) {
+        suite.push_back(spec{std::move(name), std::move(kind), scaled(n),
+                             std::max<size_type>(
+                                 16, static_cast<size_type>(
+                                         static_cast<double>(nnz) *
+                                         bench_scale())),
+                             suite.size() + 2000, spd});
+    };
+    // 40 matrices with structurally full diagonals (solvers need them).
+    add("slv_stencil2d_1", "stencil_2d_5pt", 4096, 20000, true);
+    add("slv_random_1", "random", 5000, 30000);
+    add("slv_planar_1", "planar", 6400, 38000, true);
+    add("slv_circuit_1", "power_law", 8000, 56000);
+    add("slv_stencil3d_1", "stencil_3d_7pt", 8000, 54000, true);
+    add("slv_banded_1", "banded", 3000, 120000);
+    add("slv_random_2", "random", 16000, 96000);
+    add("slv_stencil9_1", "stencil_2d_9pt", 10000, 88000, true);
+    add("slv_planar_2", "planar", 16384, 96000, true);
+    add("slv_circuit_2", "power_law", 20000, 140000);
+    add("slv_stencil2d_2", "stencil_2d_5pt", 22500, 112000, true);
+    add("slv_random_3", "random", 30000, 180000);
+    add("slv_mixed_1", "mixed_dense", 12000, 260000);
+    add("slv_stencil3d_2", "stencil_3d_7pt", 27000, 185000, true);
+    add("slv_planar_3", "planar", 40000, 238000, true);
+    add("slv_circuit_3", "power_law", 40000, 300000);
+    add("slv_stencil9_2", "stencil_2d_9pt", 40000, 355000, true);
+    add("slv_random_4", "random", 60000, 360000);
+    add("slv_banded_2", "banded", 9000, 360000);
+    add("slv_stencil2d_3", "stencil_2d_5pt", 90000, 448000, true);
+    add("slv_planar_4", "planar", 90000, 538000, true);
+    add("slv_circuit_4", "power_law", 90000, 640000);
+    add("slv_random_5", "random", 110000, 660000);
+    add("slv_stencil3d_3", "stencil_3d_7pt", 110000, 760000, true);
+    add("slv_mixed_2", "mixed_dense", 30000, 800000);
+    add("slv_stencil9_3", "stencil_2d_9pt", 90000, 800000, true);
+    add("slv_planar_5", "planar", 131072, 786000, true);
+    add("slv_random_6", "random", 150000, 900000);
+    add("slv_circuit_5", "power_law", 130000, 980000);
+    add("slv_stencil2d_4", "stencil_2d_5pt", 202500, 1010000, true);
+    add("slv_banded_3", "banded", 16000, 1140000);
+    add("slv_random_7", "random", 200000, 1200000);
+    add("slv_stencil3d_4", "stencil_3d_7pt", 216000, 1500000, true);
+    add("slv_planar_6", "planar", 250000, 1500000, true);
+    add("slv_circuit_6", "power_law", 220000, 1650000);
+    add("slv_mixed_3", "mixed_dense", 41000, 1680000);
+    add("slv_stencil9_4", "stencil_2d_9pt", 200000, 1780000, true);
+    add("slv_random_8", "random", 300000, 1800000);
+    add("slv_circuit_7", "power_law", 320000, 1830000);
+    add("slv_stencil2d_5", "stencil_2d_5pt", 400000, 2000000, true);
+    return suite;
+}
+
+std::vector<spec> build_overhead_suite()
+{
+    std::vector<spec> suite;
+    auto add = [&](std::string name, std::string kind, size_type n,
+                   size_type nnz, bool spd = false) {
+        suite.push_back(spec{std::move(name), std::move(kind), scaled(n),
+                             std::max<size_type>(
+                                 16, static_cast<size_type>(
+                                         static_cast<double>(nnz) *
+                                         bench_scale())),
+                             suite.size() + 3000, spd});
+    };
+    // 45 matrices spanning small (binding-overhead dominated) to large
+    // (kernel dominated) — the Fig. 5 sweep.
+    const struct {
+        const char* kind;
+        size_type n;
+        size_type nnz;
+    } grid[] = {
+        {"partial_diagonal", 5000, 4000},
+        {"random", 2000, 10000},
+        {"planar", 4096, 24000},
+        {"power_law", 5000, 36000},
+        {"stencil_2d_5pt", 10000, 50000},
+        {"random", 12000, 72000},
+        {"banded", 3000, 120000},
+        {"stencil_3d_7pt", 15625, 105000},
+        {"planar", 22500, 134000},
+        {"power_law", 20000, 150000},
+        {"stencil_2d_9pt", 22500, 200000},
+        {"random", 40000, 240000},
+        {"planar", 48400, 290000},
+        {"power_law", 45000, 340000},
+        {"stencil_2d_5pt", 80000, 400000},
+        {"mixed_dense", 15000, 420000},
+        {"random", 80000, 480000},
+        {"stencil_3d_7pt", 80000, 550000},
+        {"planar", 102400, 614000},
+        {"power_law", 80000, 640000},
+        {"stencil_2d_9pt", 80000, 710000},
+        {"random", 130000, 780000},
+        {"planar", 131072, 786000},
+        {"banded", 11000, 860000},
+        {"power_law", 120000, 900000},
+        {"stencil_2d_5pt", 200000, 1000000},
+        {"random", 180000, 1080000},
+        {"mixed_dense", 28000, 1150000},
+        {"stencil_3d_7pt", 170000, 1190000},
+        {"planar", 211600, 1270000},
+        {"power_law", 170000, 1360000},
+        {"stencil_2d_9pt", 160000, 1420000},
+        {"random", 250000, 1500000},
+        {"mixed_dense", 41000, 1680000},
+        {"planar", 300000, 1800000},
+        {"power_law", 320000, 1830000},
+        {"stencil_2d_5pt", 390625, 1950000},
+        {"random", 340000, 2040000},
+        {"stencil_3d_7pt", 310000, 2170000},
+        {"planar", 400000, 2400000},
+        {"power_law", 400000, 3200000},
+        {"random", 500000, 4000000},
+        {"stencil_2d_9pt", 560000, 5000000},
+        {"stencil_3d_7pt", 900000, 6200000},
+        {"random", 1000000, 10000000},
+    };
+    int i = 0;
+    for (const auto& g : grid) {
+        add("ovh_" + std::to_string(i++) + "_" + g.kind, g.kind, g.n, g.nnz);
+    }
+    return suite;
+}
+
+std::vector<spec> build_table2_suite()
+{
+    // Table 2 of the paper: name, dimension, nnz (as published).
+    return {
+        spec{"bcsstm37", "partial_diagonal", 25503, 15500, 11, false},
+        spec{"bcsstm39", "partial_diagonal", 46772, 46772, 12, false},
+        spec{"mult_dcop_01", "power_law", 25187, 193000, 13, false},
+        spec{"delaunay_n17", "planar", 131072, 786000, 14, true},
+        spec{"av41092", "mixed_dense", 41092, 1680000, 15, false},
+        spec{"ASIC_320ks", "power_law", 321671, 1830000, 16, false},
+    };
+}
+
+}  // namespace
+
+
+std::vector<spec> spmv_suite()
+{
+    static const auto suite = build_spmv_suite();
+    return suite;
+}
+
+
+std::vector<spec> solver_suite()
+{
+    static const auto suite = build_solver_suite();
+    return suite;
+}
+
+
+std::vector<spec> overhead_suite()
+{
+    static const auto suite = build_overhead_suite();
+    return suite;
+}
+
+
+std::vector<spec> table2_suite()
+{
+    static const auto suite = build_table2_suite();
+    return suite;
+}
+
+
+spec by_name(const std::string& name)
+{
+    for (const auto& suite :
+         {spmv_suite(), solver_suite(), overhead_suite(), table2_suite()}) {
+        for (const auto& s : suite) {
+            if (s.name == name) {
+                return s;
+            }
+        }
+    }
+    throw BadParameter(__FILE__, __LINE__, "unknown matrix name: " + name);
+}
+
+
+}  // namespace mgko::matgen

@@ -1,0 +1,90 @@
+// Synthetic SuiteSparse substitutes (DESIGN.md §2/§5).
+//
+// The paper benchmarks on SuiteSparse collections: 30 matrices for SpMV,
+// 40 for the solver study, 45 for the binding-overhead study, plus six
+// named representatives (Table 2).  Without collection access, this module
+// generates matrices whose *structural drivers of performance* — dimension,
+// nonzero count, density, nnz-per-row distribution, bandwidth/locality —
+// match the published characteristics: dimensions up to ~10^6 and density
+// below 1% except a handful of denser cases, spanning diagonal mass
+// matrices, FEM stencils, planar meshes, circuit-style power-law rows, and
+// mixed dense-row matrices.  All generators are deterministic in the seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/matrix_data.hpp"
+#include "core/types.hpp"
+
+namespace mgko::matgen {
+
+
+using data64 = matrix_data<double, int64>;
+
+
+// --- raw generators -----------------------------------------------------------
+
+/// 5-point Laplacian on an nx x ny grid (SPD, ~5 nnz/row).
+data64 stencil_2d_5pt(size_type nx, size_type ny);
+/// 9-point stencil on an nx x ny grid (SPD, ~9 nnz/row).
+data64 stencil_2d_9pt(size_type nx, size_type ny);
+/// 7-point Laplacian on an nx x ny x nz grid (SPD, ~7 nnz/row).
+data64 stencil_3d_7pt(size_type nx, size_type ny, size_type nz);
+/// Uniform random pattern with `nnz_per_row` entries/row plus a dominant
+/// diagonal.
+data64 random_uniform(size_type n, size_type nnz_per_row,
+                      std::uint64_t seed);
+/// Circuit-like: power-law row lengths (a few very long rows), near-banded
+/// column locality with long-range couplings — ASIC_* / mult_dcop-style.
+data64 power_law_rows(size_type n, size_type avg_nnz_per_row, double alpha,
+                      std::uint64_t seed);
+/// Planar-mesh-like (delaunay_*): ~6 neighbors/row with strong index
+/// locality.
+data64 planar_graph(size_type n, std::uint64_t seed);
+/// Diagonal mass matrix with only `nnz` stored entries (bcsstm-style,
+/// nnz <= n).
+data64 partial_diagonal(size_type n, size_type nnz, std::uint64_t seed);
+/// Banded matrix with the given half-bandwidth (dense band).
+data64 banded(size_type n, size_type half_bandwidth);
+/// Mostly sparse rows plus `num_dense_rows` rows of `dense_row_nnz`
+/// entries (av41092-style mixed structure; density can exceed 1%).
+data64 mixed_dense_rows(size_type n, size_type base_nnz_per_row,
+                        size_type num_dense_rows, size_type dense_row_nnz,
+                        std::uint64_t seed);
+
+
+// --- named specs / suites ------------------------------------------------------
+
+struct spec {
+    std::string name;   ///< SuiteSparse name it substitutes, or synthetic id
+    std::string kind;   ///< generator id
+    size_type n{};
+    size_type nnz_estimate{};
+    std::uint64_t seed{};
+    /// True when the generated matrix is symmetric positive definite.
+    bool spd{};
+};
+
+/// Generates the matrix a spec describes.
+data64 generate(const spec& s);
+
+/// Benchmark scale factor (env MGKO_BENCH_SCALE, default 1.0): scales the
+/// suite dimensions so the full harness stays tractable on small machines.
+double bench_scale();
+
+/// The 30-matrix SpMV suite (nnz spanning ~1e4..1e7, density <1% except a
+/// few).
+std::vector<spec> spmv_suite();
+/// The 40-matrix solver suite (structurally full diagonals).
+std::vector<spec> solver_suite();
+/// The 45-matrix binding-overhead suite.
+std::vector<spec> overhead_suite();
+/// Table 2's six representative matrices (A..F), by their real names.
+std::vector<spec> table2_suite();
+
+/// Finds a spec by name across all suites; throws BadParameter if unknown.
+spec by_name(const std::string& name);
+
+
+}  // namespace mgko::matgen

@@ -1,0 +1,55 @@
+// 2D convolution as a linear operator — the paper's outlook feature
+// ("future work includes the integration of a convolution kernel, which
+// would allow Ginkgo and pyGinkgo to support key operations required in
+// image processing and convolutional neural networks", §7).
+//
+// The operator treats an n = height x width vector as an image and applies
+// a k x k stencil with zero padding ("same" convolution), so it composes
+// with every other LinOp: it can appear in solver pipelines, be applied to
+// multi-column batches, or back an image-smoothing preconditioner.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/lin_op.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType = double>
+class Convolution : public LinOp {
+public:
+    using value_type = ValueType;
+
+    /// `kernel` is k x k row-major with odd k (centered stencil).
+    static std::unique_ptr<Convolution> create(
+        std::shared_ptr<const Executor> exec, size_type height,
+        size_type width, const std::vector<double>& kernel);
+
+    size_type height() const { return height_; }
+    size_type width() const { return width_; }
+    size_type kernel_size() const { return k_; }
+    const ValueType* get_const_kernel() const
+    {
+        return kernel_.get_const_data();
+    }
+
+protected:
+    Convolution(std::shared_ptr<const Executor> exec, size_type height,
+                size_type width, const std::vector<double>& kernel);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    size_type height_;
+    size_type width_;
+    size_type k_;
+    array<ValueType> kernel_;
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,88 @@
+// Coordinate-format sparse matrix, modeled on gko::matrix::Coo.
+//
+// COO is the second format of the paper's evaluation (and the only format
+// TensorFlow supports, §2).  Device SpMV uses a flat nnz split with atomic
+// row updates — the strategy of Ginkgo's load-balanced COO kernel.
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
+#include "core/types.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType>
+class Dense;
+template <typename ValueType, typename IndexType>
+class Csr;
+
+
+template <typename ValueType = double, typename IndexType = int32>
+class Coo : public LinOp {
+public:
+    using value_type = ValueType;
+    using index_type = IndexType;
+
+    static std::unique_ptr<Coo> create(std::shared_ptr<const Executor> exec,
+                                       dim2 size = {}, size_type nnz = 0);
+
+    static std::unique_ptr<Coo> create_from_data(
+        std::shared_ptr<const Executor> exec,
+        const matrix_data<ValueType, IndexType>& data);
+
+    void read(const matrix_data<ValueType, IndexType>& data);
+    matrix_data<ValueType, IndexType> to_data() const;
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+    IndexType* get_row_idxs() { return row_idxs_.get_data(); }
+    const IndexType* get_const_row_idxs() const
+    {
+        return row_idxs_.get_const_data();
+    }
+    IndexType* get_col_idxs() { return col_idxs_.get_data(); }
+    const IndexType* get_const_col_idxs() const
+    {
+        return col_idxs_.get_const_data();
+    }
+
+    size_type get_num_stored_elements() const { return values_.size(); }
+
+    std::unique_ptr<Coo> clone_to(std::shared_ptr<const Executor> exec) const;
+
+    void convert_to(Csr<ValueType, IndexType>* result) const;
+    void convert_to(Dense<ValueType>* result) const;
+
+    sim::kernel_profile spmv_profile(sim::spmv_strategy s,
+                                     const sim::MachineModel& m,
+                                     size_type vec_cols, bool advanced) const;
+
+    /// x += A * b — the natural accumulation form of COO SpMV; Hybrid uses
+    /// it to add the overflow part onto the ELL result.
+    void apply_accumulate(const LinOp* b, Dense<ValueType>* x) const;
+
+protected:
+    Coo(std::shared_ptr<const Executor> exec, dim2 size, size_type nnz);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+    array<IndexType> row_idxs_;
+    array<IndexType> col_idxs_;
+
+    mutable double miss_rate_{-1.0};
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,471 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/kernel_utils.hpp"
+#include "core/math.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/ell.hpp"
+
+namespace mgko {
+
+namespace kernels::csr {
+
+/// Computes one row of y = [alpha *] A * b [+ beta * y] for all b columns.
+template <typename V, typename I>
+inline void spmv_row(const V* values, const I* col_idxs, const I* row_ptrs,
+                     const V* b, size_type b_stride, V* x, size_type x_stride,
+                     size_type row, size_type vec_cols, bool advanced, V alpha,
+                     V beta)
+{
+    using acc_t = accumulate_t<V>;
+    for (size_type c = 0; c < vec_cols; ++c) {
+        acc_t acc{};
+        for (I k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            acc += static_cast<acc_t>(values[k]) *
+                   static_cast<acc_t>(b[static_cast<size_type>(col_idxs[k]) *
+                                            b_stride +
+                                        c]);
+        }
+        auto& out = x[row * x_stride + c];
+        // beta == 0 must not read `out` (may be uninitialized).
+        out = !advanced           ? V{acc}
+              : beta == zero<V>() ? alpha * V{acc}
+                                  : alpha * V{acc} + beta * out;
+    }
+}
+
+
+/// Textbook serial kernel (reference executor ground truth).
+template <typename V, typename I>
+void spmv_serial(const V* values, const I* col_idxs, const I* row_ptrs,
+                 const V* b, size_type b_stride, V* x, size_type x_stride,
+                 size_type rows, size_type vec_cols, bool advanced, V alpha,
+                 V beta)
+{
+    for (size_type row = 0; row < rows; ++row) {
+        spmv_row(values, col_idxs, row_ptrs, b, b_stride, x, x_stride, row,
+                 vec_cols, advanced, alpha, beta);
+    }
+}
+
+
+/// Classical parallel kernel: contiguous equal-count row blocks per thread.
+template <typename V, typename I>
+void spmv_classical(int nt, const V* values, const I* col_idxs,
+                    const I* row_ptrs, const V* b, size_type b_stride, V* x,
+                    size_type x_stride, size_type rows, size_type vec_cols,
+                    bool advanced, V alpha, V beta)
+{
+#pragma omp parallel for num_threads(nt) if (nt > 1) schedule(static)
+    for (size_type row = 0; row < rows; ++row) {
+        spmv_row(values, col_idxs, row_ptrs, b, b_stride, x, x_stride, row,
+                 vec_cols, advanced, alpha, beta);
+    }
+}
+
+
+/// Load-balanced kernel: rows are split so that every thread owns (nearly)
+/// the same number of nonzeros — Ginkgo's balancing strategy for
+/// irregular matrices.  Row boundaries are found by binary search in the
+/// row-pointer array.
+template <typename V, typename I>
+void spmv_balanced(int nt, const V* values, const I* col_idxs,
+                   const I* row_ptrs, const V* b, size_type b_stride, V* x,
+                   size_type x_stride, size_type rows, size_type vec_cols,
+                   bool advanced, V alpha, V beta)
+{
+    const auto nnz = static_cast<size_type>(row_ptrs[rows]);
+#pragma omp parallel num_threads(nt) if (nt > 1)
+    {
+#ifdef _OPENMP
+        const int tid = omp_get_thread_num();
+        const int threads = omp_get_num_threads();
+#else
+        const int tid = 0;
+        const int threads = 1;
+#endif
+        const auto target_begin = nnz * tid / threads;
+        const auto target_end = nnz * (tid + 1) / threads;
+        // Thread t owns the rows whose start offset falls in
+        // [target_begin, target_end); boundaries are consistent across
+        // threads because both ends use the same search.
+        const auto row_begin = static_cast<size_type>(
+            std::lower_bound(row_ptrs, row_ptrs + rows,
+                             static_cast<I>(target_begin)) -
+            row_ptrs);
+        const auto row_end =
+            tid == threads - 1
+                ? rows
+                : static_cast<size_type>(
+                      std::lower_bound(row_ptrs, row_ptrs + rows,
+                                       static_cast<I>(target_end)) -
+                      row_ptrs);
+        for (size_type row = row_begin; row < row_end; ++row) {
+            spmv_row(values, col_idxs, row_ptrs, b, b_stride, x, x_stride,
+                     row, vec_cols, advanced, alpha, beta);
+        }
+    }
+}
+
+
+/// Wavefront kernel (HIP path): rows processed in chunks of 64, chunks
+/// distributed round-robin.
+template <typename V, typename I>
+void spmv_wavefront(int nt, const V* values, const I* col_idxs,
+                    const I* row_ptrs, const V* b, size_type b_stride, V* x,
+                    size_type x_stride, size_type rows, size_type vec_cols,
+                    bool advanced, V alpha, V beta)
+{
+    const size_type chunk = 64;
+    const size_type num_chunks = ceildiv(rows, chunk);
+#pragma omp parallel for num_threads(nt) if (nt > 1) schedule(static, 1)
+    for (size_type c = 0; c < num_chunks; ++c) {
+        const size_type begin = c * chunk;
+        const size_type end = std::min(rows, begin + chunk);
+        for (size_type row = begin; row < end; ++row) {
+            spmv_row(values, col_idxs, row_ptrs, b, b_stride, x, x_stride,
+                     row, vec_cols, advanced, alpha, beta);
+        }
+    }
+}
+
+}  // namespace kernels::csr
+
+
+template <typename ValueType, typename IndexType>
+Csr<ValueType, IndexType>::Csr(std::shared_ptr<const Executor> exec, dim2 size,
+                               size_type nnz)
+    : LinOp{exec, size},
+      values_{exec, nnz},
+      col_idxs_{exec, nnz},
+      row_ptrs_{exec, size.rows + 1}
+{
+    std::fill_n(row_ptrs_.get_data(), size.rows + 1, IndexType{});
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> Csr<ValueType, IndexType>::create(
+    std::shared_ptr<const Executor> exec, dim2 size, size_type nnz)
+{
+    return std::unique_ptr<Csr>{new Csr{std::move(exec), size, nnz}};
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>>
+Csr<ValueType, IndexType>::create_from_data(
+    std::shared_ptr<const Executor> exec,
+    const matrix_data<ValueType, IndexType>& data)
+{
+    auto result = create(std::move(exec), data.size);
+    result->read(data);
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::read(
+    const matrix_data<ValueType, IndexType>& data)
+{
+    data.validate();
+    auto sorted = data;
+    sorted.sort_row_major();
+    sorted.sum_duplicates();
+
+    set_size(data.size);
+    const auto nnz = sorted.num_stored();
+    values_.resize_and_reset(nnz);
+    col_idxs_.resize_and_reset(nnz);
+    row_ptrs_.resize_and_reset(data.size.rows + 1);
+
+    auto* values = values_.get_data();
+    auto* col_idxs = col_idxs_.get_data();
+    auto* row_ptrs = row_ptrs_.get_data();
+    std::fill_n(row_ptrs, data.size.rows + 1, IndexType{});
+    for (size_type i = 0; i < nnz; ++i) {
+        const auto& e = sorted.entries[static_cast<std::size_t>(i)];
+        values[i] = e.value;
+        col_idxs[i] = e.col;
+        ++row_ptrs[e.row + 1];
+    }
+    std::partial_sum(row_ptrs, row_ptrs + data.size.rows + 1, row_ptrs);
+    invalidate_profile_cache();
+}
+
+
+template <typename ValueType, typename IndexType>
+matrix_data<ValueType, IndexType> Csr<ValueType, IndexType>::to_data() const
+{
+    matrix_data<ValueType, IndexType> result{get_size()};
+    const auto* values = get_const_values();
+    const auto* col_idxs = get_const_col_idxs();
+    const auto* row_ptrs = get_const_row_ptrs();
+    result.entries.reserve(static_cast<std::size_t>(values_.size()));
+    for (size_type row = 0; row < get_size().rows; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            result.add(static_cast<IndexType>(row), col_idxs[k], values[k]);
+        }
+    }
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+sim::kernel_profile Csr<ValueType, IndexType>::spmv_profile(
+    sim::spmv_strategy s, const sim::MachineModel& m, size_type vec_cols,
+    bool advanced) const
+{
+    if (miss_rate_ < 0.0) {
+        miss_rate_ = sim::locality_miss_rate(get_const_col_idxs(),
+                                             values_.size(), get_size().cols);
+    }
+    const auto key = std::make_pair(static_cast<int>(s), m.workers);
+    auto it = imbalance_cache_.find(key);
+    if (it == imbalance_cache_.end()) {
+        it = imbalance_cache_
+                 .emplace(key, sim::strategy_imbalance(s, m, get_size().rows,
+                                                       get_const_row_ptrs()))
+                 .first;
+    }
+    return sim::assemble_spmv_profile(
+        s, m, get_size().rows, values_.size(),
+        static_cast<size_type>(sizeof(ValueType)),
+        static_cast<size_type>(sizeof(IndexType)), miss_rate_, it->second,
+        vec_cols, advanced);
+}
+
+
+namespace {
+
+template <typename V, typename I>
+void csr_apply_dispatch(const Csr<V, I>* mat, const Dense<V>* b, Dense<V>* x,
+                        bool advanced, V alpha, V beta)
+{
+    const auto* values = mat->get_const_values();
+    const auto* col_idxs = mat->get_const_col_idxs();
+    const auto* row_ptrs = mat->get_const_row_ptrs();
+    const auto rows = mat->get_size().rows;
+    const auto vec_cols = b->get_size().cols;
+    const auto exec = mat->get_executor();
+    const auto classical =
+        mat->get_strategy() == Csr<V, I>::strategy::classical;
+
+    auto tick_strategy = [&](const Executor* e, sim::spmv_strategy s) {
+        kernels::tick(e, mat->spmv_profile(s, e->model(), vec_cols, advanced));
+    };
+
+    exec->run(make_operation(
+        "csr_spmv",
+        [&](const ReferenceExecutor* e) {
+            kernels::csr::spmv_serial(values, col_idxs, row_ptrs,
+                                      b->get_const_values(), b->get_stride(),
+                                      x->get_values(), x->get_stride(), rows,
+                                      vec_cols, advanced, alpha, beta);
+            tick_strategy(e, sim::spmv_strategy::serial);
+        },
+        [&](const OmpExecutor* e) {
+            const int nt = kernels::exec_threads(e);
+            if (classical) {
+                kernels::csr::spmv_classical(
+                    nt, values, col_idxs, row_ptrs, b->get_const_values(),
+                    b->get_stride(), x->get_values(), x->get_stride(), rows,
+                    vec_cols, advanced, alpha, beta);
+                tick_strategy(e, sim::spmv_strategy::classical_rows);
+            } else {
+                kernels::csr::spmv_balanced(
+                    nt, values, col_idxs, row_ptrs, b->get_const_values(),
+                    b->get_stride(), x->get_values(), x->get_stride(), rows,
+                    vec_cols, advanced, alpha, beta);
+                tick_strategy(e, sim::spmv_strategy::balanced_nnz);
+            }
+        },
+        [&](const CudaExecutor* e) {
+            const int nt = kernels::exec_threads(e);
+            kernels::csr::spmv_balanced(nt, values, col_idxs, row_ptrs,
+                                        b->get_const_values(), b->get_stride(),
+                                        x->get_values(), x->get_stride(), rows,
+                                        vec_cols, advanced, alpha, beta);
+            tick_strategy(e, classical ? sim::spmv_strategy::classical_rows
+                                       : sim::spmv_strategy::balanced_nnz);
+        },
+        [&](const HipExecutor* e) {
+            const int nt = kernels::exec_threads(e);
+            kernels::csr::spmv_wavefront(
+                nt, values, col_idxs, row_ptrs, b->get_const_values(),
+                b->get_stride(), x->get_values(), x->get_stride(), rows,
+                vec_cols, advanced, alpha, beta);
+            tick_strategy(e, sim::spmv_strategy::wavefront64);
+        }));
+}
+
+}  // namespace
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    csr_apply_dispatch(this, as_dense<ValueType>(b), as_dense<ValueType>(x),
+                       false, one<ValueType>(), zero<ValueType>());
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::apply_impl(const LinOp* alpha, const LinOp* b,
+                                           const LinOp* beta, LinOp* x) const
+{
+    csr_apply_dispatch(this, as_dense<ValueType>(b), as_dense<ValueType>(x),
+                       true, as_dense<ValueType>(alpha)->at(0, 0),
+                       as_dense<ValueType>(beta)->at(0, 0));
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>>
+Csr<ValueType, IndexType>::transpose() const
+{
+    const auto rows = get_size().rows;
+    const auto cols = get_size().cols;
+    const auto nnz = values_.size();
+    auto result = create(get_executor(), dim2{cols, rows}, nnz);
+
+    auto* t_row_ptrs = result->get_row_ptrs();
+    auto* t_col_idxs = result->get_col_idxs();
+    auto* t_values = result->get_values();
+    const auto* row_ptrs = get_const_row_ptrs();
+    const auto* col_idxs = get_const_col_idxs();
+    const auto* values = get_const_values();
+
+    std::fill_n(t_row_ptrs, cols + 1, IndexType{});
+    for (size_type k = 0; k < nnz; ++k) {
+        ++t_row_ptrs[col_idxs[k] + 1];
+    }
+    std::partial_sum(t_row_ptrs, t_row_ptrs + cols + 1, t_row_ptrs);
+    std::vector<IndexType> offset(static_cast<std::size_t>(cols), IndexType{});
+    for (size_type row = 0; row < rows; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            const auto col = static_cast<std::size_t>(col_idxs[k]);
+            const auto dst = t_row_ptrs[col] + offset[col]++;
+            t_col_idxs[dst] = static_cast<IndexType>(row);
+            t_values[dst] = values[k];
+        }
+    }
+    get_executor()->clock().tick(
+        sim::profile_stream(static_cast<double>(nnz) *
+                                (sizeof(ValueType) + sizeof(IndexType)) * 3.0,
+                            0.0, 0.4)
+            .time_ns(get_executor()->model()));
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> Csr<ValueType, IndexType>::clone_to(
+    std::shared_ptr<const Executor> exec) const
+{
+    auto result = create(exec, get_size(), values_.size());
+    result->values_ = array<ValueType>{exec, values_};
+    result->col_idxs_ = array<IndexType>{exec, col_idxs_};
+    result->row_ptrs_ = array<IndexType>{exec, row_ptrs_};
+    result->strategy_ = strategy_;
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::sort_by_column_index()
+{
+    auto* values = get_values();
+    auto* col_idxs = get_col_idxs();
+    const auto* row_ptrs = get_const_row_ptrs();
+    std::vector<std::pair<IndexType, ValueType>> row_buffer;
+    for (size_type row = 0; row < get_size().rows; ++row) {
+        const auto begin = row_ptrs[row];
+        const auto end = row_ptrs[row + 1];
+        row_buffer.clear();
+        for (auto k = begin; k < end; ++k) {
+            row_buffer.emplace_back(col_idxs[k], values[k]);
+        }
+        std::sort(row_buffer.begin(), row_buffer.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                  });
+        for (auto k = begin; k < end; ++k) {
+            col_idxs[k] = row_buffer[static_cast<std::size_t>(k - begin)].first;
+            values[k] = row_buffer[static_cast<std::size_t>(k - begin)].second;
+        }
+    }
+    invalidate_profile_cache();
+}
+
+
+template <typename ValueType, typename IndexType>
+bool Csr<ValueType, IndexType>::is_sorted_by_column_index() const
+{
+    const auto* col_idxs = get_const_col_idxs();
+    const auto* row_ptrs = get_const_row_ptrs();
+    for (size_type row = 0; row < get_size().rows; ++row) {
+        for (auto k = row_ptrs[row] + 1; k < row_ptrs[row + 1]; ++k) {
+            if (col_idxs[k - 1] >= col_idxs[k]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Dense<ValueType>>
+Csr<ValueType, IndexType>::extract_diagonal() const
+{
+    auto result = Dense<ValueType>::create(get_executor(),
+                                           dim2{get_size().rows, 1});
+    result->fill(zero<ValueType>());
+    const auto* values = get_const_values();
+    const auto* col_idxs = get_const_col_idxs();
+    const auto* row_ptrs = get_const_row_ptrs();
+    for (size_type row = 0; row < get_size().rows; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (static_cast<size_type>(col_idxs[k]) == row) {
+                result->at(row, 0) = values[k];
+            }
+        }
+    }
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::convert_to(Dense<ValueType>* result) const
+{
+    result->read(to_data().template cast<ValueType, int64>());
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::convert_to(
+    Coo<ValueType, IndexType>* result) const
+{
+    result->read(to_data());
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::convert_to(
+    Ell<ValueType, IndexType>* result) const
+{
+    result->read(to_data());
+}
+
+
+#define MGKO_DECLARE_CSR(ValueType, IndexType) \
+    template class Csr<ValueType, IndexType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_CSR);
+
+
+}  // namespace mgko

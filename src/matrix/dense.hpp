@@ -1,0 +1,127 @@
+// Row-major dense matrix / multi-vector, modeled on gko::matrix::Dense.
+//
+// Dense serves as the vector type of the framework: right-hand sides,
+// solutions, Krylov bases, dot/norm results, and 1x1 scalars for the
+// advanced apply are all Dense.  pyGinkgo's `as_tensor` (paper §3.5, §5.2)
+// produces these, optionally as zero-copy views over NumPy buffers.
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
+#include "core/math.hpp"
+#include "core/types.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType>
+class Dense : public LinOp {
+public:
+    using value_type = ValueType;
+
+    /// Creates an uninitialized rows x cols matrix.
+    static std::unique_ptr<Dense> create(std::shared_ptr<const Executor> exec,
+                                         dim2 size = {}, size_type stride = 0);
+
+    /// Creates a matrix filled with `value`.
+    static std::unique_ptr<Dense> create_filled(
+        std::shared_ptr<const Executor> exec, dim2 size, ValueType value);
+
+    /// Creates a 1x1 scalar (for advanced applies).
+    static std::unique_ptr<Dense> create_scalar(
+        std::shared_ptr<const Executor> exec, ValueType value);
+
+    /// Wraps an existing buffer without copying (buffer protocol); the
+    /// caller retains ownership of the memory.
+    static std::unique_ptr<Dense> create_view(
+        std::shared_ptr<const Executor> exec, dim2 size, ValueType* data,
+        size_type stride = 0);
+
+    /// Builds from staging data.
+    static std::unique_ptr<Dense> create_from_data(
+        std::shared_ptr<const Executor> exec,
+        const matrix_data<ValueType, int64>& data);
+
+    /// Fills from staging data (resizes).
+    void read(const matrix_data<ValueType, int64>& data);
+    matrix_data<ValueType, int64> to_data() const;
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+    size_type get_stride() const { return stride_; }
+    size_type get_num_stored_elements() const { return values_.size(); }
+
+    /// Host-side element access (valid for the host-backed simulated
+    /// devices as well; bounds-checked).
+    ValueType& at(size_type row, size_type col = 0);
+    ValueType at(size_type row, size_type col = 0) const;
+
+    void fill(ValueType value);
+
+    /// this *= alpha (alpha is 1x1 or 1 x cols for per-column scaling).
+    void scale(const Dense* alpha);
+    /// this += alpha * b
+    void add_scaled(const Dense* alpha, const Dense* b);
+    /// this -= alpha * b
+    void sub_scaled(const Dense* alpha, const Dense* b);
+    /// Column-wise dot products into a 1 x cols result.
+    void compute_dot(const Dense* b, Dense* result) const;
+    /// Column-wise Euclidean norms into a 1 x cols result.
+    void compute_norm2(Dense* result) const;
+    /// Convenience: single-column dot / norm returned as double on the host.
+    double dot_scalar(const Dense* b) const;
+    double norm2_scalar() const;
+
+    /// x = thisᵀ * b as a single fused kernel (no materialized transpose);
+    /// the projection step of block Gram-Schmidt / Rayleigh-Ritz.
+    void transpose_apply(const Dense* b, Dense* x) const;
+
+    std::unique_ptr<Dense> transpose() const;
+    std::unique_ptr<Dense> clone() const;
+    std::unique_ptr<Dense> clone_to(std::shared_ptr<const Executor> exec) const;
+    void copy_from(const Dense* other);
+
+    /// View of a single column (shares memory with this matrix; keep the
+    /// parent alive while using the view).
+    std::unique_ptr<Dense> column_view(size_type col);
+    std::unique_ptr<const Dense> column_view(size_type col) const;
+    /// View of a contiguous row block [begin, end).
+    std::unique_ptr<Dense> row_block_view(size_type begin, size_type end);
+
+protected:
+    Dense(std::shared_ptr<const Executor> exec, dim2 size, size_type stride);
+    Dense(std::shared_ptr<const Executor> exec, dim2 size, array<ValueType> values,
+          size_type stride);
+
+    /// Dense GEMM: x = this * b.
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+    size_type stride_;
+};
+
+
+/// Downcasts a LinOp to Dense<V>, throwing NotSupported with a helpful
+/// message when the dynamic type does not match.
+template <typename ValueType>
+Dense<ValueType>* as_dense(LinOp* op);
+template <typename ValueType>
+const Dense<ValueType>* as_dense(const LinOp* op);
+
+/// Creates an uninitialized Dense with the same value type as `proto` (used
+/// by type-agnostic operators such as Composition).
+std::unique_ptr<LinOp> create_dense_like(const LinOp* proto, dim2 size);
+/// Copies dense contents between LinOps of the same dense value type.
+void copy_dense(const LinOp* src, LinOp* dst);
+
+
+}  // namespace mgko

@@ -1,0 +1,66 @@
+// Diagonal matrix operator (gko::matrix::Diagonal): O(n) storage, used for
+// scaling and as the algebraic form of mass matrices (the bcsstm* family
+// of the paper's Table 2).
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType>
+class Dense;
+template <typename ValueType, typename IndexType>
+class Csr;
+
+
+template <typename ValueType = double>
+class Diagonal : public LinOp {
+public:
+    using value_type = ValueType;
+
+    static std::unique_ptr<Diagonal> create(
+        std::shared_ptr<const Executor> exec, size_type n);
+
+    /// Builds from the diagonal entries.
+    static std::unique_ptr<Diagonal> create_from_values(
+        std::shared_ptr<const Executor> exec,
+        const std::vector<ValueType>& values);
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+
+    /// D^{-1} as a new operator (safe reciprocal on zero entries).
+    std::unique_ptr<Diagonal> inverse() const;
+
+    template <typename IndexType>
+    void convert_to(Csr<ValueType, IndexType>* result) const
+    {
+        matrix_data<ValueType, IndexType> data{get_size()};
+        for (size_type i = 0; i < get_size().rows; ++i) {
+            data.add(static_cast<IndexType>(i), static_cast<IndexType>(i),
+                     values_.get_const_data()[i]);
+        }
+        result->read(data);
+    }
+
+protected:
+    Diagonal(std::shared_ptr<const Executor> exec, size_type n);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+};
+
+
+}  // namespace mgko

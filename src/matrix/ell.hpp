@@ -1,0 +1,82 @@
+// ELLPACK sparse matrix, modeled on gko::matrix::Ell.
+//
+// Rows are padded to a uniform width and stored column-major so that device
+// lanes read coalesced columns.  One of the "various other matrix formats"
+// the paper lists as Ginkgo capability beyond the CSR/COO evaluation set.
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
+#include "core/types.hpp"
+#include "sim/cost_model.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType>
+class Dense;
+template <typename ValueType, typename IndexType>
+class Csr;
+
+
+template <typename ValueType = double, typename IndexType = int32>
+class Ell : public LinOp {
+public:
+    using value_type = ValueType;
+    using index_type = IndexType;
+
+    static std::unique_ptr<Ell> create(std::shared_ptr<const Executor> exec,
+                                       dim2 size = {},
+                                       size_type num_stored_per_row = 0);
+
+    static std::unique_ptr<Ell> create_from_data(
+        std::shared_ptr<const Executor> exec,
+        const matrix_data<ValueType, IndexType>& data);
+
+    void read(const matrix_data<ValueType, IndexType>& data);
+    matrix_data<ValueType, IndexType> to_data() const;
+
+    /// Padded row width.
+    size_type get_num_stored_per_row() const { return width_; }
+    /// Stored element (r, k): k-th slot of row r (column-major layout).
+    ValueType value_at(size_type row, size_type slot) const;
+    IndexType col_at(size_type row, size_type slot) const;
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+    IndexType* get_col_idxs() { return col_idxs_.get_data(); }
+    const IndexType* get_const_col_idxs() const
+    {
+        return col_idxs_.get_const_data();
+    }
+
+    size_type get_num_stored_elements() const { return values_.size(); }
+
+    void convert_to(Csr<ValueType, IndexType>* result) const;
+
+    sim::kernel_profile spmv_profile(const sim::MachineModel& m,
+                                     size_type vec_cols, bool advanced) const;
+
+protected:
+    Ell(std::shared_ptr<const Executor> exec, dim2 size, size_type width);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+    array<IndexType> col_idxs_;
+    size_type width_;
+
+    mutable double miss_rate_{-1.0};
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,142 @@
+#include "matrix/hybrid.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/math.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType, typename IndexType>
+Hybrid<ValueType, IndexType>::Hybrid(std::shared_ptr<const Executor> exec,
+                                     dim2 size, double ell_quantile)
+    : LinOp{exec, size},
+      ell_quantile_{ell_quantile},
+      ell_{Ell<ValueType, IndexType>::create(exec, size)},
+      coo_{Coo<ValueType, IndexType>::create(exec, size)}
+{
+    MGKO_ENSURE(ell_quantile_ >= 0.0 && ell_quantile_ <= 1.0,
+                "ell_quantile must be within [0, 1]");
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Hybrid<ValueType, IndexType>>
+Hybrid<ValueType, IndexType>::create(std::shared_ptr<const Executor> exec,
+                                     dim2 size, double ell_quantile)
+{
+    return std::unique_ptr<Hybrid>{
+        new Hybrid{std::move(exec), size, ell_quantile}};
+}
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Hybrid<ValueType, IndexType>>
+Hybrid<ValueType, IndexType>::create_from_data(
+    std::shared_ptr<const Executor> exec,
+    const matrix_data<ValueType, IndexType>& data, double ell_quantile)
+{
+    auto result = create(std::move(exec), data.size, ell_quantile);
+    result->read(data);
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hybrid<ValueType, IndexType>::read(
+    const matrix_data<ValueType, IndexType>& data)
+{
+    data.validate();
+    auto sorted = data;
+    sorted.sort_row_major();
+    sorted.sum_duplicates();
+    set_size(data.size);
+    nnz_ = sorted.num_stored();
+
+    // ELL width = the chosen quantile of row lengths.
+    std::vector<size_type> row_nnz(static_cast<std::size_t>(data.size.rows),
+                                   0);
+    for (const auto& e : sorted.entries) {
+        ++row_nnz[static_cast<std::size_t>(e.row)];
+    }
+    auto lengths = row_nnz;
+    std::sort(lengths.begin(), lengths.end());
+    const auto width =
+        lengths.empty()
+            ? size_type{0}
+            : lengths[static_cast<std::size_t>(
+                  std::min<double>(static_cast<double>(lengths.size()) - 1,
+                                   ell_quantile_ *
+                                       static_cast<double>(lengths.size())))];
+
+    matrix_data<ValueType, IndexType> ell_data{data.size};
+    matrix_data<ValueType, IndexType> coo_data{data.size};
+    std::vector<size_type> taken(static_cast<std::size_t>(data.size.rows), 0);
+    for (const auto& e : sorted.entries) {
+        auto& count = taken[static_cast<std::size_t>(e.row)];
+        if (count < width) {
+            ell_data.add(e.row, e.col, e.value);
+            ++count;
+        } else {
+            coo_data.add(e.row, e.col, e.value);
+        }
+    }
+    ell_->read(ell_data);
+    coo_->read(coo_data);
+}
+
+
+template <typename ValueType, typename IndexType>
+matrix_data<ValueType, IndexType> Hybrid<ValueType, IndexType>::to_data()
+    const
+{
+    auto result = ell_->to_data();
+    const auto coo_part = coo_->to_data();
+    result.entries.insert(result.entries.end(), coo_part.entries.begin(),
+                          coo_part.entries.end());
+    result.sort_row_major();
+    return result;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hybrid<ValueType, IndexType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    // x = Ell b; x += Coo b  (two kernels, the Ginkgo hybrid schedule).
+    ell_->apply(b, x);
+    coo_->apply_accumulate(b, as_dense<ValueType>(x));
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hybrid<ValueType, IndexType>::apply_impl(const LinOp* alpha,
+                                              const LinOp* b,
+                                              const LinOp* beta,
+                                              LinOp* x) const
+{
+    auto dense_x = as_dense<ValueType>(x);
+    auto tmp = Dense<ValueType>::create(
+        get_executor(), dim2{get_size().rows, b->get_size().cols});
+    apply_impl(b, tmp.get());
+    dense_x->scale(as_dense<ValueType>(beta));
+    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hybrid<ValueType, IndexType>::convert_to(
+    Csr<ValueType, IndexType>* result) const
+{
+    result->read(to_data());
+}
+
+
+#define MGKO_DECLARE_HYBRID(ValueType, IndexType) \
+    template class Hybrid<ValueType, IndexType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_HYBRID);
+
+
+}  // namespace mgko

@@ -1,0 +1,70 @@
+// Hybrid (ELL + COO) sparse matrix, modeled on gko::matrix::Hybrid.
+//
+// The regular part of each row (up to a width chosen by a row-length
+// quantile) lives in ELL for coalesced access; the overflow of long rows
+// lives in COO.  This is Ginkgo's answer to power-law matrices where pure
+// ELL explodes in padding and pure CSR loses balance.
+#pragma once
+
+#include <memory>
+
+#include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/ell.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType = double, typename IndexType = int32>
+class Hybrid : public LinOp {
+public:
+    using value_type = ValueType;
+    using index_type = IndexType;
+
+    /// `ell_quantile` picks the ELL width as that quantile of the row
+    /// lengths (Ginkgo's default strategy uses ~0.8).
+    static std::unique_ptr<Hybrid> create(
+        std::shared_ptr<const Executor> exec, dim2 size = {},
+        double ell_quantile = 0.8);
+
+    static std::unique_ptr<Hybrid> create_from_data(
+        std::shared_ptr<const Executor> exec,
+        const matrix_data<ValueType, IndexType>& data,
+        double ell_quantile = 0.8);
+
+    void read(const matrix_data<ValueType, IndexType>& data);
+    matrix_data<ValueType, IndexType> to_data() const;
+
+    const Ell<ValueType, IndexType>* get_ell() const { return ell_.get(); }
+    const Coo<ValueType, IndexType>* get_coo() const { return coo_.get(); }
+    size_type get_ell_num_stored_elements() const
+    {
+        return ell_->get_num_stored_elements();
+    }
+    size_type get_coo_num_stored_elements() const
+    {
+        return coo_->get_num_stored_elements();
+    }
+    /// Actual (non-padding) stored entries.
+    size_type get_num_stored_elements() const { return nnz_; }
+
+    void convert_to(Csr<ValueType, IndexType>* result) const;
+
+protected:
+    Hybrid(std::shared_ptr<const Executor> exec, dim2 size,
+           double ell_quantile);
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    double ell_quantile_;
+    size_type nnz_{0};
+    std::unique_ptr<Ell<ValueType, IndexType>> ell_;
+    std::unique_ptr<Coo<ValueType, IndexType>> coo_;
+};
+
+
+}  // namespace mgko

@@ -1,0 +1,47 @@
+// Sparse general matrix-matrix multiplication (SpGEMM), C = A * B.
+//
+// The paper's introduction names sparse matrix-matrix products alongside
+// SpMV as the core operations sparse neural networks rely on (§1).  The
+// implementation is Gustavson's row-merge algorithm with a dense
+// accumulator per row; the cost model charges the data-dependent FLOP and
+// byte volumes computed from the actual operands.
+#pragma once
+
+#include <memory>
+
+#include "matrix/csr.hpp"
+
+namespace mgko {
+
+
+/// C = A * B for CSR operands on the same executor.
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> spgemm(
+    const Csr<ValueType, IndexType>* a, const Csr<ValueType, IndexType>* b);
+
+
+/// Symmetric permutation P A Pᵀ (rows and columns) of a square matrix;
+/// `permutation[new_index] = old_index`.
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(
+    const Csr<ValueType, IndexType>* a,
+    const std::vector<IndexType>& permutation);
+
+
+namespace reorder {
+
+/// Reverse Cuthill-McKee ordering computed on the symmetrized pattern of
+/// `a`; returns `perm` with perm[new_index] = old_index.  Reduces the
+/// matrix bandwidth, which improves SpMV locality and level-scheduled
+/// triangular-solve parallelism.
+template <typename ValueType, typename IndexType>
+std::vector<IndexType> rcm_ordering(const Csr<ValueType, IndexType>* a);
+
+/// Half bandwidth max_{(i,j) in A} |i - j| — the quantity RCM minimizes.
+template <typename ValueType, typename IndexType>
+size_type bandwidth(const Csr<ValueType, IndexType>* a);
+
+}  // namespace reorder
+
+
+}  // namespace mgko

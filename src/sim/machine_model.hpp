@@ -1,0 +1,78 @@
+// Machine performance models for the SimClock timing layer.
+//
+// The build/eval machine for this reproduction has a single CPU core and no
+// GPU, while the paper's evaluation ran on Intel Xeon 8368 CPUs (up to 32
+// threads used), NVIDIA A100, and AMD MI100 accelerators.  Following the
+// substitution rule documented in DESIGN.md §2.1, kernels compute real
+// results and *tick* a simulated clock with a modeled execution time:
+//
+//     t = launch_latency + bytes_effective / (bandwidth * efficiency /
+//                                             imbalance) [+ penalties]
+//
+// where bytes_effective, imbalance, and penalties are derived from the
+// actual data structures each kernel touched (see sim/cost_model.hpp), and
+// the machine constants below are taken from published hardware specs.
+//
+// All constants can be overridden through MGKO_SIM_* environment variables,
+// which the ablation bench uses for sensitivity analysis.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace mgko::sim {
+
+
+struct MachineModel {
+    std::string name;
+    /// Aggregate streaming bandwidth at full occupancy [GB/s].
+    double bandwidth_gbps{};
+    /// Number of parallel workers used for load-imbalance computation
+    /// (thread-groups on a GPU, threads on a CPU).
+    int workers{1};
+    /// Fixed cost of launching one kernel [ns].  ~6 us for CUDA, ~9 us for
+    /// HIP, ~0.3 us for an OpenMP parallel region, 0 for serial code.
+    double launch_latency_ns{};
+    /// Cost of one host<->device transfer setup [ns] (on top of bytes/BW).
+    double transfer_latency_ns{};
+    /// Extra cost per conflicting atomic update [ns].
+    double atomic_penalty_ns{};
+    /// Per-call cost of a dynamic framework layer driving this device
+    /// (CPython dispatch for the baseline libraries) [ns].
+    double framework_call_ns{};
+    /// Compute roofline [GFLOP/s]; SpMV rarely hits it but dense ops can.
+    double flop_throughput_gflops{};
+
+    /// Time to stream `bytes` with a kernel whose partition causes the given
+    /// imbalance (max worker load / mean worker load, >= 1) and whose memory
+    /// access pattern achieves the given efficiency in (0, 1].
+    double stream_time_ns(double bytes, double imbalance,
+                          double efficiency) const;
+
+    /// Time for `flops` floating point operations at the compute roofline.
+    double flop_time_ns(double flops) const;
+
+    /// Full kernel model: launch + max(stream, flop) phases.
+    double kernel_time_ns(double bytes, double flops, double imbalance = 1.0,
+                          double efficiency = 1.0) const;
+
+    /// NVIDIA A100-SXM4-40GB-like device (paper's CUDA backend).
+    static MachineModel a100();
+    /// AMD Instinct MI100-like device (paper's HIP backend).
+    static MachineModel mi100();
+    /// Intel Xeon Platinum 8368-like socket restricted to `threads` OpenMP
+    /// threads (paper's CPU backend; they sweep 1..32 threads).
+    static MachineModel xeon8368(int threads);
+    /// Single core of the Xeon, sequential code (the SciPy baseline and the
+    /// reference executor).
+    static MachineModel reference_cpu();
+};
+
+/// Reads a double-valued override from the environment, e.g.
+/// MGKO_SIM_LAUNCH_US for device launch latency.  Returns fallback when the
+/// variable is unset or unparsable.
+double env_override(const char* name, double fallback);
+
+
+}  // namespace mgko::sim

@@ -1,0 +1,61 @@
+// The simulated execution clock carried by every executor.
+//
+// Kernels tick modeled execution times onto this clock (DESIGN.md §2.1);
+// software layers (the binding layer, the baselines' interpreter models)
+// tick measured or modeled dispatch overheads.  Benchmarks time code by
+// reading clock deltas, so the figures reflect the modeled machines rather
+// than the single-core build host.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mgko::sim {
+
+
+class SimClock {
+public:
+    /// Advances the clock by `ns` nanoseconds of simulated execution.
+    void tick(double ns)
+    {
+        if (ns > 0.0) {
+            ns_.fetch_add(static_cast<std::int64_t>(ns),
+                          std::memory_order_relaxed);
+        }
+    }
+
+    /// Total simulated nanoseconds since construction (or last reset).
+    std::int64_t now_ns() const { return ns_.load(std::memory_order_relaxed); }
+
+    double now_seconds() const { return static_cast<double>(now_ns()) * 1e-9; }
+
+    void reset() { ns_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> ns_{0};
+};
+
+
+/// RAII stopwatch over a SimClock; the unit benches and harness use it to
+/// time a region of simulated execution.
+class SimStopwatch {
+public:
+    explicit SimStopwatch(const SimClock& clock)
+        : clock_{&clock}, start_ns_{clock.now_ns()}
+    {}
+
+    double elapsed_ns() const
+    {
+        return static_cast<double>(clock_->now_ns() - start_ns_);
+    }
+    double elapsed_seconds() const { return elapsed_ns() * 1e-9; }
+
+    void restart() { start_ns_ = clock_->now_ns(); }
+
+private:
+    const SimClock* clock_;
+    std::int64_t start_ns_;
+};
+
+
+}  // namespace mgko::sim

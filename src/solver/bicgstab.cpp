@@ -1,0 +1,113 @@
+#include "solver/bicgstab.hpp"
+
+#include "core/math.hpp"
+#include "solver/detail.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType>
+void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    using detail::scalar;
+    using detail::set_scalar;
+    auto exec = this->get_executor();
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    this->validate_single_column(dense_b);
+    this->logger_->reset();
+
+    const auto n = this->get_size().rows;
+    auto make_vec = [&] { return Dense<ValueType>::create(exec, dim2{n, 1}); };
+    auto r = make_vec();
+    auto r_tilde = make_vec();
+    auto p = make_vec();
+    auto p_hat = make_vec();
+    auto v = make_vec();
+    auto s = make_vec();
+    auto s_hat = make_vec();
+    auto t = make_vec();
+    auto one_s = scalar<ValueType>(exec, 1.0);
+    auto neg_one_s = scalar<ValueType>(exec, -1.0);
+    auto coeff_s = scalar<ValueType>(exec, 0.0);
+
+    const double b_norm = dense_b->norm2_scalar();
+    double r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                             dense_x, r.get(), one_s.get(),
+                                             neg_one_s.get());
+    auto criterion = this->bind_criterion(b_norm, r_norm);
+    this->logger_->log_iteration(0, r_norm);
+    r_tilde->copy_from(r.get());
+    p->fill(zero<ValueType>());
+    v->fill(zero<ValueType>());
+
+    double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+    size_type iter = 0;
+    while (!criterion->is_satisfied(iter, r_norm)) {
+        const double rho = r_tilde->dot_scalar(r.get());
+        if (rho == 0.0 || !std::isfinite(rho)) {
+            this->logger_->log_stop(iter, false, "breakdown: rho == 0");
+            return;
+        }
+        const double beta = (rho / rho_prev) * (alpha / omega);
+        // p = r + beta * (p - omega * v)
+        set_scalar(coeff_s.get(), omega);
+        p->sub_scaled(coeff_s.get(), v.get());
+        set_scalar(coeff_s.get(), beta);
+        p->scale(coeff_s.get());
+        p->add_scaled(one_s.get(), r.get());
+
+        this->precond_->apply(p.get(), p_hat.get());
+        this->system_->apply(p_hat.get(), v.get());
+        const double rv = r_tilde->dot_scalar(v.get());
+        if (rv == 0.0 || !std::isfinite(rv)) {
+            this->logger_->log_stop(iter, false, "breakdown: r~'v == 0");
+            return;
+        }
+        alpha = rho / rv;
+        // s = r - alpha * v
+        s->copy_from(r.get());
+        set_scalar(coeff_s.get(), alpha);
+        s->sub_scaled(coeff_s.get(), v.get());
+        const double s_norm = s->norm2_scalar();
+        ++iter;
+        if (criterion->is_satisfied(iter, s_norm)) {
+            // Half-step convergence: x += alpha * p_hat.
+            dense_x->add_scaled(coeff_s.get(), p_hat.get());
+            r_norm = s_norm;
+            this->logger_->log_iteration(iter, r_norm);
+            break;
+        }
+        this->precond_->apply(s.get(), s_hat.get());
+        this->system_->apply(s_hat.get(), t.get());
+        const double tt = t->dot_scalar(t.get());
+        if (tt == 0.0 || !std::isfinite(tt)) {
+            this->logger_->log_stop(iter, false, "breakdown: t't == 0");
+            return;
+        }
+        omega = t->dot_scalar(s.get()) / tt;
+        // x += alpha * p_hat + omega * s_hat
+        dense_x->add_scaled(coeff_s.get(), p_hat.get());
+        set_scalar(coeff_s.get(), omega);
+        dense_x->add_scaled(coeff_s.get(), s_hat.get());
+        // r = s - omega * t
+        r->copy_from(s.get());
+        r->sub_scaled(coeff_s.get(), t.get());
+        rho_prev = rho;
+        r_norm = r->norm2_scalar();
+        this->logger_->log_iteration(iter, r_norm);
+        if (omega == 0.0) {
+            this->logger_->log_stop(iter, false, "breakdown: omega == 0");
+            return;
+        }
+    }
+    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+                            criterion->reason());
+}
+
+
+#define MGKO_DECLARE_BICGSTAB(ValueType) template class Bicgstab<ValueType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_DECLARE_BICGSTAB);
+
+
+}  // namespace mgko::solver

@@ -1,0 +1,27 @@
+// Preconditioned Conjugate Gradient solver (SPD systems).
+#pragma once
+
+#include "solver/solver_base.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType = double>
+class Cg : public IterativeSolver<ValueType> {
+public:
+    static builder<Cg> build() { return {}; }
+
+protected:
+    friend class SolverFactory<Cg>;
+    Cg(std::shared_ptr<const Executor> exec, iterative_parameters params,
+       std::shared_ptr<const LinOp> system)
+        : IterativeSolver<ValueType>{std::move(exec), std::move(params),
+                                     std::move(system)}
+    {}
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    using IterativeSolver<ValueType>::apply_impl;
+};
+
+
+}  // namespace mgko::solver

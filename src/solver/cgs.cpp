@@ -1,0 +1,104 @@
+#include "solver/cgs.hpp"
+
+#include "core/math.hpp"
+#include "solver/detail.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType>
+void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    using detail::scalar;
+    using detail::set_scalar;
+    auto exec = this->get_executor();
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    this->validate_single_column(dense_b);
+    this->logger_->reset();
+
+    const auto n = this->get_size().rows;
+    auto make_vec = [&] { return Dense<ValueType>::create(exec, dim2{n, 1}); };
+    auto r = make_vec();
+    auto r_tilde = make_vec();
+    auto u = make_vec();
+    auto p = make_vec();
+    auto q = make_vec();
+    auto v = make_vec();
+    auto t = make_vec();
+    auto t_hat = make_vec();
+    auto one_s = scalar<ValueType>(exec, 1.0);
+    auto neg_one_s = scalar<ValueType>(exec, -1.0);
+    auto alpha_s = scalar<ValueType>(exec, 0.0);
+    auto beta_s = scalar<ValueType>(exec, 0.0);
+
+    const double b_norm = dense_b->norm2_scalar();
+    double r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                             dense_x, r.get(), one_s.get(),
+                                             neg_one_s.get());
+    auto criterion = this->bind_criterion(b_norm, r_norm);
+    this->logger_->log_iteration(0, r_norm);
+    r_tilde->copy_from(r.get());
+
+    double rho_prev = 1.0;
+    size_type iter = 0;
+    bool first = true;
+    while (!criterion->is_satisfied(iter, r_norm)) {
+        const double rho = r_tilde->dot_scalar(r.get());
+        if (rho == 0.0 || !std::isfinite(rho)) {
+            this->logger_->log_stop(iter, false, "breakdown: rho == 0");
+            return;
+        }
+        if (first) {
+            u->copy_from(r.get());
+            p->copy_from(u.get());
+            first = false;
+        } else {
+            const double beta = rho / rho_prev;
+            set_scalar(beta_s.get(), beta);
+            // u = r + beta * q
+            u->copy_from(r.get());
+            u->add_scaled(beta_s.get(), q.get());
+            // p = u + beta * (q + beta * p)
+            p->scale(beta_s.get());
+            p->add_scaled(one_s.get(), q.get());
+            p->scale(beta_s.get());
+            p->add_scaled(one_s.get(), u.get());
+        }
+        // v = A * M(p)
+        this->precond_->apply(p.get(), t_hat.get());
+        this->system_->apply(t_hat.get(), v.get());
+        const double sigma = r_tilde->dot_scalar(v.get());
+        if (sigma == 0.0 || !std::isfinite(sigma)) {
+            this->logger_->log_stop(iter, false, "breakdown: sigma == 0");
+            return;
+        }
+        const double alpha = rho / sigma;
+        set_scalar(alpha_s.get(), alpha);
+        // q = u - alpha * v
+        q->copy_from(u.get());
+        q->sub_scaled(alpha_s.get(), v.get());
+        // t = M(u + q)
+        t_hat->copy_from(u.get());
+        t_hat->add_scaled(one_s.get(), q.get());
+        this->precond_->apply(t_hat.get(), t.get());
+        // x += alpha * t ; r -= alpha * A t
+        dense_x->add_scaled(alpha_s.get(), t.get());
+        this->system_->apply(t.get(), v.get());
+        r->sub_scaled(alpha_s.get(), v.get());
+
+        rho_prev = rho;
+        r_norm = r->norm2_scalar();
+        ++iter;
+        this->logger_->log_iteration(iter, r_norm);
+    }
+    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+                            criterion->reason());
+}
+
+
+#define MGKO_DECLARE_CGS(ValueType) template class Cgs<ValueType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_DECLARE_CGS);
+
+
+}  // namespace mgko::solver

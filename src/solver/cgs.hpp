@@ -1,0 +1,27 @@
+// Conjugate Gradient Squared solver (nonsymmetric systems).
+#pragma once
+
+#include "solver/solver_base.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType = double>
+class Cgs : public IterativeSolver<ValueType> {
+public:
+    static builder<Cgs> build() { return {}; }
+
+protected:
+    friend class SolverFactory<Cgs>;
+    Cgs(std::shared_ptr<const Executor> exec, iterative_parameters params,
+        std::shared_ptr<const LinOp> system)
+        : IterativeSolver<ValueType>{std::move(exec), std::move(params),
+                                     std::move(system)}
+    {}
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    using IterativeSolver<ValueType>::apply_impl;
+};
+
+
+}  // namespace mgko::solver

@@ -1,0 +1,43 @@
+// Internal helpers shared by the solver implementations.
+#pragma once
+
+#include <memory>
+
+#include "core/math.hpp"
+#include "matrix/dense.hpp"
+
+namespace mgko::solver::detail {
+
+
+/// A 1x1 scalar whose value is written host-side without a fill kernel:
+/// solvers fold scalar updates into their vector kernels (as the real GPU
+/// kernels do), so scalar writes carry no modeled launch.
+template <typename V>
+std::unique_ptr<Dense<V>> scalar(std::shared_ptr<const Executor> exec,
+                                 double value)
+{
+    auto result = Dense<V>::create(std::move(exec), dim2{1, 1});
+    result->get_values()[0] = static_cast<V>(value);
+    return result;
+}
+
+template <typename V>
+void set_scalar(Dense<V>* s, double value)
+{
+    s->get_values()[0] = static_cast<V>(value);
+}
+
+
+/// r = b - A x; returns ||r||_2.
+template <typename V>
+double compute_residual(const LinOp* system, const Dense<V>* b,
+                        const Dense<V>* x, Dense<V>* r, const Dense<V>* one_s,
+                        const Dense<V>* neg_one_s)
+{
+    r->copy_from(b);
+    system->apply(neg_one_s, x, one_s, r);
+    return r->norm2_scalar();
+}
+
+
+}  // namespace mgko::solver::detail

@@ -1,0 +1,28 @@
+// Flexible Conjugate Gradient: tolerates preconditioners that vary between
+// iterations (uses the Polak-Ribiere style update with an extra vector).
+#pragma once
+
+#include "solver/solver_base.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType = double>
+class Fcg : public IterativeSolver<ValueType> {
+public:
+    static builder<Fcg> build() { return {}; }
+
+protected:
+    friend class SolverFactory<Fcg>;
+    Fcg(std::shared_ptr<const Executor> exec, iterative_parameters params,
+        std::shared_ptr<const LinOp> system)
+        : IterativeSolver<ValueType>{std::move(exec), std::move(params),
+                                     std::move(system)}
+    {}
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    using IterativeSolver<ValueType>::apply_impl;
+};
+
+
+}  // namespace mgko::solver

@@ -1,0 +1,254 @@
+#include "solver/gmres.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/kernel_utils.hpp"
+#include "core/math.hpp"
+#include "solver/detail.hpp"
+
+namespace mgko::solver {
+
+namespace {
+
+/// Charges the cost of one device-side Hessenberg/Givens update: Ginkgo
+/// performs the rotation, the residual-estimate update, and the check as
+/// small device kernels (one extra launch + a tiny stream), which is the
+/// per-iteration overhead the paper contrasts with CuPy's restart-only
+/// policy (§6.2.1).
+void tick_small_device_op(const Executor* exec, size_type elems)
+{
+    exec->run(make_operation(
+        "gmres_hessenberg_update",
+        [&](const ReferenceExecutor* e) {
+            mgko::kernels::tick(e, sim::profile_stream(
+                                 static_cast<double>(elems) * 8.0, 0.0));
+        },
+        [&](const OmpExecutor* e) {
+            mgko::kernels::tick(e, sim::profile_stream(
+                                 static_cast<double>(elems) * 8.0, 0.0));
+        },
+        [&](const CudaExecutor* e) {
+            mgko::kernels::tick(e, sim::profile_stream(
+                                 static_cast<double>(elems) * 8.0, 0.0));
+        },
+        [&](const HipExecutor* e) {
+            mgko::kernels::tick(e, sim::profile_stream(
+                                 static_cast<double>(elems) * 8.0, 0.0));
+        }));
+}
+
+/// Ginkgo solves the triangular Hessenberg system on the device, which
+/// serializes into `steps` dependent small kernels — the trait the paper
+/// identifies as a disadvantage against CuPy's host-side solve.
+void tick_device_triangular(const Executor* exec, size_type steps)
+{
+    for (size_type i = 0; i < steps; ++i) {
+        tick_small_device_op(exec, i + 1);
+    }
+}
+
+}  // namespace
+
+
+template <typename ValueType>
+void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    using detail::scalar;
+    using detail::set_scalar;
+    auto exec = this->get_executor();
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    this->validate_single_column(dense_b);
+    this->logger_->reset();
+
+    const auto n = this->get_size().rows;
+    const auto m = this->params_.krylov_dim;
+    MGKO_ENSURE(m >= 1, "krylov_dim must be >= 1");
+
+    auto r = Dense<ValueType>::create(exec, dim2{n, 1});
+    auto w = Dense<ValueType>::create(exec, dim2{n, 1});
+    auto w_hat = Dense<ValueType>::create(exec, dim2{n, 1});
+    // Krylov basis: n x (m+1), one column per basis vector.
+    auto basis = Dense<ValueType>::create(exec, dim2{n, m + 1});
+    auto one_s = scalar<ValueType>(exec, 1.0);
+    auto neg_one_s = scalar<ValueType>(exec, -1.0);
+    auto coeff_s = scalar<ValueType>(exec, 0.0);
+
+    // Hessenberg matrix and Givens state; physically these live on the
+    // device in Ginkgo — here they are host-backed and their device cost is
+    // charged via tick_small_device_op.
+    std::vector<double> hessenberg(static_cast<std::size_t>((m + 1) * m), 0.0);
+    auto h_at = [&](size_type i, size_type j) -> double& {
+        return hessenberg[static_cast<std::size_t>(i * m + j)];
+    };
+    std::vector<double> givens_c(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> givens_s(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> g(static_cast<std::size_t>(m + 1), 0.0);
+
+    const double b_norm = dense_b->norm2_scalar();
+    double r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                             dense_x, r.get(), one_s.get(),
+                                             neg_one_s.get());
+    auto criterion = this->bind_criterion(b_norm, r_norm);
+    this->logger_->log_iteration(0, r_norm);
+
+    size_type total_iters = 0;
+    bool breakdown_converged = false;
+    bool stopped = criterion->is_satisfied(total_iters, r_norm);
+    while (!stopped) {
+        // --- start a restart cycle --------------------------------------
+        // Left-preconditioned initial direction: v0 = M r / ||M r||.
+        this->precond_->apply(r.get(), w_hat.get());
+        const double beta0 = w_hat->norm2_scalar();
+        if (beta0 == 0.0 || !std::isfinite(beta0)) {
+            this->logger_->log_stop(total_iters, beta0 == 0.0,
+                                    beta0 == 0.0 ? "exact solution reached"
+                                                 : "breakdown: non-finite "
+                                                   "residual");
+            return;
+        }
+        {
+            auto v0 = basis->column_view(0);
+            v0->copy_from(w_hat.get());
+            set_scalar(coeff_s.get(), 1.0 / beta0);
+            v0->scale(coeff_s.get());
+        }
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta0;
+        double res_estimate = beta0;
+
+        size_type j_end = 0;
+        for (size_type j = 0; j < m; ++j) {
+            // w = M A v_j
+            {
+                auto vj = basis->column_view(j);
+                this->system_->apply(vj.get(), w_hat.get());
+            }
+            this->precond_->apply(w_hat.get(), w.get());
+            // Block Gram-Schmidt against columns 0..j with a second
+            // re-orthogonalization pass (CGS2) — Ginkgo re-orthogonalizes
+            // for robustness, doubling the dense projection work relative
+            // to CuPy's single-pass projection.
+            auto vblock = Dense<ValueType>::create_view(
+                exec, dim2{n, j + 1}, basis->get_values(), m + 1);
+            auto hcol = Dense<ValueType>::create(exec, dim2{j + 1, 1});
+            vblock->transpose_apply(w.get(), hcol.get());
+            vblock->apply(neg_one_s.get(), hcol.get(), one_s.get(), w.get());
+            auto hcol2 = Dense<ValueType>::create(exec, dim2{j + 1, 1});
+            vblock->transpose_apply(w.get(), hcol2.get());
+            vblock->apply(neg_one_s.get(), hcol2.get(), one_s.get(), w.get());
+            for (size_type i = 0; i <= j; ++i) {
+                h_at(i, j) =
+                    to_float(hcol->at(i, 0)) + to_float(hcol2->at(i, 0));
+            }
+            const double h_next = w->norm2_scalar();
+            h_at(j + 1, j) = h_next;
+
+            const bool happy_breakdown =
+                h_next <= 1e-14 * std::abs(h_at(j, j) + 1e-300);
+            if (!happy_breakdown) {
+                auto vnext = basis->column_view(j + 1);
+                vnext->copy_from(w.get());
+                set_scalar(coeff_s.get(), 1.0 / h_next);
+                vnext->scale(coeff_s.get());
+            }
+
+            // Givens update of column j (device-side in Ginkgo).
+            for (size_type i = 0; i < j; ++i) {
+                const double tmp =
+                    givens_c[i] * h_at(i, j) + givens_s[i] * h_at(i + 1, j);
+                h_at(i + 1, j) = -givens_s[i] * h_at(i, j) +
+                                 givens_c[i] * h_at(i + 1, j);
+                h_at(i, j) = tmp;
+            }
+            const double denom = std::hypot(h_at(j, j), h_at(j + 1, j));
+            givens_c[j] = denom == 0.0 ? 1.0 : h_at(j, j) / denom;
+            givens_s[j] = denom == 0.0 ? 0.0 : h_at(j + 1, j) / denom;
+            h_at(j, j) = denom;
+            h_at(j + 1, j) = 0.0;
+            g[j + 1] = -givens_s[j] * g[j];
+            g[j] = givens_c[j] * g[j];
+            res_estimate = std::abs(g[j + 1]);
+            // Givens rotation + residual-estimate update: two small device
+            // kernels in Ginkgo's implementation.
+            tick_small_device_op(exec.get(), j + 2);
+            tick_small_device_op(exec.get(), 2);
+            if (check_every_update_) {
+                // The per-update convergence check reads the residual
+                // estimate back to the host and stalls the pipeline until
+                // the host reacts: a device-to-host round trip (two
+                // interconnect latencies) plus a stream synchronization per
+                // inner iteration.  This is the "(restart - 1) additional
+                // checks" cost the paper contrasts with CuPy's restart-only
+                // policy (§6.2.1).
+                exec->charge_copy(exec->get_master().get(),
+                                  static_cast<size_type>(sizeof(double)));
+                exec->clock().tick(exec->model().transfer_latency_ns);
+                exec->synchronize();
+            }
+
+            ++total_iters;
+            j_end = j + 1;
+            this->logger_->log_iteration(total_iters, res_estimate);
+            if (happy_breakdown) {
+                stopped = true;
+                breakdown_converged = true;
+                break;
+            }
+            // The paper's point: Ginkgo checks after every update; CuPy
+            // only at restart boundaries.
+            if (check_every_update_ &&
+                criterion->is_satisfied(total_iters, res_estimate)) {
+                stopped = true;
+                break;
+            }
+        }
+
+        // --- solve the triangular system R y = g (device) ---------------
+        std::vector<double> y(static_cast<std::size_t>(j_end), 0.0);
+        for (size_type i = j_end; i-- > 0;) {
+            double sum = g[i];
+            for (size_type l = i + 1; l < j_end; ++l) {
+                sum -= h_at(i, l) * y[static_cast<std::size_t>(l)];
+            }
+            const double diag = h_at(i, i);
+            y[static_cast<std::size_t>(i)] =
+                diag == 0.0 ? 0.0 : sum / diag;
+        }
+        tick_device_triangular(exec.get(), j_end);
+
+        // x += V(:, 0..j_end-1) * y  (single GEMV).
+        auto y_dev = Dense<ValueType>::create(exec, dim2{j_end, 1});
+        for (size_type i = 0; i < j_end; ++i) {
+            y_dev->get_values()[i * y_dev->get_stride()] =
+                static_cast<ValueType>(y[static_cast<std::size_t>(i)]);
+        }
+        auto vblock = Dense<ValueType>::create_view(
+            exec, dim2{n, j_end}, basis->get_values(), m + 1);
+        vblock->apply(one_s.get(), y_dev.get(), one_s.get(), dense_x);
+
+        // True residual for the restart decision.
+        r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                          dense_x, r.get(), one_s.get(),
+                                          neg_one_s.get());
+        if (!stopped) {
+            stopped = criterion->is_satisfied(total_iters, r_norm);
+        }
+    }
+    if (breakdown_converged) {
+        this->logger_->log_stop(total_iters, true,
+                                "happy breakdown: exact Krylov solution");
+    } else {
+        this->logger_->log_stop(total_iters,
+                                criterion->indicates_convergence(),
+                                criterion->reason());
+    }
+}
+
+
+#define MGKO_DECLARE_GMRES(ValueType) template class Gmres<ValueType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_DECLARE_GMRES);
+
+
+}  // namespace mgko::solver

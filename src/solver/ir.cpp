@@ -1,0 +1,53 @@
+#include "solver/ir.hpp"
+
+#include "core/math.hpp"
+#include "solver/detail.hpp"
+
+namespace mgko::solver {
+
+
+template <typename ValueType>
+void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
+{
+    using detail::scalar;
+    auto exec = this->get_executor();
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    this->validate_single_column(dense_b);
+    this->logger_->reset();
+
+    const auto n = this->get_size().rows;
+    auto r = Dense<ValueType>::create(exec, dim2{n, 1});
+    auto d = Dense<ValueType>::create(exec, dim2{n, 1});
+    auto one_s = scalar<ValueType>(exec, 1.0);
+    auto neg_one_s = scalar<ValueType>(exec, -1.0);
+    auto omega_s =
+        scalar<ValueType>(exec, this->params_.relaxation_factor);
+
+    const double b_norm = dense_b->norm2_scalar();
+    double r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                             dense_x, r.get(), one_s.get(),
+                                             neg_one_s.get());
+    auto criterion = this->bind_criterion(b_norm, r_norm);
+    this->logger_->log_iteration(0, r_norm);
+
+    size_type iter = 0;
+    while (!criterion->is_satisfied(iter, r_norm)) {
+        this->precond_->apply(r.get(), d.get());
+        dense_x->add_scaled(omega_s.get(), d.get());
+        r_norm = detail::compute_residual(this->system_.get(), dense_b,
+                                          dense_x, r.get(), one_s.get(),
+                                          neg_one_s.get());
+        ++iter;
+        this->logger_->log_iteration(iter, r_norm);
+    }
+    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+                            criterion->reason());
+}
+
+
+#define MGKO_DECLARE_IR(ValueType) template class Ir<ValueType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_DECLARE_IR);
+
+
+}  // namespace mgko::solver

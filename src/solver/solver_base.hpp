@@ -1,0 +1,196 @@
+// Shared machinery for iterative solvers: the parameter/builder pattern,
+// the solver factory template, and the common solver state (system matrix,
+// preconditioner, criteria, logger).
+//
+// Usage (mirrors Ginkgo's factory idiom, which pyGinkgo's solver bindings
+// wrap — Figure 2 of the paper):
+//
+//   auto solver = mgko::solver::Cg<double>::build()
+//                     .with_criteria(stop::iteration(1000))
+//                     .with_criteria(stop::residual_norm(1e-6))
+//                     .with_preconditioner(jacobi_factory)
+//                     .on(exec)
+//                     ->generate(A);
+//   solver->apply(b, x);
+//   auto logger = solver->get_logger();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/lin_op.hpp"
+#include "core/types.hpp"
+#include "log/logger.hpp"
+#include "matrix/dense.hpp"
+#include "stop/criterion.hpp"
+
+namespace mgko::solver {
+
+
+/// Parameters shared by the iterative solvers.  Unknown fields are ignored
+/// by solvers that do not use them (krylov_dim by CG, etc.).
+struct iterative_parameters {
+    std::vector<std::shared_ptr<const stop::CriterionFactory>> criteria;
+    /// Generated per system matrix at generate() time.
+    std::shared_ptr<const LinOpFactory> preconditioner;
+    /// Used directly (overrides `preconditioner`).
+    std::shared_ptr<const LinOp> generated_preconditioner;
+    /// GMRES restart length (paper default: 30).
+    size_type krylov_dim{30};
+    /// Richardson relaxation factor.
+    double relaxation_factor{1.0};
+};
+
+
+/// Fluent builder over iterative_parameters, terminated by .on(exec).
+template <typename Solver>
+class SolverFactory;
+
+template <typename Solver>
+class builder : public iterative_parameters {
+public:
+    builder& with_criteria(std::shared_ptr<const stop::CriterionFactory> c)
+    {
+        criteria.push_back(std::move(c));
+        return *this;
+    }
+    builder& with_preconditioner(std::shared_ptr<const LinOpFactory> factory)
+    {
+        preconditioner = std::move(factory);
+        return *this;
+    }
+    builder& with_generated_preconditioner(std::shared_ptr<const LinOp> op)
+    {
+        generated_preconditioner = std::move(op);
+        return *this;
+    }
+    builder& with_krylov_dim(size_type dim)
+    {
+        krylov_dim = dim;
+        return *this;
+    }
+    builder& with_relaxation_factor(double factor)
+    {
+        relaxation_factor = factor;
+        return *this;
+    }
+
+    std::shared_ptr<SolverFactory<Solver>> on(
+        std::shared_ptr<const Executor> exec) const
+    {
+        return std::make_shared<SolverFactory<Solver>>(std::move(exec), *this);
+    }
+};
+
+
+template <typename Solver>
+class SolverFactory : public LinOpFactory {
+public:
+    SolverFactory(std::shared_ptr<const Executor> exec,
+                  iterative_parameters params)
+        : LinOpFactory{std::move(exec)}, params_{std::move(params)}
+    {}
+
+    const iterative_parameters& get_parameters() const { return params_; }
+
+protected:
+    std::unique_ptr<LinOp> generate_impl(
+        std::shared_ptr<const LinOp> system) const override
+    {
+        return std::unique_ptr<LinOp>{
+            new Solver{get_executor(), params_, std::move(system)}};
+    }
+
+private:
+    iterative_parameters params_;
+};
+
+
+/// Common state and helpers of the iterative solvers.
+template <typename ValueType>
+class IterativeSolver : public LinOp {
+public:
+    using value_type = ValueType;
+
+    std::shared_ptr<const LinOp> get_system_matrix() const { return system_; }
+    std::shared_ptr<const LinOp> get_preconditioner() const
+    {
+        return precond_;
+    }
+    /// Diagnostics of the most recent apply (paper §3.5: apply returns a
+    /// logger alongside the solution).
+    std::shared_ptr<log::ConvergenceLogger> get_logger() const
+    {
+        return logger_;
+    }
+    const iterative_parameters& get_parameters() const { return params_; }
+
+protected:
+    IterativeSolver(std::shared_ptr<const Executor> exec,
+                    iterative_parameters params,
+                    std::shared_ptr<const LinOp> system)
+        : LinOp{exec, system->get_size()},
+          params_{std::move(params)},
+          system_{std::move(system)},
+          logger_{std::make_shared<log::ConvergenceLogger>()}
+    {
+        MGKO_ENSURE(system_->get_size().rows == system_->get_size().cols,
+                    "iterative solvers require a square system");
+        MGKO_ENSURE(!params_.criteria.empty(),
+                    "solver requires at least one stopping criterion");
+        if (params_.generated_preconditioner) {
+            MGKO_ASSERT_EQUAL_DIMENSIONS(
+                "preconditioner", params_.generated_preconditioner->get_size(),
+                system_->get_size());
+            precond_ = params_.generated_preconditioner;
+        } else if (params_.preconditioner) {
+            precond_ = params_.preconditioner->generate(system_);
+        } else {
+            precond_ = Identity::create(exec, system_->get_size().rows);
+        }
+    }
+
+    /// Binds the configured criteria to this solve's baselines.
+    std::unique_ptr<stop::Criterion> bind_criterion(
+        double rhs_norm, double initial_resnorm) const
+    {
+        return stop::Combined{params_.criteria}.create(rhs_norm,
+                                                       initial_resnorm);
+    }
+
+    // Un-hide the two-argument overload so the advanced apply below can
+    // dispatch to the concrete solver's implementation.
+    using LinOp::apply_impl;
+
+    /// Common advanced apply: x = alpha * solve(b) + beta * x.
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override
+    {
+        auto dense_x = as_dense<ValueType>(x);
+        auto tmp = Dense<ValueType>::create(this->get_executor(),
+                                            dense_x->get_size());
+        tmp->copy_from(dense_x);
+        this->apply_impl(b, tmp.get());
+        dense_x->scale(as_dense<ValueType>(beta));
+        dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+    }
+
+    /// Krylov solvers here handle one right-hand side per apply.
+    static void validate_single_column(const Dense<ValueType>* b)
+    {
+        if (b->get_size().cols != 1) {
+            MGKO_NOT_SUPPORTED(
+                "iterative solvers support a single right-hand side column");
+        }
+    }
+
+    iterative_parameters params_;
+    std::shared_ptr<const LinOp> system_;
+    std::shared_ptr<const LinOp> precond_;
+    std::shared_ptr<log::ConvergenceLogger> logger_;
+};
+
+
+}  // namespace mgko::solver

@@ -1,0 +1,177 @@
+#include "stop/criterion.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/exception.hpp"
+
+namespace mgko::stop {
+
+namespace {
+
+class IterationCriterion final : public Criterion {
+public:
+    explicit IterationCriterion(size_type max_iterations)
+        : max_iterations_{max_iterations}
+    {}
+
+    bool is_satisfied(size_type iteration, double) override
+    {
+        return iteration >= max_iterations_;
+    }
+
+    std::string reason() const override
+    {
+        return "reached maximum of " + std::to_string(max_iterations_) +
+               " iterations";
+    }
+
+    bool indicates_convergence() const override { return false; }
+
+private:
+    size_type max_iterations_;
+};
+
+
+class ResidualNormCriterion final : public Criterion {
+public:
+    ResidualNormCriterion(double threshold, double factor, baseline mode)
+        : threshold_{threshold}, factor_{factor}, mode_{mode}
+    {}
+
+    bool is_satisfied(size_type, double residual_norm) override
+    {
+        return residual_norm <= threshold_;
+    }
+
+    std::string reason() const override
+    {
+        const char* base = mode_ == baseline::rhs_norm ? "||b||"
+                           : mode_ == baseline::initial_resnorm
+                               ? "||r0||"
+                               : "1";
+        char factor[32];
+        std::snprintf(factor, sizeof(factor), "%.2e", factor_);
+        return std::string{"residual norm below "} + factor + " * " + base;
+    }
+
+    bool indicates_convergence() const override { return true; }
+
+private:
+    double threshold_;
+    double factor_;
+    baseline mode_;
+};
+
+
+class CombinedCriterion final : public Criterion {
+public:
+    explicit CombinedCriterion(std::vector<std::unique_ptr<Criterion>> subs)
+        : subs_{std::move(subs)}
+    {}
+
+    bool is_satisfied(size_type iteration, double residual_norm) override
+    {
+        for (auto& sub : subs_) {
+            if (sub->is_satisfied(iteration, residual_norm)) {
+                fired_ = sub.get();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::string reason() const override
+    {
+        return fired_ != nullptr ? fired_->reason() : "not stopped";
+    }
+
+    bool indicates_convergence() const override
+    {
+        return fired_ != nullptr && fired_->indicates_convergence();
+    }
+
+private:
+    std::vector<std::unique_ptr<Criterion>> subs_;
+    const Criterion* fired_{nullptr};
+};
+
+}  // namespace
+
+
+Iteration::Iteration(size_type max_iterations)
+    : max_iterations_{max_iterations}
+{
+    MGKO_ENSURE(max_iterations >= 0, "max_iterations must be >= 0");
+}
+
+std::unique_ptr<Criterion> Iteration::create(double, double) const
+{
+    return std::make_unique<IterationCriterion>(max_iterations_);
+}
+
+
+ResidualNorm::ResidualNorm(double reduction_factor, baseline mode)
+    : reduction_factor_{reduction_factor}, mode_{mode}
+{
+    MGKO_ENSURE(reduction_factor > 0.0, "reduction factor must be positive");
+}
+
+std::unique_ptr<Criterion> ResidualNorm::create(double rhs_norm,
+                                                double initial_resnorm) const
+{
+    double base = 1.0;
+    switch (mode_) {
+    case baseline::rhs_norm:
+        base = rhs_norm;
+        break;
+    case baseline::initial_resnorm:
+        base = initial_resnorm;
+        break;
+    case baseline::absolute:
+        base = 1.0;
+        break;
+    }
+    return std::make_unique<ResidualNormCriterion>(reduction_factor_ * base,
+                                                   reduction_factor_, mode_);
+}
+
+
+Combined::Combined(
+    std::vector<std::shared_ptr<const CriterionFactory>> factories)
+    : factories_{std::move(factories)}
+{
+    MGKO_ENSURE(!factories_.empty(), "Combined requires >= 1 criterion");
+}
+
+std::unique_ptr<Criterion> Combined::create(double rhs_norm,
+                                            double initial_resnorm) const
+{
+    std::vector<std::unique_ptr<Criterion>> subs;
+    subs.reserve(factories_.size());
+    for (const auto& f : factories_) {
+        subs.push_back(f->create(rhs_norm, initial_resnorm));
+    }
+    return std::make_unique<CombinedCriterion>(std::move(subs));
+}
+
+
+std::shared_ptr<const CriterionFactory> iteration(size_type max_iterations)
+{
+    return std::make_shared<Iteration>(max_iterations);
+}
+
+std::shared_ptr<const CriterionFactory> residual_norm(double reduction_factor,
+                                                      baseline mode)
+{
+    return std::make_shared<ResidualNorm>(reduction_factor, mode);
+}
+
+std::shared_ptr<const CriterionFactory> combine(
+    std::vector<std::shared_ptr<const CriterionFactory>> factories)
+{
+    return std::make_shared<Combined>(std::move(factories));
+}
+
+
+}  // namespace mgko::stop

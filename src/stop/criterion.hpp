@@ -1,0 +1,102 @@
+// Stopping criteria, modeled on gko::stop.
+//
+// The paper's Listing 1 configures GMRES to "stop based on a maximum of
+// 1000 iterations or a relative residual reduction factor of 1e-6" — i.e.
+// a Combined(Iteration, ResidualNorm) criterion.  A CriterionFactory is
+// attached to a solver factory; at the start of each solve it is bound to
+// the concrete right-hand side (its norm) and initial residual.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mgko::stop {
+
+
+/// Reference value against which ResidualNorm reductions are measured.
+enum class baseline { rhs_norm, initial_resnorm, absolute };
+
+
+/// A criterion bound to one running solve.
+class Criterion {
+public:
+    virtual ~Criterion() = default;
+
+    /// True when the solver should stop.  `residual_norm` may be an
+    /// estimate (GMRES) or the true norm, in double precision.
+    virtual bool is_satisfied(size_type iteration, double residual_norm) = 0;
+
+    /// Human-readable reason; valid after is_satisfied returned true.
+    virtual std::string reason() const = 0;
+
+    /// True when the criterion that fired indicates convergence (as opposed
+    /// to an iteration/time budget running out).
+    virtual bool indicates_convergence() const = 0;
+};
+
+
+/// Creates per-solve Criterion instances.
+class CriterionFactory {
+public:
+    virtual ~CriterionFactory() = default;
+
+    virtual std::unique_ptr<Criterion> create(double rhs_norm,
+                                              double initial_resnorm) const = 0;
+};
+
+
+/// Stops after a fixed number of iterations.
+class Iteration : public CriterionFactory {
+public:
+    explicit Iteration(size_type max_iterations);
+    std::unique_ptr<Criterion> create(double rhs_norm,
+                                      double initial_resnorm) const override;
+    size_type max_iterations() const { return max_iterations_; }
+
+private:
+    size_type max_iterations_;
+};
+
+
+/// Stops when the residual norm drops below
+/// `reduction_factor * baseline_value` (or below the absolute factor).
+class ResidualNorm : public CriterionFactory {
+public:
+    explicit ResidualNorm(double reduction_factor,
+                          baseline mode = baseline::rhs_norm);
+    std::unique_ptr<Criterion> create(double rhs_norm,
+                                      double initial_resnorm) const override;
+    double reduction_factor() const { return reduction_factor_; }
+    baseline mode() const { return mode_; }
+
+private:
+    double reduction_factor_;
+    baseline mode_;
+};
+
+
+/// Fires when any sub-criterion fires.
+class Combined : public CriterionFactory {
+public:
+    explicit Combined(
+        std::vector<std::shared_ptr<const CriterionFactory>> factories);
+    std::unique_ptr<Criterion> create(double rhs_norm,
+                                      double initial_resnorm) const override;
+
+private:
+    std::vector<std::shared_ptr<const CriterionFactory>> factories_;
+};
+
+
+/// Convenience constructors used by solver parameter lists.
+std::shared_ptr<const CriterionFactory> iteration(size_type max_iterations);
+std::shared_ptr<const CriterionFactory> residual_norm(
+    double reduction_factor, baseline mode = baseline::rhs_norm);
+std::shared_ptr<const CriterionFactory> combine(
+    std::vector<std::shared_ptr<const CriterionFactory>> factories);
+
+
+}  // namespace mgko::stop

@@ -1,0 +1,352 @@
+// Baseline-library models and the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/baselines.hpp"
+#include "matgen/matgen.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+// --- matgen ------------------------------------------------------------------
+
+TEST(Matgen, StencilsHaveExpectedStructure)
+{
+    auto s5 = matgen::stencil_2d_5pt(10, 10);
+    EXPECT_EQ(s5.size, (dim2{100}));
+    // interior rows have 5 entries: nnz = 5*100 - 4*10 (boundary trims)
+    EXPECT_EQ(s5.num_stored(), 5 * 100 - 4 * 10);
+    EXPECT_TRUE(s5.is_symmetric());
+
+    auto s7 = matgen::stencil_3d_7pt(5, 5, 5);
+    EXPECT_EQ(s7.size, (dim2{125}));
+    EXPECT_TRUE(s7.is_symmetric());
+
+    auto s9 = matgen::stencil_2d_9pt(8, 8);
+    EXPECT_TRUE(s9.is_symmetric());
+}
+
+TEST(Matgen, GeneratorsAreDeterministic)
+{
+    auto a = matgen::power_law_rows(500, 8, 1.6, 42);
+    auto b = matgen::power_law_rows(500, 8, 1.6, 42);
+    EXPECT_EQ(a.entries, b.entries);
+    auto c = matgen::power_law_rows(500, 8, 1.6, 43);
+    EXPECT_NE(a.entries, c.entries);
+}
+
+TEST(Matgen, PowerLawProducesSkewedRowLengths)
+{
+    auto data = matgen::power_law_rows(2000, 10, 1.6, 7);
+    std::vector<size_type> row_nnz(2000, 0);
+    for (const auto& e : data.entries) {
+        ++row_nnz[static_cast<std::size_t>(e.row)];
+    }
+    const auto max_len = *std::max_element(row_nnz.begin(), row_nnz.end());
+    const double avg = static_cast<double>(data.num_stored()) / 2000.0;
+    EXPECT_GT(static_cast<double>(max_len), 5.0 * avg);  // heavy tail
+}
+
+TEST(Matgen, PartialDiagonalRespectsNnzBudget)
+{
+    auto data = matgen::partial_diagonal(1000, 600, 3);
+    EXPECT_EQ(data.num_stored(), 600);
+    for (const auto& e : data.entries) {
+        EXPECT_EQ(e.row, e.col);
+        EXPECT_GT(e.value, 0.0);
+    }
+    EXPECT_THROW(matgen::partial_diagonal(10, 20, 1), BadParameter);
+}
+
+TEST(Matgen, PlanarGraphHasLowUniformDegree)
+{
+    auto data = matgen::planar_graph(10000, 5);
+    const double avg =
+        static_cast<double>(data.num_stored()) /
+        static_cast<double>(data.size.rows);
+    EXPECT_GT(avg, 4.0);
+    EXPECT_LT(avg, 8.0);
+    EXPECT_TRUE(data.is_symmetric());
+}
+
+TEST(Matgen, MixedDenseRowsHasDenseOutliers)
+{
+    auto data = matgen::mixed_dense_rows(3000, 3, 8, 1000, 11);
+    std::vector<size_type> row_nnz(3000, 0);
+    for (const auto& e : data.entries) {
+        ++row_nnz[static_cast<std::size_t>(e.row)];
+    }
+    const auto max_len = *std::max_element(row_nnz.begin(), row_nnz.end());
+    EXPECT_GT(max_len, 500);
+}
+
+TEST(Matgen, SuitesHaveThePaperSizes)
+{
+    EXPECT_EQ(matgen::spmv_suite().size(), 30u);
+    EXPECT_EQ(matgen::solver_suite().size(), 40u);
+    EXPECT_EQ(matgen::overhead_suite().size(), 45u);
+    EXPECT_EQ(matgen::table2_suite().size(), 6u);
+    // Unique names across all suites.
+    std::set<std::string> names;
+    for (const auto& suite :
+         {matgen::spmv_suite(), matgen::solver_suite(),
+          matgen::overhead_suite(), matgen::table2_suite()}) {
+        for (const auto& s : suite) {
+            EXPECT_TRUE(names.insert(s.name).second) << s.name;
+        }
+    }
+}
+
+TEST(Matgen, Table2MatchesPublishedAttributes)
+{
+    // Table 2 of the paper (dimension, nnz).
+    auto suite = matgen::table2_suite();
+    EXPECT_EQ(suite[0].name, "bcsstm37");
+    EXPECT_EQ(suite[0].n, 25503);
+    EXPECT_EQ(suite[3].name, "delaunay_n17");
+    EXPECT_EQ(suite[3].n, 131072);
+    EXPECT_EQ(suite[5].name, "ASIC_320ks");
+    EXPECT_EQ(suite[5].n, 321671);
+    // Generated nnz is within 2x of the published value.
+    for (const auto& s : {suite[0], suite[2]}) {
+        auto data = matgen::generate(s);
+        const double ratio = static_cast<double>(data.num_stored()) /
+                             static_cast<double>(s.nnz_estimate);
+        EXPECT_GT(ratio, 0.4) << s.name;
+        EXPECT_LT(ratio, 2.5) << s.name;
+    }
+}
+
+TEST(Matgen, GeneratedSolverMatricesHaveFullDiagonal)
+{
+    for (const auto& s : {matgen::solver_suite()[0],
+                          matgen::solver_suite()[3],
+                          matgen::solver_suite()[12]}) {
+        auto data = matgen::generate(s);
+        std::vector<bool> has_diag(static_cast<std::size_t>(data.size.rows),
+                                   false);
+        for (const auto& e : data.entries) {
+            if (e.row == e.col) {
+                has_diag[static_cast<std::size_t>(e.row)] = true;
+            }
+        }
+        EXPECT_TRUE(std::all_of(has_diag.begin(), has_diag.end(),
+                                [](bool b) { return b; }))
+            << s.name;
+    }
+}
+
+TEST(Matgen, ByNameFindsAndThrows)
+{
+    EXPECT_EQ(matgen::by_name("delaunay_n17").kind, "planar");
+    EXPECT_EQ(matgen::by_name("syn_random_s").kind, "random");
+    EXPECT_THROW(matgen::by_name("not_a_matrix"), BadParameter);
+}
+
+
+// --- baselines -----------------------------------------------------------------
+
+class BaselineSpmv : public ::testing::Test {
+protected:
+    std::shared_ptr<Executor> device_ = CudaExecutor::create();
+    std::shared_ptr<Executor> host_ = ReferenceExecutor::create();
+};
+
+TEST_F(BaselineSpmv, AllFrameworksComputeTheSameResult)
+{
+    const size_type n = 200;
+    const auto data =
+        test::random_sparse<double, int32>(n, 6, 17).cast<double, int32>();
+    auto csr = Csr<double, int32>::create_from_data(device_, data);
+    auto coo = Coo<double, int32>::create_from_data(device_, data);
+    auto b = test::random_vector<double>(device_, n);
+
+    auto expected = Dense<double>::create(device_, dim2{n, 1});
+    csr->apply(b.get(), expected.get());
+
+    for (const auto& fw : {baselines::scipy(), baselines::cupy()}) {
+        auto x = Dense<double>::create(device_, dim2{n, 1});
+        baselines::spmv(fw, csr.get(), b.get(), x.get());
+        for (size_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(x->at(i, 0), expected->at(i, 0), 1e-12) << fw.name;
+        }
+    }
+    for (const auto& fw : {baselines::torch(), baselines::tensorflow()}) {
+        auto x = Dense<double>::create(device_, dim2{n, 1});
+        baselines::spmv(fw, coo.get(), b.get(), x.get());
+        for (size_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(x->at(i, 0), expected->at(i, 0), 1e-12) << fw.name;
+        }
+    }
+}
+
+TEST_F(BaselineSpmv, ModeledCostOrderingMatchesThePaper)
+{
+    // On the simulated device at equal data, the per-op cost must order
+    // mgko < torch < cupy < tensorflow (Fig. 3a's ordering at scale).
+    // Uses a large uniform-row matrix where kernels dominate dispatch;
+    // extreme power-law rows are the known exception where the row-aligned
+    // balanced partition loses ground, and at small sizes launch/dispatch
+    // constants reorder the middle of the field.
+    const auto spec = matgen::by_name("syn_random_l2");
+    const auto data = matgen::generate(spec);
+    auto csr = Csr<float, int32>::create_from_data(
+        device_, data.cast<float, int32>());
+    auto coo = Coo<float, int32>::create_from_data(
+        device_, data.cast<float, int32>());
+    auto b = Dense<float>::create_filled(device_, csr->get_size().rows == 0
+                                                      ? dim2{0, 1}
+                                                      : dim2{csr->get_size().rows, 1},
+                                         1.0f);
+    auto x = Dense<float>::create(device_, dim2{csr->get_size().rows, 1});
+
+    auto time_of = [&](auto&& fn) {
+        sim::SimStopwatch watch{device_->clock()};
+        fn();
+        return watch.elapsed_ns();
+    };
+    const double t_mgko = time_of([&] { csr->apply(b.get(), x.get()); });
+    const double t_torch = time_of([&] {
+        baselines::spmv(baselines::torch(), coo.get(), b.get(), x.get());
+    });
+    const double t_cupy = time_of([&] {
+        baselines::spmv(baselines::cupy(), csr.get(), b.get(), x.get());
+    });
+    const double t_tf = time_of([&] {
+        baselines::spmv(baselines::tensorflow(), coo.get(), b.get(),
+                        x.get());
+    });
+    EXPECT_LT(t_mgko, t_torch);
+    EXPECT_LT(t_torch, t_cupy);
+    EXPECT_LT(t_cupy, t_tf);
+}
+
+TEST_F(BaselineSpmv, ScipySerialIsSlowerThanDeviceAtScale)
+{
+    const auto data = matgen::generate(matgen::by_name("syn_random_m1"));
+    auto dev_csr = Csr<float, int32>::create_from_data(
+        device_, data.cast<float, int32>());
+    auto host_csr = Csr<float, int32>::create_from_data(
+        host_, data.cast<float, int32>());
+    const auto n = dev_csr->get_size().rows;
+    auto db = Dense<float>::create_filled(device_, dim2{n, 1}, 1.0f);
+    auto dx = Dense<float>::create(device_, dim2{n, 1});
+    auto hb = Dense<float>::create_filled(host_, dim2{n, 1}, 1.0f);
+    auto hx = Dense<float>::create(host_, dim2{n, 1});
+
+    sim::SimStopwatch dev_watch{device_->clock()};
+    dev_csr->apply(db.get(), dx.get());
+    const double t_dev = dev_watch.elapsed_ns();
+
+    sim::SimStopwatch host_watch{host_->clock()};
+    baselines::spmv(baselines::scipy(), host_csr.get(), hb.get(), hx.get());
+    const double t_scipy = host_watch.elapsed_ns();
+
+    EXPECT_GT(t_scipy, 5.0 * t_dev);
+}
+
+TEST_F(BaselineSpmv, SmallMatricesAreLaunchDominatedOnDevice)
+{
+    // Paper Fig. 4: the (multithreaded) CPU beats the GPU for tiny
+    // matrices (A, B) because the device's launch latency dominates.
+    auto cpu32 = OmpExecutor::create(32);
+    const auto data = matgen::generate(matgen::by_name("bcsstm37"));
+    auto dev_csr = Csr<float, int32>::create_from_data(
+        device_, data.cast<float, int32>());
+    auto host_csr = Csr<float, int32>::create_from_data(
+        cpu32, data.cast<float, int32>());
+    const auto n = dev_csr->get_size().rows;
+    auto db = Dense<float>::create_filled(device_, dim2{n, 1}, 1.0f);
+    auto dx = Dense<float>::create(device_, dim2{n, 1});
+    auto hb = Dense<float>::create_filled(cpu32, dim2{n, 1}, 1.0f);
+    auto hx = Dense<float>::create(cpu32, dim2{n, 1});
+
+    sim::SimStopwatch dev_watch{device_->clock()};
+    dev_csr->apply(db.get(), dx.get());
+    const double t_dev = dev_watch.elapsed_ns();
+
+    sim::SimStopwatch host_watch{cpu32->clock()};
+    host_csr->apply(hb.get(), hx.get());
+    const double t_host = host_watch.elapsed_ns();
+
+    EXPECT_LT(t_host, t_dev);
+}
+
+class BaselineSolvers : public ::testing::Test {
+protected:
+    std::shared_ptr<Executor> exec_ = CudaExecutor::create();
+};
+
+TEST_F(BaselineSolvers, CgConvergesOnSpd)
+{
+    const size_type n = 150;
+    auto a = Csr<double, int32>::create_from_data(
+        exec_, test::laplacian_1d<double, int32>(n));
+    auto b = Dense<double>::create_filled(exec_, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto stats =
+        baselines::cg(baselines::cupy(), a.get(), b.get(), x.get(), 5000,
+                      1e-10);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_LT(stats.residual_norm, 1e-8);
+}
+
+TEST_F(BaselineSolvers, CgsAndGmresConvergeOnNonsymmetric)
+{
+    const size_type n = 120;
+    auto a = Csr<double, int32>::create_from_data(
+        exec_, test::random_sparse<double, int32>(n, 5, 77));
+    auto b = Dense<double>::create_filled(exec_, dim2{n, 1}, 1.0);
+
+    auto x1 = Dense<double>::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto s1 = baselines::cgs(baselines::cupy(), a.get(), b.get(), x1.get(),
+                             5000, 1e-10);
+    EXPECT_TRUE(s1.converged);
+
+    auto x2 = Dense<double>::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto s2 = baselines::gmres(baselines::cupy(), a.get(), b.get(), x2.get(),
+                               5000, 1e-10, 30);
+    EXPECT_TRUE(s2.converged);
+    // True residual of the GMRES solution.
+    auto r = Dense<double>::create(exec_, dim2{n, 1});
+    a->apply(x2.get(), r.get());
+    auto one_s = Dense<double>::create_scalar(exec_, -1.0);
+    auto one_p = Dense<double>::create_scalar(exec_, 1.0);
+    r->scale(one_s.get());
+    r->add_scaled(one_p.get(), b.get());
+    EXPECT_LT(r->norm2_scalar() / b->norm2_scalar(), 1e-8);
+}
+
+TEST_F(BaselineSolvers, FrameworkOverheadScalesWithCallCount)
+{
+    // CGS makes more framework-level calls per iteration than CG, so its
+    // per-iteration overhead on tiny systems must be larger — the driver
+    // behind the paper's Fig. 3c "CGS shows the largest speedup".
+    const size_type n = 64;
+    auto a = Csr<double, int32>::create_from_data(
+        exec_, test::laplacian_1d<double, int32>(n));
+    auto b = Dense<double>::create_filled(exec_, dim2{n, 1}, 1.0);
+
+    auto time_per_iter = [&](auto solver_fn) {
+        auto x = Dense<double>::create_filled(exec_, dim2{n, 1}, 0.0);
+        sim::SimStopwatch watch{exec_->clock()};
+        auto stats = solver_fn(x.get());
+        return watch.elapsed_ns() /
+               static_cast<double>(std::max<size_type>(stats.iterations, 1));
+    };
+    const double cg_iter = time_per_iter([&](Dense<double>* x) {
+        return baselines::cg(baselines::cupy(), a.get(), b.get(), x, 50,
+                             1e-30);
+    });
+    const double cgs_iter = time_per_iter([&](Dense<double>* x) {
+        return baselines::cgs(baselines::cupy(), a.get(), b.get(), x, 50,
+                              1e-30);
+    });
+    EXPECT_GT(cgs_iter, 1.2 * cg_iter);
+}
+
+}  // namespace

@@ -1,0 +1,582 @@
+// Correctness tests for the matrix formats (Dense, Csr, Coo, Ell):
+// construction, SpMV against a dense reference, conversions, transposes —
+// swept across all executors and value/index type combinations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/mtx_io.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/ell.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+// --- Dense ----------------------------------------------------------------
+
+class DenseOps : public ::testing::TestWithParam<int> {
+protected:
+    std::shared_ptr<Executor> exec_ =
+        test::all_executors()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(DenseOps, FillScaleAddScaled)
+{
+    auto x = Dense<double>::create_filled(exec_, dim2{5, 1}, 2.0);
+    auto y = Dense<double>::create_filled(exec_, dim2{5, 1}, 3.0);
+    auto alpha = Dense<double>::create_scalar(exec_, 0.5);
+    x->add_scaled(alpha.get(), y.get());  // 2 + 0.5*3 = 3.5
+    for (size_type i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(x->at(i, 0), 3.5);
+    }
+    x->scale(alpha.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 1.75);
+    x->sub_scaled(alpha.get(), y.get());  // 1.75 - 1.5 = 0.25
+    EXPECT_DOUBLE_EQ(x->at(4, 0), 0.25);
+}
+
+TEST_P(DenseOps, DotAndNorm)
+{
+    auto x = Dense<double>::create_filled(exec_, dim2{4, 1}, 2.0);
+    auto y = Dense<double>::create_filled(exec_, dim2{4, 1}, -1.5);
+    EXPECT_DOUBLE_EQ(x->dot_scalar(y.get()), -12.0);
+    EXPECT_DOUBLE_EQ(x->norm2_scalar(), 4.0);
+}
+
+TEST_P(DenseOps, GemmMatchesHandComputation)
+{
+    // [1 2; 3 4] * [5; 6] = [17; 39]
+    auto a = Dense<double>::create(exec_, dim2{2, 2});
+    a->at(0, 0) = 1;
+    a->at(0, 1) = 2;
+    a->at(1, 0) = 3;
+    a->at(1, 1) = 4;
+    auto b = Dense<double>::create(exec_, dim2{2, 1});
+    b->at(0, 0) = 5;
+    b->at(1, 0) = 6;
+    auto x = Dense<double>::create(exec_, dim2{2, 1});
+    a->apply(b.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 17.0);
+    EXPECT_DOUBLE_EQ(x->at(1, 0), 39.0);
+
+    // advanced: x = 2*A*b + (-1)*x = [34-17; 78-39]
+    auto alpha = Dense<double>::create_scalar(exec_, 2.0);
+    auto beta = Dense<double>::create_scalar(exec_, -1.0);
+    a->apply(alpha.get(), b.get(), beta.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 17.0);
+    EXPECT_DOUBLE_EQ(x->at(1, 0), 39.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExecutors, DenseOps, ::testing::Range(0, 4),
+                         [](const auto& info) {
+                             return test::all_executor_names()
+                                 [static_cast<std::size_t>(info.param)];
+                         });
+
+
+TEST(Dense, ColumnAndRowBlockViewsShareMemory)
+{
+    auto exec = ReferenceExecutor::create();
+    auto m = Dense<double>::create(exec, dim2{3, 2});
+    for (size_type r = 0; r < 3; ++r) {
+        for (size_type c = 0; c < 2; ++c) {
+            m->at(r, c) = static_cast<double>(10 * r + c);
+        }
+    }
+    auto col1 = m->column_view(1);
+    EXPECT_EQ(col1->get_size(), (dim2{3, 1}));
+    EXPECT_DOUBLE_EQ(col1->at(2, 0), 21.0);
+    col1->at(0, 0) = -1.0;
+    EXPECT_DOUBLE_EQ(m->at(0, 1), -1.0);
+
+    auto rows12 = m->row_block_view(1, 3);
+    EXPECT_EQ(rows12->get_size(), (dim2{2, 2}));
+    EXPECT_DOUBLE_EQ(rows12->at(0, 0), 10.0);
+}
+
+TEST(Dense, TransposeAndClone)
+{
+    auto exec = ReferenceExecutor::create();
+    auto m = Dense<float>::create(exec, dim2{2, 3});
+    m->fill(0.0f);
+    m->at(0, 2) = 5.0f;
+    auto t = m->transpose();
+    EXPECT_EQ(t->get_size(), (dim2{3, 2}));
+    EXPECT_EQ(t->at(2, 0), 5.0f);
+
+    auto dev = CudaExecutor::create();
+    auto on_dev = m->clone_to(dev);
+    EXPECT_EQ(on_dev->get_executor().get(), dev.get());
+    EXPECT_EQ(on_dev->at(0, 2), 5.0f);
+}
+
+TEST(Dense, ViewWrapsExternalBuffer)
+{
+    auto exec = ReferenceExecutor::create();
+    double buffer[6] = {1, 2, 3, 4, 5, 6};
+    auto view = Dense<double>::create_view(exec, dim2{2, 3}, buffer);
+    EXPECT_DOUBLE_EQ(view->at(1, 2), 6.0);
+    view->at(0, 0) = 9.0;
+    EXPECT_DOUBLE_EQ(buffer[0], 9.0);
+}
+
+TEST(Dense, ApplyValidatesDimensions)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = Dense<double>::create(exec, dim2{2, 3});
+    auto b = Dense<double>::create(exec, dim2{2, 1});  // wrong: needs 3 rows
+    auto x = Dense<double>::create(exec, dim2{2, 1});
+    EXPECT_THROW(a->apply(b.get(), x.get()), DimensionMismatch);
+    auto b_ok = Dense<double>::create(exec, dim2{3, 1});
+    auto x_bad = Dense<double>::create(exec, dim2{3, 1});
+    EXPECT_THROW(a->apply(b_ok.get(), x_bad.get()), DimensionMismatch);
+}
+
+
+// --- Sparse formats: typed sweep over (value, index) ------------------------
+
+template <typename Tuple>
+class SparseFormats : public ::testing::Test {
+public:
+    using value_type = typename std::tuple_element<0, Tuple>::type;
+    using index_type = typename std::tuple_element<1, Tuple>::type;
+};
+
+using ValueIndexCombos =
+    ::testing::Types<std::tuple<half, int32>, std::tuple<half, int64>,
+                     std::tuple<float, int32>, std::tuple<float, int64>,
+                     std::tuple<double, int32>, std::tuple<double, int64>>;
+TYPED_TEST_SUITE(SparseFormats, ValueIndexCombos);
+
+TYPED_TEST(SparseFormats, CsrSpmvMatchesDenseReferenceOnAllExecutors)
+{
+    using V = typename TestFixture::value_type;
+    using I = typename TestFixture::index_type;
+    const size_type n = 64;
+    const auto data = test::random_sparse<V, I>(n, 6);
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (size_type i = 0; i < n; ++i) {
+        xs[static_cast<std::size_t>(i)] = 0.01 * static_cast<double>(i % 17);
+    }
+    const auto expected = test::reference_spmv(data, xs);
+
+    for (auto exec : test::all_executors()) {
+        auto mat = Csr<V, I>::create_from_data(exec, data);
+        auto b = Dense<V>::create(exec, dim2{n, 1});
+        for (size_type i = 0; i < n; ++i) {
+            b->at(i, 0) = static_cast<V>(xs[static_cast<std::size_t>(i)]);
+        }
+        auto x = Dense<V>::create(exec, dim2{n, 1});
+        mat->apply(b.get(), x.get());
+        for (size_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(to_float(x->at(i, 0)),
+                        expected[static_cast<std::size_t>(i)],
+                        test::tolerance<V>() *
+                            (1.0 + std::abs(expected[static_cast<std::size_t>(
+                                       i)])))
+                << "row " << i << " on " << exec->name();
+        }
+    }
+}
+
+TYPED_TEST(SparseFormats, CooSpmvMatchesCsr)
+{
+    using V = typename TestFixture::value_type;
+    using I = typename TestFixture::index_type;
+    const size_type n = 80;
+    const auto data = test::random_sparse<V, I>(n, 5, 99);
+    for (auto exec : test::all_executors()) {
+        auto csr = Csr<V, I>::create_from_data(exec, data);
+        auto coo = Coo<V, I>::create_from_data(exec, data);
+        auto b = test::random_vector<V>(exec, n);
+        auto x1 = Dense<V>::create(exec, dim2{n, 1});
+        auto x2 = Dense<V>::create(exec, dim2{n, 1});
+        csr->apply(b.get(), x1.get());
+        coo->apply(b.get(), x2.get());
+        for (size_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(to_float(x1->at(i, 0)), to_float(x2->at(i, 0)),
+                        test::tolerance<V>() * 4)
+                << "row " << i << " on " << exec->name();
+        }
+    }
+}
+
+TYPED_TEST(SparseFormats, EllSpmvMatchesCsr)
+{
+    using V = typename TestFixture::value_type;
+    using I = typename TestFixture::index_type;
+    const size_type n = 48;
+    const auto data = test::random_sparse<V, I>(n, 4, 55);
+    for (auto exec : test::all_executors()) {
+        auto csr = Csr<V, I>::create_from_data(exec, data);
+        auto ell = Ell<V, I>::create_from_data(exec, data);
+        auto b = test::random_vector<V>(exec, n);
+        auto x1 = Dense<V>::create(exec, dim2{n, 1});
+        auto x2 = Dense<V>::create(exec, dim2{n, 1});
+        csr->apply(b.get(), x1.get());
+        ell->apply(b.get(), x2.get());
+        for (size_type i = 0; i < n; ++i) {
+            EXPECT_NEAR(to_float(x1->at(i, 0)), to_float(x2->at(i, 0)),
+                        test::tolerance<V>() * 4)
+                << "row " << i << " on " << exec->name();
+        }
+    }
+}
+
+TYPED_TEST(SparseFormats, ConversionsRoundTrip)
+{
+    using V = typename TestFixture::value_type;
+    using I = typename TestFixture::index_type;
+    auto exec = ReferenceExecutor::create();
+    auto data = test::random_sparse<V, I>(30, 4, 7);
+
+    auto csr = Csr<V, I>::create_from_data(exec, data);
+    auto coo = Coo<V, I>::create(exec);
+    csr->convert_to(coo.get());
+    auto csr2 = Csr<V, I>::create(exec);
+    coo->convert_to(csr2.get());
+    EXPECT_EQ(csr2->to_data().entries, csr->to_data().entries);
+
+    auto ell = Ell<V, I>::create(exec);
+    csr->convert_to(ell.get());
+    auto csr3 = Csr<V, I>::create(exec);
+    ell->convert_to(csr3.get());
+    EXPECT_EQ(csr3->to_data().entries, csr->to_data().entries);
+}
+
+
+// --- Csr specifics ----------------------------------------------------------
+
+TEST(Csr, ReadSortsAndMergesDuplicates)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{2, 2}};
+    data.add(1, 0, 3.0);
+    data.add(0, 1, 1.0);
+    data.add(1, 0, 4.0);  // duplicate -> 7.0
+    data.add(0, 0, 2.0);
+    auto mat = Csr<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(mat->get_num_stored_elements(), 3);
+    EXPECT_TRUE(mat->is_sorted_by_column_index());
+    const auto* rp = mat->get_const_row_ptrs();
+    EXPECT_EQ(rp[0], 0);
+    EXPECT_EQ(rp[1], 2);
+    EXPECT_EQ(rp[2], 3);
+    EXPECT_DOUBLE_EQ(mat->get_const_values()[2], 7.0);
+}
+
+TEST(Csr, RejectsOutOfBoundsEntries)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{2, 2}};
+    data.add(2, 0, 1.0);
+    EXPECT_THROW((Csr<double, int32>::create_from_data(exec, data)),
+                 OutOfBounds);
+}
+
+TEST(Csr, TransposeIsInvolution)
+{
+    auto exec = ReferenceExecutor::create();
+    const auto data = test::random_sparse<double, int32>(25, 3, 3);
+    auto mat = Csr<double, int32>::create_from_data(exec, data);
+    auto tt = mat->transpose()->transpose();
+    EXPECT_EQ(tt->to_data().entries, mat->to_data().entries);
+}
+
+TEST(Csr, TransposeMatchesManual)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{2, 3}};
+    data.add(0, 2, 5.0);
+    data.add(1, 0, 2.0);
+    auto t = Csr<double, int32>::create_from_data(exec, data)->transpose();
+    EXPECT_EQ(t->get_size(), (dim2{3, 2}));
+    auto td = t->to_data();
+    ASSERT_EQ(td.entries.size(), 2u);
+    EXPECT_EQ(td.entries[0].row, 0);
+    EXPECT_EQ(td.entries[0].col, 1);
+    EXPECT_DOUBLE_EQ(td.entries[0].value, 2.0);
+    EXPECT_EQ(td.entries[1].row, 2);
+    EXPECT_DOUBLE_EQ(td.entries[1].value, 5.0);
+}
+
+TEST(Csr, ExtractDiagonalHandlesMissingEntries)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{3, 3}};
+    data.add(0, 0, 4.0);
+    data.add(1, 2, 1.0);  // no (1,1) entry
+    data.add(2, 2, -2.0);
+    auto diag = Csr<double, int32>::create_from_data(exec, data)
+                    ->extract_diagonal();
+    EXPECT_DOUBLE_EQ(diag->at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(diag->at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(diag->at(2, 0), -2.0);
+}
+
+TEST(Csr, AdvancedApplyComputesAlphaAxPlusBetaY)
+{
+    auto exec = OmpExecutor::create(3);
+    const size_type n = 40;
+    const auto data = test::laplacian_1d<double, int32>(n);
+    auto mat = Csr<double, int32>::create_from_data(exec, data);
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 10.0);
+    auto alpha = Dense<double>::create_scalar(exec, 2.0);
+    auto beta = Dense<double>::create_scalar(exec, 0.5);
+    mat->apply(alpha.get(), b.get(), beta.get(), x.get());
+    // interior rows: A*1 = 0, so x = 0.5 * 10 = 5; boundary rows: A*1 = 1,
+    // so x = 2*1 + 5 = 7.
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 7.0);
+    EXPECT_DOUBLE_EQ(x->at(n / 2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(x->at(n - 1, 0), 7.0);
+}
+
+TEST(Csr, MultiColumnApply)
+{
+    auto exec = CudaExecutor::create();
+    const size_type n = 32;
+    const auto data = test::random_sparse<double, int32>(n, 5, 11);
+    auto mat = Csr<double, int32>::create_from_data(exec, data);
+    auto b = Dense<double>::create(exec, dim2{n, 3});
+    for (size_type r = 0; r < n; ++r) {
+        for (size_type c = 0; c < 3; ++c) {
+            b->at(r, c) = static_cast<double>(r % 5) - static_cast<double>(c);
+        }
+    }
+    auto x = Dense<double>::create(exec, dim2{n, 3});
+    mat->apply(b.get(), x.get());
+    // Each column must equal the single-column product.
+    for (size_type c = 0; c < 3; ++c) {
+        auto bc = Dense<double>::create(exec, dim2{n, 1});
+        for (size_type r = 0; r < n; ++r) {
+            bc->at(r, 0) = b->at(r, c);
+        }
+        auto xc = Dense<double>::create(exec, dim2{n, 1});
+        mat->apply(bc.get(), xc.get());
+        for (size_type r = 0; r < n; ++r) {
+            EXPECT_NEAR(x->at(r, c), xc->at(r, 0), 1e-12);
+        }
+    }
+}
+
+TEST(Csr, StrategySelectionDoesNotChangeResults)
+{
+    auto exec = OmpExecutor::create(4);
+    const size_type n = 100;
+    const auto data = test::random_sparse<double, int32>(n, 7, 21);
+    auto b = test::random_vector<double>(exec, n);
+
+    auto balanced = Csr<double, int32>::create_from_data(exec, data);
+    balanced->set_strategy(Csr<double, int32>::strategy::load_balanced);
+    auto classical = Csr<double, int32>::create_from_data(exec, data);
+    classical->set_strategy(Csr<double, int32>::strategy::classical);
+
+    auto x1 = Dense<double>::create(exec, dim2{n, 1});
+    auto x2 = Dense<double>::create(exec, dim2{n, 1});
+    balanced->apply(b.get(), x1.get());
+    classical->apply(b.get(), x2.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(x1->at(i, 0), x2->at(i, 0), 1e-13);
+    }
+}
+
+TEST(Csr, SortByColumnIndex)
+{
+    auto exec = ReferenceExecutor::create();
+    auto mat = Csr<double, int32>::create(exec, dim2{1, 4}, 3);
+    mat->get_row_ptrs()[0] = 0;
+    mat->get_row_ptrs()[1] = 3;
+    mat->get_col_idxs()[0] = 3;
+    mat->get_col_idxs()[1] = 0;
+    mat->get_col_idxs()[2] = 2;
+    mat->get_values()[0] = 30.0;
+    mat->get_values()[1] = 0.0;
+    mat->get_values()[2] = 20.0;
+    EXPECT_FALSE(mat->is_sorted_by_column_index());
+    mat->sort_by_column_index();
+    EXPECT_TRUE(mat->is_sorted_by_column_index());
+    EXPECT_EQ(mat->get_const_col_idxs()[0], 0);
+    EXPECT_DOUBLE_EQ(mat->get_const_values()[2], 30.0);
+}
+
+
+// --- Coo / Ell specifics ----------------------------------------------------
+
+TEST(Coo, EmptyRowsAndAdvancedApply)
+{
+    auto exec = OmpExecutor::create(4);
+    matrix_data<double, int32> data{dim2{4, 4}};
+    data.add(0, 0, 1.0);
+    data.add(3, 3, 2.0);  // rows 1, 2 empty
+    auto coo = Coo<double, int32>::create_from_data(exec, data);
+    auto b = Dense<double>::create_filled(exec, dim2{4, 1}, 3.0);
+    auto x = Dense<double>::create_filled(exec, dim2{4, 1}, 100.0);
+    coo->apply(b.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(x->at(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(x->at(2, 0), 0.0);
+    EXPECT_DOUBLE_EQ(x->at(3, 0), 6.0);
+
+    auto alpha = Dense<double>::create_scalar(exec, 2.0);
+    auto beta = Dense<double>::create_scalar(exec, -1.0);
+    coo->apply(alpha.get(), b.get(), beta.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 3.0);   // 2*3 - 3
+    EXPECT_DOUBLE_EQ(x->at(3, 0), 6.0);   // 2*6 - 6
+}
+
+TEST(Ell, PadsRowsToUniformWidth)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{3, 3}};
+    data.add(0, 0, 1.0);
+    data.add(1, 0, 2.0);
+    data.add(1, 1, 3.0);
+    data.add(1, 2, 4.0);
+    auto ell = Ell<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(ell->get_num_stored_per_row(), 3);
+    EXPECT_EQ(ell->get_num_stored_elements(), 9);
+    EXPECT_DOUBLE_EQ(ell->value_at(1, 2), 4.0);
+    EXPECT_DOUBLE_EQ(ell->value_at(0, 1), 0.0);  // padding
+}
+
+
+// --- Matrix Market IO -------------------------------------------------------
+
+TEST(MtxIo, ReadsCoordinateRealGeneral)
+{
+    std::istringstream input{
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 3 2\n"
+        "1 1 1.5\n"
+        "3 2 -2.5\n"};
+    auto data = read_mtx(input);
+    EXPECT_EQ(data.size, (dim2{3, 3}));
+    ASSERT_EQ(data.entries.size(), 2u);
+    EXPECT_EQ(data.entries[1].row, 2);
+    EXPECT_EQ(data.entries[1].col, 1);
+    EXPECT_DOUBLE_EQ(data.entries[1].value, -2.5);
+}
+
+TEST(MtxIo, ExpandsSymmetricStorage)
+{
+    std::istringstream input{
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "1 1 4.0\n"
+        "2 1 1.0\n"};
+    auto data = read_mtx(input);
+    EXPECT_EQ(data.entries.size(), 3u);  // (0,0), (1,0), (0,1)
+}
+
+TEST(MtxIo, ExpandsSkewSymmetric)
+{
+    std::istringstream input{
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n"};
+    auto data = read_mtx(input);
+    ASSERT_EQ(data.entries.size(), 2u);
+    EXPECT_DOUBLE_EQ(data.entries[0].value, 3.0);
+    EXPECT_DOUBLE_EQ(data.entries[1].value, -3.0);
+}
+
+TEST(MtxIo, ReadsPatternAndArrayFormats)
+{
+    std::istringstream pattern{
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "2 2\n"};
+    auto p = read_mtx(pattern);
+    ASSERT_EQ(p.entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(p.entries[0].value, 1.0);
+
+    std::istringstream dense{
+        "%%MatrixMarket matrix array real general\n"
+        "2 2\n"
+        "1.0\n0.0\n0.0\n4.0\n"};
+    auto d = read_mtx(dense);
+    EXPECT_EQ(d.entries.size(), 2u);  // zeros dropped
+}
+
+TEST(MtxIo, WriteReadRoundTrip)
+{
+    const auto data = test::random_sparse<double, int64>(20, 4, 5)
+                          .template cast<double, int64>();
+    std::stringstream buffer;
+    write_mtx(buffer, data);
+    auto back = read_mtx(buffer);
+    auto sorted_in = data;
+    sorted_in.sort_row_major();
+    auto sorted_out = back;
+    sorted_out.sort_row_major();
+    ASSERT_EQ(sorted_out.entries.size(), sorted_in.entries.size());
+    for (std::size_t i = 0; i < sorted_in.entries.size(); ++i) {
+        EXPECT_EQ(sorted_out.entries[i].row, sorted_in.entries[i].row);
+        EXPECT_EQ(sorted_out.entries[i].col, sorted_in.entries[i].col);
+        EXPECT_DOUBLE_EQ(sorted_out.entries[i].value,
+                         sorted_in.entries[i].value);
+    }
+}
+
+TEST(MtxIo, RejectsMalformedInput)
+{
+    std::istringstream no_banner{"3 3 1\n1 1 1.0\n"};
+    EXPECT_THROW(read_mtx(no_banner), FileError);
+    std::istringstream bad_bounds{
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "5 1 1.0\n"};
+    EXPECT_THROW(read_mtx(bad_bounds), FileError);
+    std::istringstream truncated{
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"};
+    EXPECT_THROW(read_mtx(truncated), FileError);
+    EXPECT_THROW(read_mtx("/nonexistent/path.mtx"), FileError);
+}
+
+
+// --- Identity / Composition --------------------------------------------------
+
+TEST(Composition, AppliesRightToLeft)
+{
+    auto exec = ReferenceExecutor::create();
+    // A = [[0, 1], [1, 0]] (swap), B = diag(2, 3)
+    matrix_data<double, int32> swap_data{dim2{2, 2}};
+    swap_data.add(0, 1, 1.0);
+    swap_data.add(1, 0, 1.0);
+    auto a = std::shared_ptr<LinOp>{
+        Csr<double, int32>::create_from_data(exec, swap_data)};
+    auto b = std::shared_ptr<LinOp>{Csr<double, int32>::create_from_data(
+        exec, matrix_data<double, int32>::diag({2.0, 3.0}))};
+    auto comp = Composition::create({a, b});
+
+    auto in = Dense<double>::create(exec, dim2{2, 1});
+    in->at(0, 0) = 1.0;
+    in->at(1, 0) = 1.0;
+    auto out = Dense<double>::create(exec, dim2{2, 1});
+    comp->apply(in.get(), out.get());
+    // B first: (2, 3); then swap: (3, 2)
+    EXPECT_DOUBLE_EQ(out->at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(out->at(1, 0), 2.0);
+}
+
+TEST(Identity, CopiesInput)
+{
+    auto exec = ReferenceExecutor::create();
+    auto id = Identity::create(exec, 3);
+    auto b = Dense<float>::create_filled(exec, dim2{3, 1}, 2.5f);
+    auto x = Dense<float>::create(exec, dim2{3, 1});
+    id->apply(b.get(), x.get());
+    EXPECT_EQ(x->at(1, 0), 2.5f);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// The benchmark harness utilities themselves: statistics, CSV emission,
+// timing protocol (sync-in-window), and the matrix cache.
+#include <gtest/gtest.h>
+
+#include "bench/common/harness.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+TEST(Harness, StatisticsHelpers)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(bench::median({5.0, 1.0, 3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(bench::median({4.0, 1.0}), 4.0);  // upper median
+    EXPECT_DOUBLE_EQ(bench::max_of({1.0, 9.0, 2.0}), 9.0);
+    EXPECT_DOUBLE_EQ(bench::min_of({1.0, 9.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(bench::min_of({}), 0.0);
+}
+
+TEST(Harness, SpmvGflops)
+{
+    // 2 flops per nonzero: 1e9 nnz in 1 second = 2 GFLOP/s.
+    EXPECT_DOUBLE_EQ(bench::spmv_gflops(1000000000, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(bench::spmv_gflops(500, 1e-6), 1.0);
+}
+
+TEST(Harness, FmtFormats)
+{
+    EXPECT_EQ(bench::fmt(3.14159), "3.142");
+    EXPECT_EQ(bench::fmt(1e-6, "%.1e"), "1.0e-06");
+}
+
+TEST(Harness, TimeSecondsIncludesSynchronization)
+{
+    // The timed window must include the device sync (paper §6.3 protocol):
+    // for a no-op body the time equals the sync latency, not zero.
+    auto cuda = CudaExecutor::create();
+    const double t = bench::time_seconds(cuda.get(), [] {});
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1e-3);
+    auto host = ReferenceExecutor::create();
+    EXPECT_DOUBLE_EQ(bench::time_seconds(host.get(), [] {}), 0.0);
+}
+
+TEST(Harness, TimeSecondsTakesBestOfReps)
+{
+    auto exec = ReferenceExecutor::create();
+    int call = 0;
+    // Tick decreasing amounts; best-of must pick the smallest rep.
+    const double t = bench::time_seconds(
+        exec.get(),
+        [&] {
+            ++call;
+            exec->clock().tick(1000.0 * (5 - call));
+        },
+        3);
+    EXPECT_EQ(call, 4);                     // 1 warmup + 3 reps
+    EXPECT_DOUBLE_EQ(t, 1000.0 * 1 * 1e-9);  // the final (smallest) rep
+}
+
+TEST(Harness, MatrixCacheGeneratesOnce)
+{
+    bench::MatrixCache cache;
+    const auto spec = matgen::by_name("bcsstm37");
+    const auto& first = cache.get(spec);
+    const auto& second = cache.get(spec);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(first.size.rows, 25503);
+}
+
+TEST(Harness, CsvBlockPrintsTaggedBlock)
+{
+    bench::CsvBlock csv{"test_fig", {"a", "b"}};
+    csv.add_row({"1", "2"});
+    ::testing::internal::CaptureStdout();
+    csv.print();
+    const auto out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("# csv test_fig"), std::string::npos);
+    EXPECT_NE(out.find("a,b"), std::string::npos);
+    EXPECT_NE(out.find("1,2"), std::string::npos);
+    EXPECT_NE(out.find("# end csv"), std::string::npos);
+}
+
+}  // namespace

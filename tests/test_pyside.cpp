@@ -1,0 +1,166 @@
+// "Python-side" algorithms: Rayleigh-Ritz and power iteration built purely
+// on the binding API, validated against analytically known spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pyside/rayleigh_ritz.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+/// 1D Laplacian eigenvalues: lambda_j = 2 - 2 cos(j*pi/(n+1)), j=1..n.
+double laplacian_eigenvalue(size_type n, size_type j)
+{
+    return 2.0 - 2.0 * std::cos(static_cast<double>(j) * M_PI /
+                                static_cast<double>(n + 1));
+}
+
+
+TEST(SymmetricEigHost, SolvesDiagonalMatrix)
+{
+    std::vector<double> a = {3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0};
+    std::vector<double> values, vectors;
+    pyside::symmetric_eig_host(a, 3, values, vectors);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_NEAR(values[0], 1.0, 1e-12);
+    EXPECT_NEAR(values[1], 2.0, 1e-12);
+    EXPECT_NEAR(values[2], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigHost, SolvesKnown2x2)
+{
+    // [[2,1],[1,2]] has eigenvalues 1 and 3.
+    std::vector<double> a = {2.0, 1.0, 1.0, 2.0};
+    std::vector<double> values, vectors;
+    pyside::symmetric_eig_host(a, 2, values, vectors);
+    EXPECT_NEAR(values[0], 1.0, 1e-12);
+    EXPECT_NEAR(values[1], 3.0, 1e-12);
+    // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::abs(vectors[0 * 2 + 1]), 1.0 / std::sqrt(2.0), 1e-10);
+    EXPECT_NEAR(std::abs(vectors[1 * 2 + 1]), 1.0 / std::sqrt(2.0), 1e-10);
+}
+
+TEST(SymmetricEigHost, EigenvectorsDiagonalizeTheMatrix)
+{
+    // Random symmetric 5x5; check A v = lambda v columnwise.
+    const size_type k = 5;
+    std::vector<double> a(static_cast<std::size_t>(k * k));
+    std::mt19937_64 engine{3};
+    std::uniform_real_distribution<double> dist{-1.0, 1.0};
+    for (size_type i = 0; i < k; ++i) {
+        for (size_type j = i; j < k; ++j) {
+            const double v = dist(engine);
+            a[static_cast<std::size_t>(i * k + j)] = v;
+            a[static_cast<std::size_t>(j * k + i)] = v;
+        }
+    }
+    const auto a_copy = a;
+    std::vector<double> values, vectors;
+    pyside::symmetric_eig_host(a, k, values, vectors);
+    for (size_type j = 0; j < k; ++j) {
+        for (size_type i = 0; i < k; ++i) {
+            double av = 0.0;
+            for (size_type l = 0; l < k; ++l) {
+                av += a_copy[static_cast<std::size_t>(i * k + l)] *
+                      vectors[static_cast<std::size_t>(l * k + j)];
+            }
+            EXPECT_NEAR(av,
+                        values[static_cast<std::size_t>(j)] *
+                            vectors[static_cast<std::size_t>(i * k + j)],
+                        1e-9);
+        }
+    }
+}
+
+TEST(PowerIteration, FindsDominantEigenvalueOfDiagonal)
+{
+    auto dev = bind::device("reference");
+    auto mtx = bind::matrix_from_data(
+        dev, matrix_data<double, int64>::diag({1.0, 5.0, 3.0, -2.0}),
+        "double", "Csr");
+    auto result = pyside::power_iteration(dev, mtx, 2000, 1e-12);
+    EXPECT_NEAR(result.eigenvalue, 5.0, 1e-8);
+    EXPECT_NEAR(std::abs(result.eigenvector.item(1)), 1.0, 1e-5);
+}
+
+TEST(PowerIteration, MatchesLaplacianExtremeEigenvalue)
+{
+    auto dev = bind::device("omp");
+    const size_type n = 40;
+    auto mtx = bind::matrix_from_data(
+        dev, test::laplacian_1d<double, int64>(n).cast<double, int64>(),
+        "double", "Csr");
+    auto result = pyside::power_iteration(dev, mtx, 20000, 1e-13);
+    EXPECT_NEAR(result.eigenvalue, laplacian_eigenvalue(n, n), 1e-6);
+}
+
+TEST(RayleighRitz, RecoversDominantSpectrumOfDiagonal)
+{
+    auto dev = bind::device("reference");
+    auto mtx = bind::matrix_from_data(
+        dev,
+        matrix_data<double, int64>::diag(
+            {10.0, 1.0, 7.0, 2.0, 5.0, 0.5, 3.0, 0.1}),
+        "double", "Csr");
+    auto result = pyside::rayleigh_ritz(dev, mtx, 3, 200, 1e-10);
+    ASSERT_EQ(result.eigenvalues.size(), 3u);
+    EXPECT_NEAR(result.eigenvalues[0], 10.0, 1e-7);
+    EXPECT_NEAR(result.eigenvalues[1], 7.0, 1e-7);
+    EXPECT_NEAR(result.eigenvalues[2], 5.0, 1e-6);
+    EXPECT_LT(result.max_residual, 1e-6);
+}
+
+TEST(RayleighRitz, MatchesAnalyticLaplacianEigenvalues)
+{
+    auto dev = bind::device("cuda");
+    const size_type n = 64;
+    auto mtx = bind::matrix_from_data(
+        dev, test::laplacian_1d<double, int64>(n).cast<double, int64>(),
+        "double", "Csr");
+    // Clustered top spectrum: subspace iteration needs a generous budget.
+    auto result = pyside::rayleigh_ritz(dev, mtx, 4, 12000, 1e-9);
+    // Largest eigenvalues of the 1D Laplacian.
+    for (size_type j = 0; j < 4; ++j) {
+        EXPECT_NEAR(result.eigenvalues[static_cast<std::size_t>(j)],
+                    laplacian_eigenvalue(n, n - j), 1e-6)
+            << "eigenvalue " << j;
+    }
+    // Ritz vectors are orthonormal.
+    auto v = result.eigenvectors;
+    auto gram = v.t_matmul(v).to_host();
+    for (size_type i = 0; i < 4; ++i) {
+        for (size_type j = 0; j < 4; ++j) {
+            EXPECT_NEAR(gram[static_cast<std::size_t>(i * 4 + j)],
+                        i == j ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(RayleighRitz, EigenResidualIsSmall)
+{
+    // The Laplacian's top eigenvalues are clustered, so plain subspace
+    // iteration converges slowly — give it the budget it needs.
+    auto dev = bind::device("omp");
+    const size_type n = 50;
+    auto mtx = bind::matrix_from_data(
+        dev, test::laplacian_1d<double, int64>(n).cast<double, int64>(),
+        "double", "Csr");
+    auto result = pyside::rayleigh_ritz(dev, mtx, 2, 8000, 1e-8);
+    EXPECT_LT(result.max_residual, 1e-7);
+    EXPECT_GT(result.iterations, 1);
+}
+
+TEST(RayleighRitz, RejectsInvalidArguments)
+{
+    auto dev = bind::device("reference");
+    auto mtx = bind::matrix_from_data(
+        dev, matrix_data<double, int64>::diag({1.0, 2.0}), "double", "Csr");
+    EXPECT_THROW(pyside::rayleigh_ritz(dev, mtx, 0), BadParameter);
+    EXPECT_THROW(pyside::rayleigh_ritz(dev, mtx, 3), BadParameter);
+}
+
+}  // namespace

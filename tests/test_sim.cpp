@@ -1,0 +1,232 @@
+// The simulation layer: machine models, partitioning imbalance measures,
+// locality estimation, and cost-profile assembly — the quantities every
+// benchmark figure is built from.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/machine_model.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+std::vector<int32> row_ptrs_from_lengths(const std::vector<int32>& lengths)
+{
+    std::vector<int32> ptrs(lengths.size() + 1, 0);
+    std::partial_sum(lengths.begin(), lengths.end(), ptrs.begin() + 1);
+    return ptrs;
+}
+
+
+TEST(CostModel, RowsBlockImbalanceUniformIsOne)
+{
+    const auto ptrs = row_ptrs_from_lengths(std::vector<int32>(64, 5));
+    EXPECT_NEAR(sim::rows_block_imbalance(ptrs.data(), 64, 8), 1.0, 1e-12);
+}
+
+TEST(CostModel, RowsBlockImbalanceDetectsSkew)
+{
+    // First 8 rows carry all the work: with 8 equal-rows blocks, worker 0
+    // holds everything.
+    std::vector<int32> lengths(64, 0);
+    for (int i = 0; i < 8; ++i) {
+        lengths[static_cast<std::size_t>(i)] = 100;
+    }
+    const auto ptrs = row_ptrs_from_lengths(lengths);
+    EXPECT_NEAR(sim::rows_block_imbalance(ptrs.data(), 64, 8), 8.0, 1e-12);
+}
+
+TEST(CostModel, NnzBalancedRowImbalance)
+{
+    // Uniform rows: balanced partition is perfect.
+    const auto uniform = row_ptrs_from_lengths(std::vector<int32>(128, 4));
+    EXPECT_NEAR(sim::nnz_balanced_row_imbalance(uniform.data(), 128, 16), 1.0,
+                1e-12);
+    // One row holding half the nonzeros dominates its worker; capped at 4.
+    std::vector<int32> lengths(128, 4);
+    lengths[0] = 512;
+    const auto skewed = row_ptrs_from_lengths(lengths);
+    EXPECT_GT(sim::nnz_balanced_row_imbalance(skewed.data(), 128, 64), 3.0);
+    EXPECT_LE(sim::nnz_balanced_row_imbalance(skewed.data(), 128, 64), 4.0);
+}
+
+TEST(CostModel, ScalarRowDivergenceBoundedAndOrdered)
+{
+    const auto uniform = row_ptrs_from_lengths(std::vector<int32>(64, 6));
+    EXPECT_NEAR(sim::scalar_row_divergence(uniform.data(), 64), 1.0, 1e-12);
+    std::vector<int32> mixed(64, 1);
+    for (std::size_t i = 0; i < 64; i += 32) {
+        mixed[i] = 200;
+    }
+    const auto skewed = row_ptrs_from_lengths(mixed);
+    const double d = sim::scalar_row_divergence(skewed.data(), 64);
+    EXPECT_GT(d, 1.2);
+    EXPECT_LE(d, 2.2);  // warp-per-row fallback cap
+}
+
+TEST(CostModel, LocalityMissRateOrdersPatterns)
+{
+    // The target vector must exceed the modeled cache (~4 MB) for misses
+    // to register.
+    const size_type n = 4000000;
+    // Sequential columns: no misses.
+    std::vector<int32> sequential(100000);
+    std::iota(sequential.begin(), sequential.end(), 0);
+    // Random columns over a vector too large for cache: many misses.
+    std::vector<int32> random_cols(100000);
+    std::mt19937_64 engine{5};
+    std::uniform_int_distribution<int32> dist{0, static_cast<int32>(n - 1)};
+    for (auto& c : random_cols) {
+        c = dist(engine);
+    }
+    const double seq = sim::locality_miss_rate(sequential.data(), 100000, n);
+    const double rnd = sim::locality_miss_rate(random_cols.data(), 100000, n);
+    EXPECT_LT(seq, 0.05);
+    EXPECT_GT(rnd, 5.0 * (seq + 1e-6));
+    EXPECT_LE(rnd, 1.0);
+}
+
+TEST(CostModel, SmallVectorsAbsorbMissesInCache)
+{
+    std::vector<int32> random_cols(50000);
+    std::mt19937_64 engine{6};
+    std::uniform_int_distribution<int32> dist{0, 999};
+    for (auto& c : random_cols) {
+        c = dist(engine);
+    }
+    // 1000-element target vector fits in cache: miss rate ~0.
+    EXPECT_LT(sim::locality_miss_rate(random_cols.data(), 50000, 1000), 0.01);
+}
+
+TEST(CostModel, ProfileTimeRespectsComponents)
+{
+    const auto m = sim::MachineModel::a100();
+    sim::kernel_profile p;
+    p.bytes = 1.555e6;  // exactly 1 us at peak bandwidth
+    p.efficiency = 1.0;
+    EXPECT_NEAR(p.time_ns(m), 1000.0, 1.0);
+    p.imbalance = 2.0;
+    EXPECT_NEAR(p.time_ns(m), 2000.0, 2.0);
+    p.extra_launches = 1;
+    EXPECT_NEAR(p.time_ns(m), 2000.0 + m.launch_latency_ns, 2.0);
+    p.extra_ns = 500.0;
+    EXPECT_NEAR(p.time_ns(m), 2500.0 + m.launch_latency_ns, 2.0);
+}
+
+TEST(CostModel, GatherScatterPipelineCostsMoreThanFlatCoo)
+{
+    const auto m = sim::MachineModel::a100();
+    const auto flat = sim::assemble_spmv_profile(
+        sim::spmv_strategy::coo_flat_atomic, m, 10000, 100000, 4, 4, 0.3,
+        1.05);
+    const auto pipeline = sim::assemble_spmv_profile(
+        sim::spmv_strategy::coo_gather_scatter, m, 10000, 100000, 4, 4, 0.3,
+        1.05);
+    EXPECT_GT(pipeline.time_ns(m), 1.5 * flat.time_ns(m));
+    EXPECT_EQ(pipeline.extra_launches, 2);
+}
+
+TEST(CostModel, EllPaddingDominatesForSkewedRows)
+{
+    const auto m = sim::MachineModel::a100();
+    // width 100 but only 10 nnz/row on average: ELL streams the padding.
+    const auto ell = sim::assemble_spmv_profile(
+        sim::spmv_strategy::ell_rowmajor, m, 10000, 100000, 4, 4, 0.0, 1.0,
+        1, false, 100);
+    const auto csr = sim::assemble_spmv_profile(
+        sim::spmv_strategy::balanced_nnz, m, 10000, 100000, 4, 4, 0.0, 1.0);
+    EXPECT_GT(ell.bytes, 5.0 * csr.bytes);
+}
+
+TEST(CostModel, RowLoopOverheadFavoursDenseRowsInSerial)
+{
+    const auto m = sim::MachineModel::reference_cpu();
+    // Same nnz, 10x fewer rows: serial cost per nnz must drop.
+    const auto sparse_rows = sim::assemble_spmv_profile(
+        sim::spmv_strategy::serial, m, 100000, 600000, 8, 4, 0.0, 1.0);
+    const auto dense_rows = sim::assemble_spmv_profile(
+        sim::spmv_strategy::serial, m, 10000, 600000, 8, 4, 0.0, 1.0);
+    EXPECT_GT(sparse_rows.time_ns(m), dense_rows.time_ns(m));
+}
+
+TEST(MachineModel, EnvOverrideParsesAndFallsBack)
+{
+    ::setenv("MGKO_TEST_OVERRIDE", "2.5", 1);
+    EXPECT_DOUBLE_EQ(sim::env_override("MGKO_TEST_OVERRIDE", 1.0), 2.5);
+    ::setenv("MGKO_TEST_OVERRIDE", "garbage", 1);
+    EXPECT_DOUBLE_EQ(sim::env_override("MGKO_TEST_OVERRIDE", 1.0), 1.0);
+    ::unsetenv("MGKO_TEST_OVERRIDE");
+    EXPECT_DOUBLE_EQ(sim::env_override("MGKO_TEST_OVERRIDE", 7.0), 7.0);
+}
+
+TEST(MachineModel, DeviceModelsMatchPublishedSpecs)
+{
+    const auto a100 = sim::MachineModel::a100();
+    const auto mi100 = sim::MachineModel::mi100();
+    EXPECT_NEAR(a100.bandwidth_gbps, 1555.0, 1.0);   // A100-SXM4-40GB HBM2
+    EXPECT_NEAR(mi100.bandwidth_gbps, 1228.0, 1.0);  // MI100 HBM2
+    EXPECT_GT(mi100.launch_latency_ns, a100.launch_latency_ns);
+}
+
+TEST(CsrProfile, CachedProfileMatchesFreshComputation)
+{
+    auto exec = CudaExecutor::create();
+    const auto data = test::random_sparse<double, int32>(500, 7, 3);
+    auto mat = Csr<double, int32>::create_from_data(exec, data);
+    const auto first = mat->spmv_profile(sim::spmv_strategy::balanced_nnz,
+                                         exec->model(), 1, false);
+    const auto second = mat->spmv_profile(sim::spmv_strategy::balanced_nnz,
+                                          exec->model(), 1, false);
+    EXPECT_DOUBLE_EQ(first.bytes, second.bytes);
+    EXPECT_DOUBLE_EQ(first.imbalance, second.imbalance);
+    const auto fresh = sim::profile_spmv(
+        sim::spmv_strategy::balanced_nnz, exec->model(), 500, 500,
+        mat->get_num_stored_elements(), mat->get_const_row_ptrs(),
+        mat->get_const_col_idxs(), 8, 4);
+    EXPECT_DOUBLE_EQ(first.bytes, fresh.bytes);
+    EXPECT_DOUBLE_EQ(first.imbalance, fresh.imbalance);
+}
+
+TEST(CsrProfile, InvalidatedOnRead)
+{
+    auto exec = CudaExecutor::create();
+    auto mat = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(200, 5, 3));
+    const auto before = mat->spmv_profile(sim::spmv_strategy::balanced_nnz,
+                                          exec->model(), 1, false);
+    mat->read(test::random_sparse<double, int32>(400, 9, 4));
+    const auto after = mat->spmv_profile(sim::spmv_strategy::balanced_nnz,
+                                         exec->model(), 1, false);
+    EXPECT_NE(before.bytes, after.bytes);
+}
+
+TEST(SimIntegration, DeviceSpmvIsFasterThanSerialAtScale)
+{
+    // End-to-end sanity of the whole model: the simulated A100 beats the
+    // single-core model by a large factor on a big matrix.
+    auto host = ReferenceExecutor::create();
+    auto device = CudaExecutor::create();
+    const auto data = test::random_sparse<double, int32>(20000, 20, 9);
+    auto hm = Csr<double, int32>::create_from_data(host, data);
+    auto dm = Csr<double, int32>::create_from_data(device, data);
+    auto hb = Dense<double>::create_filled(host, dim2{20000, 1}, 1.0);
+    auto hx = Dense<double>::create(host, dim2{20000, 1});
+    auto db = Dense<double>::create_filled(device, dim2{20000, 1}, 1.0);
+    auto dx = Dense<double>::create(device, dim2{20000, 1});
+
+    sim::SimStopwatch hw{host->clock()};
+    hm->apply(hb.get(), hx.get());
+    const double t_host = hw.elapsed_ns();
+    sim::SimStopwatch dw{device->clock()};
+    dm->apply(db.get(), dx.get());
+    const double t_dev = dw.elapsed_ns();
+    EXPECT_GT(t_host, 5.0 * t_dev);
+}
+
+}  // namespace

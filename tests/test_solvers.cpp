@@ -1,0 +1,757 @@
+// Solver / preconditioner / factorization correctness: convergence on SPD
+// and nonsymmetric systems across executors, triangular solves, ILU/IC
+// factor quality, Jacobi variants, stopping criteria, and logger behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "factorization/ilu.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/cgs.hpp"
+#include "solver/fcg.hpp"
+#include "solver/gmres.hpp"
+#include "solver/ir.hpp"
+#include "solver/triangular.hpp"
+#include "stop/criterion.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+using Mtx = Csr<double, int32>;
+using Vec = Dense<double>;
+
+
+/// ||b - A x|| / ||b||
+double relative_residual(const LinOp* a, const Vec* b, const Vec* x)
+{
+    auto exec = a->get_executor();
+    auto r = Vec::create(exec, b->get_size());
+    r->copy_from(b);
+    auto one_s = Vec::create_scalar(exec, 1.0);
+    auto neg_one_s = Vec::create_scalar(exec, -1.0);
+    a->apply(neg_one_s.get(), x, one_s.get(), r.get());
+    return r->norm2_scalar() / b->norm2_scalar();
+}
+
+
+// --- stopping criteria -------------------------------------------------------
+
+TEST(StopCriteria, IterationFiresAtBudget)
+{
+    auto crit = stop::Iteration{5}.create(1.0, 1.0);
+    EXPECT_FALSE(crit->is_satisfied(4, 1e9));
+    EXPECT_TRUE(crit->is_satisfied(5, 1e9));
+    EXPECT_FALSE(crit->indicates_convergence());
+}
+
+TEST(StopCriteria, ResidualNormBaselines)
+{
+    // rhs baseline: threshold = 1e-3 * ||b|| = 1e-3 * 10
+    auto rhs = stop::ResidualNorm{1e-3, stop::baseline::rhs_norm}.create(10.0, 5.0);
+    EXPECT_FALSE(rhs->is_satisfied(0, 0.02));
+    EXPECT_TRUE(rhs->is_satisfied(0, 0.005));
+    EXPECT_TRUE(rhs->indicates_convergence());
+
+    auto initial =
+        stop::ResidualNorm{1e-2, stop::baseline::initial_resnorm}.create(10.0,
+                                                                         5.0);
+    EXPECT_TRUE(initial->is_satisfied(0, 0.04));
+    EXPECT_FALSE(initial->is_satisfied(0, 0.06));
+
+    auto absolute =
+        stop::ResidualNorm{1e-4, stop::baseline::absolute}.create(10.0, 5.0);
+    EXPECT_TRUE(absolute->is_satisfied(0, 5e-5));
+    EXPECT_FALSE(absolute->is_satisfied(0, 5e-4));
+}
+
+TEST(StopCriteria, CombinedReportsFiringReason)
+{
+    auto combined = stop::combine({stop::iteration(3),
+                                   stop::residual_norm(1e-6)})
+                        ->create(1.0, 1.0);
+    EXPECT_FALSE(combined->is_satisfied(1, 1.0));
+    EXPECT_TRUE(combined->is_satisfied(3, 1.0));
+    EXPECT_NE(combined->reason().find("3 iterations"), std::string::npos);
+    EXPECT_FALSE(combined->indicates_convergence());
+}
+
+TEST(StopCriteria, RejectsBadParameters)
+{
+    EXPECT_THROW(stop::ResidualNorm{0.0}, BadParameter);
+    EXPECT_THROW(stop::ResidualNorm{-1.0}, BadParameter);
+    EXPECT_THROW(stop::Combined{{}}, BadParameter);
+}
+
+
+// --- Krylov solvers across executors ----------------------------------------
+
+class SolversOnExecutors : public ::testing::TestWithParam<int> {
+protected:
+    std::shared_ptr<Executor> exec_ =
+        test::all_executors()[static_cast<std::size_t>(GetParam())];
+
+    std::shared_ptr<Mtx> spd_system(size_type n)
+    {
+        return Mtx::create_from_data(exec_,
+                                     test::laplacian_1d<double, int32>(n));
+    }
+    std::shared_ptr<Mtx> nonsym_system(size_type n)
+    {
+        return Mtx::create_from_data(
+            exec_, test::random_sparse<double, int32>(n, 5, 77));
+    }
+};
+
+TEST_P(SolversOnExecutors, CgSolvesSpdSystem)
+{
+    const size_type n = 100;
+    auto a = spd_system(n);
+    auto b = Vec::create_filled(exec_, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(1000))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .on(exec_)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-9);
+    auto logger = dynamic_cast<solver::Cg<double>*>(solver.get())->get_logger();
+    EXPECT_TRUE(logger->has_converged());
+    EXPECT_GT(logger->num_iterations(), 10);  // 1D Laplacian needs ~n/2
+    EXPECT_LT(logger->num_iterations(), 1000);
+}
+
+TEST_P(SolversOnExecutors, CgsAndBicgstabSolveNonsymmetricSystem)
+{
+    const size_type n = 120;
+    auto a = nonsym_system(n);
+    auto b = Vec::create_filled(exec_, dim2{n, 1}, 1.0);
+
+    for (const bool use_cgs : {true, false}) {
+        auto x = Vec::create_filled(exec_, dim2{n, 1}, 0.0);
+        std::unique_ptr<LinOp> solver;
+        if (use_cgs) {
+            solver = solver::Cgs<double>::build()
+                         .with_criteria(stop::iteration(2000))
+                         .with_criteria(stop::residual_norm(1e-10))
+                         .on(exec_)
+                         ->generate(a);
+        } else {
+            solver = solver::Bicgstab<double>::build()
+                         .with_criteria(stop::iteration(2000))
+                         .with_criteria(stop::residual_norm(1e-10))
+                         .on(exec_)
+                         ->generate(a);
+        }
+        solver->apply(b.get(), x.get());
+        EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-8)
+            << (use_cgs ? "cgs" : "bicgstab") << " on " << exec_->name();
+    }
+}
+
+TEST_P(SolversOnExecutors, GmresSolvesNonsymmetricSystem)
+{
+    const size_type n = 120;
+    auto a = nonsym_system(n);
+    auto b = Vec::create_filled(exec_, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(1000))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .with_krylov_dim(30)
+                      .on(exec_)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-8);
+}
+
+TEST_P(SolversOnExecutors, FcgMatchesCgOnSpd)
+{
+    const size_type n = 80;
+    auto a = spd_system(n);
+    auto b = Vec::create_filled(exec_, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec_, dim2{n, 1}, 0.0);
+    auto solver = solver::Fcg<double>::build()
+                      .with_criteria(stop::iteration(1000))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .on(exec_)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExecutors, SolversOnExecutors,
+                         ::testing::Range(0, 4), [](const auto& info) {
+                             return test::all_executor_names()
+                                 [static_cast<std::size_t>(info.param)];
+                         });
+
+
+// --- solver behaviour details -------------------------------------------------
+
+TEST(Solvers, IterationCriterionStopsExactly)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 200;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(7))
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    auto logger =
+        dynamic_cast<solver::Cg<double>*>(solver.get())->get_logger();
+    EXPECT_EQ(logger->num_iterations(), 7);
+    EXPECT_FALSE(logger->has_converged());
+}
+
+TEST(Solvers, ResidualHistoryIsMonotoneForCgOnLaplacian)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 64;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(100))
+                      .with_criteria(stop::residual_norm(1e-12))
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    const auto& hist = dynamic_cast<solver::Cg<double>*>(solver.get())
+                           ->get_logger()
+                           ->residual_history();
+    ASSERT_GT(hist.size(), 3u);
+    EXPECT_LT(hist.back(), 1e-10 * hist.front());
+}
+
+TEST(Solvers, SolverRequiresCriteria)
+{
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(8));
+    EXPECT_THROW(solver::Cg<double>::build().on(exec)->generate(a),
+                 BadParameter);
+}
+
+TEST(Solvers, SolverRejectsNonSquareAndMultiRhs)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> rect{dim2{4, 3}};
+    rect.add(0, 0, 1.0);
+    std::shared_ptr<Mtx> non_square = Mtx::create_from_data(exec, rect);
+    EXPECT_THROW(solver::Cg<double>::build()
+                     .with_criteria(stop::iteration(10))
+                     .on(exec)
+                     ->generate(non_square),
+                 BadParameter);
+
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(8));
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(10))
+                      .on(exec)
+                      ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{8, 2}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{8, 2}, 0.0);
+    EXPECT_THROW(solver->apply(b.get(), x.get()), NotSupported);
+}
+
+TEST(Solvers, AdvancedApplyCombinesSolution)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 32;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(1000))
+                      .with_criteria(stop::residual_norm(1e-12))
+                      .on(exec)
+                      ->generate(a);
+    // reference solution
+    auto sol = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), sol.get());
+    // x = 2 * solve(b) + 1 * x0 with x0 = 3
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 3.0);
+    auto alpha = Vec::create_scalar(exec, 2.0);
+    auto beta = Vec::create_scalar(exec, 1.0);
+    solver->apply(alpha.get(), b.get(), beta.get(), x.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(x->at(i, 0), 2.0 * sol->at(i, 0) + 3.0, 1e-6);
+    }
+}
+
+TEST(Solvers, IrConvergesWithJacobi)
+{
+    auto exec = OmpExecutor::create(2);
+    const size_type n = 60;
+    // Diagonally dominant: Richardson + Jacobi converges.
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 4, 5, true));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver =
+        solver::Ir<double>::build()
+            .with_criteria(stop::iteration(500))
+            .with_criteria(stop::residual_norm(1e-10))
+            .with_preconditioner(
+                preconditioner::Jacobi<double, int32>::build().on(exec))
+            .on(exec)
+            ->generate(a);
+    solver->apply(b.get(), x.get());
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-9);
+}
+
+TEST(Gmres, RestartOnlyCheckStillConverges)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 90;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 5, 13));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(2000))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .with_krylov_dim(20)
+                      .on(exec)
+                      ->generate(a);
+    auto* gmres = dynamic_cast<solver::Gmres<double>*>(solver.get());
+    gmres->set_check_every_update(false);
+    solver->apply(b.get(), x.get());
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-8);
+    // Restart-only checking can overshoot, but never stops later than a
+    // full extra restart cycle.
+    EXPECT_EQ(gmres->get_logger()->num_iterations() % 1, 0);
+}
+
+TEST(Gmres, PerUpdateCheckUsesFewerIterationsThanRestartOnly)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 90;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 5, 13));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+
+    auto make_solver = [&] {
+        return solver::Gmres<double>::build()
+            .with_criteria(stop::iteration(2000))
+            .with_criteria(stop::residual_norm(1e-10))
+            .with_krylov_dim(25)
+            .on(exec)
+            ->generate(a);
+    };
+    auto s1 = make_solver();
+    auto x1 = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    s1->apply(b.get(), x1.get());
+    auto s2 = make_solver();
+    auto* g2 = dynamic_cast<solver::Gmres<double>*>(s2.get());
+    g2->set_check_every_update(false);
+    auto x2 = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    s2->apply(b.get(), x2.get());
+
+    const auto it1 =
+        dynamic_cast<solver::Gmres<double>*>(s1.get())->get_logger()
+            ->num_iterations();
+    const auto it2 = g2->get_logger()->num_iterations();
+    EXPECT_LE(it1, it2);
+}
+
+TEST(Gmres, HandlesExactKrylovBreakdown)
+{
+    auto exec = ReferenceExecutor::create();
+    // Identity system: converges in one iteration via happy breakdown.
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, matrix_data<double, int32>::diag({1.0, 1.0, 1.0, 1.0}));
+    auto b = Vec::create_filled(exec, dim2{4, 1}, 5.0);
+    auto x = Vec::create_filled(exec, dim2{4, 1}, 0.0);
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(100))
+                      .with_criteria(stop::residual_norm(1e-12))
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());
+    for (size_type i = 0; i < 4; ++i) {
+        EXPECT_NEAR(x->at(i, 0), 5.0, 1e-12);
+    }
+}
+
+
+// --- triangular solvers --------------------------------------------------------
+
+TEST(Triangular, LowerSolveMatchesDirectSubstitution)
+{
+    for (auto exec : test::all_executors()) {
+        matrix_data<double, int32> data{dim2{3, 3}};
+        data.add(0, 0, 2.0);
+        data.add(1, 0, 1.0);
+        data.add(1, 1, 4.0);
+        data.add(2, 1, -1.0);
+        data.add(2, 2, 5.0);
+        auto l = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+        auto solver = solver::LowerTrs<double, int32>::build().on(exec)
+                          ->generate(l);
+        auto b = Vec::create(exec, dim2{3, 1});
+        b->at(0, 0) = 2.0;
+        b->at(1, 0) = 9.0;
+        b->at(2, 0) = 8.0;
+        auto x = Vec::create(exec, dim2{3, 1});
+        solver->apply(b.get(), x.get());
+        EXPECT_NEAR(x->at(0, 0), 1.0, 1e-14) << exec->name();
+        EXPECT_NEAR(x->at(1, 0), 2.0, 1e-14) << exec->name();
+        EXPECT_NEAR(x->at(2, 0), 2.0, 1e-14) << exec->name();
+    }
+}
+
+TEST(Triangular, UpperSolveAndUnitDiagonal)
+{
+    auto exec = OmpExecutor::create(3);
+    matrix_data<double, int32> data{dim2{3, 3}};
+    data.add(0, 0, 100.0);  // ignored with unit_diagonal
+    data.add(0, 2, 1.0);
+    data.add(1, 1, 100.0);
+    data.add(1, 2, 2.0);
+    data.add(2, 2, 100.0);
+    auto u = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+    auto solver = solver::UpperTrs<double, int32>::build()
+                      .with_unit_diagonal(true)
+                      .on(exec)
+                      ->generate(u);
+    auto b = Vec::create(exec, dim2{3, 1});
+    b->at(0, 0) = 4.0;
+    b->at(1, 0) = 7.0;
+    b->at(2, 0) = 3.0;
+    auto x = Vec::create(exec, dim2{3, 1});
+    solver->apply(b.get(), x.get());
+    EXPECT_NEAR(x->at(2, 0), 3.0, 1e-14);
+    EXPECT_NEAR(x->at(1, 0), 1.0, 1e-14);
+    EXPECT_NEAR(x->at(0, 0), 1.0, 1e-14);
+}
+
+TEST(Triangular, LevelScheduleCoversAllRowsOnce)
+{
+    auto exec = ReferenceExecutor::create();
+    const auto data = test::random_sparse<double, int32>(50, 4, 31);
+    // Lower part of a random matrix.
+    matrix_data<double, int32> lower{dim2{50, 50}};
+    for (const auto& e : data.entries) {
+        if (e.col <= e.row) {
+            lower.add(e.row, e.col, e.row == e.col ? 2.0 : e.value);
+        }
+    }
+    auto l = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, lower)};
+    auto solver = solver::LowerTrs<double, int32>::build().on(exec)
+                      ->generate(l);
+    auto* trs =
+        dynamic_cast<solver::LowerTrs<double, int32>*>(solver.get());
+    EXPECT_GE(trs->num_levels(), 1);
+    EXPECT_LE(trs->num_levels(), 50);
+    // Solving against L * ones must recover ones on every executor.
+    auto ones = Vec::create_filled(exec, dim2{50, 1}, 1.0);
+    auto b = Vec::create(exec, dim2{50, 1});
+    l->apply(ones.get(), b.get());
+    auto x = Vec::create(exec, dim2{50, 1});
+    solver->apply(b.get(), x.get());
+    for (size_type i = 0; i < 50; ++i) {
+        EXPECT_NEAR(x->at(i, 0), 1.0, 1e-12);
+    }
+}
+
+TEST(Triangular, RequiresSortedSquareCsr)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> rect{dim2{2, 3}};
+    rect.add(0, 0, 1.0);
+    auto r = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, rect)};
+    EXPECT_THROW((solver::LowerTrs<double, int32>::build().on(exec)
+                      ->generate(r)),
+                 BadParameter);
+    auto d = std::shared_ptr<Dense<double>>{
+        Dense<double>::create(exec, dim2{3, 3})};
+    EXPECT_THROW((solver::LowerTrs<double, int32>::build().on(exec)
+                      ->generate(d)),
+                 NotSupported);
+}
+
+
+// --- factorizations -------------------------------------------------------------
+
+TEST(Ilu0, ExactOnMatrixWithNoFillIn)
+{
+    auto exec = ReferenceExecutor::create();
+    // Tridiagonal: ILU(0) == exact LU.
+    const size_type n = 20;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto factors = factorization::factorize_ilu0(a.get());
+
+    // L * U must reproduce A exactly (no discarded fill-in).
+    auto lu = Vec::create(exec, dim2{n, n});
+    auto l_dense = Vec::create(exec, dim2{n, n});
+    auto u_dense = Vec::create(exec, dim2{n, n});
+    factors.lower->convert_to(l_dense.get());
+    factors.upper->convert_to(u_dense.get());
+    l_dense->apply(u_dense.get(), lu.get());
+    auto a_dense = Vec::create(exec, dim2{n, n});
+    a->convert_to(a_dense.get());
+    for (size_type i = 0; i < n; ++i) {
+        for (size_type j = 0; j < n; ++j) {
+            EXPECT_NEAR(lu->at(i, j), a_dense->at(i, j), 1e-12)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Ilu0, LowerHasUnitDiagonalAndCorrectTriangles)
+{
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, test::random_sparse<double, int32>(40, 5, 17));
+    auto factors = factorization::factorize_ilu0(a.get());
+    auto l_data = factors.lower->to_data();
+    for (const auto& e : l_data.entries) {
+        EXPECT_LE(e.col, e.row);
+        if (e.col == e.row) {
+            EXPECT_DOUBLE_EQ(e.value, 1.0);
+        }
+    }
+    auto u_data = factors.upper->to_data();
+    for (const auto& e : u_data.entries) {
+        EXPECT_GE(e.col, e.row);
+    }
+}
+
+TEST(Ilu0, ThrowsOnMissingDiagonal)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{2, 2}};
+    data.add(0, 1, 1.0);
+    data.add(1, 0, 1.0);  // no diagonal entries
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, data);
+    EXPECT_THROW(factorization::factorize_ilu0(a.get()), NumericalError);
+}
+
+TEST(Ic0, ReproducesCholeskyOnTridiagonalSpd)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 16;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto l = factorization::factorize_ic0(a.get());
+    // L Lᵀ == A exactly for tridiagonal SPD.
+    auto lt = l->transpose();
+    auto l_dense = Vec::create(exec, dim2{n, n});
+    auto lt_dense = Vec::create(exec, dim2{n, n});
+    l->convert_to(l_dense.get());
+    lt->convert_to(lt_dense.get());
+    auto llt = Vec::create(exec, dim2{n, n});
+    l_dense->apply(lt_dense.get(), llt.get());
+    auto a_dense = Vec::create(exec, dim2{n, n});
+    a->convert_to(a_dense.get());
+    for (size_type i = 0; i < n; ++i) {
+        for (size_type j = 0; j < n; ++j) {
+            EXPECT_NEAR(llt->at(i, j), a_dense->at(i, j), 1e-12);
+        }
+    }
+}
+
+TEST(Ic0, ThrowsOnIndefiniteMatrix)
+{
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, matrix_data<double, int32>::diag({1.0, -1.0, 1.0}));
+    EXPECT_THROW(factorization::factorize_ic0(a.get()), NumericalError);
+}
+
+
+// --- preconditioners --------------------------------------------------------------
+
+TEST(Jacobi, ScalarAppliesInverseDiagonal)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(
+        exec, matrix_data<double, int32>::diag({2.0, 4.0, 8.0}))};
+    auto precond = preconditioner::Jacobi<double, int32>::build().on(exec)
+                       ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{3, 1}, 8.0);
+    auto x = Vec::create(exec, dim2{3, 1});
+    precond->apply(b.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(x->at(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(x->at(2, 0), 1.0);
+}
+
+TEST(Jacobi, ScalarHandlesZeroDiagonalSafely)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{2, 2}};
+    data.add(0, 0, 2.0);
+    data.add(1, 0, 1.0);  // zero diagonal at row 1
+    data.add(1, 1, 0.0);
+    auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+    auto precond = preconditioner::Jacobi<double, int32>::build().on(exec)
+                       ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{2, 1}, 1.0);
+    auto x = Vec::create(exec, dim2{2, 1});
+    precond->apply(b.get(), x.get());
+    EXPECT_TRUE(std::isfinite(x->at(1, 0)));
+}
+
+TEST(Jacobi, BlockInvertsDiagonalBlocks)
+{
+    auto exec = ReferenceExecutor::create();
+    // Block-diagonal matrix of 2x2 blocks [[2,1],[1,2]].
+    matrix_data<double, int32> data{dim2{4, 4}};
+    for (int blk = 0; blk < 2; ++blk) {
+        const int o = 2 * blk;
+        data.add(o, o, 2.0);
+        data.add(o, o + 1, 1.0);
+        data.add(o + 1, o, 1.0);
+        data.add(o + 1, o + 1, 2.0);
+    }
+    auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+    auto precond = preconditioner::Jacobi<double, int32>::build()
+                       .with_max_block_size(2)
+                       .on(exec)
+                       ->generate(a);
+    // Applying the preconditioner to A*ones must return ones exactly.
+    auto ones = Vec::create_filled(exec, dim2{4, 1}, 1.0);
+    auto b = Vec::create(exec, dim2{4, 1});
+    a->apply(ones.get(), b.get());
+    auto x = Vec::create(exec, dim2{4, 1});
+    precond->apply(b.get(), x.get());
+    for (size_type i = 0; i < 4; ++i) {
+        EXPECT_NEAR(x->at(i, 0), 1.0, 1e-14);
+    }
+}
+
+TEST(Jacobi, BlockPreconditioningAcceleratesCg)
+{
+    auto exec = OmpExecutor::create(2);
+    const size_type n = 150;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+
+    auto solve_with = [&](std::shared_ptr<const LinOpFactory> precond) {
+        auto builder = solver::Cg<double>::build();
+        builder.with_criteria(stop::iteration(3000))
+            .with_criteria(stop::residual_norm(1e-10));
+        if (precond) {
+            builder.with_preconditioner(precond);
+        }
+        auto solver = builder.on(exec)->generate(a);
+        auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+        solver->apply(b.get(), x.get());
+        return dynamic_cast<solver::Cg<double>*>(solver.get())
+            ->get_logger()
+            ->num_iterations();
+    };
+    const auto plain = solve_with(nullptr);
+    const auto block = solve_with(
+        preconditioner::Jacobi<double, int32>::build()
+            .with_max_block_size(8)
+            .on(exec));
+    EXPECT_LT(block, plain);
+}
+
+TEST(IluPreconditioner, ActsAsExactSolverWhenNoFillIn)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 24;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto ilu = preconditioner::Ilu<double, int32>::create(exec, a);
+    // ILU(0) is exact for tridiagonal: M^{-1} A x == x.
+    auto xs = test::random_vector<double>(exec, n);
+    auto ax = Vec::create(exec, dim2{n, 1});
+    a->apply(xs.get(), ax.get());
+    auto recovered = Vec::create(exec, dim2{n, 1});
+    ilu->apply(ax.get(), recovered.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(recovered->at(i, 0), xs->at(i, 0), 1e-11);
+    }
+}
+
+TEST(IluPreconditioner, ReducesGmresIterations)
+{
+    auto exec = CudaExecutor::create();
+    const size_type n = 120;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 6, 101));
+
+    auto run = [&](bool with_ilu) {
+        auto builder = solver::Gmres<double>::build();
+        builder.with_criteria(stop::iteration(3000))
+            .with_criteria(stop::residual_norm(1e-10))
+            .with_krylov_dim(30);
+        if (with_ilu) {
+            builder.with_preconditioner(
+                preconditioner::Ilu<double, int32>::build_on(exec));
+        }
+        auto solver = builder.on(exec)->generate(a);
+        auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+        auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+        solver->apply(b.get(), x.get());
+        EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-7);
+        return dynamic_cast<solver::Gmres<double>*>(solver.get())
+            ->get_logger()
+            ->num_iterations();
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(IcPreconditioner, AcceleratesCgOnSpd)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 150;
+    std::shared_ptr<Mtx> a = Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n));
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+
+    auto run = [&](bool with_ic) {
+        auto builder = solver::Cg<double>::build();
+        builder.with_criteria(stop::iteration(3000))
+            .with_criteria(stop::residual_norm(1e-10));
+        if (with_ic) {
+            builder.with_preconditioner(
+                preconditioner::Ic<double, int32>::build_on(exec));
+        }
+        auto solver = builder.on(exec)->generate(a);
+        auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+        solver->apply(b.get(), x.get());
+        return dynamic_cast<solver::Cg<double>*>(solver.get())
+            ->get_logger()
+            ->num_iterations();
+    };
+    const auto with_ic = run(true);
+    const auto without = run(false);
+    EXPECT_LT(with_ic, without);
+    // IC(0) is exact on tridiagonal SPD: one or two iterations.
+    EXPECT_LE(with_ic, 3);
+}
+
+TEST(Preconditioners, GeneratedPreconditionerIsReused)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 40;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto ilu = std::shared_ptr<LinOp>{
+        preconditioner::Ilu<double, int32>::create(exec, a)};
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(100))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .with_generated_preconditioner(ilu)
+                      .on(exec)
+                      ->generate(a);
+    EXPECT_EQ(dynamic_cast<solver::Gmres<double>*>(solver.get())
+                  ->get_preconditioner()
+                  .get(),
+              ilu.get());
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+// SpGEMM (sparse matrix-matrix product) and RCM reordering.
+#include <gtest/gtest.h>
+
+#include "bindings/api.hpp"
+#include "matgen/matgen.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/spgemm.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+TEST(Spgemm, MatchesDenseProductOnRandomMatrices)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 40;
+    auto a = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 4, 3));
+    auto b = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 4, 7));
+    auto c = spgemm(a.get(), b.get());
+
+    auto ad = Dense<double>::create(exec, dim2{n, n});
+    auto bd = Dense<double>::create(exec, dim2{n, n});
+    a->convert_to(ad.get());
+    b->convert_to(bd.get());
+    auto expected = Dense<double>::create(exec, dim2{n, n});
+    ad->apply(bd.get(), expected.get());
+    auto cd = Dense<double>::create(exec, dim2{n, n});
+    c->convert_to(cd.get());
+    for (size_type i = 0; i < n; ++i) {
+        for (size_type j = 0; j < n; ++j) {
+            EXPECT_NEAR(cd->at(i, j), expected->at(i, j), 1e-11)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Spgemm, IdentityIsNeutral)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 25;
+    auto a = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 3, 5));
+    auto id = Csr<double, int32>::create_from_data(
+        exec, matrix_data<double, int32>::diag(
+                  std::vector<double>(static_cast<std::size_t>(n), 1.0)));
+    auto left = spgemm(id.get(), a.get());
+    auto right = spgemm(a.get(), id.get());
+    EXPECT_EQ(left->to_data().entries, a->to_data().entries);
+    EXPECT_EQ(right->to_data().entries, a->to_data().entries);
+}
+
+TEST(Spgemm, RectangularShapesAndValidation)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> a_data{dim2{2, 3}};
+    a_data.add(0, 0, 1.0);
+    a_data.add(0, 2, 2.0);
+    a_data.add(1, 1, 3.0);
+    matrix_data<double, int32> b_data{dim2{3, 2}};
+    b_data.add(0, 1, 4.0);
+    b_data.add(1, 0, 5.0);
+    b_data.add(2, 1, 6.0);
+    auto a = Csr<double, int32>::create_from_data(exec, a_data);
+    auto b = Csr<double, int32>::create_from_data(exec, b_data);
+    auto c = spgemm(a.get(), b.get());
+    EXPECT_EQ(c->get_size(), (dim2{2, 2}));
+    auto cd = Dense<double>::create(exec, dim2{2, 2});
+    c->convert_to(cd.get());
+    EXPECT_DOUBLE_EQ(cd->at(0, 1), 1.0 * 4.0 + 2.0 * 6.0);
+    EXPECT_DOUBLE_EQ(cd->at(1, 0), 3.0 * 5.0);
+    // Mismatched inner dimensions throw.
+    EXPECT_THROW(spgemm(a.get(), a.get()), DimensionMismatch);
+}
+
+TEST(Spgemm, SquaringTheLaplacianWidensTheStencil)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 30;
+    auto a = Csr<double, int32>::create_from_data(
+        exec, test::laplacian_1d<double, int32>(n));
+    auto a2 = spgemm(a.get(), a.get());
+    // Tridiagonal squared is pentadiagonal: interior rows have 5 entries.
+    EXPECT_EQ(reorder::bandwidth(a2.get()), 2);
+    EXPECT_GT(a2->get_num_stored_elements(),
+              a->get_num_stored_elements());
+}
+
+
+TEST(Permutation, SymmetricPermuteRelabelsIndices)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{3, 3}};
+    data.add(0, 0, 1.0);
+    data.add(0, 2, 2.0);
+    data.add(2, 1, 3.0);
+    auto a = Csr<double, int32>::create_from_data(exec, data);
+    // perm[new] = old: reverse order.
+    auto p = permute_symmetric(a.get(), std::vector<int32>{2, 1, 0});
+    auto pd = p->to_data();
+    // (0,0,1) -> (2,2); (0,2,2) -> (2,0); (2,1,3) -> (0,1)
+    auto dense = Dense<double>::create(exec, dim2{3, 3});
+    p->convert_to(dense.get());
+    EXPECT_DOUBLE_EQ(dense->at(2, 2), 1.0);
+    EXPECT_DOUBLE_EQ(dense->at(2, 0), 2.0);
+    EXPECT_DOUBLE_EQ(dense->at(0, 1), 3.0);
+    EXPECT_THROW(permute_symmetric(a.get(), std::vector<int32>{0, 1}),
+                 BadParameter);
+}
+
+TEST(Permutation, PreservesSpectrumActionOnVectors)
+{
+    // (P A Pᵀ) (P x) == P (A x): permuting system and vector commutes.
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 24;
+    auto a = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(n, 4, 11));
+    std::vector<int32> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::mt19937_64 engine{5};
+    std::shuffle(perm.begin(), perm.end(), engine);
+    auto pa = permute_symmetric(a.get(), perm);
+
+    auto x = test::random_vector<double>(exec, n, 9);
+    auto ax = Dense<double>::create(exec, dim2{n, 1});
+    a->apply(x.get(), ax.get());
+
+    auto px = Dense<double>::create(exec, dim2{n, 1});
+    for (size_type i = 0; i < n; ++i) {
+        px->at(i, 0) = x->at(
+            static_cast<size_type>(perm[static_cast<std::size_t>(i)]), 0);
+    }
+    auto papx = Dense<double>::create(exec, dim2{n, 1});
+    pa->apply(px.get(), papx.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(
+            papx->at(i, 0),
+            ax->at(static_cast<size_type>(perm[static_cast<std::size_t>(i)]),
+                   0),
+            1e-12);
+    }
+}
+
+
+TEST(Rcm, ReducesBandwidthOfShuffledBandedMatrix)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 200;
+    // Start from a banded matrix, destroy the ordering, then recover it.
+    auto banded = Csr<double, int32>::create_from_data(
+        exec, matgen::banded(n, 3).cast<double, int32>());
+    std::vector<int32> shuffle_perm(static_cast<std::size_t>(n));
+    std::iota(shuffle_perm.begin(), shuffle_perm.end(), 0);
+    std::mt19937_64 engine{17};
+    std::shuffle(shuffle_perm.begin(), shuffle_perm.end(), engine);
+    auto shuffled = permute_symmetric(banded.get(), shuffle_perm);
+    const auto before = reorder::bandwidth(shuffled.get());
+
+    auto rcm = reorder::rcm_ordering(shuffled.get());
+    auto restored = permute_symmetric(shuffled.get(), rcm);
+    const auto after = reorder::bandwidth(restored.get());
+    EXPECT_LT(after, before / 4);
+}
+
+TEST(Rcm, OrderingIsAPermutation)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = Csr<double, int32>::create_from_data(
+        exec, test::random_sparse<double, int32>(60, 4, 23));
+    auto order = reorder::rcm_ordering(a.get());
+    std::vector<bool> seen(60, false);
+    for (const auto v : order) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 60);
+        EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+    EXPECT_EQ(order.size(), 60u);
+}
+
+TEST(Spgemm, ThroughBindingLayerMatmul)
+{
+    auto dev = bind::device("cuda");
+    const size_type n = 30;
+    const auto data = test::random_sparse<double, int64>(n, 3, 41)
+                          .cast<double, int64>();
+    auto a = bind::matrix_from_data(dev, data, "double", "Csr");
+    auto c = a.matmul(a);
+    EXPECT_EQ(c.shape(), (dim2{n, n}));
+    EXPECT_GE(c.nnz(), a.nnz());
+    // (A @ A) x == A (A x)
+    auto x = bind::as_tensor(dev, dim2{n, 1}, "double", 1.0);
+    auto lhs = c.spmv(x);
+    auto rhs = a.spmv(a.spmv(x));
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(lhs.item(i), rhs.item(i),
+                    1e-10 * (1.0 + std::abs(rhs.item(i))));
+    }
+    // Format guard: COO operands are rejected with a clear message.
+    auto coo = a.to_format("Coo");
+    EXPECT_THROW(coo.matmul(a), BadParameter);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents)
+{
+    auto exec = ReferenceExecutor::create();
+    // Two disjoint 2-cliques + an isolated vertex.
+    matrix_data<double, int32> data{dim2{5, 5}};
+    data.add(0, 1, 1.0);
+    data.add(1, 0, 1.0);
+    data.add(2, 3, 1.0);
+    data.add(3, 2, 1.0);
+    for (int i = 0; i < 5; ++i) {
+        data.add(i, i, 2.0);
+    }
+    auto a = Csr<double, int32>::create_from_data(exec, data);
+    auto order = reorder::rcm_ordering(a.get());
+    EXPECT_EQ(order.size(), 5u);
+}
+
+}  // namespace

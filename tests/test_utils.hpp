@@ -1,0 +1,124 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/matrix_data.hpp"
+#include "core/math.hpp"
+#include "core/types.hpp"
+#include "matrix/dense.hpp"
+
+namespace mgko::test {
+
+
+/// Tolerance scaled to the value type's precision.
+template <typename V>
+double tolerance()
+{
+    return 50.0 * static_cast<double>(std::numeric_limits<V>::epsilon());
+}
+
+
+/// All four executors, for tests parameterized across backends.
+inline std::vector<std::shared_ptr<Executor>> all_executors()
+{
+    return {ReferenceExecutor::create(), OmpExecutor::create(4),
+            CudaExecutor::create(), HipExecutor::create()};
+}
+
+inline std::vector<std::string> all_executor_names()
+{
+    return {"reference", "omp", "cuda", "hip"};
+}
+
+
+/// Deterministic random sparse matrix with ~`row_nnz` entries per row plus
+/// a guaranteed diagonal (so it is usable for factorizations/solves).
+template <typename V = double, typename I = int32>
+matrix_data<V, I> random_sparse(size_type n, size_type row_nnz,
+                                std::uint64_t seed = 1234,
+                                bool diag_dominant = true)
+{
+    std::mt19937_64 engine{seed};
+    std::uniform_int_distribution<size_type> col_dist{0, n - 1};
+    std::uniform_real_distribution<double> val_dist{-1.0, 1.0};
+    matrix_data<V, I> data{dim2{n}};
+    for (size_type r = 0; r < n; ++r) {
+        double off_diag_sum = 0.0;
+        for (size_type k = 0; k < row_nnz; ++k) {
+            const auto c = col_dist(engine);
+            if (c == r) {
+                continue;
+            }
+            const auto v = val_dist(engine);
+            off_diag_sum += std::abs(v);
+            data.add(static_cast<I>(r), static_cast<I>(c),
+                     static_cast<V>(v));
+        }
+        const double diag =
+            diag_dominant ? off_diag_sum + 1.0 : val_dist(engine);
+        data.add(static_cast<I>(r), static_cast<I>(r),
+                 static_cast<V>(diag));
+    }
+    data.sort_row_major();
+    data.sum_duplicates();
+    return data;
+}
+
+
+/// Symmetric positive definite test matrix: 1D Laplacian stencil.
+template <typename V = double, typename I = int32>
+matrix_data<V, I> laplacian_1d(size_type n)
+{
+    matrix_data<V, I> data{dim2{n}};
+    for (size_type i = 0; i < n; ++i) {
+        if (i > 0) {
+            data.add(static_cast<I>(i), static_cast<I>(i - 1),
+                     static_cast<V>(-1.0));
+        }
+        data.add(static_cast<I>(i), static_cast<I>(i), static_cast<V>(2.0));
+        if (i + 1 < n) {
+            data.add(static_cast<I>(i), static_cast<I>(i + 1),
+                     static_cast<V>(-1.0));
+        }
+    }
+    return data;
+}
+
+
+/// Dense reference SpMV on staging data: y = A x.
+template <typename V, typename I>
+std::vector<double> reference_spmv(const matrix_data<V, I>& data,
+                                   const std::vector<double>& x)
+{
+    std::vector<double> y(static_cast<std::size_t>(data.size.rows), 0.0);
+    for (const auto& e : data.entries) {
+        y[static_cast<std::size_t>(e.row)] +=
+            to_float(e.value) * x[static_cast<std::size_t>(e.col)];
+    }
+    return y;
+}
+
+
+/// Random dense vector as Dense<V> column.
+template <typename V>
+std::unique_ptr<Dense<V>> random_vector(std::shared_ptr<const Executor> exec,
+                                        size_type n, std::uint64_t seed = 7)
+{
+    std::mt19937_64 engine{seed};
+    std::uniform_real_distribution<double> dist{-1.0, 1.0};
+    auto result = Dense<V>::create(exec, dim2{n, 1});
+    for (size_type i = 0; i < n; ++i) {
+        result->at(i, 0) = static_cast<V>(dist(engine));
+    }
+    return result;
+}
+
+
+}  // namespace mgko::test
