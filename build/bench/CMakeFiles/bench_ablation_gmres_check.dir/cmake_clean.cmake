@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gmres_check.dir/bench_ablation_gmres_check.cpp.o"
+  "CMakeFiles/bench_ablation_gmres_check.dir/bench_ablation_gmres_check.cpp.o.d"
+  "bench_ablation_gmres_check"
+  "bench_ablation_gmres_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gmres_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

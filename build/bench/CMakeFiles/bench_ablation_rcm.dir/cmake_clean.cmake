@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rcm.dir/bench_ablation_rcm.cpp.o"
+  "CMakeFiles/bench_ablation_rcm.dir/bench_ablation_rcm.cpp.o.d"
+  "bench_ablation_rcm"
+  "bench_ablation_rcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

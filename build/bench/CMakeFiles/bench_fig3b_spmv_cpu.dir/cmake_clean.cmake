@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_spmv_cpu.dir/bench_fig3b_spmv_cpu.cpp.o"
+  "CMakeFiles/bench_fig3b_spmv_cpu.dir/bench_fig3b_spmv_cpu.cpp.o.d"
+  "bench_fig3b_spmv_cpu"
+  "bench_fig3b_spmv_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_spmv_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

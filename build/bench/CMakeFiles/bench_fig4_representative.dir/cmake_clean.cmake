@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_representative.dir/bench_fig4_representative.cpp.o"
+  "CMakeFiles/bench_fig4_representative.dir/bench_fig4_representative.cpp.o.d"
+  "bench_fig4_representative"
+  "bench_fig4_representative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_representative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_binding_timediff.dir/bench_fig5c_binding_timediff.cpp.o"
+  "CMakeFiles/bench_fig5c_binding_timediff.dir/bench_fig5c_binding_timediff.cpp.o.d"
+  "bench_fig5c_binding_timediff"
+  "bench_fig5c_binding_timediff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_binding_timediff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

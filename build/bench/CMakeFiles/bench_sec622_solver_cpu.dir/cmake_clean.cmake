@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec622_solver_cpu.dir/bench_sec622_solver_cpu.cpp.o"
+  "CMakeFiles/bench_sec622_solver_cpu.dir/bench_sec622_solver_cpu.cpp.o.d"
+  "bench_sec622_solver_cpu"
+  "bench_sec622_solver_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec622_solver_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_tour.dir/backends_tour.cpp.o"
+  "CMakeFiles/backends_tour.dir/backends_tour.cpp.o.d"
+  "backends_tour"
+  "backends_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

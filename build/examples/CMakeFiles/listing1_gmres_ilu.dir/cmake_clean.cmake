@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_gmres_ilu.dir/listing1_gmres_ilu.cpp.o"
+  "CMakeFiles/listing1_gmres_ilu.dir/listing1_gmres_ilu.cpp.o.d"
+  "listing1_gmres_ilu"
+  "listing1_gmres_ilu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_gmres_ilu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for listing1_gmres_ilu.
+# This may be replaced when dependencies are built.

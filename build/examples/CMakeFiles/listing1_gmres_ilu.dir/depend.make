@@ -1,0 +1,2 @@
+# Empty dependencies file for listing1_gmres_ilu.
+# This may be replaced when dependencies are built.

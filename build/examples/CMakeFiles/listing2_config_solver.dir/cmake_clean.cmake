@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing2_config_solver.dir/listing2_config_solver.cpp.o"
+  "CMakeFiles/listing2_config_solver.dir/listing2_config_solver.cpp.o.d"
+  "listing2_config_solver"
+  "listing2_config_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing2_config_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

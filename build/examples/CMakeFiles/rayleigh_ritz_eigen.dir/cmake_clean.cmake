@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rayleigh_ritz_eigen.dir/rayleigh_ritz_eigen.cpp.o"
+  "CMakeFiles/rayleigh_ritz_eigen.dir/rayleigh_ritz_eigen.cpp.o.d"
+  "rayleigh_ritz_eigen"
+  "rayleigh_ritz_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rayleigh_ritz_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_ml_inference.dir/sparse_ml_inference.cpp.o"
+  "CMakeFiles/sparse_ml_inference.dir/sparse_ml_inference.cpp.o.d"
+  "sparse_ml_inference"
+  "sparse_ml_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_ml_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

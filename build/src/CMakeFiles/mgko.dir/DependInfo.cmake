@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bindings/api.cpp" "src/CMakeFiles/mgko.dir/bindings/api.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/bindings/api.cpp.o.d"
+  "/root/repo/src/bindings/bindings_init.cpp" "src/CMakeFiles/mgko.dir/bindings/bindings_init.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/bindings/bindings_init.cpp.o.d"
+  "/root/repo/src/bindings/registry.cpp" "src/CMakeFiles/mgko.dir/bindings/registry.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/bindings/registry.cpp.o.d"
+  "/root/repo/src/config/config_solver.cpp" "src/CMakeFiles/mgko.dir/config/config_solver.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/config/config_solver.cpp.o.d"
+  "/root/repo/src/config/json.cpp" "src/CMakeFiles/mgko.dir/config/json.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/config/json.cpp.o.d"
+  "/root/repo/src/core/executor.cpp" "src/CMakeFiles/mgko.dir/core/executor.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/core/executor.cpp.o.d"
+  "/root/repo/src/core/lin_op.cpp" "src/CMakeFiles/mgko.dir/core/lin_op.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/core/lin_op.cpp.o.d"
+  "/root/repo/src/core/mtx_io.cpp" "src/CMakeFiles/mgko.dir/core/mtx_io.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/core/mtx_io.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/CMakeFiles/mgko.dir/core/types.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/core/types.cpp.o.d"
+  "/root/repo/src/factorization/ilu.cpp" "src/CMakeFiles/mgko.dir/factorization/ilu.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/factorization/ilu.cpp.o.d"
+  "/root/repo/src/matgen/matgen.cpp" "src/CMakeFiles/mgko.dir/matgen/matgen.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matgen/matgen.cpp.o.d"
+  "/root/repo/src/matrix/convolution.cpp" "src/CMakeFiles/mgko.dir/matrix/convolution.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/convolution.cpp.o.d"
+  "/root/repo/src/matrix/coo.cpp" "src/CMakeFiles/mgko.dir/matrix/coo.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/coo.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/mgko.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/dense.cpp" "src/CMakeFiles/mgko.dir/matrix/dense.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/dense.cpp.o.d"
+  "/root/repo/src/matrix/diagonal.cpp" "src/CMakeFiles/mgko.dir/matrix/diagonal.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/diagonal.cpp.o.d"
+  "/root/repo/src/matrix/ell.cpp" "src/CMakeFiles/mgko.dir/matrix/ell.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/ell.cpp.o.d"
+  "/root/repo/src/matrix/hybrid.cpp" "src/CMakeFiles/mgko.dir/matrix/hybrid.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/hybrid.cpp.o.d"
+  "/root/repo/src/matrix/spgemm.cpp" "src/CMakeFiles/mgko.dir/matrix/spgemm.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/matrix/spgemm.cpp.o.d"
+  "/root/repo/src/preconditioner/ilu.cpp" "src/CMakeFiles/mgko.dir/preconditioner/ilu.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/preconditioner/ilu.cpp.o.d"
+  "/root/repo/src/preconditioner/jacobi.cpp" "src/CMakeFiles/mgko.dir/preconditioner/jacobi.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/preconditioner/jacobi.cpp.o.d"
+  "/root/repo/src/pyside/rayleigh_ritz.cpp" "src/CMakeFiles/mgko.dir/pyside/rayleigh_ritz.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/pyside/rayleigh_ritz.cpp.o.d"
+  "/root/repo/src/sim/machine_model.cpp" "src/CMakeFiles/mgko.dir/sim/machine_model.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/sim/machine_model.cpp.o.d"
+  "/root/repo/src/solver/bicgstab.cpp" "src/CMakeFiles/mgko.dir/solver/bicgstab.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/bicgstab.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/CMakeFiles/mgko.dir/solver/cg.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/cg.cpp.o.d"
+  "/root/repo/src/solver/cgs.cpp" "src/CMakeFiles/mgko.dir/solver/cgs.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/cgs.cpp.o.d"
+  "/root/repo/src/solver/direct.cpp" "src/CMakeFiles/mgko.dir/solver/direct.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/direct.cpp.o.d"
+  "/root/repo/src/solver/fcg.cpp" "src/CMakeFiles/mgko.dir/solver/fcg.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/fcg.cpp.o.d"
+  "/root/repo/src/solver/gmres.cpp" "src/CMakeFiles/mgko.dir/solver/gmres.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/gmres.cpp.o.d"
+  "/root/repo/src/solver/ir.cpp" "src/CMakeFiles/mgko.dir/solver/ir.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/ir.cpp.o.d"
+  "/root/repo/src/solver/triangular.cpp" "src/CMakeFiles/mgko.dir/solver/triangular.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/solver/triangular.cpp.o.d"
+  "/root/repo/src/stop/criterion.cpp" "src/CMakeFiles/mgko.dir/stop/criterion.cpp.o" "gcc" "src/CMakeFiles/mgko.dir/stop/criterion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pyside.dir/test_pyside.cpp.o"
+  "CMakeFiles/test_pyside.dir/test_pyside.cpp.o.d"
+  "test_pyside"
+  "test_pyside.pdb"
+  "test_pyside[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pyside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
