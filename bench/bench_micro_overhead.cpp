@@ -1,19 +1,77 @@
 // Microbenchmarks (google-benchmark, real wall clock): the host-side costs
 // of the binding layer measured on this machine — boxing, name mangling,
-// registry dispatch under the GIL, JSON round trips, and the end-to-end
-// bound call.  These are the *measured* components that CallProbe ticks
-// onto the SimClock (DESIGN.md §2.1); everything here is genuine wall
-// time, independent of the performance model.
+// registry dispatch under the GIL, JSON round trips, the end-to-end
+// bound call, and the executor allocation path.  These are the *measured*
+// components that CallProbe ticks onto the SimClock (DESIGN.md §2.1);
+// everything here is genuine wall time, independent of the performance
+// model.
+//
+// Allocation-sensitive benchmarks attach the executor's instrumentation to
+// the timed region as counters: `sys_allocs` (num_allocations(), i.e. real
+// system allocations), `pool_hits` and `pool_misses`.  A steady-state
+// region should report sys_allocs == 0 — everything served from the pool
+// or from persistent workspaces.
 #include <benchmark/benchmark.h>
 
 #include "bindings/api.hpp"
 #include "bindings/registry.hpp"
 #include "config/json.hpp"
+#include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
+#include "solver/cg.hpp"
+#include "solver/gmres.hpp"
+#include "stop/criterion.hpp"
 
 using namespace mgko;
 
 namespace {
+
+/// Snapshot of an executor's allocation instrumentation around a timed
+/// region; report() publishes the deltas as benchmark counters.
+class alloc_probe {
+public:
+    explicit alloc_probe(const Executor* exec)
+        : exec_{exec},
+          allocs_{exec->num_allocations()},
+          hits_{exec->pool_hits()},
+          misses_{exec->pool_misses()}
+    {}
+
+    void report(benchmark::State& state) const
+    {
+        state.counters["sys_allocs"] = static_cast<double>(
+            exec_->num_allocations() - allocs_);
+        state.counters["pool_hits"] =
+            static_cast<double>(exec_->pool_hits() - hits_);
+        state.counters["pool_misses"] =
+            static_cast<double>(exec_->pool_misses() - misses_);
+    }
+
+private:
+    const Executor* exec_;
+    size_type allocs_;
+    size_type hits_;
+    size_type misses_;
+};
+
+/// 1D Laplacian stencil: the standard well-conditioned SPD bench system.
+matrix_data<double, int32> laplacian_1d(size_type n)
+{
+    matrix_data<double, int32> data{dim2{n, n}};
+    for (size_type i = 0; i < n; ++i) {
+        if (i > 0) {
+            data.entries.push_back({static_cast<int32>(i),
+                                     static_cast<int32>(i - 1), -1.0});
+        }
+        data.entries.push_back(
+            {static_cast<int32>(i), static_cast<int32>(i), 2.0});
+        if (i + 1 < n) {
+            data.entries.push_back({static_cast<int32>(i),
+                                     static_cast<int32>(i + 1), -1.0});
+        }
+    }
+    return data;
+}
 
 void BM_BoxedValueRoundTrip(benchmark::State& state)
 {
@@ -110,6 +168,114 @@ void BM_GilContention(benchmark::State& state)
     }
 }
 BENCHMARK(BM_GilContention);
+
+// --- executor allocation path ------------------------------------------------
+
+void BM_PooledAllocFreeCycle(benchmark::State& state)
+{
+    auto exec = ReferenceExecutor::create();
+    const auto bytes = static_cast<size_type>(state.range(0));
+    exec->free_bytes(exec->alloc_bytes(bytes));  // warm the size class
+    alloc_probe probe{exec.get()};
+    for (auto _ : state) {
+        void* p = exec->alloc_bytes(bytes);
+        benchmark::DoNotOptimize(p);
+        exec->free_bytes(p);
+    }
+    probe.report(state);
+}
+BENCHMARK(BM_PooledAllocFreeCycle)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_DenseDotScratch(benchmark::State& state)
+{
+    // dot_scalar allocates a 1x1 reduction buffer per call; with the pool,
+    // the steady state is all hits and zero system allocations.
+    auto exec = ReferenceExecutor::create();
+    auto a = Dense<double>::create_filled(exec, dim2{1024, 1}, 1.0);
+    auto b = Dense<double>::create_filled(exec, dim2{1024, 1}, 2.0);
+    benchmark::DoNotOptimize(a->dot_scalar(b.get()));  // warm-up
+    alloc_probe probe{exec.get()};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a->dot_scalar(b.get()));
+    }
+    probe.report(state);
+}
+BENCHMARK(BM_DenseDotScratch);
+
+void BM_CgApplySteadyState(benchmark::State& state)
+{
+    // Warm solver apply: the workspace holds every Krylov temporary, so a
+    // repeated apply must report sys_allocs == 0 AND pool traffic == 0.
+    const auto n = static_cast<size_type>(state.range(0));
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Csr<double, int32>> a =
+        Csr<double, int32>::create_from_data(exec, laplacian_1d(n));
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(50))
+                      .with_criteria(stop::residual_norm(1e-12))
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());  // warm-up populates the workspace
+    alloc_probe probe{exec.get()};
+    for (auto _ : state) {
+        solver->apply(b.get(), x.get());
+    }
+    probe.report(state);
+}
+BENCHMARK(BM_CgApplySteadyState)->Arg(256)->Arg(4096);
+
+void BM_GmresApplySteadyState(benchmark::State& state)
+{
+    // GMRES is the allocation-heaviest solver (basis, Hessenberg, Givens,
+    // per-iteration sub-vectors); steady state must still be
+    // sys_allocs == 0.
+    const auto n = static_cast<size_type>(state.range(0));
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Csr<double, int32>> a =
+        Csr<double, int32>::create_from_data(exec, laplacian_1d(n));
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 0.0);
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(60))
+                      .with_criteria(stop::residual_norm(1e-12))
+                      .with_krylov_dim(30)
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());  // warm-up populates the workspace
+    alloc_probe probe{exec.get()};
+    for (auto _ : state) {
+        solver->apply(b.get(), x.get());
+    }
+    probe.report(state);
+}
+BENCHMARK(BM_GmresApplySteadyState)->Arg(256);
+
+void BM_ColdSolverGenerateAndApply(benchmark::State& state)
+{
+    // The contrast case: building the solver fresh every time pays the
+    // full workspace population cost — pool hits once warm, but
+    // allocations nonetheless.
+    const auto n = static_cast<size_type>(state.range(0));
+    auto exec = ReferenceExecutor::create();
+    std::shared_ptr<Csr<double, int32>> a =
+        Csr<double, int32>::create_from_data(exec, laplacian_1d(n));
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto factory = solver::Cg<double>::build()
+                       .with_criteria(stop::iteration(50))
+                       .with_criteria(stop::residual_norm(1e-12))
+                       .on(exec);
+    alloc_probe probe{exec.get()};
+    for (auto _ : state) {
+        auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 0.0);
+        auto solver = factory->generate(a);
+        solver->apply(b.get(), x.get());
+        benchmark::DoNotOptimize(x->at(0, 0));
+    }
+    probe.report(state);
+}
+BENCHMARK(BM_ColdSolverGenerateAndApply)->Arg(256);
 
 }  // namespace
 

@@ -27,7 +27,7 @@ public:
     array() = default;
 
     array(std::shared_ptr<const Executor> exec, size_type size = 0)
-        : exec_{std::move(exec)}, size_{size}
+        : exec_{std::move(exec)}, size_{size}, capacity_{size}
     {
         MGKO_ENSURE(exec_ != nullptr, "array requires an executor");
         MGKO_ENSURE(size_ >= 0, "array size must be non-negative");
@@ -115,20 +115,26 @@ public:
     {
         std::swap(exec_, other.exec_);
         std::swap(size_, other.size_);
+        std::swap(capacity_, other.capacity_);
         std::swap(data_, other.data_);
         std::swap(owning_, other.owning_);
     }
 
-    /// Drops current contents and reallocates to `size` elements
-    /// (uninitialized).  A view is detached (becomes owning).
+    /// Drops current contents and resizes to `size` elements
+    /// (uninitialized).  An owned allocation large enough for `size` is
+    /// kept and reused; otherwise the old block goes back to the
+    /// executor's pool and a fresh one is drawn.  A view is detached
+    /// (becomes owning).
     void resize_and_reset(size_type size)
     {
-        if (size == size_ && owning_) {
+        if (owning_ && size <= capacity_) {
+            size_ = size;
             return;
         }
         MGKO_ENSURE(exec_ != nullptr, "array requires an executor");
         clear();
         size_ = size;
+        capacity_ = size;
         if (size_ > 0) {
             data_ = exec_->alloc<T>(size_);
             owning_ = true;
@@ -186,11 +192,15 @@ private:
         }
         data_ = nullptr;
         size_ = 0;
+        capacity_ = 0;
         owning_ = false;
     }
 
     std::shared_ptr<const Executor> exec_;
     size_type size_{0};
+    /// Elements the owned allocation can hold (>= size_; shrinking keeps
+    /// the block so later regrowth within capacity is allocation-free).
+    size_type capacity_{0};
     T* data_{nullptr};
     bool owning_{false};
 };

@@ -68,33 +68,15 @@ Executor::Executor(sim::MachineModel model,
 {}
 
 
-Executor::~Executor()
-{
-    // Leaks are a bug in the framework, but throwing from a destructor is
-    // worse; allocations_ simply drops the records.
-    std::lock_guard<std::mutex> guard{registry_mutex_};
-    for (auto& [ptr, size] : allocations_) {
-        std::free(const_cast<void*>(ptr));
-    }
-}
+Executor::~Executor() = default;
 
 
 void* Executor::alloc_bytes(size_type bytes) const
 {
-    if (bytes <= 0) {
-        bytes = 1;
-    }
-    // 64-byte alignment: cache lines on CPUs, coalescing sectors on GPUs.
-    const auto rounded = static_cast<std::size_t>((bytes + 63) / 64 * 64);
-    void* ptr = std::aligned_alloc(64, rounded);
+    void* ptr = pool_.allocate(bytes);
     if (ptr == nullptr) {
         throw BadAlloc(__FILE__, __LINE__, bytes);
     }
-    {
-        std::lock_guard<std::mutex> guard{registry_mutex_};
-        allocations_.emplace(ptr, bytes);
-    }
-    bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed);
     return ptr;
 }
 
@@ -104,20 +86,11 @@ void Executor::free_bytes(void* ptr) const
     if (ptr == nullptr) {
         return;
     }
-    size_type size = 0;
-    {
-        std::lock_guard<std::mutex> guard{registry_mutex_};
-        auto it = allocations_.find(ptr);
-        if (it == allocations_.end()) {
-            throw MemorySpaceError(
-                __FILE__, __LINE__,
-                "freeing pointer not allocated on executor " + name_);
-        }
-        size = it->second;
-        allocations_.erase(it);
+    if (!pool_.release(ptr)) {
+        throw MemorySpaceError(
+            __FILE__, __LINE__,
+            "freeing pointer not allocated on executor " + name_);
     }
-    bytes_in_use_.fetch_sub(size, std::memory_order_relaxed);
-    std::free(ptr);
 }
 
 
@@ -177,24 +150,43 @@ std::shared_ptr<const Executor> Executor::get_master() const
 }
 
 
-bool Executor::owns(const void* ptr) const
-{
-    std::lock_guard<std::mutex> guard{registry_mutex_};
-    return allocations_.count(ptr) > 0;
-}
+bool Executor::owns(const void* ptr) const { return pool_.owns(ptr); }
 
 
 size_type Executor::num_allocations() const
 {
-    std::lock_guard<std::mutex> guard{registry_mutex_};
-    return static_cast<size_type>(allocations_.size());
+    return pool_.total_system_allocations();
 }
 
 
-size_type Executor::bytes_in_use() const
+size_type Executor::num_live_allocations() const
 {
-    return bytes_in_use_.load(std::memory_order_relaxed);
+    return pool_.live_blocks();
 }
+
+
+size_type Executor::bytes_in_use() const { return pool_.bytes_in_use(); }
+
+
+size_type Executor::pool_hits() const { return pool_.hits(); }
+
+
+size_type Executor::pool_misses() const { return pool_.misses(); }
+
+
+size_type Executor::pool_bytes_cached() const
+{
+    return pool_.bytes_cached();
+}
+
+
+size_type Executor::pool_high_watermark() const
+{
+    return pool_.cache_high_watermark();
+}
+
+
+size_type Executor::trim_pool() const { return pool_.trim(); }
 
 
 // --- ReferenceExecutor ---------------------------------------------------

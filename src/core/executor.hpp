@@ -20,11 +20,10 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "core/exception.hpp"
+#include "core/memory_pool.hpp"
 #include "core/types.hpp"
 #include "sim/machine_model.hpp"
 #include "sim/sim_clock.hpp"
@@ -65,10 +64,13 @@ public:
     Executor& operator=(const Executor&) = delete;
 
     /// Allocates `bytes` bytes in this executor's memory space (64-byte
-    /// aligned).  Registered for cross-space validation.  Throws BadAlloc.
+    /// aligned), served from the executor's caching pool when a block of
+    /// the same size class was freed earlier.  Registered for cross-space
+    /// validation.  Throws BadAlloc.
     void* alloc_bytes(size_type bytes) const;
 
-    /// Frees memory previously allocated on this executor.  Freeing a
+    /// Returns memory previously allocated on this executor to the
+    /// executor's pool (not the system; see trim_pool()).  Freeing a
     /// pointer from a different executor throws MemorySpaceError.
     void free_bytes(void* ptr) const;
 
@@ -119,9 +121,33 @@ public:
     bool owns(const void* ptr) const;
 
     // --- instrumentation ------------------------------------------------
+    //
+    // Allocation counters come in two flavours.  *System* counters describe
+    // traffic that actually reached the system allocator: num_allocations()
+    // is the cumulative count of fresh system allocations (== pool_misses()),
+    // so a steady-state region whose requests are all pool hits leaves it
+    // unchanged — the property the workspace tests assert.  *Live* counters
+    // describe the registry: num_live_allocations() and bytes_in_use() track
+    // blocks currently allocated and not yet freed, regardless of whether
+    // their eventual free returns them to the pool or the system.
     size_type num_kernel_launches() const { return launches_.load(); }
+    /// Cumulative system allocations performed by this executor (pool
+    /// misses); unchanged while requests are served from the pool.
     size_type num_allocations() const;
+    /// Blocks currently allocated and not yet freed.
+    size_type num_live_allocations() const;
+    /// Sum of the requested sizes of live blocks.
     size_type bytes_in_use() const;
+    /// Pool allocations served from the cached free lists.
+    size_type pool_hits() const;
+    /// Pool allocations that had to go to the system allocator.
+    size_type pool_misses() const;
+    /// Bytes currently cached in the pool's free lists.
+    size_type pool_bytes_cached() const;
+    /// Peak of pool_bytes_cached() over the executor's lifetime.
+    size_type pool_high_watermark() const;
+    /// Releases all cached blocks back to the system; returns bytes freed.
+    size_type trim_pool() const;
     /// Accumulated *real* wall time spent inside kernel bodies; benchmark
     /// harnesses subtract it to isolate host-side software overhead.
     double real_kernel_wall_ns() const { return kernel_wall_ns_.load(); }
@@ -137,10 +163,8 @@ private:
     std::string name_;
     std::shared_ptr<const Executor> master_;  // null for host executors
     mutable sim::SimClock clock_;
-    mutable std::mutex registry_mutex_;
-    mutable std::unordered_map<const void*, size_type> allocations_;
+    mutable detail::MemoryPool pool_;
     mutable std::atomic<size_type> launches_{0};
-    mutable std::atomic<size_type> bytes_in_use_{0};
     mutable std::atomic<double> kernel_wall_ns_{0.0};
 };
 

@@ -1,0 +1,144 @@
+// Size-bucketed caching allocator — the backing store of every Executor's
+// memory space (CUDA-memory-pool style, see DESIGN.md §"Pooled allocation").
+//
+// Freed blocks are returned to a per-size-class free list instead of the
+// system, so steady-state alloc/free traffic (solver temporaries, dot/norm
+// scratch) is served from the cache without touching the system allocator.
+// Two lock domains keep the hot path cheap:
+//
+//   * one mutex per size-class bucket guards that bucket's free list,
+//   * the live-pointer registry (needed for owns() / cross-space free
+//     validation) is sharded 16 ways by pointer hash,
+//
+// so concurrent allocations of different sizes, and concurrent frees of
+// unrelated pointers, never contend on a common lock.  `trim()` releases the
+// cache back to the system; hit/miss/cached-bytes/high-watermark counters
+// expose the pool next to the executor's existing instrumentation.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mgko::detail {
+
+
+class MemoryPool {
+public:
+    /// Cache lines on CPUs, coalescing sectors on GPUs.
+    static constexpr std::size_t alignment = 64;
+
+    MemoryPool() = default;
+    ~MemoryPool();
+
+    MemoryPool(const MemoryPool&) = delete;
+    MemoryPool& operator=(const MemoryPool&) = delete;
+
+    /// Returns a 64-byte aligned block of at least `bytes` bytes, from the
+    /// cache when a block of the same size class is available, from the
+    /// system otherwise (retrying once after a trim under memory pressure).
+    /// Returns nullptr when the system is out of memory.
+    void* allocate(size_type bytes);
+
+    /// Returns the block to the pool's free list.  `false` when `ptr` is not
+    /// a live allocation of this pool (the caller turns that into a
+    /// MemorySpaceError).
+    bool release(void* ptr);
+
+    /// True if `ptr` is a live (allocated, not yet released) block.
+    bool owns(const void* ptr) const;
+
+    /// Frees every cached block back to the system; returns bytes released.
+    size_type trim();
+
+    // --- instrumentation ----------------------------------------------------
+    /// Cumulative count of system allocations performed (== misses()).
+    size_type total_system_allocations() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /// Currently live (allocated, not released) blocks.
+    size_type live_blocks() const;
+    /// Sum of the *requested* sizes of live blocks.
+    size_type bytes_in_use() const
+    {
+        return bytes_in_use_.load(std::memory_order_relaxed);
+    }
+    /// Allocations served from the cache.
+    size_type hits() const { return hits_.load(std::memory_order_relaxed); }
+    /// Allocations that had to go to the system.
+    size_type misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /// Bytes currently sitting in free lists.
+    size_type bytes_cached() const
+    {
+        return bytes_cached_.load(std::memory_order_relaxed);
+    }
+    /// Peak of bytes_cached() over the pool's lifetime.
+    size_type cache_high_watermark() const
+    {
+        return watermark_.load(std::memory_order_relaxed);
+    }
+
+private:
+    // Size classes: exact multiples of 64 bytes up to 4 KiB (buckets
+    // 0..63), then powers of two 8 KiB..64 MiB (buckets 64..77).  Larger
+    // requests use the oversize pseudo-bucket and bypass the cache —
+    // multi-gigabyte system matrices are one-shot allocations whose
+    // retention would pin unbounded memory for no reuse benefit.
+    static constexpr std::size_t num_small = 64;
+    static constexpr std::size_t small_limit = num_small * alignment;
+    static constexpr std::size_t num_buckets = 78;
+    static constexpr std::size_t oversize_bucket = num_buckets;
+    static constexpr std::size_t num_shards = 16;
+
+    struct size_class {
+        std::size_t bucket;
+        std::size_t class_bytes;
+    };
+    static size_class classify(size_type bytes);
+
+    struct Bucket {
+        std::mutex mutex;
+        std::vector<void*> free_list;
+    };
+
+    /// Live-allocation record: the caller-visible size and the size class
+    /// actually backing it.
+    struct block_info {
+        size_type requested_bytes;
+        std::size_t class_bytes;
+        std::size_t bucket;
+    };
+
+    struct Shard {
+        mutable std::mutex mutex;
+        std::unordered_map<const void*, block_info> live;
+    };
+
+    static std::size_t shard_of(const void* ptr)
+    {
+        return (reinterpret_cast<std::uintptr_t>(ptr) / alignment) %
+               num_shards;
+    }
+
+    void note_cached(std::size_t class_bytes);
+
+    std::array<Bucket, num_buckets> buckets_;
+    std::array<Shard, num_shards> shards_;
+    std::atomic<size_type> hits_{0};
+    std::atomic<size_type> misses_{0};
+    std::atomic<size_type> bytes_in_use_{0};
+    std::atomic<size_type> bytes_cached_{0};
+    std::atomic<size_type> watermark_{0};
+};
+
+
+}  // namespace mgko::detail

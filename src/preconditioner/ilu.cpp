@@ -22,10 +22,10 @@ Ilu<ValueType, IndexType>::Ilu(
 template <typename ValueType, typename IndexType>
 void Ilu<ValueType, IndexType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    auto y = Dense<ValueType>::create(
-        get_executor(), dim2{get_size().rows, b->get_size().cols});
-    lower_solve_->apply(b, y.get());
-    upper_solve_->apply(y.get(), x);
+    auto* y = solver::detail::ensure_vec(
+        mid_, get_executor(), dim2{get_size().rows, b->get_size().cols});
+    lower_solve_->apply(b, y);
+    upper_solve_->apply(y, x);
 }
 
 
@@ -34,10 +34,11 @@ void Ilu<ValueType, IndexType>::apply_impl(const LinOp* alpha, const LinOp* b,
                                            const LinOp* beta, LinOp* x) const
 {
     auto dense_x = as_dense<ValueType>(x);
-    auto tmp = Dense<ValueType>::create(get_executor(), dense_x->get_size());
-    apply_impl(b, tmp.get());
+    auto* tmp = solver::detail::ensure_vec(adv_tmp_, get_executor(),
+                                           dense_x->get_size());
+    apply_impl(b, tmp);
     dense_x->scale(as_dense<ValueType>(beta));
-    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp);
 }
 
 
@@ -74,10 +75,10 @@ Ic<ValueType, IndexType>::Ic(
 template <typename ValueType, typename IndexType>
 void Ic<ValueType, IndexType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    auto y = Dense<ValueType>::create(
-        get_executor(), dim2{get_size().rows, b->get_size().cols});
-    lower_solve_->apply(b, y.get());
-    upper_solve_->apply(y.get(), x);
+    auto* y = solver::detail::ensure_vec(
+        mid_, get_executor(), dim2{get_size().rows, b->get_size().cols});
+    lower_solve_->apply(b, y);
+    upper_solve_->apply(y, x);
 }
 
 
@@ -86,10 +87,11 @@ void Ic<ValueType, IndexType>::apply_impl(const LinOp* alpha, const LinOp* b,
                                           const LinOp* beta, LinOp* x) const
 {
     auto dense_x = as_dense<ValueType>(x);
-    auto tmp = Dense<ValueType>::create(get_executor(), dense_x->get_size());
-    apply_impl(b, tmp.get());
+    auto* tmp = solver::detail::ensure_vec(adv_tmp_, get_executor(),
+                                           dense_x->get_size());
+    apply_impl(b, tmp);
     dense_x->scale(as_dense<ValueType>(beta));
-    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp);
 }
 
 

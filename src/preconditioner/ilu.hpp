@@ -9,6 +9,7 @@
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "solver/triangular.hpp"
+#include "solver/workspace.hpp"
 
 namespace mgko::preconditioner {
 
@@ -66,6 +67,10 @@ private:
     factorization::lu_factors<ValueType, IndexType> factors_;
     std::unique_ptr<LinOp> lower_solve_;
     std::unique_ptr<LinOp> upper_solve_;
+    /// Cached intermediate (y = L^{-1} b) and advanced-apply temporary,
+    /// reused across calls.
+    mutable std::unique_ptr<Dense<ValueType>> mid_;
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 
@@ -118,6 +123,10 @@ private:
     std::shared_ptr<Csr<ValueType, IndexType>> upper_;  // Lᵀ
     std::unique_ptr<LinOp> lower_solve_;
     std::unique_ptr<LinOp> upper_solve_;
+    /// Cached intermediate (y = L^{-1} b) and advanced-apply temporary,
+    /// reused across calls.
+    mutable std::unique_ptr<Dense<ValueType>> mid_;
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 

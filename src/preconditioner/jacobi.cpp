@@ -209,10 +209,11 @@ void Jacobi<ValueType, IndexType>::apply_impl(const LinOp* alpha,
                                               LinOp* x) const
 {
     auto dense_x = as_dense<ValueType>(x);
-    auto tmp = Dense<ValueType>::create(get_executor(), dense_x->get_size());
-    apply_impl(b, tmp.get());
+    auto* tmp = solver::detail::ensure_vec(adv_tmp_, get_executor(),
+                                           dense_x->get_size());
+    apply_impl(b, tmp);
     dense_x->scale(as_dense<ValueType>(beta));
-    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+    dense_x->add_scaled(as_dense<ValueType>(alpha), tmp);
 }
 
 

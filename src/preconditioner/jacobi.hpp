@@ -11,6 +11,7 @@
 #include "core/lin_op.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
+#include "solver/workspace.hpp"
 
 namespace mgko::preconditioner {
 
@@ -82,6 +83,8 @@ private:
     /// Scalar path: 1/diag per row.  Block path: inverted bs x bs blocks,
     /// stored contiguously block after block (row-major within a block).
     array<ValueType> inv_data_;
+    /// Cached temporary of the advanced apply, reused across calls.
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 

@@ -5,96 +5,112 @@
 
 namespace mgko::solver {
 
+namespace {
+enum bicgstab_slots : std::size_t {
+    ws_r,
+    ws_r_tilde,
+    ws_p,
+    ws_p_hat,
+    ws_v,
+    ws_s,
+    ws_s_hat,
+    ws_t,
+    ws_reduce,
+    ws_one,
+    ws_neg_one,
+    ws_coeff,
+};
+}  // namespace
+
 
 template <typename ValueType>
 void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    using detail::scalar;
     using detail::set_scalar;
-    auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
     this->logger_->reset();
 
     const auto n = this->get_size().rows;
-    auto make_vec = [&] { return Dense<ValueType>::create(exec, dim2{n, 1}); };
-    auto r = make_vec();
-    auto r_tilde = make_vec();
-    auto p = make_vec();
-    auto p_hat = make_vec();
-    auto v = make_vec();
-    auto s = make_vec();
-    auto s_hat = make_vec();
-    auto t = make_vec();
-    auto one_s = scalar<ValueType>(exec, 1.0);
-    auto neg_one_s = scalar<ValueType>(exec, -1.0);
-    auto coeff_s = scalar<ValueType>(exec, 0.0);
+    auto& ws = this->workspace_;
+    auto* r = ws.vec(ws_r, dim2{n, 1});
+    auto* r_tilde = ws.vec(ws_r_tilde, dim2{n, 1});
+    auto* p = ws.vec(ws_p, dim2{n, 1});
+    auto* p_hat = ws.vec(ws_p_hat, dim2{n, 1});
+    auto* v = ws.vec(ws_v, dim2{n, 1});
+    auto* s = ws.vec(ws_s, dim2{n, 1});
+    auto* s_hat = ws.vec(ws_s_hat, dim2{n, 1});
+    auto* t = ws.vec(ws_t, dim2{n, 1});
+    auto* reduce = ws.vec(ws_reduce, dim2{1, 1});
+    auto* one_s = ws.scalar(ws_one, 1.0);
+    auto* neg_one_s = ws.scalar(ws_neg_one, -1.0);
+    auto* coeff_s = ws.scalar(ws_coeff, 0.0);
 
-    const double b_norm = dense_b->norm2_scalar();
+    const double b_norm = detail::norm2(dense_b, reduce);
     double r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                             dense_x, r.get(), one_s.get(),
-                                             neg_one_s.get());
+                                             dense_x, r, one_s, neg_one_s,
+                                             reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
     this->logger_->log_iteration(0, r_norm);
-    r_tilde->copy_from(r.get());
+    r_tilde->copy_from(r);
     p->fill(zero<ValueType>());
     v->fill(zero<ValueType>());
 
     double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
-        const double rho = r_tilde->dot_scalar(r.get());
+        const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
             this->logger_->log_stop(iter, false, "breakdown: rho == 0");
             return;
         }
         const double beta = (rho / rho_prev) * (alpha / omega);
         // p = r + beta * (p - omega * v)
-        set_scalar(coeff_s.get(), omega);
-        p->sub_scaled(coeff_s.get(), v.get());
-        set_scalar(coeff_s.get(), beta);
-        p->scale(coeff_s.get());
-        p->add_scaled(one_s.get(), r.get());
+        set_scalar(coeff_s, omega);
+        p->sub_scaled(coeff_s, v);
+        set_scalar(coeff_s, beta);
+        p->scale(coeff_s);
+        p->add_scaled(one_s, r);
 
-        this->precond_->apply(p.get(), p_hat.get());
-        this->system_->apply(p_hat.get(), v.get());
-        const double rv = r_tilde->dot_scalar(v.get());
+        this->precond_->apply(p, p_hat);
+        this->system_->apply(p_hat, v);
+        const double rv = detail::dot(r_tilde, v, reduce);
         if (rv == 0.0 || !std::isfinite(rv)) {
             this->logger_->log_stop(iter, false, "breakdown: r~'v == 0");
             return;
         }
         alpha = rho / rv;
         // s = r - alpha * v
-        s->copy_from(r.get());
-        set_scalar(coeff_s.get(), alpha);
-        s->sub_scaled(coeff_s.get(), v.get());
-        const double s_norm = s->norm2_scalar();
+        s->copy_from(r);
+        set_scalar(coeff_s, alpha);
+        s->sub_scaled(coeff_s, v);
+        const double s_norm = detail::norm2(s, reduce);
         ++iter;
         if (criterion->is_satisfied(iter, s_norm)) {
             // Half-step convergence: x += alpha * p_hat.
-            dense_x->add_scaled(coeff_s.get(), p_hat.get());
+            dense_x->add_scaled(coeff_s, p_hat);
             r_norm = s_norm;
             this->logger_->log_iteration(iter, r_norm);
             break;
         }
-        this->precond_->apply(s.get(), s_hat.get());
-        this->system_->apply(s_hat.get(), t.get());
-        const double tt = t->dot_scalar(t.get());
+        this->precond_->apply(s, s_hat);
+        this->system_->apply(s_hat, t);
+        const double tt = detail::dot(t, t, reduce);
         if (tt == 0.0 || !std::isfinite(tt)) {
             this->logger_->log_stop(iter, false, "breakdown: t't == 0");
             return;
         }
-        omega = t->dot_scalar(s.get()) / tt;
+        omega = detail::dot(t, s, reduce) / tt;
         // x += alpha * p_hat + omega * s_hat
-        dense_x->add_scaled(coeff_s.get(), p_hat.get());
-        set_scalar(coeff_s.get(), omega);
-        dense_x->add_scaled(coeff_s.get(), s_hat.get());
+        dense_x->add_scaled(coeff_s, p_hat);
+        set_scalar(coeff_s, omega);
+        dense_x->add_scaled(coeff_s, s_hat);
         // r = s - omega * t
-        r->copy_from(s.get());
-        r->sub_scaled(coeff_s.get(), t.get());
+        r->copy_from(s);
+        r->sub_scaled(coeff_s, t);
         rho_prev = rho;
-        r_norm = r->norm2_scalar();
+        r_norm = detail::norm2(r, reduce);
         this->logger_->log_iteration(iter, r_norm);
         if (omega == 0.0) {
             this->logger_->log_stop(iter, false, "breakdown: omega == 0");

@@ -5,90 +5,107 @@
 
 namespace mgko::solver {
 
+namespace {
+enum cgs_slots : std::size_t {
+    ws_r,
+    ws_r_tilde,
+    ws_u,
+    ws_p,
+    ws_q,
+    ws_v,
+    ws_t,
+    ws_t_hat,
+    ws_reduce,
+    ws_one,
+    ws_neg_one,
+    ws_alpha,
+    ws_beta,
+};
+}  // namespace
+
 
 template <typename ValueType>
 void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    using detail::scalar;
     using detail::set_scalar;
-    auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
     this->logger_->reset();
 
     const auto n = this->get_size().rows;
-    auto make_vec = [&] { return Dense<ValueType>::create(exec, dim2{n, 1}); };
-    auto r = make_vec();
-    auto r_tilde = make_vec();
-    auto u = make_vec();
-    auto p = make_vec();
-    auto q = make_vec();
-    auto v = make_vec();
-    auto t = make_vec();
-    auto t_hat = make_vec();
-    auto one_s = scalar<ValueType>(exec, 1.0);
-    auto neg_one_s = scalar<ValueType>(exec, -1.0);
-    auto alpha_s = scalar<ValueType>(exec, 0.0);
-    auto beta_s = scalar<ValueType>(exec, 0.0);
+    auto& ws = this->workspace_;
+    auto* r = ws.vec(ws_r, dim2{n, 1});
+    auto* r_tilde = ws.vec(ws_r_tilde, dim2{n, 1});
+    auto* u = ws.vec(ws_u, dim2{n, 1});
+    auto* p = ws.vec(ws_p, dim2{n, 1});
+    auto* q = ws.vec(ws_q, dim2{n, 1});
+    auto* v = ws.vec(ws_v, dim2{n, 1});
+    auto* t = ws.vec(ws_t, dim2{n, 1});
+    auto* t_hat = ws.vec(ws_t_hat, dim2{n, 1});
+    auto* reduce = ws.vec(ws_reduce, dim2{1, 1});
+    auto* one_s = ws.scalar(ws_one, 1.0);
+    auto* neg_one_s = ws.scalar(ws_neg_one, -1.0);
+    auto* alpha_s = ws.scalar(ws_alpha, 0.0);
+    auto* beta_s = ws.scalar(ws_beta, 0.0);
 
-    const double b_norm = dense_b->norm2_scalar();
+    const double b_norm = detail::norm2(dense_b, reduce);
     double r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                             dense_x, r.get(), one_s.get(),
-                                             neg_one_s.get());
+                                             dense_x, r, one_s, neg_one_s,
+                                             reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
     this->logger_->log_iteration(0, r_norm);
-    r_tilde->copy_from(r.get());
+    r_tilde->copy_from(r);
 
     double rho_prev = 1.0;
     size_type iter = 0;
     bool first = true;
     while (!criterion->is_satisfied(iter, r_norm)) {
-        const double rho = r_tilde->dot_scalar(r.get());
+        const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
             this->logger_->log_stop(iter, false, "breakdown: rho == 0");
             return;
         }
         if (first) {
-            u->copy_from(r.get());
-            p->copy_from(u.get());
+            u->copy_from(r);
+            p->copy_from(u);
             first = false;
         } else {
             const double beta = rho / rho_prev;
-            set_scalar(beta_s.get(), beta);
+            set_scalar(beta_s, beta);
             // u = r + beta * q
-            u->copy_from(r.get());
-            u->add_scaled(beta_s.get(), q.get());
+            u->copy_from(r);
+            u->add_scaled(beta_s, q);
             // p = u + beta * (q + beta * p)
-            p->scale(beta_s.get());
-            p->add_scaled(one_s.get(), q.get());
-            p->scale(beta_s.get());
-            p->add_scaled(one_s.get(), u.get());
+            p->scale(beta_s);
+            p->add_scaled(one_s, q);
+            p->scale(beta_s);
+            p->add_scaled(one_s, u);
         }
         // v = A * M(p)
-        this->precond_->apply(p.get(), t_hat.get());
-        this->system_->apply(t_hat.get(), v.get());
-        const double sigma = r_tilde->dot_scalar(v.get());
+        this->precond_->apply(p, t_hat);
+        this->system_->apply(t_hat, v);
+        const double sigma = detail::dot(r_tilde, v, reduce);
         if (sigma == 0.0 || !std::isfinite(sigma)) {
             this->logger_->log_stop(iter, false, "breakdown: sigma == 0");
             return;
         }
         const double alpha = rho / sigma;
-        set_scalar(alpha_s.get(), alpha);
+        set_scalar(alpha_s, alpha);
         // q = u - alpha * v
-        q->copy_from(u.get());
-        q->sub_scaled(alpha_s.get(), v.get());
+        q->copy_from(u);
+        q->sub_scaled(alpha_s, v);
         // t = M(u + q)
-        t_hat->copy_from(u.get());
-        t_hat->add_scaled(one_s.get(), q.get());
-        this->precond_->apply(t_hat.get(), t.get());
+        t_hat->copy_from(u);
+        t_hat->add_scaled(one_s, q);
+        this->precond_->apply(t_hat, t);
         // x += alpha * t ; r -= alpha * A t
-        dense_x->add_scaled(alpha_s.get(), t.get());
-        this->system_->apply(t.get(), v.get());
-        r->sub_scaled(alpha_s.get(), v.get());
+        dense_x->add_scaled(alpha_s, t);
+        this->system_->apply(t, v);
+        r->sub_scaled(alpha_s, v);
 
         rho_prev = rho;
-        r_norm = r->norm2_scalar();
+        r_norm = detail::norm2(r, reduce);
         ++iter;
         this->logger_->log_iteration(iter, r_norm);
     }

@@ -28,15 +28,34 @@ void set_scalar(Dense<V>* s, double value)
 }
 
 
-/// r = b - A x; returns ||r||_2.
+/// a . b written into the persistent 1x1 `reduce` buffer and read back on
+/// the host.  Using a workspace slot instead of Dense::dot_scalar keeps the
+/// solver inner loop free of allocation traffic entirely — not even pool
+/// hits.
+template <typename V>
+double dot(const Dense<V>* a, const Dense<V>* b, Dense<V>* reduce)
+{
+    a->compute_dot(b, reduce);
+    return to_float(reduce->at(0, 0));
+}
+
+/// ||a||_2 via the persistent 1x1 `reduce` buffer.
+template <typename V>
+double norm2(const Dense<V>* a, Dense<V>* reduce)
+{
+    a->compute_norm2(reduce);
+    return to_float(reduce->at(0, 0));
+}
+
+/// r = b - A x; returns ||r||_2 via the persistent `reduce` buffer.
 template <typename V>
 double compute_residual(const LinOp* system, const Dense<V>* b,
                         const Dense<V>* x, Dense<V>* r, const Dense<V>* one_s,
-                        const Dense<V>* neg_one_s)
+                        const Dense<V>* neg_one_s, Dense<V>* reduce)
 {
     r->copy_from(b);
     system->apply(neg_one_s, x, one_s, r);
-    return r->norm2_scalar();
+    return norm2(r, reduce);
 }
 
 

@@ -14,6 +14,7 @@
 #include "core/lin_op.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
+#include "solver/workspace.hpp"
 
 namespace mgko::solver {
 
@@ -57,6 +58,8 @@ private:
     /// Packed LU factors (unit lower + upper) and the pivot permutation.
     std::unique_ptr<Dense<ValueType>> lu_;
     std::vector<size_type> pivots_;
+    /// Cached temporary of the advanced apply, reused across calls.
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 

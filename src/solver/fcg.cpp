@@ -5,72 +5,87 @@
 
 namespace mgko::solver {
 
+namespace {
+enum fcg_slots : std::size_t {
+    ws_r,
+    ws_r_old,
+    ws_z,
+    ws_p,
+    ws_q,
+    ws_t,
+    ws_reduce,
+    ws_one,
+    ws_neg_one,
+    ws_alpha,
+    ws_beta,
+};
+}  // namespace
+
 
 template <typename ValueType>
 void Fcg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    using detail::scalar;
     using detail::set_scalar;
-    auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
     this->logger_->reset();
 
     const auto n = this->get_size().rows;
-    auto make_vec = [&] { return Dense<ValueType>::create(exec, dim2{n, 1}); };
-    auto r = make_vec();
-    auto r_old = make_vec();
-    auto z = make_vec();
-    auto p = make_vec();
-    auto q = make_vec();
-    auto t = make_vec();  // r - r_old (the "flexible" correction)
-    auto one_s = scalar<ValueType>(exec, 1.0);
-    auto neg_one_s = scalar<ValueType>(exec, -1.0);
-    auto alpha_s = scalar<ValueType>(exec, 0.0);
-    auto beta_s = scalar<ValueType>(exec, 0.0);
+    auto& ws = this->workspace_;
+    auto* r = ws.vec(ws_r, dim2{n, 1});
+    auto* r_old = ws.vec(ws_r_old, dim2{n, 1});
+    auto* z = ws.vec(ws_z, dim2{n, 1});
+    auto* p = ws.vec(ws_p, dim2{n, 1});
+    auto* q = ws.vec(ws_q, dim2{n, 1});
+    auto* t = ws.vec(ws_t, dim2{n, 1});  // r - r_old (flexible correction)
+    auto* reduce = ws.vec(ws_reduce, dim2{1, 1});
+    auto* one_s = ws.scalar(ws_one, 1.0);
+    auto* neg_one_s = ws.scalar(ws_neg_one, -1.0);
+    auto* alpha_s = ws.scalar(ws_alpha, 0.0);
+    auto* beta_s = ws.scalar(ws_beta, 0.0);
 
-    const double b_norm = dense_b->norm2_scalar();
+    const double b_norm = detail::norm2(dense_b, reduce);
     double r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                             dense_x, r.get(), one_s.get(),
-                                             neg_one_s.get());
+                                             dense_x, r, one_s, neg_one_s,
+                                             reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
     this->logger_->log_iteration(0, r_norm);
 
-    this->precond_->apply(r.get(), z.get());
-    p->copy_from(z.get());
-    r_old->copy_from(r.get());
-    double rho = r->dot_scalar(z.get());
+    this->precond_->apply(r, z);
+    p->copy_from(z);
+    r_old->copy_from(r);
+    double rho = detail::dot(r, z, reduce);
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
-        this->system_->apply(p.get(), q.get());
-        const double pq = p->dot_scalar(q.get());
+        this->system_->apply(p, q);
+        const double pq = detail::dot(p, q, reduce);
         if (pq == 0.0 || !std::isfinite(pq)) {
             this->logger_->log_stop(iter, false, "breakdown: p'Ap == 0");
             return;
         }
         const double alpha = rho / pq;
-        set_scalar(alpha_s.get(), alpha);
-        dense_x->add_scaled(alpha_s.get(), p.get());
-        r->sub_scaled(alpha_s.get(), q.get());
-        r_norm = r->norm2_scalar();
+        set_scalar(alpha_s, alpha);
+        dense_x->add_scaled(alpha_s, p);
+        r->sub_scaled(alpha_s, q);
+        r_norm = detail::norm2(r, reduce);
         ++iter;
         this->logger_->log_iteration(iter, r_norm);
         if (criterion->is_satisfied(iter, r_norm)) {
             break;
         }
-        this->precond_->apply(r.get(), z.get());
+        this->precond_->apply(r, z);
         // Polak-Ribiere: beta = z' (r - r_old) / rho_old — robust when the
         // preconditioner changes between iterations.
-        t->copy_from(r.get());
-        t->sub_scaled(one_s.get(), r_old.get());
-        const double rho_t = z->dot_scalar(t.get());
-        set_scalar(beta_s.get(), rho_t / rho);
-        rho = r->dot_scalar(z.get());
-        r_old->copy_from(r.get());
-        p->scale(beta_s.get());
-        p->add_scaled(one_s.get(), z.get());
+        t->copy_from(r);
+        t->sub_scaled(one_s, r_old);
+        const double rho_t = detail::dot(z, t, reduce);
+        set_scalar(beta_s, rho_t / rho);
+        rho = detail::dot(r, z, reduce);
+        r_old->copy_from(r);
+        p->scale(beta_s);
+        p->add_scaled(one_s, z);
     }
     this->logger_->log_stop(iter, criterion->indicates_convergence(),
                             criterion->reason());

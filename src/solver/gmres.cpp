@@ -48,13 +48,40 @@ void tick_device_triangular(const Executor* exec, size_type steps)
     }
 }
 
+// Device-side workspace slots; the Krylov basis and the Gram-Schmidt /
+// update-step scratch are sized by (n, krylov_dim) and persist across
+// apply() calls.  Per-inner-iteration sub-vectors (hcol for columns
+// 0..j, the restart correction y) are row-block *views* into the
+// full-size slots, so the inner loop never allocates.
+enum gmres_slots : std::size_t {
+    ws_r,
+    ws_w,
+    ws_w_hat,
+    ws_basis,
+    ws_hcol,
+    ws_hcol2,
+    ws_y,
+    ws_reduce,
+    ws_one,
+    ws_neg_one,
+    ws_coeff,
+};
+
+// Host-side workspace slots (Hessenberg/Givens state).
+enum gmres_host_slots : std::size_t {
+    ws_h_hessenberg,
+    ws_h_givens_c,
+    ws_h_givens_s,
+    ws_h_g,
+    ws_h_y,
+};
+
 }  // namespace
 
 
 template <typename ValueType>
 void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    using detail::scalar;
     using detail::set_scalar;
     auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
@@ -66,30 +93,39 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     const auto m = this->params_.krylov_dim;
     MGKO_ENSURE(m >= 1, "krylov_dim must be >= 1");
 
-    auto r = Dense<ValueType>::create(exec, dim2{n, 1});
-    auto w = Dense<ValueType>::create(exec, dim2{n, 1});
-    auto w_hat = Dense<ValueType>::create(exec, dim2{n, 1});
+    auto& ws = this->workspace_;
+    auto* r = ws.vec(ws_r, dim2{n, 1});
+    auto* w = ws.vec(ws_w, dim2{n, 1});
+    auto* w_hat = ws.vec(ws_w_hat, dim2{n, 1});
     // Krylov basis: n x (m+1), one column per basis vector.
-    auto basis = Dense<ValueType>::create(exec, dim2{n, m + 1});
-    auto one_s = scalar<ValueType>(exec, 1.0);
-    auto neg_one_s = scalar<ValueType>(exec, -1.0);
-    auto coeff_s = scalar<ValueType>(exec, 0.0);
+    auto* basis = ws.vec(ws_basis, dim2{n, m + 1});
+    // Full-height Gram-Schmidt coefficient columns; iteration j uses the
+    // leading (j+1)-row view.
+    auto* hcol_full = ws.vec(ws_hcol, dim2{m + 1, 1});
+    auto* hcol2_full = ws.vec(ws_hcol2, dim2{m + 1, 1});
+    auto* y_full = ws.vec(ws_y, dim2{m, 1});
+    auto* reduce = ws.vec(ws_reduce, dim2{1, 1});
+    auto* one_s = ws.scalar(ws_one, 1.0);
+    auto* neg_one_s = ws.scalar(ws_neg_one, -1.0);
+    auto* coeff_s = ws.scalar(ws_coeff, 0.0);
 
     // Hessenberg matrix and Givens state; physically these live on the
     // device in Ginkgo — here they are host-backed and their device cost is
-    // charged via tick_small_device_op.
-    std::vector<double> hessenberg(static_cast<std::size_t>((m + 1) * m), 0.0);
+    // charged via tick_small_device_op.  Only entries written this cycle
+    // are ever read, so the persistent buffers need no re-zeroing.
+    auto& hessenberg =
+        ws.host(ws_h_hessenberg, static_cast<std::size_t>((m + 1) * m));
     auto h_at = [&](size_type i, size_type j) -> double& {
         return hessenberg[static_cast<std::size_t>(i * m + j)];
     };
-    std::vector<double> givens_c(static_cast<std::size_t>(m), 0.0);
-    std::vector<double> givens_s(static_cast<std::size_t>(m), 0.0);
-    std::vector<double> g(static_cast<std::size_t>(m + 1), 0.0);
+    auto& givens_c = ws.host(ws_h_givens_c, static_cast<std::size_t>(m));
+    auto& givens_s = ws.host(ws_h_givens_s, static_cast<std::size_t>(m));
+    auto& g = ws.host(ws_h_g, static_cast<std::size_t>(m + 1));
 
-    const double b_norm = dense_b->norm2_scalar();
+    const double b_norm = detail::norm2(dense_b, reduce);
     double r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                             dense_x, r.get(), one_s.get(),
-                                             neg_one_s.get());
+                                             dense_x, r, one_s, neg_one_s,
+                                             reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
     this->logger_->log_iteration(0, r_norm);
 
@@ -99,8 +135,8 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     while (!stopped) {
         // --- start a restart cycle --------------------------------------
         // Left-preconditioned initial direction: v0 = M r / ||M r||.
-        this->precond_->apply(r.get(), w_hat.get());
-        const double beta0 = w_hat->norm2_scalar();
+        this->precond_->apply(r, w_hat);
+        const double beta0 = detail::norm2(w_hat, reduce);
         if (beta0 == 0.0 || !std::isfinite(beta0)) {
             this->logger_->log_stop(total_iters, beta0 == 0.0,
                                     beta0 == 0.0 ? "exact solution reached"
@@ -110,9 +146,9 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         }
         {
             auto v0 = basis->column_view(0);
-            v0->copy_from(w_hat.get());
-            set_scalar(coeff_s.get(), 1.0 / beta0);
-            v0->scale(coeff_s.get());
+            v0->copy_from(w_hat);
+            set_scalar(coeff_s, 1.0 / beta0);
+            v0->scale(coeff_s);
         }
         std::fill(g.begin(), g.end(), 0.0);
         g[0] = beta0;
@@ -123,35 +159,35 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
             // w = M A v_j
             {
                 auto vj = basis->column_view(j);
-                this->system_->apply(vj.get(), w_hat.get());
+                this->system_->apply(vj.get(), w_hat);
             }
-            this->precond_->apply(w_hat.get(), w.get());
+            this->precond_->apply(w_hat, w);
             // Block Gram-Schmidt against columns 0..j with a second
             // re-orthogonalization pass (CGS2) — Ginkgo re-orthogonalizes
             // for robustness, doubling the dense projection work relative
             // to CuPy's single-pass projection.
             auto vblock = Dense<ValueType>::create_view(
                 exec, dim2{n, j + 1}, basis->get_values(), m + 1);
-            auto hcol = Dense<ValueType>::create(exec, dim2{j + 1, 1});
-            vblock->transpose_apply(w.get(), hcol.get());
-            vblock->apply(neg_one_s.get(), hcol.get(), one_s.get(), w.get());
-            auto hcol2 = Dense<ValueType>::create(exec, dim2{j + 1, 1});
-            vblock->transpose_apply(w.get(), hcol2.get());
-            vblock->apply(neg_one_s.get(), hcol2.get(), one_s.get(), w.get());
+            auto hcol = hcol_full->row_block_view(0, j + 1);
+            vblock->transpose_apply(w, hcol.get());
+            vblock->apply(neg_one_s, hcol.get(), one_s, w);
+            auto hcol2 = hcol2_full->row_block_view(0, j + 1);
+            vblock->transpose_apply(w, hcol2.get());
+            vblock->apply(neg_one_s, hcol2.get(), one_s, w);
             for (size_type i = 0; i <= j; ++i) {
                 h_at(i, j) =
                     to_float(hcol->at(i, 0)) + to_float(hcol2->at(i, 0));
             }
-            const double h_next = w->norm2_scalar();
+            const double h_next = detail::norm2(w, reduce);
             h_at(j + 1, j) = h_next;
 
             const bool happy_breakdown =
                 h_next <= 1e-14 * std::abs(h_at(j, j) + 1e-300);
             if (!happy_breakdown) {
                 auto vnext = basis->column_view(j + 1);
-                vnext->copy_from(w.get());
-                set_scalar(coeff_s.get(), 1.0 / h_next);
-                vnext->scale(coeff_s.get());
+                vnext->copy_from(w);
+                set_scalar(coeff_s, 1.0 / h_next);
+                vnext->scale(coeff_s);
             }
 
             // Givens update of column j (device-side in Ginkgo).
@@ -206,7 +242,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         }
 
         // --- solve the triangular system R y = g (device) ---------------
-        std::vector<double> y(static_cast<std::size_t>(j_end), 0.0);
+        auto& y = ws.host(ws_h_y, static_cast<std::size_t>(j_end));
         for (size_type i = j_end; i-- > 0;) {
             double sum = g[i];
             for (size_type l = i + 1; l < j_end; ++l) {
@@ -219,19 +255,19 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         tick_device_triangular(exec.get(), j_end);
 
         // x += V(:, 0..j_end-1) * y  (single GEMV).
-        auto y_dev = Dense<ValueType>::create(exec, dim2{j_end, 1});
+        auto y_dev = y_full->row_block_view(0, j_end);
         for (size_type i = 0; i < j_end; ++i) {
             y_dev->get_values()[i * y_dev->get_stride()] =
                 static_cast<ValueType>(y[static_cast<std::size_t>(i)]);
         }
         auto vblock = Dense<ValueType>::create_view(
             exec, dim2{n, j_end}, basis->get_values(), m + 1);
-        vblock->apply(one_s.get(), y_dev.get(), one_s.get(), dense_x);
+        vblock->apply(one_s, y_dev.get(), one_s, dense_x);
 
         // True residual for the restart decision.
         r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                          dense_x, r.get(), one_s.get(),
-                                          neg_one_s.get());
+                                          dense_x, r, one_s, neg_one_s,
+                                          reduce);
         if (!stopped) {
             stopped = criterion->is_satisfied(total_iters, r_norm);
         }

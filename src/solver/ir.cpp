@@ -5,39 +5,49 @@
 
 namespace mgko::solver {
 
+namespace {
+enum ir_slots : std::size_t {
+    ws_r,
+    ws_d,
+    ws_reduce,
+    ws_one,
+    ws_neg_one,
+    ws_omega,
+};
+}  // namespace
+
 
 template <typename ValueType>
 void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
-    using detail::scalar;
-    auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
     this->logger_->reset();
 
     const auto n = this->get_size().rows;
-    auto r = Dense<ValueType>::create(exec, dim2{n, 1});
-    auto d = Dense<ValueType>::create(exec, dim2{n, 1});
-    auto one_s = scalar<ValueType>(exec, 1.0);
-    auto neg_one_s = scalar<ValueType>(exec, -1.0);
-    auto omega_s =
-        scalar<ValueType>(exec, this->params_.relaxation_factor);
+    auto& ws = this->workspace_;
+    auto* r = ws.vec(ws_r, dim2{n, 1});
+    auto* d = ws.vec(ws_d, dim2{n, 1});
+    auto* reduce = ws.vec(ws_reduce, dim2{1, 1});
+    auto* one_s = ws.scalar(ws_one, 1.0);
+    auto* neg_one_s = ws.scalar(ws_neg_one, -1.0);
+    auto* omega_s = ws.scalar(ws_omega, this->params_.relaxation_factor);
 
-    const double b_norm = dense_b->norm2_scalar();
+    const double b_norm = detail::norm2(dense_b, reduce);
     double r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                             dense_x, r.get(), one_s.get(),
-                                             neg_one_s.get());
+                                             dense_x, r, one_s, neg_one_s,
+                                             reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
     this->logger_->log_iteration(0, r_norm);
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
-        this->precond_->apply(r.get(), d.get());
-        dense_x->add_scaled(omega_s.get(), d.get());
+        this->precond_->apply(r, d);
+        dense_x->add_scaled(omega_s, d);
         r_norm = detail::compute_residual(this->system_.get(), dense_b,
-                                          dense_x, r.get(), one_s.get(),
-                                          neg_one_s.get());
+                                          dense_x, r, one_s, neg_one_s,
+                                          reduce);
         ++iter;
         this->logger_->log_iteration(iter, r_norm);
     }

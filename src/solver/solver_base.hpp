@@ -24,6 +24,7 @@
 #include "core/types.hpp"
 #include "log/logger.hpp"
 #include "matrix/dense.hpp"
+#include "solver/workspace.hpp"
 #include "stop/criterion.hpp"
 
 namespace mgko::solver {
@@ -134,7 +135,8 @@ protected:
         : LinOp{exec, system->get_size()},
           params_{std::move(params)},
           system_{std::move(system)},
-          logger_{std::make_shared<log::ConvergenceLogger>()}
+          logger_{std::make_shared<log::ConvergenceLogger>()},
+          workspace_{exec}
     {
         MGKO_ENSURE(system_->get_size().rows == system_->get_size().cols,
                     "iterative solvers require a square system");
@@ -164,17 +166,19 @@ protected:
     // dispatch to the concrete solver's implementation.
     using LinOp::apply_impl;
 
-    /// Common advanced apply: x = alpha * solve(b) + beta * x.
+    /// Common advanced apply: x = alpha * solve(b) + beta * x.  The
+    /// temporary solution is cached across calls (separately from the
+    /// solver's workspace_, whose slots the nested apply_impl uses).
     void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
                     LinOp* x) const override
     {
         auto dense_x = as_dense<ValueType>(x);
-        auto tmp = Dense<ValueType>::create(this->get_executor(),
-                                            dense_x->get_size());
+        auto* tmp = detail::ensure_vec(adv_tmp_, this->get_executor(),
+                                       dense_x->get_size());
         tmp->copy_from(dense_x);
-        this->apply_impl(b, tmp.get());
+        this->apply_impl(b, tmp);
         dense_x->scale(as_dense<ValueType>(beta));
-        dense_x->add_scaled(as_dense<ValueType>(alpha), tmp.get());
+        dense_x->add_scaled(as_dense<ValueType>(alpha), tmp);
     }
 
     /// Krylov solvers here handle one right-hand side per apply.
@@ -190,6 +194,13 @@ protected:
     std::shared_ptr<const LinOp> system_;
     std::shared_ptr<const LinOp> precond_;
     std::shared_ptr<log::ConvergenceLogger> logger_;
+    /// All Krylov temporaries live here, allocated on first apply() and
+    /// reused by every subsequent one (resized only when the system
+    /// dimension changes).  Mutable because apply() is logically const.
+    mutable Workspace<ValueType> workspace_;
+    /// Cached temporary of the advanced apply (x-sized; kept out of
+    /// workspace_ because the nested plain apply uses the workspace slots).
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 

@@ -15,6 +15,8 @@
 #include "core/lin_op.hpp"
 #include "core/types.hpp"
 #include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "solver/workspace.hpp"
 
 namespace mgko::solver {
 
@@ -108,6 +110,8 @@ private:
     /// [level_offsets_[l], level_offsets_[l+1]).
     std::vector<IndexType> level_rows_;
     std::vector<size_type> level_offsets_;
+    /// Cached temporary of the advanced apply, reused across calls.
+    mutable std::unique_ptr<Dense<ValueType>> adv_tmp_;
 };
 
 
