@@ -16,6 +16,8 @@ int main()
 {
     auto cuda = CudaExecutor::create();
     auto hip = HipExecutor::create();
+    // MGKO_PROFILE=<path|stdout> dumps a per-tag kernel/allocation profile.
+    bench::ProfileScope profile{"fig5a", {cuda, hip}};
 
     auto suite = matgen::overhead_suite();
     std::sort(suite.begin(), suite.end(), [](const auto& a, const auto& b) {

@@ -30,6 +30,9 @@ struct sample {
 
 int main()
 {
+    // MGKO_PROFILE=<path|stdout>: per-call bind.* tags with the
+    // GIL-wait/lookup/boxing/interpreter breakdown this figure isolates.
+    bench::ProfileScope profile{"fig5b", {}};
     auto suite = matgen::overhead_suite();
     std::sort(suite.begin(), suite.end(), [](const auto& a, const auto& b) {
         return a.nnz_estimate < b.nnz_estimate;

@@ -16,6 +16,7 @@
 #include "bindings/api.hpp"
 #include "bindings/registry.hpp"
 #include "config/json.hpp"
+#include "log/profiler.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "solver/cg.hpp"
@@ -279,4 +280,26 @@ BENCHMARK(BM_ColdSolverGenerateAndApply)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the opt-in MGKO_PROFILE hook: with the variable
+// set, every bound call made by the benchmarks above is attributed to
+// bind.* tags (per-name wall time and the GIL-wait/lookup/boxing/
+// interpreter breakdown) and the JSON is dumped at exit.  Unset, no
+// logger is attached and the measured numbers are unaffected.
+int main(int argc, char** argv)
+{
+    auto profiler = log::profiler_from_env();
+    if (profiler) {
+        bind::add_logger(profiler);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (profiler) {
+        bind::remove_logger(profiler.get());
+        log::dump_profile(*profiler, "micro_overhead");
+    }
+    return 0;
+}

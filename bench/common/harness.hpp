@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "bindings/registry.hpp"
 #include "core/executor.hpp"
+#include "log/profiler.hpp"
 #include "matgen/matgen.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
@@ -146,6 +148,50 @@ inline void check_shape(const char* claim, bool holds, const std::string& detail
     std::printf("[%s] %s — %s\n", holds ? "SHAPE OK" : "SHAPE DEVIATES",
                 claim, detail.c_str());
 }
+
+
+/// Opt-in profiling for a bench run: when MGKO_PROFILE is set, attaches a
+/// ProfilerLogger to the given executors and to the binding layer for the
+/// scope's lifetime and dumps the JSON where MGKO_PROFILE points on
+/// destruction.  When the variable is unset this is a no-op, keeping the
+/// measured numbers free of logging overhead.
+class ProfileScope {
+public:
+    ProfileScope(std::string name,
+                 std::vector<std::shared_ptr<Executor>> execs)
+        : name_{std::move(name)},
+          profiler_{log::profiler_from_env()},
+          execs_{std::move(execs)}
+    {
+        if (!profiler_) {
+            return;
+        }
+        for (const auto& exec : execs_) {
+            exec->add_logger(profiler_);
+        }
+        bind::add_logger(profiler_);
+    }
+
+    ~ProfileScope()
+    {
+        if (!profiler_) {
+            return;
+        }
+        bind::remove_logger(profiler_.get());
+        for (const auto& exec : execs_) {
+            exec->remove_logger(profiler_.get());
+        }
+        log::dump_profile(*profiler_, name_);
+    }
+
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+private:
+    std::string name_;
+    std::shared_ptr<log::ProfilerLogger> profiler_;
+    std::vector<std::shared_ptr<Executor>> execs_;
+};
 
 
 }  // namespace mgko::bench

@@ -43,12 +43,14 @@ Value boxed_device(const Device& dev)
     return box("device", dev.executor());
 }
 
-/// Calls through the registry with overhead probing charged to `exec`.
+/// Calls through the registry with overhead probing charged to `exec`;
+/// the probe also emits the per-call binding-dispatch event to any loggers
+/// attached via bind::add_logger.
 Value probed_call(const std::shared_ptr<const Executor>& exec,
                   const std::string& name, List args)
 {
     ensure_bindings_registered();
-    CallProbe probe{exec};
+    CallProbe probe{exec, name.c_str()};
     return Module::instance().call(name, args);
 }
 

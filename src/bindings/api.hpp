@@ -15,6 +15,7 @@
 // interpreter constant — the quantity Fig. 5b/5c isolates.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -47,7 +48,9 @@ private:
 Device device(const std::string& name, int id = 0);
 
 
-/// Returned by Solver::apply alongside the solution (paper §3.5).
+/// Returned by Solver::apply alongside the solution (paper §3.5).  A
+/// default-constructed (invalid) Logger answers every query with a benign
+/// value instead of dereferencing its missing impl.
 class Logger {
 public:
     Logger() = default;
@@ -56,13 +59,27 @@ public:
     {}
 
     bool valid() const { return impl_ != nullptr; }
-    size_type num_iterations() const { return impl_->num_iterations(); }
-    bool converged() const { return impl_->has_converged(); }
-    double final_residual_norm() const { return impl_->final_residual_norm(); }
-    const std::string& stop_reason() const { return impl_->stop_reason(); }
+    size_type num_iterations() const
+    {
+        return impl_ ? impl_->num_iterations() : 0;
+    }
+    bool converged() const { return impl_ && impl_->has_converged(); }
+    /// NaN when invalid or nothing was logged (see
+    /// ConvergenceLogger::final_residual_norm).
+    double final_residual_norm() const
+    {
+        return impl_ ? impl_->final_residual_norm()
+                     : std::numeric_limits<double>::quiet_NaN();
+    }
+    const std::string& stop_reason() const
+    {
+        static const std::string empty;
+        return impl_ ? impl_->stop_reason() : empty;
+    }
     const std::vector<double>& residual_history() const
     {
-        return impl_->residual_history();
+        static const std::vector<double> empty;
+        return impl_ ? impl_->residual_history() : empty;
     }
 
 private:

@@ -16,7 +16,46 @@ double now_wall_ns()
             .count());
 }
 
+std::vector<std::shared_ptr<log::EventLogger>>& binding_loggers()
+{
+    static std::vector<std::shared_ptr<log::EventLogger>> loggers;
+    return loggers;
+}
+
+// Module::call measures GIL wait and lookup time (only while loggers are
+// attached); the enclosing CallProbe picks the values up here when it
+// emits the per-call event.  Thread-local: concurrent bound calls from
+// different threads measure independently.
+thread_local double tl_gil_wait_ns = 0.0;
+thread_local double tl_lookup_ns = 0.0;
+
 }  // namespace
+
+
+void add_logger(std::shared_ptr<log::EventLogger> logger)
+{
+    if (logger) {
+        binding_loggers().push_back(std::move(logger));
+    }
+}
+
+
+void remove_logger(const log::EventLogger* logger)
+{
+    auto& loggers = binding_loggers();
+    for (auto it = loggers.begin(); it != loggers.end(); ++it) {
+        if (it->get() == logger) {
+            loggers.erase(it);
+            return;
+        }
+    }
+}
+
+
+const std::vector<std::shared_ptr<log::EventLogger>>& get_loggers()
+{
+    return binding_loggers();
+}
 
 
 std::mutex& gil()
@@ -33,11 +72,15 @@ double interpreter_call_ns()
 }
 
 
-CallProbe::CallProbe(std::shared_ptr<const Executor> exec)
+CallProbe::CallProbe(std::shared_ptr<const Executor> exec, const char* name)
     : exec_{std::move(exec)},
+      name_{name},
       wall_start_ns_{now_wall_ns()},
       kernel_wall_start_ns_{exec_ ? exec_->real_kernel_wall_ns() : 0.0}
-{}
+{
+    tl_gil_wait_ns = 0.0;
+    tl_lookup_ns = 0.0;
+}
 
 
 CallProbe::~CallProbe()
@@ -55,6 +98,20 @@ CallProbe::~CallProbe()
     exec_->clock().tick((overhead > 0.0 ? overhead : 0.0) +
                         interpreter_call_ns() +
                         exec_->model().framework_call_ns);
+    if (name_ != nullptr && !binding_loggers().empty()) {
+        // The overhead minus the measured GIL wait and lookup is the
+        // remaining host-side glue: argument boxing and dispatch.
+        const double gil_wait = tl_gil_wait_ns;
+        const double lookup = tl_lookup_ns;
+        double boxing = (overhead > 0.0 ? overhead : 0.0) - gil_wait - lookup;
+        if (boxing < 0.0) {
+            boxing = 0.0;
+        }
+        for (const auto& logger : binding_loggers()) {
+            logger->on_binding_call_completed(name_, wall, gil_wait, lookup,
+                                              boxing, interpreter_call_ns());
+        }
+    }
 }
 
 
@@ -75,8 +132,17 @@ void Module::def(const std::string& name, BoundFunction fn)
 
 Value Module::call(const std::string& name, const List& args) const
 {
+    // GIL-wait and lookup phases are timed only while binding loggers are
+    // attached, keeping the unlogged dispatch path free of clock reads.
+    const bool logged = !binding_loggers().empty();
+    const double t0 = logged ? now_wall_ns() : 0.0;
     std::lock_guard<std::mutex> guard{gil()};
+    const double t1 = logged ? now_wall_ns() : 0.0;
     auto it = functions_.find(name);
+    if (logged) {
+        tl_gil_wait_ns = t1 - t0;
+        tl_lookup_ns = now_wall_ns() - t1;
+    }
     if (it == functions_.end()) {
         throw BadParameter(__FILE__, __LINE__,
                            "no binding named '" + name +

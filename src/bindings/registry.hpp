@@ -25,6 +25,7 @@
 
 #include "bindings/boxed.hpp"
 #include "core/executor.hpp"
+#include "log/event_logger.hpp"
 
 namespace mgko::bind {
 
@@ -36,12 +37,25 @@ std::mutex& gil();
 double interpreter_call_ns();
 
 
+/// Attaches an event logger to the binding layer itself: every registry
+/// call emits on_binding_call_completed with the measured GIL-wait /
+/// lookup / boxing breakdown plus the modeled interpreter constant, making
+/// the paper's Fig. 5b/5c overhead attributable per call at runtime.  With
+/// no logger attached the dispatch path takes no extra clock reads.
+void add_logger(std::shared_ptr<log::EventLogger> logger);
+void remove_logger(const log::EventLogger* logger);
+const std::vector<std::shared_ptr<log::EventLogger>>& get_loggers();
+
+
 /// Measures host-side overhead of a bound call and charges it to the
 /// executor: overhead = (wall time of scope) - (wall time spent inside
-/// kernel bodies during the scope) + interpreter constant.
+/// kernel bodies during the scope) + interpreter constant.  When binding
+/// loggers are attached and a call name was given, the destructor also
+/// emits the per-call breakdown event.
 class CallProbe {
 public:
-    explicit CallProbe(std::shared_ptr<const Executor> exec);
+    explicit CallProbe(std::shared_ptr<const Executor> exec,
+                       const char* name = nullptr);
     ~CallProbe();
 
     CallProbe(const CallProbe&) = delete;
@@ -49,6 +63,7 @@ public:
 
 private:
     std::shared_ptr<const Executor> exec_;
+    const char* name_;
     double wall_start_ns_;
     double kernel_wall_start_ns_;
 };

@@ -73,9 +73,20 @@ Executor::~Executor() = default;
 
 void* Executor::alloc_bytes(size_type bytes) const
 {
-    void* ptr = pool_.allocate(bytes);
+    bool pool_hit = false;
+    void* ptr = pool_.allocate(bytes, &pool_hit);
     if (ptr == nullptr) {
         throw BadAlloc(__FILE__, __LINE__, bytes);
+    }
+    if (has_loggers()) {
+        log_event([&](log::EventLogger& l) {
+            if (pool_hit) {
+                l.on_pool_hit(this, bytes);
+            } else {
+                l.on_pool_miss(this, bytes);
+            }
+            l.on_allocation_completed(this, bytes, ptr);
+        });
     }
     return ptr;
 }
@@ -90,6 +101,10 @@ void Executor::free_bytes(void* ptr) const
         throw MemorySpaceError(
             __FILE__, __LINE__,
             "freeing pointer not allocated on executor " + name_);
+    }
+    if (has_loggers()) {
+        log_event(
+            [&](log::EventLogger& l) { l.on_free_completed(this, ptr); });
     }
 }
 
@@ -122,6 +137,11 @@ void Executor::charge_copy(const Executor* src_exec, size_type bytes) const
     } else {
         clock().tick(static_cast<double>(bytes) / model_.bandwidth_gbps);
     }
+    if (has_loggers()) {
+        log_event([&](log::EventLogger& l) {
+            l.on_copy_completed(src_exec, this, bytes);
+        });
+    }
 }
 
 
@@ -133,11 +153,23 @@ void Executor::synchronize() const
 
 void Executor::run(const Operation& op) const
 {
+    const bool logged = has_loggers();
+    if (logged) {
+        log_event([&](log::EventLogger& l) {
+            l.on_operation_launched(this, op.name());
+        });
+    }
     const double t0 = now_wall_ns();
     dispatch(op);
-    kernel_wall_ns_.fetch_add(now_wall_ns() - t0, std::memory_order_relaxed);
+    const double wall = now_wall_ns() - t0;
+    kernel_wall_ns_.fetch_add(wall, std::memory_order_relaxed);
     launches_.fetch_add(1, std::memory_order_relaxed);
     clock_.tick(model_.launch_latency_ns);
+    if (logged) {
+        log_event([&](log::EventLogger& l) {
+            l.on_operation_completed(this, op.name(), wall);
+        });
+    }
 }
 
 
@@ -186,7 +218,15 @@ size_type Executor::pool_high_watermark() const
 }
 
 
-size_type Executor::trim_pool() const { return pool_.trim(); }
+size_type Executor::trim_pool() const
+{
+    const size_type released = pool_.trim();
+    if (has_loggers()) {
+        log_event(
+            [&](log::EventLogger& l) { l.on_pool_trim(this, released); });
+    }
+    return released;
+}
 
 
 // --- ReferenceExecutor ---------------------------------------------------

@@ -25,6 +25,7 @@
 #include "core/exception.hpp"
 #include "core/memory_pool.hpp"
 #include "core/types.hpp"
+#include "log/event_logger.hpp"
 #include "sim/machine_model.hpp"
 #include "sim/sim_clock.hpp"
 
@@ -56,7 +57,13 @@ public:
 };
 
 
-class Executor : public std::enable_shared_from_this<Executor> {
+/// Executors expose a logger attachment point (log::EnableLogging):
+/// attached EventLoggers observe every allocation/free/copy, the pool's
+/// hit/miss/trim behaviour, and every kernel launch with its Operation tag
+/// and real wall time.  With no logger attached each event site costs one
+/// empty-vector check.
+class Executor : public std::enable_shared_from_this<Executor>,
+                 public log::EnableLogging {
 public:
     virtual ~Executor();
 

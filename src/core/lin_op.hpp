@@ -10,11 +10,16 @@
 #include "core/exception.hpp"
 #include "core/executor.hpp"
 #include "core/types.hpp"
+#include "log/event_logger.hpp"
 
 namespace mgko {
 
 
-class LinOp : public std::enable_shared_from_this<LinOp> {
+/// LinOps expose a logger attachment point (log::EnableLogging); the
+/// iterative solvers broadcast their iteration/stop events to loggers
+/// attached here (and to the executor's), see solver/solver_base.hpp.
+class LinOp : public std::enable_shared_from_this<LinOp>,
+              public log::EnableLogging {
 public:
     virtual ~LinOp() = default;
 

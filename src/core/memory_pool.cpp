@@ -2,32 +2,51 @@
 
 #include <bit>
 #include <cstdlib>
+#include <limits>
 
 namespace mgko::detail {
 
 
-MemoryPool::size_class MemoryPool::classify(size_type bytes)
+MemoryPool::size_class MemoryPool::classify(std::size_t requested)
 {
-    const auto requested = static_cast<std::size_t>(bytes < 1 ? 1 : bytes);
+    if (requested == 0) {
+        requested = 1;
+    }
+    // The round-up below computes `requested + alignment - 1`; for
+    // near-SIZE_MAX requests that wraps to a tiny value, which would hand
+    // out a small-bucket block for a huge request (and index buckets_ out
+    // of bounds).  Such requests can never be satisfied, let alone cached:
+    // route them to the oversize bucket untouched and let the system
+    // allocator report the failure.
+    constexpr std::size_t max_roundable =
+        std::numeric_limits<std::size_t>::max() - (alignment - 1);
+    if (requested > max_roundable) {
+        return {oversize_bucket, requested};
+    }
     const std::size_t rounded = (requested + alignment - 1) / alignment *
                                 alignment;
     if (rounded <= small_limit) {
         return {rounded / alignment - 1, rounded};
     }
-    const std::size_t pow2 = std::bit_ceil(rounded);
-    const auto log2p = static_cast<std::size_t>(std::countr_zero(pow2));
-    // small_limit is 2^12; the first power-of-two bucket holds 2^13.
-    const std::size_t bucket = num_small + (log2p - 13);
-    if (bucket >= num_buckets) {
+    // small_limit is 2^12; the power-of-two buckets hold 2^13..2^26.
+    // Anything above the largest cached class is oversize — deciding this
+    // before bit_ceil also keeps bit_ceil away from values > 2^63, where
+    // its result is not representable.
+    constexpr std::size_t largest_class = std::size_t{1}
+                                          << (13 + (num_buckets - num_small) -
+                                              1);
+    if (rounded > largest_class) {
         return {oversize_bucket, rounded};
     }
-    return {bucket, pow2};
+    const std::size_t pow2 = std::bit_ceil(rounded);
+    const auto log2p = static_cast<std::size_t>(std::countr_zero(pow2));
+    return {num_small + (log2p - 13), pow2};
 }
 
 
-void* MemoryPool::allocate(size_type bytes)
+void* MemoryPool::allocate(size_type bytes, bool* pool_hit)
 {
-    const auto cls = classify(bytes);
+    const auto cls = classify(static_cast<std::size_t>(bytes < 1 ? 1 : bytes));
     void* ptr = nullptr;
     if (cls.bucket != oversize_bucket) {
         auto& bucket = buckets_[cls.bucket];
@@ -37,7 +56,11 @@ void* MemoryPool::allocate(size_type bytes)
             bucket.free_list.pop_back();
         }
     }
-    if (ptr != nullptr) {
+    const bool from_cache = ptr != nullptr;
+    if (pool_hit != nullptr) {
+        *pool_hit = from_cache;
+    }
+    if (from_cache) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         bytes_cached_.fetch_sub(cls.class_bytes, std::memory_order_relaxed);
     } else {

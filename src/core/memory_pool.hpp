@@ -42,8 +42,11 @@ public:
     /// Returns a 64-byte aligned block of at least `bytes` bytes, from the
     /// cache when a block of the same size class is available, from the
     /// system otherwise (retrying once after a trim under memory pressure).
-    /// Returns nullptr when the system is out of memory.
-    void* allocate(size_type bytes);
+    /// Returns nullptr when the system is out of memory.  When `pool_hit`
+    /// is non-null it is set to whether the request was served from the
+    /// cache (the executor's event hooks report it without re-reading the
+    /// racy hit/miss counters).
+    void* allocate(size_type bytes, bool* pool_hit = nullptr);
 
     /// Returns the block to the pool's free list.  `false` when `ptr` is not
     /// a live allocation of this pool (the caller turns that into a
@@ -87,7 +90,6 @@ public:
         return watermark_.load(std::memory_order_relaxed);
     }
 
-private:
     // Size classes: exact multiples of 64 bytes up to 4 KiB (buckets
     // 0..63), then powers of two 8 KiB..64 MiB (buckets 64..77).  Larger
     // requests use the oversize pseudo-bucket and bypass the cache —
@@ -97,13 +99,19 @@ private:
     static constexpr std::size_t small_limit = num_small * alignment;
     static constexpr std::size_t num_buckets = 78;
     static constexpr std::size_t oversize_bucket = num_buckets;
-    static constexpr std::size_t num_shards = 16;
 
     struct size_class {
         std::size_t bucket;
         std::size_t class_bytes;
     };
-    static size_class classify(size_type bytes);
+    /// Maps a requested size to its bucket and backing class size.
+    /// Requests too large to round up without wrapping (or larger than the
+    /// biggest cached class) go to the oversize bucket untouched.  Pure
+    /// and public so the overflow edge cases are unit-testable.
+    static size_class classify(std::size_t requested);
+
+private:
+    static constexpr std::size_t num_shards = 16;
 
     struct Bucket {
         std::mutex mutex;

@@ -1,0 +1,159 @@
+// Event logging — the framework's observability spine, modeled on Ginkgo's
+// gko::log::Logger (Anzt et al., "Ginkgo: A Modern Linear Operator Algebra
+// Framework for HPC").
+//
+// An EventLogger receives framework events; concrete loggers (see
+// log/profiler.hpp) aggregate or record them.  Loggers attach at three
+// layers, mirroring where mgko does attributable work:
+//
+//   * Executor  — memory traffic (allocation/free/copy), pool behaviour
+//                 (hit/miss/trim), and every kernel launch with its
+//                 Operation tag and real wall time,
+//   * LinOp     — solver progress (iteration / stop events),
+//   * bind::    — binding dispatch (GIL wait + lookup + boxing + modeled
+//                 interpreter constant per bound call; see
+//                 bindings/registry.hpp).
+//
+// Every hook has an empty default body, so a logger overrides only the
+// events it cares about.  The emitting layers guard each emission with
+// has_loggers(): with no logger attached the cost of the subsystem is one
+// empty-vector check per event site — no allocation, no virtual call (the
+// solver zero-allocation assertions in tests/test_workspace.cpp hold with
+// the hooks in place).
+//
+// Thread safety: event *emission* may happen concurrently from many
+// threads, and concrete loggers must tolerate that (ProfilerLogger and
+// RecordLogger lock internally).  Attaching/removing loggers concurrently
+// with emission is not synchronized — attach before the instrumented work
+// starts, as Ginkgo does.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace mgko {
+
+class Executor;
+class LinOp;
+
+namespace log {
+
+
+/// Receiver interface for framework events.  All hooks default to no-ops.
+class EventLogger {
+public:
+    virtual ~EventLogger() = default;
+
+    // --- memory events (Executor layer) --------------------------------
+    /// A block of `bytes` was allocated on `exec` at `ptr`.
+    virtual void on_allocation_completed(const Executor*, size_type /*bytes*/,
+                                         const void* /*ptr*/)
+    {}
+    /// `ptr` was returned to `exec` (to its pool or the system).
+    virtual void on_free_completed(const Executor*, const void* /*ptr*/) {}
+    /// `bytes` moved from `src` into `dst`'s memory space.
+    virtual void on_copy_completed(const Executor* /*src*/,
+                                   const Executor* /*dst*/,
+                                   size_type /*bytes*/)
+    {}
+
+    // --- pool events (Executor layer) -----------------------------------
+    /// An allocation request of `bytes` was served from the cached lists.
+    virtual void on_pool_hit(const Executor*, size_type /*bytes*/) {}
+    /// An allocation request of `bytes` went to the system allocator.
+    virtual void on_pool_miss(const Executor*, size_type /*bytes*/) {}
+    /// trim released `bytes_released` of cached blocks to the system.
+    virtual void on_pool_trim(const Executor*, size_type /*bytes_released*/)
+    {}
+
+    // --- operation events (Executor layer) ------------------------------
+    /// `op_name` is about to be dispatched on `exec`.
+    virtual void on_operation_launched(const Executor*,
+                                       const char* /*op_name*/)
+    {}
+    /// `op_name` finished; `wall_ns` is the real wall time of its body.
+    virtual void on_operation_completed(const Executor*,
+                                        const char* /*op_name*/,
+                                        double /*wall_ns*/)
+    {}
+
+    // --- solver events (LinOp layer) -------------------------------------
+    /// `solver` completed iteration `iteration` with `residual_norm` (an
+    /// estimate for GMRES inner iterations, a true norm elsewhere).
+    virtual void on_iteration_complete(const LinOp* /*solver*/,
+                                       size_type /*iteration*/,
+                                       double /*residual_norm*/)
+    {}
+    /// `solver` stopped after `iterations` iterations.
+    virtual void on_solver_stop(const LinOp* /*solver*/,
+                                size_type /*iterations*/, bool /*converged*/,
+                                const char* /*reason*/)
+    {}
+
+    // --- binding events (bind:: layer) -----------------------------------
+    /// One bound call through the registry finished.  `wall_ns` is the
+    /// call's total real wall time; `gil_wait_ns` the time spent acquiring
+    /// the GIL; `lookup_ns` the mangled-name hash lookup; `boxing_ns` the
+    /// remaining measured host-side overhead (argument boxing + dispatch
+    /// glue); `interpreter_ns` the modeled CPython frame constant.
+    virtual void on_binding_call_completed(const char* /*name*/,
+                                           double /*wall_ns*/,
+                                           double /*gil_wait_ns*/,
+                                           double /*lookup_ns*/,
+                                           double /*boxing_ns*/,
+                                           double /*interpreter_ns*/)
+    {}
+};
+
+
+/// Mixin giving a class an attachment point for EventLoggers (the analogue
+/// of Ginkgo's gko::log::EnableLogging).  Executor and LinOp inherit it.
+class EnableLogging {
+public:
+    void add_logger(std::shared_ptr<EventLogger> logger)
+    {
+        if (logger) {
+            loggers_.push_back(std::move(logger));
+        }
+    }
+
+    /// Removes a previously attached logger (by identity); unknown loggers
+    /// are ignored.
+    void remove_logger(const EventLogger* logger)
+    {
+        for (auto it = loggers_.begin(); it != loggers_.end(); ++it) {
+            if (it->get() == logger) {
+                loggers_.erase(it);
+                return;
+            }
+        }
+    }
+
+    const std::vector<std::shared_ptr<EventLogger>>& get_loggers() const
+    {
+        return loggers_;
+    }
+
+    bool has_loggers() const { return !loggers_.empty(); }
+
+protected:
+    /// Invokes `fn(logger)` on every attached logger.  Emitting layers
+    /// check has_loggers() first so the detached fast path stays a single
+    /// branch.
+    template <typename Fn>
+    void log_event(Fn&& fn) const
+    {
+        for (const auto& logger : loggers_) {
+            fn(*logger);
+        }
+    }
+
+private:
+    std::vector<std::shared_ptr<EventLogger>> loggers_;
+};
+
+
+}  // namespace log
+}  // namespace mgko

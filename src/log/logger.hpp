@@ -5,6 +5,7 @@
 // solution vector" (paper §3.5).  ConvergenceLogger is that object.
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -23,10 +24,25 @@ public:
         stop_reason_.clear();
     }
 
+    /// Records the residual after `iteration` iterations.  Solvers log
+    /// iteration 0 with the initial residual and exactly one entry per
+    /// subsequent iteration, so residual_history().size() is always
+    /// num_iterations() + 1 (asserted in tests/test_solvers.cpp).
     void log_iteration(size_type iteration, double residual_norm)
     {
         iterations_ = iteration;
         residual_history_.push_back(residual_norm);
+    }
+
+    /// Replaces the most recent history entry — GMRES logs the Givens
+    /// residual estimate per inner iteration and overwrites the last one
+    /// with the true residual norm it computes at the restart boundary.
+    /// No-op on an empty history.
+    void update_last(double residual_norm)
+    {
+        if (!residual_history_.empty()) {
+            residual_history_.back() = residual_norm;
+        }
     }
 
     void log_stop(size_type iteration, bool converged,
@@ -40,15 +56,20 @@ public:
     size_type num_iterations() const { return iterations_; }
     bool has_converged() const { return converged_; }
     const std::string& stop_reason() const { return stop_reason_; }
-    /// Residual norm after each iteration (estimates for GMRES inner
-    /// iterations, true norms elsewhere).
+    /// Residual norm after each iteration: entry 0 is the initial residual
+    /// and entry k the residual after iteration k (estimates for GMRES
+    /// inner iterations, replaced by true norms at restart boundaries).
     const std::vector<double>& residual_history() const
     {
         return residual_history_;
     }
+    /// The last recorded residual norm; quiet NaN when nothing was logged
+    /// (a 0.0 sentinel would be indistinguishable from exact convergence).
     double final_residual_norm() const
     {
-        return residual_history_.empty() ? 0.0 : residual_history_.back();
+        return residual_history_.empty()
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : residual_history_.back();
     }
 
 private:

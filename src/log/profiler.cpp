@@ -1,0 +1,285 @@
+#include "log/profiler.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace mgko::log {
+
+namespace {
+
+/// JSON-formats a double without locale surprises; wall times are ns, so
+/// fixed-point with one fractional digit loses nothing meaningful.
+std::string json_number(double value)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(1);
+    out << value;
+    return out.str();
+}
+
+}  // namespace
+
+
+// --- ProfilerLogger --------------------------------------------------------
+
+void ProfilerLogger::record(const std::string& tag, double wall_ns,
+                            size_type bytes)
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    auto& entry = stats_[tag];
+    entry.count += 1;
+    entry.wall_ns += wall_ns;
+    entry.bytes += bytes;
+}
+
+
+std::map<std::string, ProfilerLogger::tag_stats> ProfilerLogger::summary()
+    const
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    return stats_;
+}
+
+
+ProfilerLogger::tag_stats ProfilerLogger::stats(const std::string& tag) const
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    auto it = stats_.find(tag);
+    return it == stats_.end() ? tag_stats{} : it->second;
+}
+
+
+std::string ProfilerLogger::to_json() const
+{
+    const auto snapshot = summary();
+    std::ostringstream out;
+    out << "{\"tags\": {";
+    bool first = true;
+    for (const auto& [tag, s] : snapshot) {
+        if (!first) {
+            out << ", ";
+        }
+        first = false;
+        out << "\"" << tag << "\": {\"count\": " << s.count
+            << ", \"wall_ns\": " << json_number(s.wall_ns)
+            << ", \"bytes\": " << s.bytes << "}";
+    }
+    out << "}}";
+    return out.str();
+}
+
+
+void ProfilerLogger::reset()
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    stats_.clear();
+}
+
+
+void ProfilerLogger::on_allocation_completed(const Executor*, size_type bytes,
+                                             const void*)
+{
+    record("mem.alloc", 0.0, bytes);
+}
+
+void ProfilerLogger::on_free_completed(const Executor*, const void*)
+{
+    record("mem.free", 0.0, 0);
+}
+
+void ProfilerLogger::on_copy_completed(const Executor*, const Executor*,
+                                       size_type bytes)
+{
+    record("mem.copy", 0.0, bytes);
+}
+
+void ProfilerLogger::on_pool_hit(const Executor*, size_type bytes)
+{
+    record("pool.hit", 0.0, bytes);
+}
+
+void ProfilerLogger::on_pool_miss(const Executor*, size_type bytes)
+{
+    record("pool.miss", 0.0, bytes);
+}
+
+void ProfilerLogger::on_pool_trim(const Executor*, size_type bytes_released)
+{
+    record("pool.trim", 0.0, bytes_released);
+}
+
+void ProfilerLogger::on_operation_launched(const Executor*, const char*)
+{
+    // Aggregated on completion, where the wall time is known.
+}
+
+void ProfilerLogger::on_operation_completed(const Executor*,
+                                            const char* op_name,
+                                            double wall_ns)
+{
+    record(std::string{"op."} + op_name, wall_ns, 0);
+}
+
+void ProfilerLogger::on_iteration_complete(const LinOp*, size_type, double)
+{
+    record("solver.iteration", 0.0, 0);
+}
+
+void ProfilerLogger::on_solver_stop(const LinOp*, size_type, bool,
+                                    const char*)
+{
+    record("solver.stop", 0.0, 0);
+}
+
+void ProfilerLogger::on_binding_call_completed(const char* name,
+                                               double wall_ns,
+                                               double gil_wait_ns,
+                                               double lookup_ns,
+                                               double boxing_ns,
+                                               double interpreter_ns)
+{
+    record(std::string{"bind."} + name, wall_ns, 0);
+    record("bind.gil_wait", gil_wait_ns, 0);
+    record("bind.lookup", lookup_ns, 0);
+    record("bind.boxing", boxing_ns, 0);
+    record("bind.interpreter", interpreter_ns, 0);
+}
+
+
+// --- RecordLogger ----------------------------------------------------------
+
+void RecordLogger::push(record r)
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    records_.push_back(std::move(r));
+}
+
+
+std::vector<RecordLogger::record> RecordLogger::records() const
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    return records_;
+}
+
+
+size_type RecordLogger::count(const std::string& kind) const
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    size_type result = 0;
+    for (const auto& r : records_) {
+        if (r.kind == kind) {
+            ++result;
+        }
+    }
+    return result;
+}
+
+
+void RecordLogger::reset()
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    records_.clear();
+}
+
+
+void RecordLogger::on_allocation_completed(const Executor*, size_type bytes,
+                                           const void*)
+{
+    push({"allocation", "", bytes, 0.0});
+}
+
+void RecordLogger::on_free_completed(const Executor*, const void*)
+{
+    push({"free", "", 0, 0.0});
+}
+
+void RecordLogger::on_copy_completed(const Executor*, const Executor*,
+                                     size_type bytes)
+{
+    push({"copy", "", bytes, 0.0});
+}
+
+void RecordLogger::on_pool_hit(const Executor*, size_type bytes)
+{
+    push({"pool_hit", "", bytes, 0.0});
+}
+
+void RecordLogger::on_pool_miss(const Executor*, size_type bytes)
+{
+    push({"pool_miss", "", bytes, 0.0});
+}
+
+void RecordLogger::on_pool_trim(const Executor*, size_type bytes_released)
+{
+    push({"pool_trim", "", bytes_released, 0.0});
+}
+
+void RecordLogger::on_operation_launched(const Executor*, const char* op_name)
+{
+    push({"operation_launched", op_name, 0, 0.0});
+}
+
+void RecordLogger::on_operation_completed(const Executor*,
+                                          const char* op_name,
+                                          double wall_ns)
+{
+    push({"operation_completed", op_name, 0, wall_ns});
+}
+
+void RecordLogger::on_iteration_complete(const LinOp*, size_type iteration,
+                                         double residual_norm)
+{
+    push({"iteration", "", iteration, residual_norm});
+}
+
+void RecordLogger::on_solver_stop(const LinOp*, size_type iterations,
+                                  bool converged, const char* reason)
+{
+    push({"solver_stop", reason, iterations, converged ? 1.0 : 0.0});
+}
+
+void RecordLogger::on_binding_call_completed(const char* name, double wall_ns,
+                                             double, double, double, double)
+{
+    push({"binding_call", name, 0, wall_ns});
+}
+
+
+// --- MGKO_PROFILE switch ---------------------------------------------------
+
+std::shared_ptr<ProfilerLogger> profiler_from_env()
+{
+    const char* value = std::getenv("MGKO_PROFILE");
+    if (value == nullptr || *value == '\0') {
+        return nullptr;
+    }
+    return ProfilerLogger::create();
+}
+
+
+void dump_profile(const ProfilerLogger& profiler, const std::string& name)
+{
+    const char* value = std::getenv("MGKO_PROFILE");
+    if (value == nullptr || *value == '\0') {
+        return;
+    }
+    const std::string dest{value};
+    const auto json = profiler.to_json();
+    if (dest == "-" || dest == "1" || dest == "stdout") {
+        std::cout << "=== mgko profile [" << name << "] ===\n"
+                  << json << std::endl;
+        return;
+    }
+    std::ofstream out{dest};
+    if (out) {
+        out << json << "\n";
+    } else {
+        std::cerr << "mgko: cannot write profile to '" << dest << "'\n";
+    }
+}
+
+
+}  // namespace mgko::log

@@ -1,0 +1,153 @@
+// Concrete event loggers: ProfilerLogger (per-tag aggregation, JSON
+// export) and RecordLogger (verbatim event capture for tests), plus the
+// MGKO_PROFILE env switch the benches use to dump profiler JSON next to
+// their counters.
+//
+// ProfilerLogger keys every event under a category-prefixed tag:
+//
+//   op.<name>       kernel launches (wall time from Executor::run)
+//   mem.alloc/free  allocation traffic (bytes = requested sizes)
+//   mem.copy        cross/same-space copies (bytes moved)
+//   pool.hit/miss   where allocation requests were served
+//   pool.trim       cache released to the system (bytes)
+//   solver.iteration / solver.stop
+//   bind.<name>     bound calls (wall time per mangled name)
+//   bind.gil_wait / bind.lookup / bind.boxing / bind.interpreter
+//                   the binding-overhead breakdown (Fig. 5b/5c, at runtime)
+//
+// so a CG solve attributes its time to op.csr_spmv / op.dense_dot /
+// op.dense_add_scaled / op.jacobi_apply, and a binding call shows where
+// its overhead went.  Both loggers lock internally: events may arrive
+// concurrently from OpenMP worker threads and bound calls.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "log/event_logger.hpp"
+
+namespace mgko::log {
+
+
+/// Aggregates events into per-tag {count, wall_ns, bytes} summaries.
+class ProfilerLogger final : public EventLogger {
+public:
+    struct tag_stats {
+        size_type count{0};
+        double wall_ns{0.0};
+        size_type bytes{0};
+    };
+
+    static std::shared_ptr<ProfilerLogger> create()
+    {
+        return std::make_shared<ProfilerLogger>();
+    }
+
+    /// Snapshot of the per-tag summaries (ordered for stable output).
+    std::map<std::string, tag_stats> summary() const;
+
+    /// Stats for one tag; zeros when the tag was never seen.
+    tag_stats stats(const std::string& tag) const;
+
+    /// The summary as a JSON object: {"tags": {tag: {"count": n,
+    /// "wall_ns": t, "bytes": b}, ...}} — parseable by config/json.hpp.
+    std::string to_json() const;
+
+    void reset();
+
+    // --- EventLogger hooks ----------------------------------------------
+    void on_allocation_completed(const Executor* exec, size_type bytes,
+                                 const void* ptr) override;
+    void on_free_completed(const Executor* exec, const void* ptr) override;
+    void on_copy_completed(const Executor* src, const Executor* dst,
+                           size_type bytes) override;
+    void on_pool_hit(const Executor* exec, size_type bytes) override;
+    void on_pool_miss(const Executor* exec, size_type bytes) override;
+    void on_pool_trim(const Executor* exec, size_type bytes_released) override;
+    void on_operation_launched(const Executor* exec,
+                               const char* op_name) override;
+    void on_operation_completed(const Executor* exec, const char* op_name,
+                                double wall_ns) override;
+    void on_iteration_complete(const LinOp* solver, size_type iteration,
+                               double residual_norm) override;
+    void on_solver_stop(const LinOp* solver, size_type iterations,
+                        bool converged, const char* reason) override;
+    void on_binding_call_completed(const char* name, double wall_ns,
+                                   double gil_wait_ns, double lookup_ns,
+                                   double boxing_ns,
+                                   double interpreter_ns) override;
+
+private:
+    void record(const std::string& tag, double wall_ns, size_type bytes);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, tag_stats> stats_;
+};
+
+
+/// Records every event verbatim — the test observer.
+class RecordLogger final : public EventLogger {
+public:
+    struct record {
+        std::string kind;  ///< "allocation", "pool_hit", "operation", ...
+        std::string name;  ///< op/binding tag when the event carries one
+        size_type bytes{0};
+        double value{0.0};  ///< wall_ns / residual norm, event-dependent
+    };
+
+    static std::shared_ptr<RecordLogger> create()
+    {
+        return std::make_shared<RecordLogger>();
+    }
+
+    std::vector<record> records() const;
+    size_type count(const std::string& kind) const;
+    void reset();
+
+    // --- EventLogger hooks ----------------------------------------------
+    void on_allocation_completed(const Executor* exec, size_type bytes,
+                                 const void* ptr) override;
+    void on_free_completed(const Executor* exec, const void* ptr) override;
+    void on_copy_completed(const Executor* src, const Executor* dst,
+                           size_type bytes) override;
+    void on_pool_hit(const Executor* exec, size_type bytes) override;
+    void on_pool_miss(const Executor* exec, size_type bytes) override;
+    void on_pool_trim(const Executor* exec, size_type bytes_released) override;
+    void on_operation_launched(const Executor* exec,
+                               const char* op_name) override;
+    void on_operation_completed(const Executor* exec, const char* op_name,
+                                double wall_ns) override;
+    void on_iteration_complete(const LinOp* solver, size_type iteration,
+                               double residual_norm) override;
+    void on_solver_stop(const LinOp* solver, size_type iterations,
+                        bool converged, const char* reason) override;
+    void on_binding_call_completed(const char* name, double wall_ns,
+                                   double gil_wait_ns, double lookup_ns,
+                                   double boxing_ns,
+                                   double interpreter_ns) override;
+
+private:
+    void push(record r);
+
+    mutable std::mutex mutex_;
+    std::vector<record> records_;
+};
+
+
+/// The benches' opt-in profiling switch: returns a fresh ProfilerLogger
+/// when the MGKO_PROFILE environment variable is set (to anything
+/// non-empty), nullptr otherwise.  The caller attaches it to executors
+/// and/or the binding layer and hands it to dump_profile() at the end.
+std::shared_ptr<ProfilerLogger> profiler_from_env();
+
+/// Writes `profiler`'s JSON where MGKO_PROFILE points: "-", "1" or
+/// "stdout" print it to stdout under a "=== mgko profile [<name>] ==="
+/// banner; any other value is used as a file path (overwritten).
+void dump_profile(const ProfilerLogger& profiler, const std::string& name);
+
+
+}  // namespace mgko::log

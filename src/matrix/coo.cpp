@@ -5,87 +5,11 @@
 
 #include "core/kernel_utils.hpp"
 #include "core/math.hpp"
+#include "matrix/coo_kernels.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 
 namespace mgko {
-
-namespace kernels::coo {
-
-/// Serial reference kernel over (row, col, value) triplets.
-template <typename V, typename I>
-void spmv_serial(const V* values, const I* row_idxs, const I* col_idxs,
-                 size_type nnz, const V* b, size_type b_stride, V* x,
-                 size_type x_stride, size_type vec_cols)
-{
-    for (size_type k = 0; k < nnz; ++k) {
-        const auto row = static_cast<size_type>(row_idxs[k]);
-        const auto col = static_cast<size_type>(col_idxs[k]);
-        for (size_type c = 0; c < vec_cols; ++c) {
-            x[row * x_stride + c] += values[k] * b[col * b_stride + c];
-        }
-    }
-}
-
-
-/// Parallel kernel: flat nnz split, each worker accumulates its contiguous
-/// range; rows crossing a range boundary are updated atomically — the
-/// structure of Ginkgo's load-balanced COO kernel.
-template <typename V, typename I>
-void spmv_flat(int nt, const V* values, const I* row_idxs, const I* col_idxs,
-               size_type nnz, const V* b, size_type b_stride, V* x,
-               size_type x_stride, size_type vec_cols)
-{
-#pragma omp parallel num_threads(nt) if (nt > 1)
-    {
-#ifdef _OPENMP
-        const int tid = omp_get_thread_num();
-        const int threads = omp_get_num_threads();
-#else
-        const int tid = 0;
-        const int threads = 1;
-#endif
-        const size_type begin = nnz * tid / threads;
-        const size_type end = nnz * (tid + 1) / threads;
-        size_type k = begin;
-        while (k < end) {
-            const auto row = row_idxs[k];
-            // Accumulate the run of entries sharing this row locally.
-            for (size_type c = 0; c < vec_cols; ++c) {
-                using acc_t = accumulate_t<V>;
-                acc_t acc{};
-                size_type j = k;
-                while (j < end && row_idxs[j] == row) {
-                    acc += static_cast<acc_t>(values[j]) *
-                           static_cast<acc_t>(
-                               b[static_cast<size_type>(col_idxs[j]) *
-                                     b_stride +
-                                 c]);
-                    ++j;
-                }
-                const bool boundary =
-                    (k == begin && begin > 0 && row_idxs[begin - 1] == row) ||
-                    (j == end && end < nnz && row_idxs[end] == row);
-                auto& out = x[static_cast<size_type>(row) * x_stride + c];
-                if (boundary) {
-                    // A row split across two ranges is updated by at most
-                    // two threads; `half` has no native atomic, so a named
-                    // critical section covers all value types (boundaries
-                    // are rare: at most one row per thread).
-#pragma omp critical(mgko_coo_boundary)
-                    out += V{acc};
-                } else {
-                    out += V{acc};
-                }
-            }
-            while (k < end && row_idxs[k] == row) {
-                ++k;
-            }
-        }
-    }
-}
-
-}  // namespace kernels::coo
 
 
 template <typename ValueType, typename IndexType>

@@ -52,7 +52,7 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                              dense_x, r, one_s, neg_one_s,
                                              reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
-    this->logger_->log_iteration(0, r_norm);
+    this->log_iteration(0, r_norm);
     r_tilde->copy_from(r);
     p->fill(zero<ValueType>());
     v->fill(zero<ValueType>());
@@ -62,7 +62,7 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     while (!criterion->is_satisfied(iter, r_norm)) {
         const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
-            this->logger_->log_stop(iter, false, "breakdown: rho == 0");
+            this->log_stop(iter, false, "breakdown: rho == 0");
             return;
         }
         const double beta = (rho / rho_prev) * (alpha / omega);
@@ -77,7 +77,7 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         this->system_->apply(p_hat, v);
         const double rv = detail::dot(r_tilde, v, reduce);
         if (rv == 0.0 || !std::isfinite(rv)) {
-            this->logger_->log_stop(iter, false, "breakdown: r~'v == 0");
+            this->log_stop(iter, false, "breakdown: r~'v == 0");
             return;
         }
         alpha = rho / rv;
@@ -91,14 +91,22 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
             // Half-step convergence: x += alpha * p_hat.
             dense_x->add_scaled(coeff_s, p_hat);
             r_norm = s_norm;
-            this->logger_->log_iteration(iter, r_norm);
+            this->log_iteration(iter, r_norm);
             break;
         }
         this->precond_->apply(s, s_hat);
         this->system_->apply(s_hat, t);
         const double tt = detail::dot(t, t, reduce);
         if (tt == 0.0 || !std::isfinite(tt)) {
-            this->logger_->log_stop(iter, false, "breakdown: t't == 0");
+            // The half step already advanced the iteration count; accept
+            // its update (coeff_s still holds alpha) and record its
+            // residual so residual_history stays aligned with
+            // num_iterations() — returning here without logging left the
+            // history one entry short.
+            dense_x->add_scaled(coeff_s, p_hat);
+            r_norm = s_norm;
+            this->log_iteration(iter, r_norm);
+            this->log_stop(iter, false, "breakdown: t't == 0");
             return;
         }
         omega = detail::dot(t, s, reduce) / tt;
@@ -111,13 +119,13 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         r->sub_scaled(coeff_s, t);
         rho_prev = rho;
         r_norm = detail::norm2(r, reduce);
-        this->logger_->log_iteration(iter, r_norm);
+        this->log_iteration(iter, r_norm);
         if (omega == 0.0) {
-            this->logger_->log_stop(iter, false, "breakdown: omega == 0");
+            this->log_stop(iter, false, "breakdown: omega == 0");
             return;
         }
     }
-    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+    this->log_stop(iter, criterion->indicates_convergence(),
                             criterion->reason());
 }
 

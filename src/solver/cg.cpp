@@ -47,7 +47,7 @@ void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                              dense_x, r, one_s, neg_one_s,
                                              reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
-    this->logger_->log_iteration(0, r_norm);
+    this->log_iteration(0, r_norm);
 
     this->precond_->apply(r, z);
     p->copy_from(z);
@@ -58,7 +58,7 @@ void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         this->system_->apply(p, q);
         const double pq = detail::dot(p, q, reduce);
         if (pq == 0.0 || !std::isfinite(pq)) {
-            this->logger_->log_stop(iter, false, "breakdown: p'Ap == 0");
+            this->log_stop(iter, false, "breakdown: p'Ap == 0");
             return;
         }
         const double alpha = rho / pq;
@@ -67,7 +67,7 @@ void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         r->sub_scaled(alpha_s, q);
         r_norm = detail::norm2(r, reduce);
         ++iter;
-        this->logger_->log_iteration(iter, r_norm);
+        this->log_iteration(iter, r_norm);
         if (criterion->is_satisfied(iter, r_norm)) {
             break;
         }
@@ -79,7 +79,7 @@ void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         p->scale(beta_s);
         p->add_scaled(one_s, z);
     }
-    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+    this->log_stop(iter, criterion->indicates_convergence(),
                             criterion->reason());
 }
 

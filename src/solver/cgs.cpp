@@ -54,7 +54,7 @@ void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                              dense_x, r, one_s, neg_one_s,
                                              reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
-    this->logger_->log_iteration(0, r_norm);
+    this->log_iteration(0, r_norm);
     r_tilde->copy_from(r);
 
     double rho_prev = 1.0;
@@ -63,7 +63,7 @@ void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     while (!criterion->is_satisfied(iter, r_norm)) {
         const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
-            this->logger_->log_stop(iter, false, "breakdown: rho == 0");
+            this->log_stop(iter, false, "breakdown: rho == 0");
             return;
         }
         if (first) {
@@ -87,7 +87,7 @@ void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         this->system_->apply(t_hat, v);
         const double sigma = detail::dot(r_tilde, v, reduce);
         if (sigma == 0.0 || !std::isfinite(sigma)) {
-            this->logger_->log_stop(iter, false, "breakdown: sigma == 0");
+            this->log_stop(iter, false, "breakdown: sigma == 0");
             return;
         }
         const double alpha = rho / sigma;
@@ -107,9 +107,9 @@ void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         rho_prev = rho;
         r_norm = detail::norm2(r, reduce);
         ++iter;
-        this->logger_->log_iteration(iter, r_norm);
+        this->log_iteration(iter, r_norm);
     }
-    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+    this->log_stop(iter, criterion->indicates_convergence(),
                             criterion->reason());
 }
 

@@ -127,7 +127,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                              dense_x, r, one_s, neg_one_s,
                                              reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
-    this->logger_->log_iteration(0, r_norm);
+    this->log_iteration(0, r_norm);
 
     size_type total_iters = 0;
     bool breakdown_converged = false;
@@ -138,7 +138,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
         this->precond_->apply(r, w_hat);
         const double beta0 = detail::norm2(w_hat, reduce);
         if (beta0 == 0.0 || !std::isfinite(beta0)) {
-            this->logger_->log_stop(total_iters, beta0 == 0.0,
+            this->log_stop(total_iters, beta0 == 0.0,
                                     beta0 == 0.0 ? "exact solution reached"
                                                  : "breakdown: non-finite "
                                                    "residual");
@@ -226,7 +226,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 
             ++total_iters;
             j_end = j + 1;
-            this->logger_->log_iteration(total_iters, res_estimate);
+            this->log_iteration(total_iters, res_estimate);
             if (happy_breakdown) {
                 stopped = true;
                 breakdown_converged = true;
@@ -264,19 +264,23 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
             exec, dim2{n, j_end}, basis->get_values(), m + 1);
         vblock->apply(one_s, y_dev.get(), one_s, dense_x);
 
-        // True residual for the restart decision.
+        // True residual for the restart decision.  The inner loop logged
+        // the Givens estimate for this iteration; replace it with the true
+        // norm so restart-boundary (and final) history entries follow the
+        // same convention as the other solvers.
         r_norm = detail::compute_residual(this->system_.get(), dense_b,
                                           dense_x, r, one_s, neg_one_s,
                                           reduce);
+        this->update_last_residual(r_norm);
         if (!stopped) {
             stopped = criterion->is_satisfied(total_iters, r_norm);
         }
     }
     if (breakdown_converged) {
-        this->logger_->log_stop(total_iters, true,
+        this->log_stop(total_iters, true,
                                 "happy breakdown: exact Krylov solution");
     } else {
-        this->logger_->log_stop(total_iters,
+        this->log_stop(total_iters,
                                 criterion->indicates_convergence(),
                                 criterion->reason());
     }

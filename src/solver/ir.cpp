@@ -39,7 +39,7 @@ void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                              dense_x, r, one_s, neg_one_s,
                                              reduce);
     auto criterion = this->bind_criterion(b_norm, r_norm);
-    this->logger_->log_iteration(0, r_norm);
+    this->log_iteration(0, r_norm);
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
@@ -49,9 +49,9 @@ void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
                                           dense_x, r, one_s, neg_one_s,
                                           reduce);
         ++iter;
-        this->logger_->log_iteration(iter, r_norm);
+        this->log_iteration(iter, r_norm);
     }
-    this->logger_->log_stop(iter, criterion->indicates_convergence(),
+    this->log_stop(iter, criterion->indicates_convergence(),
                             criterion->reason());
 }
 

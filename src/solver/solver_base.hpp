@@ -22,6 +22,7 @@
 
 #include "core/lin_op.hpp"
 #include "core/types.hpp"
+#include "log/event_logger.hpp"
 #include "log/logger.hpp"
 #include "matrix/dense.hpp"
 #include "solver/workspace.hpp"
@@ -160,6 +161,50 @@ protected:
     {
         return stop::Combined{params_.criteria}.create(rhs_norm,
                                                        initial_resnorm);
+    }
+
+    /// Invokes `fn` on every event logger attached to this solver and to
+    /// its executor — solver progress is visible from either attachment
+    /// point.  One empty check per layer when nothing is attached.
+    template <typename Fn>
+    void broadcast_event(Fn&& fn) const
+    {
+        for (const auto& logger : this->get_loggers()) {
+            fn(*logger);
+        }
+        for (const auto& logger : this->get_executor()->get_loggers()) {
+            fn(*logger);
+        }
+    }
+
+    /// Records one iteration on the ConvergenceLogger and broadcasts it as
+    /// an event.  Solvers call this (not logger_ directly) so both sinks
+    /// stay consistent; the history convention is one entry per iteration
+    /// with entry 0 the initial residual.
+    void log_iteration(size_type iteration, double residual_norm) const
+    {
+        logger_->log_iteration(iteration, residual_norm);
+        broadcast_event([&](log::EventLogger& l) {
+            l.on_iteration_complete(this, iteration, residual_norm);
+        });
+    }
+
+    /// Records the stop decision and broadcasts it as an event.
+    void log_stop(size_type iteration, bool converged,
+                  const std::string& reason) const
+    {
+        logger_->log_stop(iteration, converged, reason);
+        broadcast_event([&](log::EventLogger& l) {
+            l.on_solver_stop(this, iteration, converged, reason.c_str());
+        });
+    }
+
+    /// Replaces the most recently logged residual with a later, more
+    /// accurate value (GMRES overwrites the Givens estimate with the true
+    /// norm it computes at the restart boundary).
+    void update_last_residual(double residual_norm) const
+    {
+        logger_->update_last(residual_norm);
     }
 
     // Un-hide the two-argument overload so the advanced apply below can

@@ -1,0 +1,114 @@
+// The flat COO SpMV kernel's split-row handling: a dense row whose
+// entries span many thread ranges must be accumulated atomically by
+// every one of those threads — including the interior ones, whose whole
+// range lies inside the row.  The thread count is forced explicitly so
+// the split happens regardless of the host's core count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "matrix/coo_kernels.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+// One dense row 0 with `nnz` entries (columns 0..nnz-1), values and b
+// chosen as small integers so the parallel and serial sums are exactly
+// equal in double precision, in any summation order.
+struct dense_row_problem {
+    std::vector<double> values;
+    std::vector<int32> row_idxs;
+    std::vector<int32> col_idxs;
+    std::vector<double> b;
+
+    explicit dense_row_problem(size_type nnz)
+    {
+        for (size_type k = 0; k < nnz; ++k) {
+            values.push_back(static_cast<double>(k % 5 + 1));
+            row_idxs.push_back(0);
+            col_idxs.push_back(static_cast<int32>(k));
+            b.push_back(static_cast<double>(k % 3 + 1));
+        }
+    }
+};
+
+
+TEST(CooKernels, DenseRowSplitAcrossManyThreadsMatchesSerial)
+{
+    // 64 entries over 8 threads: thread 0's range starts the row, threads
+    // 1..6 are interior (their entire range is inside row 0), thread 7
+    // ends it.  Before the boundary condition covered interior threads,
+    // their unsynchronized `out +=` raced the others and dropped updates.
+    const size_type nnz = 64;
+    const int nt = 8;
+    dense_row_problem p{nnz};
+
+    std::vector<double> x_serial{0.0};
+    kernels::coo::spmv_serial(p.values.data(), p.row_idxs.data(),
+                              p.col_idxs.data(), nnz, p.b.data(), 1,
+                              x_serial.data(), 1, 1);
+
+    // The race is timing-dependent; repeat to give it room to show.
+    for (int rep = 0; rep < 50; ++rep) {
+        std::vector<double> x_flat{0.0};
+        kernels::coo::spmv_flat(nt, p.values.data(), p.row_idxs.data(),
+                                p.col_idxs.data(), nnz, p.b.data(), 1,
+                                x_flat.data(), 1, 1);
+        ASSERT_DOUBLE_EQ(x_flat[0], x_serial[0]) << "rep " << rep;
+    }
+}
+
+TEST(CooKernels, RowsAlignedWithRangeBoundariesNeedNoAtomics)
+{
+    // 8 rows x 8 entries with 8 threads: each thread owns exactly one
+    // row, nothing is split, and results still match the serial kernel.
+    const size_type nnz = 64;
+    const int nt = 8;
+    std::vector<double> values;
+    std::vector<int32> row_idxs;
+    std::vector<int32> col_idxs;
+    std::vector<double> b;
+    for (size_type k = 0; k < nnz; ++k) {
+        values.push_back(static_cast<double>(k % 7 + 1));
+        row_idxs.push_back(static_cast<int32>(k / 8));
+        col_idxs.push_back(static_cast<int32>(k % 8));
+    }
+    for (size_type c = 0; c < 8; ++c) {
+        b.push_back(static_cast<double>(c + 1));
+    }
+
+    std::vector<double> x_serial(8, 0.0);
+    kernels::coo::spmv_serial(values.data(), row_idxs.data(),
+                              col_idxs.data(), nnz, b.data(), 1,
+                              x_serial.data(), 1, 1);
+    std::vector<double> x_flat(8, 0.0);
+    kernels::coo::spmv_flat(nt, values.data(), row_idxs.data(),
+                            col_idxs.data(), nnz, b.data(), 1, x_flat.data(),
+                            1, 1);
+    for (size_type r = 0; r < 8; ++r) {
+        EXPECT_DOUBLE_EQ(x_flat[r], x_serial[r]) << "row " << r;
+    }
+}
+
+TEST(CooKernels, SplitRowAmongTwoThreadsMatchesSerial)
+{
+    // The minimal split: one row crossing exactly one range boundary.
+    const size_type nnz = 16;
+    const int nt = 2;
+    dense_row_problem p{nnz};
+
+    std::vector<double> x_serial{0.0};
+    kernels::coo::spmv_serial(p.values.data(), p.row_idxs.data(),
+                              p.col_idxs.data(), nnz, p.b.data(), 1,
+                              x_serial.data(), 1, 1);
+    std::vector<double> x_flat{0.0};
+    kernels::coo::spmv_flat(nt, p.values.data(), p.row_idxs.data(),
+                            p.col_idxs.data(), nnz, p.b.data(), 1,
+                            x_flat.data(), 1, 1);
+    EXPECT_DOUBLE_EQ(x_flat[0], x_serial[0]);
+}
+
+}  // namespace

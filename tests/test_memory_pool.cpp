@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "core/array.hpp"
 #include "core/executor.hpp"
+#include "core/memory_pool.hpp"
+#include "log/profiler.hpp"
 
 namespace {
 
@@ -179,6 +182,82 @@ TEST(MemoryPool, ConcurrentAllocFreeStress)
     EXPECT_EQ(exec->bytes_in_use(), 0);
     EXPECT_EQ(exec->pool_hits() + exec->pool_misses(),
               static_cast<size_type>(num_threads) * iterations);
+}
+
+TEST(MemoryPool, ClassifyRoundsSmallAndPow2Classes)
+{
+    // Zero-byte requests land in the smallest class; the small range is
+    // 64-byte multiples, the large range power-of-two classes.
+    EXPECT_EQ(detail::MemoryPool::classify(0).bucket, 0u);
+    EXPECT_EQ(detail::MemoryPool::classify(0).class_bytes, 64u);
+    EXPECT_EQ(detail::MemoryPool::classify(1).bucket, 0u);
+    EXPECT_EQ(detail::MemoryPool::classify(1).class_bytes, 64u);
+    EXPECT_EQ(detail::MemoryPool::classify(64).bucket, 0u);
+    EXPECT_EQ(detail::MemoryPool::classify(65).bucket, 1u);
+    EXPECT_EQ(detail::MemoryPool::classify(65).class_bytes, 128u);
+    EXPECT_EQ(detail::MemoryPool::classify(4096).class_bytes, 4096u);
+    EXPECT_EQ(detail::MemoryPool::classify(4097).class_bytes, 8192u);
+}
+
+TEST(MemoryPool, ClassifyNearSizeMaxGoesOversizeInsteadOfWrapping)
+{
+    // Rounding `requested` up to the next 64-byte multiple overflows for
+    // requests within 63 bytes of SIZE_MAX; the old code wrapped to 0 and
+    // indexed a bucket that does not exist.  Such requests can never be
+    // cached, so they belong in the oversize bucket, unrounded.
+    const auto max = std::numeric_limits<std::size_t>::max();
+    for (const std::size_t bytes : {max, max - 1, max - 62, max - 63}) {
+        const auto cls = detail::MemoryPool::classify(bytes);
+        EXPECT_EQ(cls.bucket, detail::MemoryPool::oversize_bucket) << bytes;
+        EXPECT_GE(cls.class_bytes, bytes) << bytes;
+    }
+    // Just past the largest cached class (64 MiB): oversize, but still
+    // rounded to the alignment like every other request.
+    const auto just_over = (std::size_t{1} << 26) + 1;
+    const auto cls = detail::MemoryPool::classify(just_over);
+    EXPECT_EQ(cls.bucket, detail::MemoryPool::oversize_bucket);
+    EXPECT_EQ(cls.class_bytes, (std::size_t{1} << 26) + 64);
+    // The largest class itself is still cacheable.
+    EXPECT_LT(detail::MemoryPool::classify(std::size_t{1} << 26).bucket,
+              detail::MemoryPool::oversize_bucket);
+}
+
+TEST(MemoryPool, ConcurrentStressWithEventLoggerAttached)
+{
+    // The ConcurrentAllocFreeStress workload with a RecordLogger attached:
+    // under MGKO_SANITIZE=thread this checks the event hooks themselves
+    // (pool hit/miss emission inside the allocator, alloc/free completion)
+    // for data races with the sharded pool.
+    auto exec = OmpExecutor::create(4);
+    auto rec = log::RecordLogger::create();
+    exec->add_logger(rec);
+    constexpr int num_threads = 8;
+    constexpr int iterations = 500;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < iterations; ++i) {
+                const size_type bytes = 64 * ((t + 1) * (i % 5 + 1));
+                void* p = exec->alloc_bytes(bytes);
+                ASSERT_NE(p, nullptr);
+                static_cast<char*>(p)[0] = static_cast<char>(t);
+                if (i % 50 == 49) {
+                    exec->trim_pool();
+                }
+                exec->free_bytes(p);
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    exec->remove_logger(rec.get());
+    EXPECT_EQ(exec->num_live_allocations(), 0);
+    const auto total = static_cast<size_type>(num_threads) * iterations;
+    EXPECT_EQ(rec->count("allocation"), total);
+    EXPECT_EQ(rec->count("free"), total);
+    EXPECT_EQ(rec->count("pool_hit") + rec->count("pool_miss"), total);
 }
 
 TEST(MemoryPool, ArrayShrinkRegrowWithinCapacityIsAllocationFree)

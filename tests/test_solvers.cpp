@@ -734,6 +734,147 @@ TEST(IcPreconditioner, AcceleratesCgOnSpd)
     EXPECT_LE(with_ic, 3);
 }
 
+// --- residual-history convention ---------------------------------------
+
+// Applies the solver to b with a zero initial guess and checks the
+// logging contract: residual_history().size() == num_iterations() + 1,
+// with entry 0 holding the initial residual (== ||b|| for x0 = 0).
+void check_history_convention(LinOp* solver, std::shared_ptr<const Executor> exec,
+                              size_type n)
+{
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+
+    auto* base = dynamic_cast<solver::IterativeSolver<double>*>(solver);
+    ASSERT_NE(base, nullptr);
+    auto logger = base->get_logger();
+    const auto& hist = logger->residual_history();
+    ASSERT_EQ(hist.size(),
+              static_cast<std::size_t>(logger->num_iterations()) + 1);
+    const double b_norm = b->norm2_scalar();
+    EXPECT_NEAR(hist.front(), b_norm, 1e-10 * b_norm);
+}
+
+TEST_P(SolversOnExecutors, EverySolverKeepsHistoryAlignedWithIterations)
+{
+    const size_type n = 40;
+    auto spd = spd_system(n);
+    auto nonsym = nonsym_system(n);
+    auto criteria = [](auto builder) {
+        return builder.with_criteria(stop::iteration(60))
+            .with_criteria(stop::residual_norm(1e-10));
+    };
+
+    check_history_convention(
+        criteria(solver::Cg<double>::build()).on(exec_)->generate(spd).get(),
+        exec_, n);
+    check_history_convention(
+        criteria(solver::Fcg<double>::build()).on(exec_)->generate(spd).get(),
+        exec_, n);
+    check_history_convention(
+        criteria(solver::Cgs<double>::build()).on(exec_)->generate(nonsym).get(),
+        exec_, n);
+    check_history_convention(criteria(solver::Bicgstab<double>::build())
+                                 .on(exec_)
+                                 ->generate(nonsym)
+                                 .get(),
+                             exec_, n);
+    check_history_convention(criteria(solver::Gmres<double>::build())
+                                 .with_krylov_dim(10)
+                                 .on(exec_)
+                                 ->generate(nonsym)
+                                 .get(),
+                             exec_, n);
+    check_history_convention(
+        criteria(solver::Ir<double>::build())
+            .with_preconditioner(
+                preconditioner::Jacobi<double, int32>::build().on(exec_))
+            .on(exec_)
+            ->generate(spd)
+            .get(),
+        exec_, n);
+    // Preconditioned variants exercise the same contract through the
+    // preconditioner-aware paths.
+    check_history_convention(
+        criteria(solver::Cg<double>::build())
+            .with_preconditioner(
+                preconditioner::Jacobi<double, int32>::build().on(exec_))
+            .on(exec_)
+            ->generate(spd)
+            .get(),
+        exec_, n);
+}
+
+TEST(Solvers, BicgstabBreakdownStillLogsTheHalfStepIteration)
+{
+    // On an identity system the BiCGStab half step lands exactly on the
+    // solution: s == 0, so t = A*M*s == 0 and t't == 0 triggers the
+    // breakdown exit.  With only an iteration-count criterion active the
+    // s-norm check does not fire first, so the breakdown path itself must
+    // log the already-counted iteration — before the fix it returned
+    // without logging, leaving residual_history() one entry short.
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 8;
+    matrix_data<double, int32> data{dim2{n, n}};
+    for (size_type i = 0; i < n; ++i) {
+        data.add(static_cast<int32>(i), static_cast<int32>(i), 1.0);
+    }
+    auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+    auto solver = solver::Bicgstab<double>::build()
+                      .with_criteria(stop::iteration(10))
+                      .on(exec)
+                      ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 3.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+
+    auto logger =
+        dynamic_cast<solver::Bicgstab<double>*>(solver.get())->get_logger();
+    EXPECT_EQ(logger->num_iterations(), 1);
+    ASSERT_EQ(logger->residual_history().size(), 2u);
+    EXPECT_NEAR(logger->residual_history().back(), 0.0, 1e-12);
+    EXPECT_FALSE(logger->has_converged());
+    EXPECT_NE(logger->stop_reason().find("t't"), std::string::npos);
+    // The accepted half step is the exact solution.
+    EXPECT_LT(relative_residual(a.get(), b.get(), x.get()), 1e-12);
+}
+
+TEST(Solvers, GmresHistoryEndsWithTrueResidualNorm)
+{
+    // GMRES iterates on the preconditioned system, so its in-cycle Givens
+    // estimates track ||M r||, not ||r||.  At every restart boundary the
+    // solver recomputes the true residual; the final history entry must be
+    // that true norm — with a Jacobi preconditioner on a Laplacian
+    // (diagonal 2) the two differ by roughly a factor of two, which is
+    // what this guards.
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 60;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto solver = solver::Gmres<double>::build()
+                      .with_criteria(stop::iteration(200))
+                      .with_criteria(stop::residual_norm(1e-9))
+                      .with_krylov_dim(10)
+                      .with_preconditioner(
+                          preconditioner::Jacobi<double, int32>::build().on(exec))
+                      .on(exec)
+                      ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+
+    auto logger =
+        dynamic_cast<solver::Gmres<double>*>(solver.get())->get_logger();
+    const auto& hist = logger->residual_history();
+    ASSERT_EQ(hist.size(),
+              static_cast<std::size_t>(logger->num_iterations()) + 1);
+    const double true_norm =
+        relative_residual(a.get(), b.get(), x.get()) * b->norm2_scalar();
+    ASSERT_GT(hist.back(), 0.0);
+    EXPECT_NEAR(hist.back(), true_norm, 1e-6 * b->norm2_scalar());
+}
+
 TEST(Preconditioners, GeneratedPreconditionerIsReused)
 {
     auto exec = ReferenceExecutor::create();
