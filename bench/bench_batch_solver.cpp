@@ -1,0 +1,148 @@
+// Batched solver throughput: batched CG (one kernel launch per operation
+// across the whole batch, per-system convergence dropout) versus the naive
+// loop of single-system CG solves, at batch sizes 1 / 8 / 64 / 512.  The
+// batched path amortizes per-launch overhead across systems, so its
+// advantage grows with the batch — by 512 systems it must win outright.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "batch/batch_cg.hpp"
+#include "batch/batch_csr.hpp"
+#include "batch/batch_dense.hpp"
+#include "bench/common/harness.hpp"
+#include "solver/cg.hpp"
+#include "stop/criterion.hpp"
+
+using namespace mgko;
+
+namespace {
+
+/// 1D laplacian staging data with a per-system diagonal shift: systems of
+/// one batch share the pattern but differ (slightly) in conditioning.
+matrix_data<double, int32> shifted_laplacian(size_type n, double shift)
+{
+    matrix_data<double, int32> data{dim2{n}};
+    for (size_type i = 0; i < n; ++i) {
+        data.add(static_cast<int32>(i), static_cast<int32>(i), 2.0 + shift);
+        if (i + 1 < n) {
+            data.add(static_cast<int32>(i), static_cast<int32>(i + 1), -1.0);
+            data.add(static_cast<int32>(i + 1), static_cast<int32>(i), -1.0);
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+double per_system_shift(size_type s)
+{
+    return 0.01 * static_cast<double>(s % 8);
+}
+
+constexpr size_type n = 64;
+constexpr size_type max_iters = 200;
+constexpr double reduction = 1e-8;
+
+/// Simulated seconds per batched solve of `num` systems.
+double time_batched(std::shared_ptr<Executor> exec, size_type num)
+{
+    auto mat = batch::Csr<double, int32>::create_duplicate(
+        exec, num, shifted_laplacian(n, 0.0));
+    const auto* row_ptrs = mat->get_const_row_ptrs();
+    const auto* col_idxs = mat->get_const_col_idxs();
+    for (size_type s = 0; s < num; ++s) {
+        auto* vals = mat->system_values(s);
+        for (size_type row = 0; row < n; ++row) {
+            for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+                if (col_idxs[k] == static_cast<int32>(row)) {
+                    vals[k] += per_system_shift(s);
+                }
+            }
+        }
+    }
+    auto b = batch::Dense<double>::create_filled(
+        exec, batch::batch_dim{num, dim2{n, 1}}, 1.0);
+    auto x = batch::Dense<double>::create(exec,
+                                          batch::batch_dim{num, dim2{n, 1}});
+    auto solver = batch::Cg<double>::build()
+                      .with_criteria(stop::iteration(max_iters))
+                      .with_criteria(stop::residual_norm(reduction))
+                      .on(exec)
+                      ->generate(std::move(mat));
+    return bench::time_seconds(exec.get(), [&] {
+        x->fill(0.0);
+        solver->apply(b.get(), x.get());
+    });
+}
+
+/// Simulated seconds for the same work as a loop of single-system solves.
+double time_loop(std::shared_ptr<Executor> exec, size_type num)
+{
+    std::vector<std::unique_ptr<LinOp>> solvers;
+    std::vector<std::unique_ptr<Dense<double>>> bs;
+    std::vector<std::unique_ptr<Dense<double>>> xs;
+    for (size_type s = 0; s < num; ++s) {
+        auto mat = Csr<double, int32>::create_from_data(
+            exec, shifted_laplacian(n, per_system_shift(s)));
+        solvers.push_back(solver::Cg<double>::build()
+                              .with_criteria(stop::iteration(max_iters))
+                              .with_criteria(stop::residual_norm(reduction))
+                              .on(exec)
+                              ->generate(std::move(mat)));
+        bs.push_back(Dense<double>::create_filled(exec, dim2{n, 1}, 1.0));
+        xs.push_back(Dense<double>::create(exec, dim2{n, 1}));
+    }
+    return bench::time_seconds(exec.get(), [&] {
+        for (size_type s = 0; s < num; ++s) {
+            xs[s]->fill(0.0);
+            solvers[s]->apply(bs[s].get(), xs[s].get());
+        }
+    });
+}
+
+}  // namespace
+
+int main()
+{
+    bench::CsvBlock csv{"batch_solver",
+                        {"device", "batch_size", "t_batched_us", "t_loop_us",
+                         "batched_sys_per_s", "loop_sys_per_s", "speedup"}};
+
+    std::printf("Batched CG vs single-system loop, 1D laplacian n=%d\n",
+                static_cast<int>(n));
+    bool batch512_wins = true;
+    std::string detail;
+    for (auto [exec, device] :
+         {std::pair<std::shared_ptr<Executor>, const char*>{
+              OmpExecutor::create(8), "omp"},
+          std::pair<std::shared_ptr<Executor>, const char*>{
+              CudaExecutor::create(), "cuda-sim"}}) {
+        for (size_type num : {1, 8, 64, 512}) {
+            const double t_batched = time_batched(exec, num);
+            const double t_loop = time_loop(exec, num);
+            const double batched_rate = static_cast<double>(num) / t_batched;
+            const double loop_rate = static_cast<double>(num) / t_loop;
+            const double speedup = t_loop / t_batched;
+            csv.add_row({device, std::to_string(num),
+                         bench::fmt(t_batched * 1e6),
+                         bench::fmt(t_loop * 1e6), bench::fmt(batched_rate),
+                         bench::fmt(loop_rate), bench::fmt(speedup)});
+            std::printf(
+                "  %-8s batch=%4d  batched %10.0f sys/s  loop %10.0f "
+                "sys/s  speedup %.2fx\n",
+                device, static_cast<int>(num), batched_rate, loop_rate,
+                speedup);
+            if (num == 512) {
+                batch512_wins = batch512_wins && batched_rate > loop_rate;
+                detail += std::string{device} + " 512: " +
+                          bench::fmt(speedup) + "x ";
+            }
+        }
+    }
+    csv.print();
+
+    bench::check_shape(
+        "batched CG at batch 512 outruns the loop of single-system solves",
+        batch512_wins, detail);
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Batched (preconditioned) BiCGStab with per-system convergence tracking,
+// including BiCGStab's half-step early exit: a system whose residual
+// already passes its criterion after the s-vector update takes the
+// half-step solution x += alpha p_hat and retires, while the rest of the
+// batch completes the full step — all through per-system masks, without
+// splitting the batch.
+#pragma once
+
+#include "batch/batch_solver.hpp"
+
+namespace mgko::batch {
+
+
+template <typename ValueType = double>
+class Bicgstab : public BatchIterativeSolver<ValueType> {
+public:
+    static batch_builder<Bicgstab> build() { return {}; }
+
+protected:
+    friend class BatchSolverFactory<Bicgstab>;
+    Bicgstab(std::shared_ptr<const Executor> exec, batch_parameters params,
+             std::shared_ptr<const BatchLinOp> system)
+        : BatchIterativeSolver<ValueType>{std::move(exec), std::move(params),
+                                          std::move(system)}
+    {}
+
+    void apply_impl(const BatchLinOp* b, BatchLinOp* x) const override;
+
+private:
+    /// Scratch mask for the systems taking the half-step exit this
+    /// iteration (persistent like active_, so steady state allocates
+    /// nothing).
+    mutable std::vector<std::uint8_t> half_;
+};
+
+
+}  // namespace mgko::batch

@@ -1,0 +1,30 @@
+// Batched (preconditioned) Conjugate Gradient: one CG iteration advances
+// every still-active system of the batch in lockstep, each kernel launched
+// once across the batch.  Per-system criteria retire systems individually —
+// a converged (or broken-down) system drops out of every subsequent kernel
+// via the active mask while the batch keeps running.
+#pragma once
+
+#include "batch/batch_solver.hpp"
+
+namespace mgko::batch {
+
+
+template <typename ValueType = double>
+class Cg : public BatchIterativeSolver<ValueType> {
+public:
+    static batch_builder<Cg> build() { return {}; }
+
+protected:
+    friend class BatchSolverFactory<Cg>;
+    Cg(std::shared_ptr<const Executor> exec, batch_parameters params,
+       std::shared_ptr<const BatchLinOp> system)
+        : BatchIterativeSolver<ValueType>{std::move(exec), std::move(params),
+                                          std::move(system)}
+    {}
+
+    void apply_impl(const BatchLinOp* b, BatchLinOp* x) const override;
+};
+
+
+}  // namespace mgko::batch

@@ -1,0 +1,115 @@
+// Batched CSR matrix with one shared sparsity pattern.
+//
+// All systems of the batch share one set of row pointers and column indices;
+// the values of system s start at `values + s * nnz` — `num_systems x nnz`
+// stored contiguously, the cache/SIMD-friendly stride the batched SpMV
+// kernels sweep across systems.  This is the common case for batched
+// workloads (same discretization, different coefficients); per-system
+// patterns are represented by padding to the union pattern with explicit
+// zeros when staging.
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/matrix_data.hpp"
+#include "batch/batch_lin_op.hpp"
+#include "batch/batch_strided_op.hpp"
+
+namespace mgko {
+
+template <typename ValueType, typename IndexType>
+class Csr;
+
+namespace batch {
+
+
+template <typename ValueType, typename IndexType = int32>
+class Csr : public BatchLinOp, public StridedBatchOp<ValueType> {
+public:
+    using value_type = ValueType;
+    using index_type = IndexType;
+
+    /// Creates an uninitialized batch: shared pattern of `nnz` entries,
+    /// `size.num_systems` value slices.
+    static std::unique_ptr<Csr> create(std::shared_ptr<const Executor> exec,
+                                       batch_dim size = {},
+                                       size_type nnz = 0);
+
+    /// Builds the shared pattern from staging data (sorted, duplicates
+    /// merged) and duplicates its values across all `num_systems` slices.
+    /// Per-system coefficients are then edited via `system_values`.
+    static std::unique_ptr<Csr> create_duplicate(
+        std::shared_ptr<const Executor> exec, size_type num_systems,
+        const matrix_data<ValueType, IndexType>& data);
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+    /// Start of system `s`'s value slice.
+    ValueType* system_values(size_type s)
+    {
+        return values_.get_data() + s * get_num_stored_elements_per_system();
+    }
+    const ValueType* system_const_values(size_type s) const
+    {
+        return values_.get_const_data() +
+               s * get_num_stored_elements_per_system();
+    }
+    IndexType* get_col_idxs() { return col_idxs_.get_data(); }
+    const IndexType* get_const_col_idxs() const
+    {
+        return col_idxs_.get_const_data();
+    }
+    IndexType* get_row_ptrs() { return row_ptrs_.get_data(); }
+    const IndexType* get_const_row_ptrs() const
+    {
+        return row_ptrs_.get_const_data();
+    }
+
+    /// Nonzeros of the shared pattern (one system's slice).
+    size_type get_num_stored_elements_per_system() const
+    {
+        return col_idxs_.size();
+    }
+    /// Total stored values across the batch (num_systems * nnz).
+    size_type get_num_stored_elements() const { return values_.size(); }
+
+    /// Copies system `s` out into a single-system Csr.
+    std::unique_ptr<mgko::Csr<ValueType, IndexType>> extract_system(
+        size_type s) const;
+
+    std::unique_ptr<Csr> clone() const;
+
+    /// Raw strided SpMV / residual over the active systems — the interface
+    /// the batched solvers iterate through (see batch_strided_op.hpp).
+    void apply_raw(const std::uint8_t* active, const ValueType* b,
+                   ValueType* x) const override;
+    void residual_raw(const std::uint8_t* active, const ValueType* b,
+                      const ValueType* x, ValueType* r) const override;
+
+protected:
+    Csr(std::shared_ptr<const Executor> exec, batch_dim size, size_type nnz);
+
+    /// Batched SpMV: x[s] = A[s] b[s], one launch across all systems.
+    void apply_impl(const BatchLinOp* b, BatchLinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+    array<IndexType> col_idxs_;
+    array<IndexType> row_ptrs_;
+};
+
+
+/// Downcasts a BatchLinOp to batch::Csr<V, I>, throwing NotSupported with a
+/// helpful message when the dynamic type does not match.
+template <typename ValueType, typename IndexType>
+Csr<ValueType, IndexType>* as_batch_csr(BatchLinOp* op);
+template <typename ValueType, typename IndexType>
+const Csr<ValueType, IndexType>* as_batch_csr(const BatchLinOp* op);
+
+
+}  // namespace batch
+}  // namespace mgko

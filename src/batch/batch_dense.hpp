@@ -1,0 +1,102 @@
+// Batched dense matrix / multi-vector, modeled on gko::batch::MultiVector.
+//
+// All systems' values live in one contiguous allocation, system after
+// system (system s of an r x c batch starts at offset s * r * c, row-major
+// within the system) — the cache/SIMD-friendly stride batched kernels rely
+// on.  Right-hand sides, solutions, and residuals of the batched solvers
+// are batch::Dense, exactly as their single-system counterparts are Dense.
+#pragma once
+
+#include <memory>
+
+#include "core/array.hpp"
+#include "core/matrix_data.hpp"
+#include "batch/batch_lin_op.hpp"
+#include "batch/batch_strided_op.hpp"
+
+namespace mgko {
+
+template <typename ValueType>
+class Dense;
+
+namespace batch {
+
+
+template <typename ValueType>
+class Dense : public BatchLinOp, public StridedBatchOp<ValueType> {
+public:
+    using value_type = ValueType;
+
+    /// Creates an uninitialized batch of num_systems x (rows x cols).
+    static std::unique_ptr<Dense> create(std::shared_ptr<const Executor> exec,
+                                         batch_dim size = {});
+
+    /// Creates a batch filled with `value` in every system.
+    static std::unique_ptr<Dense> create_filled(
+        std::shared_ptr<const Executor> exec, batch_dim size,
+        ValueType value);
+
+    /// Duplicates one system's staging data across the whole batch.
+    static std::unique_ptr<Dense> create_duplicate(
+        std::shared_ptr<const Executor> exec, size_type num_systems,
+        const matrix_data<ValueType, int64>& data);
+
+    ValueType* get_values() { return values_.get_data(); }
+    const ValueType* get_const_values() const
+    {
+        return values_.get_const_data();
+    }
+    /// Start of system `s`'s values.
+    ValueType* system_values(size_type s)
+    {
+        return values_.get_data() + s * stride();
+    }
+    const ValueType* system_const_values(size_type s) const
+    {
+        return values_.get_const_data() + s * stride();
+    }
+    /// Elements per system (rows * cols).
+    size_type stride() const { return get_common_size().area(); }
+    size_type get_num_stored_elements() const { return values_.size(); }
+
+    /// Host-side element access into system `s` (bounds-checked).
+    ValueType& at(size_type sys, size_type row, size_type col = 0);
+    ValueType at(size_type sys, size_type row, size_type col = 0) const;
+
+    void fill(ValueType value);
+    void copy_from(const Dense* other);
+    std::unique_ptr<Dense> clone() const;
+
+    /// Copies system `s` out into a single-system Dense (and back in).
+    std::unique_ptr<mgko::Dense<ValueType>> extract_system(size_type s) const;
+    void assign_system(size_type s, const mgko::Dense<ValueType>* src);
+
+    /// Raw strided apply / residual over the active systems (square
+    /// operator batches only) — the interface the batched solvers iterate
+    /// through (see batch_strided_op.hpp).
+    void apply_raw(const std::uint8_t* active, const ValueType* b,
+                   ValueType* x) const override;
+    void residual_raw(const std::uint8_t* active, const ValueType* b,
+                      const ValueType* x, ValueType* r) const override;
+
+protected:
+    Dense(std::shared_ptr<const Executor> exec, batch_dim size);
+
+    /// Batched dense apply: x[s] = this[s] * b[s] for every system.
+    void apply_impl(const BatchLinOp* b, BatchLinOp* x) const override;
+
+private:
+    array<ValueType> values_;
+};
+
+
+/// Downcasts a BatchLinOp to batch::Dense<V>, throwing NotSupported with a
+/// helpful message when the dynamic type does not match.
+template <typename ValueType>
+Dense<ValueType>* as_batch_dense(BatchLinOp* op);
+template <typename ValueType>
+const Dense<ValueType>* as_batch_dense(const BatchLinOp* op);
+
+
+}  // namespace batch
+}  // namespace mgko

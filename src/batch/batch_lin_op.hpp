@@ -1,0 +1,140 @@
+// The BatchLinOp abstraction — the batched mirror of LinOp (core/lin_op.hpp).
+//
+// A BatchLinOp models `num_systems` independent linear operators of one
+// common dimension, applied in a single call: batched matrices, batched
+// solvers, and batched preconditioners all share this interface, exactly as
+// their single-system counterparts share LinOp.  The batched direction is
+// the one Ginkgo itself grew into for many-small-systems workloads; here it
+// turns the single-system engine the paper describes into a throughput
+// engine (see DESIGN.md §10).
+#pragma once
+
+#include <memory>
+
+#include "core/exception.hpp"
+#include "core/executor.hpp"
+#include "core/types.hpp"
+#include "log/event_logger.hpp"
+
+namespace mgko::batch {
+
+
+/// Dimensions of a batch of equally-sized operators: `num_systems`
+/// independent systems, each of extent `common`.
+struct batch_dim {
+    size_type num_systems{};
+    dim2 common{};
+
+    constexpr batch_dim() = default;
+    constexpr batch_dim(size_type n, dim2 c) : num_systems{n}, common{c} {}
+
+    constexpr friend bool operator==(const batch_dim& a, const batch_dim& b)
+    {
+        return a.num_systems == b.num_systems && a.common == b.common;
+    }
+    constexpr friend bool operator!=(const batch_dim& a, const batch_dim& b)
+    {
+        return !(a == b);
+    }
+};
+
+
+/// Batched linear operator: one `apply` advances all systems of the batch.
+/// Mirrors LinOp, including the logger attachment point — batched solvers
+/// broadcast per-batch iteration/stop events to loggers attached here and
+/// to the executor's (see batch/batch_solver.hpp).
+class BatchLinOp : public std::enable_shared_from_this<BatchLinOp>,
+                   public log::EnableLogging {
+public:
+    virtual ~BatchLinOp() = default;
+
+    BatchLinOp(const BatchLinOp&) = delete;
+    BatchLinOp& operator=(const BatchLinOp&) = delete;
+
+    /// Applies the operator batch: x[s] = op[s](b[s]) for every system s.
+    void apply(const BatchLinOp* b, BatchLinOp* x) const
+    {
+        validate_application(b, x);
+        apply_impl(b, x);
+    }
+
+    void apply(std::shared_ptr<const BatchLinOp> b,
+               std::shared_ptr<BatchLinOp> x) const
+    {
+        apply(b.get(), x.get());
+    }
+
+    const batch_dim& get_size() const { return size_; }
+    size_type get_num_systems() const { return size_.num_systems; }
+    const dim2& get_common_size() const { return size_.common; }
+
+    std::shared_ptr<const Executor> get_executor() const { return exec_; }
+
+protected:
+    BatchLinOp(std::shared_ptr<const Executor> exec, batch_dim size)
+        : exec_{std::move(exec)}, size_{size}
+    {
+        MGKO_ENSURE(exec_ != nullptr, "BatchLinOp requires an executor");
+        MGKO_ENSURE(size_.num_systems >= 0,
+                    "batch size must be non-negative");
+    }
+
+    virtual void apply_impl(const BatchLinOp* b, BatchLinOp* x) const = 0;
+
+    void set_size(batch_dim size) { size_ = size; }
+
+    void validate_application(const BatchLinOp* b, const BatchLinOp* x) const
+    {
+        MGKO_ENSURE(b != nullptr && x != nullptr,
+                    "batch apply requires non-null operands");
+        MGKO_ENSURE(b->get_num_systems() == size_.num_systems &&
+                        x->get_num_systems() == size_.num_systems,
+                    "batch apply requires matching batch sizes");
+        MGKO_ASSERT_CONFORMANT("batch apply(op, b)", size_.common,
+                               b->get_common_size());
+        if (size_.common.rows != x->get_common_size().rows ||
+            b->get_common_size().cols != x->get_common_size().cols) {
+            throw DimensionMismatch(
+                __FILE__, __LINE__, "batch apply result",
+                dim2{size_.common.rows, b->get_common_size().cols},
+                x->get_common_size());
+        }
+    }
+
+private:
+    std::shared_ptr<const Executor> exec_;
+    batch_dim size_{};
+};
+
+
+/// Factory producing BatchLinOps bound to a batch system operator — the
+/// batched mirror of LinOpFactory: `factory->generate(A)` returns the
+/// batched solver / preconditioner for the batch A.
+class BatchLinOpFactory {
+public:
+    virtual ~BatchLinOpFactory() = default;
+
+    std::unique_ptr<BatchLinOp> generate(
+        std::shared_ptr<const BatchLinOp> system) const
+    {
+        MGKO_ENSURE(system != nullptr,
+                    "generate requires a batch system operator");
+        return generate_impl(std::move(system));
+    }
+
+    std::shared_ptr<const Executor> get_executor() const { return exec_; }
+
+protected:
+    explicit BatchLinOpFactory(std::shared_ptr<const Executor> exec)
+        : exec_{std::move(exec)}
+    {}
+
+    virtual std::unique_ptr<BatchLinOp> generate_impl(
+        std::shared_ptr<const BatchLinOp> system) const = 0;
+
+private:
+    std::shared_ptr<const Executor> exec_;
+};
+
+
+}  // namespace mgko::batch

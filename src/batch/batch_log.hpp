@@ -1,0 +1,114 @@
+// Per-system convergence diagnostics of a batched solve — the batched
+// analogue of log::ConvergenceLogger: one iteration count, final residual
+// norm, converged flag, and stop reason per system, because the whole point
+// of per-system convergence tracking is that the systems finish at
+// different times.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/exception.hpp"
+#include "core/types.hpp"
+
+namespace mgko::batch {
+
+
+class BatchConvergenceLogger {
+public:
+    void reset(size_type num_systems)
+    {
+        iterations_.assign(num_systems, 0);
+        residual_norm_.assign(num_systems,
+                              std::numeric_limits<double>::quiet_NaN());
+        converged_.assign(num_systems, 0);
+        reason_.assign(num_systems, {});
+    }
+
+    /// Records system `s` finishing iteration `iteration` with
+    /// `residual_norm` (only the latest entry per system is kept; the
+    /// batched solvers do not store per-iteration history for every
+    /// system).
+    void log_iteration(size_type s, size_type iteration, double residual_norm)
+    {
+        check(s);
+        iterations_[s] = iteration;
+        residual_norm_[s] = residual_norm;
+    }
+
+    /// Records the stop decision of system `s`.
+    void log_stop(size_type s, size_type iteration, bool converged,
+                  const std::string& reason)
+    {
+        check(s);
+        iterations_[s] = iteration;
+        converged_[s] = converged ? 1 : 0;
+        reason_[s] = reason;
+    }
+
+    size_type num_systems() const
+    {
+        return static_cast<size_type>(iterations_.size());
+    }
+    size_type num_iterations(size_type s) const
+    {
+        check(s);
+        return iterations_[s];
+    }
+    double final_residual_norm(size_type s) const
+    {
+        check(s);
+        return residual_norm_[s];
+    }
+    bool has_converged(size_type s) const
+    {
+        check(s);
+        return converged_[s] != 0;
+    }
+    const std::string& stop_reason(size_type s) const
+    {
+        check(s);
+        return reason_[s];
+    }
+
+    size_type num_converged() const
+    {
+        size_type count = 0;
+        for (auto c : converged_) {
+            count += c ? 1 : 0;
+        }
+        return count;
+    }
+    bool all_converged() const
+    {
+        return num_converged() == num_systems();
+    }
+    /// Largest per-system iteration count — the batch's critical path.
+    size_type max_iterations() const
+    {
+        size_type result = 0;
+        for (auto it : iterations_) {
+            result = std::max(result, it);
+        }
+        return result;
+    }
+
+private:
+    void check(size_type s) const
+    {
+        if (s < 0 || s >= num_systems()) {
+            throw OutOfBounds(__FILE__, __LINE__, s, num_systems());
+        }
+    }
+
+    std::vector<size_type> iterations_;
+    std::vector<double> residual_norm_;
+    std::vector<std::uint8_t> converged_;
+    std::vector<std::string> reason_;
+};
+
+
+}  // namespace mgko::batch

@@ -1,0 +1,35 @@
+// The raw strided interface batched solvers drive their operands through.
+//
+// A batched Krylov iteration works on flat workspace slots (one contiguous
+// buffer of num_systems x n values per vector, drawn from
+// solver::Workspace) plus an active-system mask, not on batch::Dense
+// objects — that is what lets converged systems drop out of every kernel
+// while the batch keeps running, with zero per-iteration allocation.
+// Batched matrices (batch::Csr, batch::Dense) and batched preconditioners
+// (batch::Jacobi) implement this interface alongside BatchLinOp::apply.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace mgko::batch {
+
+
+template <typename ValueType>
+class StridedBatchOp {
+public:
+    virtual ~StridedBatchOp() = default;
+
+    /// x[s] = op[s] b[s] over the active systems; b and x hold one n-sized
+    /// slice per system, back to back.
+    virtual void apply_raw(const std::uint8_t* active, const ValueType* b,
+                           ValueType* x) const = 0;
+
+    /// r[s] = b[s] - op[s] x[s] over the active systems.
+    virtual void residual_raw(const std::uint8_t* active, const ValueType* b,
+                              const ValueType* x, ValueType* r) const = 0;
+};
+
+
+}  // namespace mgko::batch

@@ -7,6 +7,11 @@
 // the Python side might require").
 #include <mutex>
 
+#include "batch/batch_bicgstab.hpp"
+#include "batch/batch_cg.hpp"
+#include "batch/batch_csr.hpp"
+#include "batch/batch_dense.hpp"
+#include "batch/batch_jacobi.hpp"
 #include "bindings/registry.hpp"
 #include "config/config_solver.hpp"
 #include "core/dispatch.hpp"
@@ -508,6 +513,216 @@ void register_matrix_bindings(Module& m)
     });
 }
 
+
+// --- batched bindings (paper §5.1 applied to mgko::batch) ------------------
+//
+// The batched surface follows the same pre-instantiation scheme as the
+// single-system one: every value-type (x index-type) combination of every
+// batched operation is registered under its mangled name, so a string
+// lookup reaches a fully typed batched solver without any template
+// machinery on the caller's side.
+
+std::shared_ptr<batch::BatchLinOp> unbox_batch_op(const Value& v,
+                                                  const char* tag)
+{
+    return v.as<batch::BatchLinOp>(tag);
+}
+
+template <typename V>
+std::shared_ptr<batch::Dense<V>> unbox_batch_tensor(const Value& v)
+{
+    auto op = unbox_batch_op(v, "batch_tensor");
+    auto dense = std::dynamic_pointer_cast<batch::Dense<V>>(op);
+    if (!dense) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "batch tensor has a different dtype than the "
+                           "bound function expects");
+    }
+    return dense;
+}
+
+/// Per-system diagnostics of a batched solve, exported as a list of dicts —
+/// the shape a Python caller would iterate over.
+Value export_batch_log(const batch::BatchConvergenceLogger& log)
+{
+    List systems;
+    for (size_type s = 0; s < log.num_systems(); ++s) {
+        Dict entry;
+        entry.emplace_back("iterations",
+                           Value{static_cast<std::int64_t>(
+                               log.num_iterations(s))});
+        entry.emplace_back("residual_norm",
+                           Value{log.final_residual_norm(s)});
+        entry.emplace_back("converged", Value{log.has_converged(s)});
+        entry.emplace_back("reason", Value{log.stop_reason(s)});
+        systems.emplace_back(Dict{std::move(entry)});
+    }
+    return Value{std::move(systems)};
+}
+
+template <typename V>
+void register_batch_tensor_bindings(Module& m)
+{
+    const auto s = suffix(dtype_of<V>::value);
+
+    // args: device, num_systems, rows, cols, fill
+    m.def("batch_tensor_create" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        const auto num = args.at(1).as_int();
+        const auto rows = args.at(2).as_int();
+        const auto cols = args.at(3).as_int();
+        auto tensor = batch::Dense<V>::create_filled(
+            exec,
+            batch::batch_dim{static_cast<size_type>(num), dim2{rows, cols}},
+            static_cast<V>(args.at(4).as_double()));
+        return box("batch_tensor",
+                   std::shared_ptr<batch::BatchLinOp>{std::move(tensor)});
+    });
+
+    m.def("batch_tensor_item" + s, [](const List& args) -> Value {
+        auto t = unbox_batch_tensor<V>(args.at(0));
+        return Value{to_float(t->at(args.at(1).as_int(), args.at(2).as_int(),
+                                    args.at(3).as_int())) +
+                     0.0};
+    });
+
+    m.def("batch_tensor_set_item" + s, [](const List& args) -> Value {
+        auto t = unbox_batch_tensor<V>(args.at(0));
+        t->at(args.at(1).as_int(), args.at(2).as_int(), args.at(3).as_int()) =
+            static_cast<V>(args.at(4).as_double());
+        return {};
+    });
+
+    m.def("batch_tensor_fill" + s, [](const List& args) -> Value {
+        unbox_batch_tensor<V>(args.at(0))
+            ->fill(static_cast<V>(args.at(1).as_double()));
+        return {};
+    });
+
+    // args: solver, b, x — advances every system of the batch and returns
+    // the per-system convergence records.
+    m.def("batch_solver_apply" + s, [](const List& args) -> Value {
+        auto solver = unbox_batch_op(args.at(0), "batch_solver");
+        auto b = unbox_batch_tensor<V>(args.at(1));
+        auto x = unbox_batch_tensor<V>(args.at(2));
+        solver->apply(b.get(), x.get());
+        if (auto iterative =
+                std::dynamic_pointer_cast<batch::BatchIterativeSolver<V>>(
+                    solver)) {
+            return export_batch_log(*iterative->get_batch_logger());
+        }
+        return {};
+    });
+}
+
+template <typename V, typename I>
+void register_batch_matrix_bindings(Module& m)
+{
+    const auto s = suffix(dtype_of<V>::value, itype_of<I>::value);
+
+    // args: device, num_systems, matrix_data — shared pattern, values
+    // duplicated across the batch (edited per system afterwards).
+    m.def("batch_csr_from_data" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        const auto num = static_cast<size_type>(args.at(1).as_int());
+        auto data =
+            args.at(2).as<const matrix_data<double, int64>>("matrix_data");
+        auto mat = batch::Csr<V, I>::create_duplicate(
+            std::move(exec), num, data->template cast<V, I>());
+        const auto nnz = mat->get_num_stored_elements_per_system();
+        List result;
+        result.emplace_back(
+            box("batch_matrix",
+                std::shared_ptr<batch::BatchLinOp>{std::move(mat)}));
+        result.emplace_back(static_cast<std::int64_t>(nnz));
+        return Value{std::move(result)};
+    });
+
+    // args: matrix, sys, row, col, value — per-system coefficient edit on
+    // the shared pattern (entries absent from the pattern throw).
+    m.def("batch_csr_set_entry" + s, [](const List& args) -> Value {
+        auto op = unbox_batch_op(args.at(0), "batch_matrix");
+        auto mat = std::dynamic_pointer_cast<batch::Csr<V, I>>(op);
+        if (!mat) {
+            throw BadParameter(__FILE__, __LINE__,
+                               "batch matrix has a different format/dtype "
+                               "than the bound function expects");
+        }
+        const auto sys = static_cast<size_type>(args.at(1).as_int());
+        const auto row = args.at(2).as_int();
+        const auto col = static_cast<I>(args.at(3).as_int());
+        const auto* row_ptrs = mat->get_const_row_ptrs();
+        const auto* col_idxs = mat->get_const_col_idxs();
+        MGKO_ENSURE(row >= 0 &&
+                        row < static_cast<std::int64_t>(
+                                  mat->get_common_size().rows),
+                    "row index out of range");
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (col_idxs[k] == col) {
+                mat->system_values(sys)[k] =
+                    static_cast<V>(args.at(4).as_double());
+                return {};
+            }
+        }
+        throw BadParameter(__FILE__, __LINE__,
+                           "entry is not part of the shared sparsity "
+                           "pattern of the batched CSR matrix");
+    });
+
+    // args: matrix, b, x — one batched SpMV launch across all systems.
+    m.def("batch_matrix_apply" + s, [](const List& args) -> Value {
+        auto mat = unbox_batch_op(args.at(0), "batch_matrix");
+        auto b = unbox_batch_tensor<V>(args.at(1));
+        auto x = unbox_batch_tensor<V>(args.at(2));
+        mat->apply(b.get(), x.get());
+        return {};
+    });
+
+    // args: device — the batched scalar-Jacobi factory (generated against
+    // the system inside the solver builder).
+    m.def("batch_precond_jacobi" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        return box("batch_precond",
+                   std::shared_ptr<const batch::BatchLinOpFactory>{
+                       batch::Jacobi<V>::build().on(std::move(exec))});
+    });
+
+    auto register_batch_krylov = [&](const std::string& name,
+                                     auto solver_token) {
+        using SolverT = typename decltype(solver_token)::type;
+        // args: device, matrix, precond|none, max_iters, reduction
+        m.def("batch_solver_" + name + s, [](const List& args) -> Value {
+            auto exec = unbox_device(args.at(0));
+            auto mat = unbox_batch_op(args.at(1), "batch_matrix");
+            auto builder = SolverT::build();
+            builder.with_criteria(stop::iteration(args.at(3).as_int()));
+            builder.with_criteria(
+                stop::residual_norm(args.at(4).as_double()));
+            if (!args.at(2).is_none()) {
+                builder.with_preconditioner(
+                    args.at(2).as<const batch::BatchLinOpFactory>(
+                        "batch_precond"));
+            }
+            return box("batch_solver",
+                       std::shared_ptr<batch::BatchLinOp>{
+                           builder.on(std::move(exec))->generate(mat)});
+        });
+    };
+    register_batch_krylov("cg", type_token<batch::Cg<V>>{});
+    register_batch_krylov("bicgstab", type_token<batch::Bicgstab<V>>{});
+
+    // args: device, matrix, json — the "batch": N config entry point.
+    m.def("batch_config_solver" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_batch_op(args.at(1), "batch_matrix");
+        auto json = args.at(2).as<const config::Json>("json");
+        return box("batch_solver",
+                   std::shared_ptr<batch::BatchLinOp>{
+                       config::batch_config_solver(*json, std::move(exec),
+                                                   std::move(mat))});
+    });
+}
+
 }  // namespace
 
 
@@ -524,6 +739,16 @@ void ensure_bindings_registered()
 #define MGKO_REGISTER_MATRIX(V, I) register_matrix_bindings<V, I>(m)
         MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_REGISTER_MATRIX);
 #undef MGKO_REGISTER_MATRIX
+
+#define MGKO_REGISTER_BATCH_TENSOR(V) register_batch_tensor_bindings<V>(m)
+        MGKO_INSTANTIATE_FOR_EACH_VALUE_TYPE(MGKO_REGISTER_BATCH_TENSOR);
+#undef MGKO_REGISTER_BATCH_TENSOR
+
+#define MGKO_REGISTER_BATCH_MATRIX(V, I) \
+    register_batch_matrix_bindings<V, I>(m)
+        MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(
+            MGKO_REGISTER_BATCH_MATRIX);
+#undef MGKO_REGISTER_BATCH_MATRIX
     });
 }
 

@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "batch/batch_bicgstab.hpp"
+#include "batch/batch_cg.hpp"
+#include "batch/batch_jacobi.hpp"
 #include "core/dispatch.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
@@ -167,6 +170,56 @@ std::shared_ptr<const LinOpFactory> parse_factory_typed(
     throw BadParameter(__FILE__, __LINE__, "unknown solver type: " + type);
 }
 
+
+template <typename V>
+std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory_typed(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    const auto& type = config.at("type").as_string();
+    const auto expected = config.at("batch").as_int();
+    MGKO_ENSURE(expected >= 0, "'batch' must be a non-negative system count");
+
+    auto criteria = parse_criteria(config);
+    std::shared_ptr<const batch::BatchLinOpFactory> precond;
+    if (config.contains("preconditioner") &&
+        !config.at("preconditioner").is_null()) {
+        const auto& ptype = config.at("preconditioner").at("type").as_string();
+        if (ptype == "preconditioner::Jacobi" || ptype == "Jacobi" ||
+            ptype == "jacobi") {
+            precond = batch::Jacobi<V>::build().on(exec);
+        } else {
+            throw BadParameter(__FILE__, __LINE__,
+                               "unknown batched preconditioner type: " +
+                                   ptype +
+                                   " (batched configs support Jacobi)");
+        }
+    }
+
+    auto configure = [&](auto builder) {
+        for (auto& c : criteria) {
+            builder.with_criteria(c);
+        }
+        if (precond) {
+            builder.with_preconditioner(precond);
+        }
+        builder.with_batch_size(static_cast<size_type>(expected));
+        return std::shared_ptr<const batch::BatchLinOpFactory>{
+            builder.on(exec)};
+    };
+
+    if (type == "solver::Cg" || type == "Cg" || type == "cg" ||
+        type == "batch::Cg") {
+        return configure(batch::Cg<V>::build());
+    }
+    if (type == "solver::Bicgstab" || type == "Bicgstab" ||
+        type == "bicgstab" || type == "batch::Bicgstab") {
+        return configure(batch::Bicgstab<V>::build());
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown batched solver type: " + type +
+                           " (batched configs support Cg and Bicgstab)");
+}
+
 }  // namespace
 
 
@@ -188,6 +241,13 @@ std::shared_ptr<const LinOpFactory> parse_factory(
     const Json& config, std::shared_ptr<const Executor> exec)
 {
     MGKO_ENSURE(config.is_object(), "solver config must be a JSON object");
+    if (config.contains("batch")) {
+        throw BadParameter(
+            __FILE__, __LINE__,
+            "config carries a 'batch' key: batched configurations go "
+            "through parse_batch_factory / batch_config_solver, which "
+            "generate from a batch::Csr or batch::Dense system");
+    }
     return dispatch_value_index(
         config_value_type(config), config_index_type(config),
         [&](auto v, auto i) -> std::shared_ptr<const LinOpFactory> {
@@ -203,6 +263,30 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
                                      std::shared_ptr<const LinOp> system)
 {
     return parse_factory(config, std::move(exec))->generate(std::move(system));
+}
+
+
+std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    MGKO_ENSURE(config.is_object(), "solver config must be a JSON object");
+    MGKO_ENSURE(config.contains("batch"),
+                "batched solver config requires a 'batch' key");
+    return dispatch_value_index(
+        config_value_type(config), config_index_type(config),
+        [&](auto v, auto) -> std::shared_ptr<const batch::BatchLinOpFactory> {
+            using V = typename decltype(v)::type;
+            return parse_batch_factory_typed<V>(config, exec);
+        });
+}
+
+
+std::unique_ptr<batch::BatchLinOp> batch_config_solver(
+    const Json& config, std::shared_ptr<const Executor> exec,
+    std::shared_ptr<const batch::BatchLinOp> system)
+{
+    return parse_batch_factory(config, std::move(exec))
+        ->generate(std::move(system));
 }
 
 

@@ -23,10 +23,15 @@
 //   "max_iters": 1000, "reduction_factor": 1e-6,
 //   "preconditioner": {"type": "preconditioner::Jacobi", "max_block_size": 1}
 // }
+//
+// A "batch": N key routes the configuration to the batched solvers
+// (batch::Cg / batch::Bicgstab over a batch::Csr or batch::Dense system of
+// N systems); see parse_batch_factory below.
 #pragma once
 
 #include <memory>
 
+#include "batch/batch_lin_op.hpp"
 #include "config/json.hpp"
 #include "core/executor.hpp"
 #include "core/lin_op.hpp"
@@ -35,7 +40,8 @@ namespace mgko::config {
 
 
 /// Builds a solver factory from a configuration.  Throws BadParameter for
-/// unknown types / malformed configs.
+/// unknown types / malformed configs, including configs carrying a
+/// "batch" key (those belong to parse_batch_factory).
 std::shared_ptr<const LinOpFactory> parse_factory(
     const Json& configuration, std::shared_ptr<const Executor> exec);
 
@@ -44,6 +50,20 @@ std::shared_ptr<const LinOpFactory> parse_factory(
 std::unique_ptr<LinOp> config_solver(const Json& configuration,
                                      std::shared_ptr<const Executor> exec,
                                      std::shared_ptr<const LinOp> system);
+
+/// Builds a *batched* solver factory from a configuration carrying a
+/// "batch": N key (N = expected number of systems; 0 accepts any batch).
+/// Supported types: solver::Cg and solver::Bicgstab, with an optional
+/// scalar-Jacobi preconditioner; criteria follow the single-system schema
+/// and are bound per system at apply time.
+std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory(
+    const Json& configuration, std::shared_ptr<const Executor> exec);
+
+/// One-shot convenience for the batched path: builds the batch factory and
+/// generates the batched solver for `system`.
+std::unique_ptr<batch::BatchLinOp> batch_config_solver(
+    const Json& configuration, std::shared_ptr<const Executor> exec,
+    std::shared_ptr<const batch::BatchLinOp> system);
 
 /// The value/index types a configuration selects (defaults: double, int32).
 dtype config_value_type(const Json& configuration);

@@ -74,11 +74,20 @@ header parse_header(const std::string& line, const std::string& path)
     return h;
 }
 
+/// Files written on Windows end lines with \r\n; getline keeps the \r.
+void strip_carriage_return(std::string& line)
+{
+    if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+    }
+}
+
 /// Reads the next line that is neither empty nor a comment.
 bool next_content_line(std::istream& stream, std::string& line)
 {
     while (std::getline(stream, line)) {
-        auto first = line.find_first_not_of(" \t\r");
+        strip_carriage_return(line);
+        auto first = line.find_first_not_of(" \t");
         if (first == std::string::npos || line[first] == '%') {
             continue;
         }
@@ -97,6 +106,7 @@ matrix_data<double, int64> read_mtx(std::istream& stream,
     if (!std::getline(stream, line)) {
         fail(path, "empty file");
     }
+    strip_carriage_return(line);
     const header h = parse_header(line, path);
 
     if (!next_content_line(stream, line)) {
@@ -143,6 +153,22 @@ matrix_data<double, int64> read_mtx(std::istream& stream,
             c -= 1;
             if (r < 0 || r >= rows || c < 0 || c >= cols) {
                 fail(path, "entry index out of bounds: " + line);
+            }
+            // Symmetric storage keeps only the lower triangle; an
+            // upper-triangle entry would silently duplicate after
+            // mirroring, so it is a hard error, as is a diagonal entry in
+            // a skew-symmetric file (which must be zero by definition).
+            if (h.symmetry_kind != header::symmetry::general && c > r) {
+                fail(path,
+                     "entry above the diagonal in symmetric storage "
+                     "(expected lower-triangle coordinates): " +
+                         line);
+            }
+            if (h.symmetry_kind == header::symmetry::skew && r == c) {
+                fail(path,
+                     "diagonal entry in skew-symmetric storage (the "
+                     "diagonal of a skew-symmetric matrix is zero): " +
+                         line);
             }
             data.add(r, c, v);
             if (r != c) {

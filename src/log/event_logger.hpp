@@ -38,6 +38,10 @@ namespace mgko {
 class Executor;
 class LinOp;
 
+namespace batch {
+class BatchLinOp;
+}
+
 namespace log {
 
 
@@ -90,6 +94,23 @@ public:
     virtual void on_solver_stop(const LinOp* /*solver*/,
                                 size_type /*iterations*/, bool /*converged*/,
                                 const char* /*reason*/)
+    {}
+
+    // --- batched solver events (batch::BatchLinOp layer) ------------------
+    /// `solver` completed batch iteration `iteration` with `active_systems`
+    /// systems still iterating; `max_residual_norm` is the largest residual
+    /// norm across the systems that were active this iteration.
+    virtual void on_batch_iteration_complete(
+        const batch::BatchLinOp* /*solver*/, size_type /*iteration*/,
+        size_type /*active_systems*/, double /*max_residual_norm*/)
+    {}
+    /// `solver` finished a batched apply: `converged_systems` of
+    /// `num_systems` converged; `max_iterations` is the largest per-system
+    /// iteration count.
+    virtual void on_batch_solver_stop(const batch::BatchLinOp* /*solver*/,
+                                      size_type /*num_systems*/,
+                                      size_type /*converged_systems*/,
+                                      size_type /*max_iterations*/)
     {}
 
     // --- binding events (bind:: layer) -----------------------------------

@@ -134,6 +134,21 @@ void ProfilerLogger::on_solver_stop(const LinOp*, size_type, bool,
     record("solver.stop", 0.0, 0);
 }
 
+void ProfilerLogger::on_batch_iteration_complete(const batch::BatchLinOp*,
+                                                 size_type,
+                                                 size_type active_systems,
+                                                 double)
+{
+    record("batch.iteration", 0.0, active_systems);
+}
+
+void ProfilerLogger::on_batch_solver_stop(const batch::BatchLinOp*, size_type,
+                                          size_type converged_systems,
+                                          size_type)
+{
+    record("batch.stop", 0.0, converged_systems);
+}
+
 void ProfilerLogger::on_binding_call_completed(const char* name,
                                                double wall_ns,
                                                double gil_wait_ns,
@@ -239,6 +254,24 @@ void RecordLogger::on_solver_stop(const LinOp*, size_type iterations,
                                   bool converged, const char* reason)
 {
     push({"solver_stop", reason, iterations, converged ? 1.0 : 0.0});
+}
+
+void RecordLogger::on_batch_iteration_complete(const batch::BatchLinOp*,
+                                               size_type iteration,
+                                               size_type active_systems,
+                                               double max_residual_norm)
+{
+    push({"batch_iteration", std::to_string(iteration), active_systems,
+          max_residual_norm});
+}
+
+void RecordLogger::on_batch_solver_stop(const batch::BatchLinOp*,
+                                        size_type num_systems,
+                                        size_type converged_systems,
+                                        size_type max_iterations)
+{
+    push({"batch_solver_stop", std::to_string(max_iterations),
+          converged_systems, static_cast<double>(num_systems)});
 }
 
 void RecordLogger::on_binding_call_completed(const char* name, double wall_ns,

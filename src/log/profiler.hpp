@@ -11,6 +11,9 @@
 //   pool.hit/miss   where allocation requests were served
 //   pool.trim       cache released to the system (bytes)
 //   solver.iteration / solver.stop
+//   batch.iteration / batch.stop
+//                   batched solver progress (bytes = active/converged
+//                   system counts, so throughput per tag is recoverable)
 //   bind.<name>     bound calls (wall time per mangled name)
 //   bind.gil_wait / bind.lookup / bind.boxing / bind.interpreter
 //                   the binding-overhead breakdown (Fig. 5b/5c, at runtime)
@@ -76,6 +79,14 @@ public:
                                double residual_norm) override;
     void on_solver_stop(const LinOp* solver, size_type iterations,
                         bool converged, const char* reason) override;
+    void on_batch_iteration_complete(const batch::BatchLinOp* solver,
+                                     size_type iteration,
+                                     size_type active_systems,
+                                     double max_residual_norm) override;
+    void on_batch_solver_stop(const batch::BatchLinOp* solver,
+                              size_type num_systems,
+                              size_type converged_systems,
+                              size_type max_iterations) override;
     void on_binding_call_completed(const char* name, double wall_ns,
                                    double gil_wait_ns, double lookup_ns,
                                    double boxing_ns,
@@ -125,6 +136,14 @@ public:
                                double residual_norm) override;
     void on_solver_stop(const LinOp* solver, size_type iterations,
                         bool converged, const char* reason) override;
+    void on_batch_iteration_complete(const batch::BatchLinOp* solver,
+                                     size_type iteration,
+                                     size_type active_systems,
+                                     double max_residual_norm) override;
+    void on_batch_solver_stop(const batch::BatchLinOp* solver,
+                              size_type num_systems,
+                              size_type converged_systems,
+                              size_type max_iterations) override;
     void on_binding_call_completed(const char* name, double wall_ns,
                                    double gil_wait_ns, double lookup_ns,
                                    double boxing_ns,

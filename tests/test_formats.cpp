@@ -11,6 +11,7 @@
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "matrix/ell.hpp"
+#include "matrix/hybrid.hpp"
 #include "tests/test_utils.hpp"
 
 namespace {
@@ -446,6 +447,115 @@ TEST(Ell, PadsRowsToUniformWidth)
     EXPECT_DOUBLE_EQ(ell->value_at(0, 1), 0.0);  // padding
 }
 
+TEST(Ell, AllEmptyMatrixHasZeroWidthAndZeroesOutput)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{4, 4}};
+    auto ell = Ell<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(ell->get_num_stored_per_row(), 0);
+    EXPECT_EQ(ell->get_num_stored_elements(), 0);
+
+    // apply must still overwrite x (y = 0*b), not leave stale values.
+    auto b = Dense<double>::create_filled(exec, dim2{4, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{4, 1}, 9.0);
+    ell->apply(b.get(), x.get());
+    for (size_type i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(x->at(i, 0), 0.0);
+    }
+
+    // Round-trip through Csr stays empty.
+    auto back = Csr<double, int32>::create(exec);
+    ell->convert_to(back.get());
+    EXPECT_EQ(back->get_num_stored_elements(), 0);
+    EXPECT_EQ(back->get_size(), (dim2{4, 4}));
+}
+
+TEST(Ell, EmptyRowsAndZeroByZero)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{5, 5}};
+    data.add(1, 1, 2.0);              // rows 0, 2, 4 empty
+    data.add(3, 0, 1.0);
+    data.add(3, 4, -2.0);
+    auto ell = Ell<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(ell->get_num_stored_per_row(), 2);
+
+    auto b = Dense<double>::create_filled(exec, dim2{5, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{5, 1}, 9.0);
+    ell->apply(b.get(), x.get());
+    EXPECT_DOUBLE_EQ(x->at(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(x->at(1, 0), 2.0);
+    EXPECT_DOUBLE_EQ(x->at(3, 0), -1.0);
+    EXPECT_DOUBLE_EQ(x->at(4, 0), 0.0);
+
+    // 0x0 does not trip the width computation or the apply kernels.
+    auto zero = Ell<double, int32>::create_from_data(
+        exec, matrix_data<double, int32>{dim2{0, 0}});
+    EXPECT_EQ(zero->get_num_stored_per_row(), 0);
+    auto b0 = Dense<double>::create(exec, dim2{0, 1});
+    auto x0 = Dense<double>::create(exec, dim2{0, 1});
+    EXPECT_NO_THROW(zero->apply(b0.get(), x0.get()));
+}
+
+TEST(Hybrid, DegenerateInputsAcrossQuantileEdges)
+{
+    auto exec = ReferenceExecutor::create();
+    // All-empty matrix at both quantile extremes: the split must not index
+    // past the (empty) sorted-row-length array.
+    for (double q : {0.0, 0.5, 1.0}) {
+        auto h = Hybrid<double, int32>::create_from_data(
+            exec, matrix_data<double, int32>{dim2{3, 3}}, q);
+        EXPECT_EQ(h->get_num_stored_elements(), 0);
+        auto b = Dense<double>::create_filled(exec, dim2{3, 1}, 1.0);
+        auto x = Dense<double>::create_filled(exec, dim2{3, 1}, 7.0);
+        h->apply(b.get(), x.get());
+        EXPECT_DOUBLE_EQ(x->at(0, 0), 0.0);
+    }
+    auto empty0 = Hybrid<double, int32>::create_from_data(
+        exec, matrix_data<double, int32>{dim2{0, 0}}, 0.8);
+    EXPECT_EQ(empty0->get_num_stored_elements(), 0);
+}
+
+TEST(Hybrid, EmptyRowsSplitAndRoundTrip)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{6, 6}};
+    data.add(0, 0, 1.0);  // rows 1, 3, 4, 5 empty; row 2 is long
+    data.add(2, 1, 2.0);
+    data.add(2, 2, 3.0);
+    data.add(2, 3, 4.0);
+    data.add(2, 5, 5.0);
+    // quantile 0 pushes everything beyond width 0 into COO; quantile 1
+    // widens ELL to the longest row.  Both must give the same SpMV and
+    // the same recovered entries.
+    for (double q : {0.0, 0.25, 1.0}) {
+        auto h = Hybrid<double, int32>::create_from_data(exec, data, q);
+        EXPECT_EQ(h->get_num_stored_elements(), 5u);
+        EXPECT_GE(h->get_ell_num_stored_elements() +
+                      h->get_coo_num_stored_elements(),
+                  5u);
+
+        auto b = Dense<double>::create_filled(exec, dim2{6, 1}, 1.0);
+        auto x = Dense<double>::create_filled(exec, dim2{6, 1}, 9.0);
+        h->apply(b.get(), x.get());
+        EXPECT_DOUBLE_EQ(x->at(0, 0), 1.0);
+        EXPECT_DOUBLE_EQ(x->at(1, 0), 0.0);
+        EXPECT_DOUBLE_EQ(x->at(2, 0), 14.0);
+        EXPECT_DOUBLE_EQ(x->at(5, 0), 0.0);
+
+        auto back = h->to_data();
+        back.sort_row_major();
+        auto want = data;
+        want.sort_row_major();
+        ASSERT_EQ(back.entries.size(), want.entries.size());
+        for (std::size_t i = 0; i < want.entries.size(); ++i) {
+            EXPECT_EQ(back.entries[i].row, want.entries[i].row);
+            EXPECT_EQ(back.entries[i].col, want.entries[i].col);
+            EXPECT_DOUBLE_EQ(back.entries[i].value, want.entries[i].value);
+        }
+    }
+}
+
 
 // --- Matrix Market IO -------------------------------------------------------
 
@@ -541,6 +651,91 @@ TEST(MtxIo, RejectsMalformedInput)
         "1 1 1.0\n"};
     EXPECT_THROW(read_mtx(truncated), FileError);
     EXPECT_THROW(read_mtx("/nonexistent/path.mtx"), FileError);
+}
+
+TEST(MtxIo, ToleratesWindowsLineEndings)
+{
+    std::istringstream input{
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "% written on Windows\r\n"
+        "3 3 2\r\n"
+        "1 1 1.5\r\n"
+        "3 2 -2.5\r\n"};
+    auto data = read_mtx(input);
+    EXPECT_EQ(data.size, (dim2{3, 3}));
+    ASSERT_EQ(data.entries.size(), 2u);
+    EXPECT_EQ(data.entries[1].row, 2);
+    EXPECT_EQ(data.entries[1].col, 1);
+    EXPECT_DOUBLE_EQ(data.entries[1].value, -2.5);
+
+    std::istringstream array_input{
+        "%%MatrixMarket matrix array real general\r\n"
+        "2 1\r\n"
+        "1.0\r\n"
+        "-4.0\r\n"};
+    auto arr = read_mtx(array_input);
+    ASSERT_EQ(arr.entries.size(), 2u);
+    EXPECT_DOUBLE_EQ(arr.entries[1].value, -4.0);
+}
+
+TEST(MtxIo, SymmetricExpansionSurvivesWriteReadRoundTrip)
+{
+    std::istringstream input{
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 4\n"
+        "1 1 4.0\n"
+        "2 1 1.0\n"
+        "3 2 -2.0\n"
+        "3 3 5.0\n"};
+    auto data = read_mtx(input);
+    ASSERT_EQ(data.entries.size(), 6u);  // two off-diagonals mirrored
+
+    // The writer emits the expanded general form; reading it back must
+    // reproduce the same entries, not double-mirror them.
+    std::stringstream buffer;
+    write_mtx(buffer, data);
+    auto back = read_mtx(buffer);
+    auto sorted_in = data;
+    sorted_in.sort_row_major();
+    auto sorted_out = back;
+    sorted_out.sort_row_major();
+    ASSERT_EQ(sorted_out.entries.size(), sorted_in.entries.size());
+    for (std::size_t i = 0; i < sorted_in.entries.size(); ++i) {
+        EXPECT_EQ(sorted_out.entries[i].row, sorted_in.entries[i].row);
+        EXPECT_EQ(sorted_out.entries[i].col, sorted_in.entries[i].col);
+        EXPECT_DOUBLE_EQ(sorted_out.entries[i].value,
+                         sorted_in.entries[i].value);
+    }
+}
+
+TEST(MtxIo, RejectsUpperTriangleInSymmetricStorage)
+{
+    // An upper-triangle entry in symmetric storage would silently turn
+    // into a duplicate after mirroring — it must be a hard error with a
+    // message naming the offending line.
+    std::istringstream upper{
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 1\n"
+        "1 3 2.0\n"};
+    try {
+        read_mtx(upper);
+        FAIL() << "expected FileError";
+    } catch (const FileError& e) {
+        EXPECT_NE(std::string{e.what()}.find("lower-triangle"),
+                  std::string::npos);
+    }
+
+    std::istringstream skew_diag{
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "3 3 1\n"
+        "2 2 1.0\n"};
+    try {
+        read_mtx(skew_diag);
+        FAIL() << "expected FileError";
+    } catch (const FileError& e) {
+        EXPECT_NE(std::string{e.what()}.find("skew-symmetric"),
+                  std::string::npos);
+    }
 }
 
 

@@ -1,0 +1,116 @@
+// Numerical edge cases of the software binary16 type: overflow to
+// infinity, subnormal representation and round trips, NaN propagation
+// through arithmetic, and round-to-nearest-even at the mantissa boundary.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/half.hpp"
+
+namespace {
+
+using mgko::half;
+using limits = std::numeric_limits<half>;
+
+
+TEST(Half, OverflowSaturatesToInfinity)
+{
+    // Largest finite half is 65504; anything above the rounding midpoint
+    // (65520) must become +/-inf, not wrap or clamp.
+    EXPECT_EQ(half{65504.0f}.to_bits(), limits::max().to_bits());
+    EXPECT_TRUE(std::isinf(float{half{65536.0f}}));
+    EXPECT_TRUE(std::isinf(float{half{1e10f}}));
+    EXPECT_GT(float{half{65536.0f}}, 0.0f);
+    EXPECT_TRUE(std::isinf(float{half{-65536.0f}}));
+    EXPECT_LT(float{half{-65536.0f}}, 0.0f);
+
+    // Arithmetic overflow behaves the same as conversion overflow.
+    const half big = limits::max();
+    EXPECT_TRUE(std::isinf(float{big + big}));
+    EXPECT_TRUE(std::isinf(float{big * half{2.0f}}));
+
+    // float inf converts to half inf and back.
+    const half inf{std::numeric_limits<float>::infinity()};
+    EXPECT_EQ(inf.to_bits(), limits::infinity().to_bits());
+    EXPECT_TRUE(std::isinf(float{inf}));
+}
+
+TEST(Half, SubnormalsRoundTrip)
+{
+    // Smallest positive subnormal: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(half{tiny}.to_bits(), 0x0001u);
+    EXPECT_FLOAT_EQ(float{half::from_bits(0x0001)}, tiny);
+
+    // Every subnormal bit pattern converts to float and back unchanged.
+    for (std::uint16_t bits = 0x0001; bits < 0x0400; ++bits) {
+        const half h = half::from_bits(bits);
+        const float f = float{h};
+        EXPECT_GT(f, 0.0f);
+        EXPECT_LT(f, float{limits::min()});
+        EXPECT_EQ(half{f}.to_bits(), bits) << "bits=" << bits;
+    }
+
+    // Values below half the smallest subnormal flush to signed zero.
+    const float below = std::ldexp(1.0f, -26);
+    EXPECT_EQ(half{below}.to_bits(), 0x0000u);
+    EXPECT_EQ(half{-below}.to_bits(), 0x8000u);
+    EXPECT_EQ(float{half{-below}}, 0.0f);
+}
+
+TEST(Half, NanPropagatesThroughArithmetic)
+{
+    const half nan = limits::quiet_NaN();
+    EXPECT_TRUE(std::isnan(float{nan}));
+    EXPECT_TRUE(std::isnan(float{half{std::nanf("")}}));
+
+    EXPECT_TRUE(std::isnan(float{nan + half{1.0f}}));
+    EXPECT_TRUE(std::isnan(float{nan * half{0.0f}}));
+    EXPECT_TRUE(std::isnan(float{half{1.0f} / nan}));
+    EXPECT_TRUE(std::isnan(float{limits::infinity() - limits::infinity()}));
+    EXPECT_TRUE(std::isnan(float{half{0.0f} / half{0.0f}}));
+
+    // NaN compares unequal to everything, including itself.
+    EXPECT_FALSE(nan == nan);
+    EXPECT_TRUE(nan != nan);
+    EXPECT_FALSE(nan < half{1.0f});
+    EXPECT_FALSE(nan > half{1.0f});
+
+    // The NaN payload survives the half -> float conversion as a NaN.
+    const half converted{float{nan}};
+    EXPECT_TRUE(std::isnan(float{converted}));
+}
+
+TEST(Half, RoundsToNearestEven)
+{
+    // 1 + 2^-11 sits exactly between 1.0 and the next half (1 + 2^-10);
+    // round-to-nearest-even keeps the even mantissa, i.e. 1.0.
+    EXPECT_EQ(half{1.0f + std::ldexp(1.0f, -11)}.to_bits(),
+              half{1.0f}.to_bits());
+    // Just above the midpoint rounds up.
+    EXPECT_EQ(half{1.0f + std::ldexp(1.5f, -11)}.to_bits(),
+              half{1.0f + std::ldexp(1.0f, -10)}.to_bits());
+    // The next midpoint (odd mantissa below) also rounds up to even.
+    const float next = 1.0f + std::ldexp(1.0f, -10);
+    EXPECT_EQ(half{next + std::ldexp(1.0f, -11)}.to_bits(),
+              half{next + std::ldexp(1.0f, -10)}.to_bits());
+
+    // Mantissa carry across the exponent boundary: the value just below
+    // 2.0 whose rounding carries into the exponent must produce exactly 2.0.
+    EXPECT_EQ(half{1.99999f}.to_bits(), half{2.0f}.to_bits());
+}
+
+TEST(Half, LimitsAreConsistent)
+{
+    EXPECT_FLOAT_EQ(float{limits::max()}, 65504.0f);
+    EXPECT_FLOAT_EQ(float{limits::lowest()}, -65504.0f);
+    EXPECT_FLOAT_EQ(float{limits::min()}, std::ldexp(1.0f, -14));
+    EXPECT_FLOAT_EQ(float{limits::epsilon()}, std::ldexp(1.0f, -10));
+    EXPECT_FLOAT_EQ(float{limits::denorm_min()}, std::ldexp(1.0f, -24));
+    // epsilon really is the gap at 1.0.
+    EXPECT_EQ((half{1.0f} + limits::epsilon()).to_bits(), 0x3c01u);
+    EXPECT_NE(half{1.0f} + limits::epsilon(), half{1.0f});
+}
+
+}  // namespace
