@@ -1,0 +1,145 @@
+// Validates the observability artifacts a bench run dumps:
+//
+//     bench_validate_observability --trace <file> [--profile <file>]
+//                                  [--metrics <file>]
+//
+// Each file is parsed with the repo's own config/json.hpp and checked for
+// the invariants CI relies on:
+//   * trace:   Chrome Trace Event JSON — a non-empty "traceEvents" array
+//              where every event carries "name", "ph", and "ts";
+//   * profile: ProfilerLogger JSON — a non-empty "tags" object whose
+//              entries carry "count" and "wall_ns";
+//   * metrics: MetricsRegistry JSON — "counters" and "histograms" objects.
+//
+// Exits 0 when every given file validates, 1 (with a diagnostic on stderr)
+// otherwise, so the CI observability job fails on malformed output.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "config/json.hpp"
+
+namespace {
+
+using mgko::config::Json;
+
+bool fail(const std::string& file, const std::string& what)
+{
+    std::fprintf(stderr, "[observability] %s: %s\n", file.c_str(),
+                 what.c_str());
+    return false;
+}
+
+bool load(const std::string& file, Json& out)
+{
+    std::ifstream stream{file};
+    if (!stream) {
+        return fail(file, "cannot open file");
+    }
+    try {
+        out = Json::parse(stream);
+    } catch (const std::exception& e) {
+        return fail(file, std::string{"JSON parse error: "} + e.what());
+    }
+    return true;
+}
+
+bool validate_trace(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("traceEvents")) {
+        return fail(file, "missing 'traceEvents'");
+    }
+    const auto& events = doc.at("traceEvents");
+    if (!events.is_array() || events.elements().empty()) {
+        return fail(file, "'traceEvents' must be a non-empty array");
+    }
+    std::size_t index = 0;
+    for (const auto& event : events.elements()) {
+        if (!event.is_object() || !event.contains("name") ||
+            !event.contains("ph") || !event.contains("ts")) {
+            return fail(file, "traceEvents[" + std::to_string(index) +
+                                  "] lacks name/ph/ts");
+        }
+        ++index;
+    }
+    std::printf("[observability] %s: %zu trace events OK\n", file.c_str(),
+                events.elements().size());
+    return true;
+}
+
+bool validate_profile(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("tags")) {
+        return fail(file, "missing 'tags'");
+    }
+    const auto& tags = doc.at("tags");
+    if (!tags.is_object() || tags.items().empty()) {
+        return fail(file, "'tags' must be a non-empty object");
+    }
+    for (const auto& [tag, stats] : tags.items()) {
+        if (!stats.is_object() || !stats.contains("count") ||
+            !stats.contains("wall_ns")) {
+            return fail(file, "tag '" + tag + "' lacks count/wall_ns");
+        }
+    }
+    std::printf("[observability] %s: %zu profile tags OK\n", file.c_str(),
+                tags.items().size());
+    return true;
+}
+
+bool validate_metrics(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("counters") ||
+        !doc.contains("histograms")) {
+        return fail(file, "missing 'counters'/'histograms'");
+    }
+    if (!doc.at("counters").is_object() || !doc.at("histograms").is_object()) {
+        return fail(file, "'counters' and 'histograms' must be objects");
+    }
+    std::printf("[observability] %s: metrics document OK\n", file.c_str());
+    return true;
+}
+
+}  // namespace
+
+
+int main(int argc, char** argv)
+{
+    bool ok = true;
+    bool checked = false;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const std::string file = argv[i + 1];
+        if (flag == "--trace") {
+            ok = validate_trace(file) && ok;
+        } else if (flag == "--profile") {
+            ok = validate_profile(file) && ok;
+        } else if (flag == "--metrics") {
+            ok = validate_metrics(file) && ok;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return 2;
+        }
+        checked = true;
+    }
+    if (!checked) {
+        std::fprintf(
+            stderr,
+            "usage: bench_validate_observability [--trace f] [--profile f] "
+            "[--metrics f]\n");
+        return 2;
+    }
+    return ok ? 0 : 1;
+}

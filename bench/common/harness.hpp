@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -16,12 +17,18 @@
 
 #include "bindings/registry.hpp"
 #include "core/executor.hpp"
+#include "log/metrics.hpp"
 #include "log/profiler.hpp"
+#include "log/trace.hpp"
 #include "matgen/matgen.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "sim/sim_clock.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace mgko::bench {
 
@@ -67,11 +74,24 @@ private:
 };
 
 
-/// Column-oriented CSV block with a figure tag.
+/// Compiler flags the bench binaries were built with; bench/CMakeLists.txt
+/// passes them through so the JSON result block can record them.
+#ifndef MGKO_BENCH_CXX_FLAGS
+#define MGKO_BENCH_CXX_FLAGS "(unknown)"
+#endif
+
+/// Column-oriented CSV block with a figure tag.  print() emits the
+/// human-oriented `# csv` block followed by a machine-readable `# json`
+/// block carrying the same rows plus run metadata (compiler, flags, OMP
+/// thread count, timing repetitions), so plotting/CI scripts can consume
+/// results without re-parsing the CSV.
 class CsvBlock {
 public:
-    CsvBlock(std::string figure, std::vector<std::string> columns)
-        : figure_{std::move(figure)}, columns_{std::move(columns)}
+    CsvBlock(std::string figure, std::vector<std::string> columns,
+             int repetitions = 3)
+        : figure_{std::move(figure)},
+          columns_{std::move(columns)},
+          repetitions_{repetitions}
     {}
 
     void add_row(const std::vector<std::string>& cells)
@@ -93,12 +113,72 @@ public:
             std::printf("\n");
         }
         std::printf("# end csv\n");
+        print_json();
     }
 
 private:
+    static std::string json_quote(const std::string& s)
+    {
+        std::string out = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+            }
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    /// A cell is emitted as a bare JSON number when strtod consumes it
+    /// entirely (so "12.5" stays numeric but "csr" and "1.2x" are quoted).
+    static std::string json_cell(const std::string& cell)
+    {
+        if (!cell.empty()) {
+            char* end = nullptr;
+            std::strtod(cell.c_str(), &end);
+            if (end != nullptr && *end == '\0' && end != cell.c_str()) {
+                return cell;
+            }
+        }
+        return json_quote(cell);
+    }
+
+    void print_json() const
+    {
+        std::printf("# json %s\n", figure_.c_str());
+        std::printf("{\"figure\": %s, \"metadata\": {",
+                    json_quote(figure_).c_str());
+        std::printf("\"compiler\": %s, ", json_quote(__VERSION__).c_str());
+        std::printf("\"flags\": %s, ",
+                    json_quote(MGKO_BENCH_CXX_FLAGS).c_str());
+        int omp_threads = 1;
+#ifdef _OPENMP
+        omp_threads = omp_get_max_threads();
+#endif
+        std::printf("\"omp_threads\": %d, ", omp_threads);
+        std::printf("\"repetitions\": %d}, ", repetitions_);
+        std::printf("\"columns\": [");
+        for (std::size_t i = 0; i < columns_.size(); ++i) {
+            std::printf("%s%s", i ? ", " : "", json_quote(columns_[i]).c_str());
+        }
+        std::printf("], \"rows\": [");
+        for (std::size_t r = 0; r < rows_.size(); ++r) {
+            std::printf("%s[", r ? ", " : "");
+            for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+                std::printf("%s%s", i ? ", " : "",
+                            json_cell(rows_[r][i]).c_str());
+            }
+            std::printf("]");
+        }
+        std::printf("]}\n");
+        std::printf("# end json\n");
+    }
+
     std::string figure_;
     std::vector<std::string> columns_;
     std::vector<std::vector<std::string>> rows_;
+    int repetitions_;
 };
 
 inline std::string fmt(double v, const char* format = "%.4g")
@@ -150,46 +230,76 @@ inline void check_shape(const char* claim, bool holds, const std::string& detail
 }
 
 
-/// Opt-in profiling for a bench run: when MGKO_PROFILE is set, attaches a
-/// ProfilerLogger to the given executors and to the binding layer for the
-/// scope's lifetime and dumps the JSON where MGKO_PROFILE points on
-/// destruction.  When the variable is unset this is a no-op, keeping the
-/// measured numbers free of logging overhead.
+/// Opt-in observability for a bench run: when MGKO_PROFILE / MGKO_TRACE /
+/// MGKO_METRICS are set, attaches the corresponding logger (ProfilerLogger,
+/// TraceLogger, MetricsLogger) to the given executors and to the binding
+/// layer for the scope's lifetime and dumps each artifact where its
+/// variable points on destruction.  Unset variables are no-ops, keeping
+/// the measured numbers free of logging overhead.
 class ProfileScope {
 public:
     ProfileScope(std::string name,
                  std::vector<std::shared_ptr<Executor>> execs)
         : name_{std::move(name)},
           profiler_{log::profiler_from_env()},
+          tracer_{log::tracer_from_env()},
+          metrics_{log::metrics_from_env()},
           execs_{std::move(execs)}
     {
-        if (!profiler_) {
-            return;
-        }
-        for (const auto& exec : execs_) {
-            exec->add_logger(profiler_);
-        }
-        bind::add_logger(profiler_);
+        attach(profiler_);
+        attach(tracer_);
+        attach(metrics_);
     }
 
     ~ProfileScope()
     {
-        if (!profiler_) {
-            return;
+        detach(metrics_);
+        detach(tracer_);
+        detach(profiler_);
+        if (profiler_) {
+            log::dump_profile(*profiler_, name_);
         }
-        bind::remove_logger(profiler_.get());
-        for (const auto& exec : execs_) {
-            exec->remove_logger(profiler_.get());
+        if (tracer_) {
+            log::dump_trace(*tracer_, name_);
         }
-        log::dump_profile(*profiler_, name_);
+        if (metrics_) {
+            log::dump_metrics(*metrics_, name_);
+        }
     }
 
     ProfileScope(const ProfileScope&) = delete;
     ProfileScope& operator=(const ProfileScope&) = delete;
 
 private:
+    // add_logger deduplicates, so attaching the process-wide tracer or
+    // metrics logger here is harmless when the executor factory already
+    // auto-attached it.
+    void attach(const std::shared_ptr<log::EventLogger>& logger)
+    {
+        if (!logger) {
+            return;
+        }
+        for (const auto& exec : execs_) {
+            exec->add_logger(logger);
+        }
+        bind::add_logger(logger);
+    }
+
+    void detach(const std::shared_ptr<log::EventLogger>& logger)
+    {
+        if (!logger) {
+            return;
+        }
+        bind::remove_logger(logger.get());
+        for (const auto& exec : execs_) {
+            exec->remove_logger(logger.get());
+        }
+    }
+
     std::string name_;
     std::shared_ptr<log::ProfilerLogger> profiler_;
+    std::shared_ptr<log::TraceLogger> tracer_;
+    std::shared_ptr<log::MetricsLogger> metrics_;
     std::vector<std::shared_ptr<Executor>> execs_;
 };
 

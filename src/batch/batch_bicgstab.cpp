@@ -34,6 +34,7 @@ enum bicgstab_host_slots : std::size_t {
 template <typename ValueType>
 void Bicgstab<ValueType>::apply_impl(const BatchLinOp* b, BatchLinOp* x) const
 {
+    auto apply_span = this->make_span("batch.bicgstab.apply");
     auto batch_b = as_batch_dense<ValueType>(b);
     auto batch_x = as_batch_dense<ValueType>(x);
     MGKO_ENSURE(
@@ -115,6 +116,7 @@ void Bicgstab<ValueType>::apply_impl(const BatchLinOp* b, BatchLinOp* x) const
 
     size_type iter = 0;
     while (active_count > 0) {
+        auto round_span = this->make_span("batch.bicgstab.round");
         detail::run_kernel(exec, "batch_dot", active_count, 2.0 * vb,
                            2.0 * fn, [&](int nt) {
                                kernels::batch::dot(nt, num, active.data(),

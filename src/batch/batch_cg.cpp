@@ -28,6 +28,7 @@ enum cg_host_slots : std::size_t {
 template <typename ValueType>
 void Cg<ValueType>::apply_impl(const BatchLinOp* b, BatchLinOp* x) const
 {
+    auto apply_span = this->make_span("batch.cg.apply");
     auto batch_b = as_batch_dense<ValueType>(b);
     auto batch_x = as_batch_dense<ValueType>(x);
     MGKO_ENSURE(batch_b->get_common_size().cols == 1 &&
@@ -101,6 +102,7 @@ void Cg<ValueType>::apply_impl(const BatchLinOp* b, BatchLinOp* x) const
 
     size_type iter = 0;
     while (active_count > 0) {
+        auto round_span = this->make_span("batch.cg.round");
         this->system_ops_->apply_raw(active.data(), p, q);
         detail::run_kernel(exec, "batch_dot", active_count, 2.0 * vb, 2.0 * fn,
                            [&](int nt) {

@@ -234,6 +234,14 @@ protected:
         }
     }
 
+    /// Opens a span visible from both attachment points broadcast_event
+    /// reaches; the batched solvers bracket their apply
+    /// ("batch.<name>.apply") and each round ("batch.<name>.round").
+    log::ScopedSpan make_span(const char* name) const
+    {
+        return log::ScopedSpan{this, this->get_executor().get(), name};
+    }
+
     /// Broadcasts one batch iteration: `active_systems` systems advanced
     /// through `iteration`, the worst of them at `max_residual_norm`.
     void log_batch_iteration(size_type iteration, size_type active_systems,
@@ -245,13 +253,15 @@ protected:
         });
     }
 
-    /// Broadcasts the end of a batched apply.
+    /// Broadcasts the end of a batched apply, handing loggers the
+    /// per-system convergence log so they can label the batch with its
+    /// stop reasons.
     void log_batch_stop() const
     {
         broadcast_event([&](log::EventLogger& l) {
             l.on_batch_solver_stop(this, this->get_num_systems(),
                                    logger_->num_converged(),
-                                   logger_->max_iterations());
+                                   logger_->max_iterations(), logger_.get());
         });
     }
 

@@ -16,6 +16,8 @@
 #include "config/config_solver.hpp"
 #include "core/dispatch.hpp"
 #include "core/mtx_io.hpp"
+#include "log/metrics.hpp"
+#include "log/trace.hpp"
 #include "matrix/convolution.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
@@ -723,6 +725,34 @@ void register_batch_matrix_bindings(Module& m)
     });
 }
 
+// --- observability bindings (module-level, no type suffix) ------------------
+//
+// The Python front end exposes these as mgko.trace_dump() etc.; they
+// operate on the process-wide shared tracer/metrics singletons, so a
+// caller can scrape metrics or pull a Perfetto-loadable trace of
+// everything that ran since the last reset without touching executors.
+
+void register_observability_bindings(Module& m)
+{
+    m.def("trace_dump", [](const List&) -> Value {
+        return Value{log::shared_tracer()->to_json()};
+    });
+    m.def("trace_reset", [](const List&) -> Value {
+        log::shared_tracer()->reset();
+        return {};
+    });
+    m.def("metrics_text", [](const List&) -> Value {
+        return Value{log::shared_metrics()->registry().prometheus_text()};
+    });
+    m.def("metrics_json", [](const List&) -> Value {
+        return Value{log::shared_metrics()->registry().to_json()};
+    });
+    m.def("metrics_reset", [](const List&) -> Value {
+        log::shared_metrics()->registry().reset();
+        return {};
+    });
+}
+
 }  // namespace
 
 
@@ -749,6 +779,8 @@ void ensure_bindings_registered()
         MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(
             MGKO_REGISTER_BATCH_MATRIX);
 #undef MGKO_REGISTER_BATCH_MATRIX
+
+        register_observability_bindings(m);
     });
 }
 

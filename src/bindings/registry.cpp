@@ -1,5 +1,6 @@
 #include "bindings/registry.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "sim/machine_model.hpp"
@@ -34,21 +35,29 @@ thread_local double tl_lookup_ns = 0.0;
 
 void add_logger(std::shared_ptr<log::EventLogger> logger)
 {
-    if (logger) {
-        binding_loggers().push_back(std::move(logger));
+    if (!logger) {
+        return;
     }
+    // A logger already attached here is not attached a second time — a
+    // duplicate would double-count every bound call.
+    auto& loggers = binding_loggers();
+    for (const auto& existing : loggers) {
+        if (existing.get() == logger.get()) {
+            return;
+        }
+    }
+    loggers.push_back(std::move(logger));
 }
 
 
 void remove_logger(const log::EventLogger* logger)
 {
     auto& loggers = binding_loggers();
-    for (auto it = loggers.begin(); it != loggers.end(); ++it) {
-        if (it->get() == logger) {
-            loggers.erase(it);
-            return;
-        }
-    }
+    loggers.erase(std::remove_if(loggers.begin(), loggers.end(),
+                                 [&](const auto& l) {
+                                     return l.get() == logger;
+                                 }),
+                  loggers.end());
 }
 
 

@@ -6,6 +6,7 @@
 #include "batch/batch_cg.hpp"
 #include "batch/batch_jacobi.hpp"
 #include "core/dispatch.hpp"
+#include "log/trace.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
 #include "solver/bicgstab.hpp"
@@ -262,7 +263,14 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
                                      std::shared_ptr<const Executor> exec,
                                      std::shared_ptr<const LinOp> system)
 {
-    return parse_factory(config, std::move(exec))->generate(std::move(system));
+    auto solver =
+        parse_factory(config, std::move(exec))->generate(std::move(system));
+    // A `"trace": true` key attaches the process-wide tracer to the
+    // generated solver — per-solver opt-in without MGKO_TRACE.
+    if (config.get_or("trace", Json{false}).as_bool()) {
+        solver->add_logger(log::shared_tracer());
+    }
+    return solver;
 }
 
 
@@ -285,8 +293,12 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
     const Json& config, std::shared_ptr<const Executor> exec,
     std::shared_ptr<const batch::BatchLinOp> system)
 {
-    return parse_batch_factory(config, std::move(exec))
-        ->generate(std::move(system));
+    auto solver = parse_batch_factory(config, std::move(exec))
+                      ->generate(std::move(system));
+    if (config.get_or("trace", Json{false}).as_bool()) {
+        solver->add_logger(log::shared_tracer());
+    }
+    return solver;
 }
 
 

@@ -7,6 +7,10 @@
 
 #include <omp.h>
 
+#include "log/metrics.hpp"
+#include "log/trace.hpp"
+#include "log/work_model.hpp"
+
 namespace mgko {
 
 namespace {
@@ -23,6 +27,18 @@ double now_wall_ns()
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+}
+
+/// MGKO_TRACE / MGKO_METRICS opt-ins: every factory-created executor gets
+/// the process-wide tracer/metrics logger attached, so setting the
+/// environment variable observes a whole run with no code changes.
+/// add_logger deduplicates, so repeated attachment points are harmless.
+template <typename ExecPtr>
+ExecPtr with_env_observers(ExecPtr exec)
+{
+    exec->add_logger(log::tracer_from_env());
+    exec->add_logger(log::metrics_from_env());
+    return exec;
 }
 
 }  // namespace
@@ -154,10 +170,15 @@ void Executor::synchronize() const
 void Executor::run(const Operation& op) const
 {
     const bool logged = has_loggers();
+    log::op_work saved{};
     if (logged) {
         log_event([&](log::EventLogger& l) {
             l.on_operation_launched(this, op.name());
         });
+        // Zero the thread's work accumulator for the duration of the
+        // dispatch (keeping whatever an enclosing logged run accumulated),
+        // so the completion event reports exactly this operation's work.
+        saved = log::exchange_work({});
     }
     const double t0 = now_wall_ns();
     dispatch(op);
@@ -166,8 +187,10 @@ void Executor::run(const Operation& op) const
     launches_.fetch_add(1, std::memory_order_relaxed);
     clock_.tick(model_.launch_latency_ns);
     if (logged) {
+        const log::op_work work = log::exchange_work(saved);
         log_event([&](log::EventLogger& l) {
-            l.on_operation_completed(this, op.name(), wall);
+            l.on_operation_completed(this, op.name(), wall, work.flops,
+                                     work.bytes);
         });
     }
 }
@@ -237,7 +260,8 @@ ReferenceExecutor::ReferenceExecutor()
 
 std::shared_ptr<ReferenceExecutor> ReferenceExecutor::create()
 {
-    return std::shared_ptr<ReferenceExecutor>{new ReferenceExecutor{}};
+    return with_env_observers(
+        std::shared_ptr<ReferenceExecutor>{new ReferenceExecutor{}});
 }
 
 
@@ -253,7 +277,8 @@ std::shared_ptr<OmpExecutor> OmpExecutor::create(int num_threads)
     if (num_threads <= 0) {
         num_threads = omp_get_max_threads();
     }
-    return std::shared_ptr<OmpExecutor>{new OmpExecutor{num_threads}};
+    return with_env_observers(
+        std::shared_ptr<OmpExecutor>{new OmpExecutor{num_threads}});
 }
 
 
@@ -271,8 +296,8 @@ std::shared_ptr<CudaExecutor> CudaExecutor::create(
     if (!master) {
         master = OmpExecutor::create();
     }
-    return std::shared_ptr<CudaExecutor>{
-        new CudaExecutor{device_id, std::move(master)}};
+    return with_env_observers(std::shared_ptr<CudaExecutor>{
+        new CudaExecutor{device_id, std::move(master)}});
 }
 
 void CudaExecutor::synchronize() const
@@ -294,8 +319,8 @@ std::shared_ptr<HipExecutor> HipExecutor::create(
     if (!master) {
         master = OmpExecutor::create();
     }
-    return std::shared_ptr<HipExecutor>{
-        new HipExecutor{device_id, std::move(master)}};
+    return with_env_observers(std::shared_ptr<HipExecutor>{
+        new HipExecutor{device_id, std::move(master)}});
 }
 
 void HipExecutor::synchronize() const

@@ -5,6 +5,7 @@
 #include <omp.h>
 
 #include "core/executor.hpp"
+#include "log/work_model.hpp"
 #include "sim/cost_model.hpp"
 
 namespace mgko::kernels {
@@ -25,10 +26,13 @@ inline int exec_threads(const Executor* exec)
 }
 
 
-/// Charges a kernel's modeled cost onto the executor clock.  The launch
+/// Charges a kernel's modeled cost onto the executor clock and notes the
+/// profile's flop/byte work into the calling thread's accumulator, where
+/// Executor::run() picks it up for on_operation_completed.  The launch
 /// latency itself is charged by Executor::run().
 inline void tick(const Executor* exec, const sim::kernel_profile& profile)
 {
+    log::note_work(profile.flops, profile.bytes);
     exec->clock().tick(profile.time_ns(exec->model()));
 }
 

@@ -28,6 +28,7 @@
 // starts, as Ginkgo does.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,7 @@ class LinOp;
 
 namespace batch {
 class BatchLinOp;
+class BatchConvergenceLogger;
 }
 
 namespace log {
@@ -77,11 +79,23 @@ public:
     virtual void on_operation_launched(const Executor*,
                                        const char* /*op_name*/)
     {}
-    /// `op_name` finished; `wall_ns` is the real wall time of its body.
+    /// `op_name` finished; `wall_ns` is the real wall time of its body,
+    /// `flops`/`bytes` the work its kernel reported through the cost-model
+    /// profile (zero for operations whose kernels bypass kernels::tick).
     virtual void on_operation_completed(const Executor*,
                                         const char* /*op_name*/,
-                                        double /*wall_ns*/)
+                                        double /*wall_ns*/, double /*flops*/,
+                                        double /*bytes*/)
     {}
+
+    // --- span events (any layer) -----------------------------------------
+    /// A nested phase named `name` opened on the calling thread.  Emitting
+    /// layers guarantee begin/end pairs are well nested per thread
+    /// (solver apply → iteration, batch apply → round); TraceLogger turns
+    /// them into Chrome Trace duration slices.
+    virtual void on_span_begin(const char* /*name*/) {}
+    /// The innermost open span named `name` closed on the calling thread.
+    virtual void on_span_end(const char* /*name*/) {}
 
     // --- solver events (LinOp layer) -------------------------------------
     /// `solver` completed iteration `iteration` with `residual_norm` (an
@@ -106,11 +120,14 @@ public:
     {}
     /// `solver` finished a batched apply: `converged_systems` of
     /// `num_systems` converged; `max_iterations` is the largest per-system
-    /// iteration count.
-    virtual void on_batch_solver_stop(const batch::BatchLinOp* /*solver*/,
-                                      size_type /*num_systems*/,
-                                      size_type /*converged_systems*/,
-                                      size_type /*max_iterations*/)
+    /// iteration count.  `per_system` (may be null) exposes the per-system
+    /// iteration counts, residual norms, and stop reasons, so loggers can
+    /// label the batch with its convergence outcomes instead of bare
+    /// counts.
+    virtual void on_batch_solver_stop(
+        const batch::BatchLinOp* /*solver*/, size_type /*num_systems*/,
+        size_type /*converged_systems*/, size_type /*max_iterations*/,
+        const batch::BatchConvergenceLogger* /*per_system*/)
     {}
 
     // --- binding events (bind:: layer) -----------------------------------
@@ -133,23 +150,31 @@ public:
 /// of Ginkgo's gko::log::EnableLogging).  Executor and LinOp inherit it.
 class EnableLogging {
 public:
+    /// Attaches `logger`; a logger already attached here is not attached a
+    /// second time (a duplicate would double-count every event).
     void add_logger(std::shared_ptr<EventLogger> logger)
     {
-        if (logger) {
-            loggers_.push_back(std::move(logger));
+        if (!logger) {
+            return;
         }
-    }
-
-    /// Removes a previously attached logger (by identity); unknown loggers
-    /// are ignored.
-    void remove_logger(const EventLogger* logger)
-    {
-        for (auto it = loggers_.begin(); it != loggers_.end(); ++it) {
-            if (it->get() == logger) {
-                loggers_.erase(it);
+        for (const auto& existing : loggers_) {
+            if (existing.get() == logger.get()) {
                 return;
             }
         }
+        loggers_.push_back(std::move(logger));
+    }
+
+    /// Removes every occurrence of a previously attached logger (by
+    /// identity); unknown loggers are ignored.
+    void remove_logger(const EventLogger* logger)
+    {
+        loggers_.erase(
+            std::remove_if(loggers_.begin(), loggers_.end(),
+                           [&](const std::shared_ptr<EventLogger>& l) {
+                               return l.get() == logger;
+                           }),
+            loggers_.end());
     }
 
     const std::vector<std::shared_ptr<EventLogger>>& get_loggers() const
@@ -173,6 +198,50 @@ protected:
 
 private:
     std::vector<std::shared_ptr<EventLogger>> loggers_;
+};
+
+
+/// RAII span broadcast to up to two logger attachment points (typically a
+/// LinOp and its executor): emits on_span_begin on construction and the
+/// matching on_span_end on destruction, so early returns and breaks keep
+/// spans well nested.  When the same logger is attached to both points it
+/// receives the span twice, matching broadcast_event's event semantics.
+class ScopedSpan {
+public:
+    ScopedSpan(const EnableLogging* primary, const EnableLogging* secondary,
+               const char* name)
+        : primary_{primary}, secondary_{secondary}, name_{name}
+    {
+        emit([&](EventLogger& l) { l.on_span_begin(name_); });
+    }
+
+    ~ScopedSpan()
+    {
+        emit([&](EventLogger& l) { l.on_span_end(name_); });
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    template <typename Fn>
+    void emit(Fn&& fn) const
+    {
+        if (primary_ != nullptr) {
+            for (const auto& logger : primary_->get_loggers()) {
+                fn(*logger);
+            }
+        }
+        if (secondary_ != nullptr && secondary_ != primary_) {
+            for (const auto& logger : secondary_->get_loggers()) {
+                fn(*logger);
+            }
+        }
+    }
+
+    const EnableLogging* primary_;
+    const EnableLogging* secondary_;
+    const char* name_;
 };
 
 

@@ -5,17 +5,20 @@
 #include <iostream>
 #include <sstream>
 
+#include "batch/batch_log.hpp"
+
 namespace mgko::log {
 
 namespace {
 
 /// JSON-formats a double without locale surprises; wall times are ns, so
-/// fixed-point with one fractional digit loses nothing meaningful.
-std::string json_number(double value)
+/// fixed-point with one fractional digit loses nothing meaningful.  Rates
+/// (GFLOP/s, GB/s) pass a higher precision since they live near 1.0.
+std::string json_number(double value, int precision = 1)
 {
     std::ostringstream out;
     out.setf(std::ios::fixed);
-    out.precision(1);
+    out.precision(precision);
     out << value;
     return out.str();
 }
@@ -26,13 +29,15 @@ std::string json_number(double value)
 // --- ProfilerLogger --------------------------------------------------------
 
 void ProfilerLogger::record(const std::string& tag, double wall_ns,
-                            size_type bytes)
+                            size_type bytes, double flops, double work_bytes)
 {
     std::lock_guard<std::mutex> guard{mutex_};
     auto& entry = stats_[tag];
     entry.count += 1;
     entry.wall_ns += wall_ns;
     entry.bytes += bytes;
+    entry.flops += flops;
+    entry.work_bytes += work_bytes;
 }
 
 
@@ -65,7 +70,11 @@ std::string ProfilerLogger::to_json() const
         first = false;
         out << "\"" << tag << "\": {\"count\": " << s.count
             << ", \"wall_ns\": " << json_number(s.wall_ns)
-            << ", \"bytes\": " << s.bytes << "}";
+            << ", \"bytes\": " << s.bytes
+            << ", \"flops\": " << json_number(s.flops)
+            << ", \"work_bytes\": " << json_number(s.work_bytes)
+            << ", \"gflops\": " << json_number(s.gflops(), 6)
+            << ", \"gbps\": " << json_number(s.gbps(), 6) << "}";
     }
     out << "}}";
     return out.str();
@@ -118,9 +127,10 @@ void ProfilerLogger::on_operation_launched(const Executor*, const char*)
 
 void ProfilerLogger::on_operation_completed(const Executor*,
                                             const char* op_name,
-                                            double wall_ns)
+                                            double wall_ns, double flops,
+                                            double bytes)
 {
-    record(std::string{"op."} + op_name, wall_ns, 0);
+    record(std::string{"op."} + op_name, wall_ns, 0, flops, bytes);
 }
 
 void ProfilerLogger::on_iteration_complete(const LinOp*, size_type, double)
@@ -142,11 +152,18 @@ void ProfilerLogger::on_batch_iteration_complete(const batch::BatchLinOp*,
     record("batch.iteration", 0.0, active_systems);
 }
 
-void ProfilerLogger::on_batch_solver_stop(const batch::BatchLinOp*, size_type,
-                                          size_type converged_systems,
-                                          size_type)
+void ProfilerLogger::on_batch_solver_stop(
+    const batch::BatchLinOp*, size_type, size_type converged_systems,
+    size_type, const batch::BatchConvergenceLogger* per_system)
 {
     record("batch.stop", 0.0, converged_systems);
+    if (per_system != nullptr) {
+        // One sub-tag per convergence outcome, counting affected systems.
+        for (size_type s = 0; s < per_system->num_systems(); ++s) {
+            record(std::string{"batch.stop."} + per_system->stop_reason(s),
+                   0.0, 1);
+        }
+    }
 }
 
 void ProfilerLogger::on_binding_call_completed(const char* name,
@@ -239,9 +256,15 @@ void RecordLogger::on_operation_launched(const Executor*, const char* op_name)
 
 void RecordLogger::on_operation_completed(const Executor*,
                                           const char* op_name,
-                                          double wall_ns)
+                                          double wall_ns, double flops,
+                                          double bytes)
 {
-    push({"operation_completed", op_name, 0, wall_ns});
+    push({"operation_completed", op_name, static_cast<size_type>(bytes),
+          wall_ns});
+    if (flops > 0.0) {
+        push({"operation_work", op_name, static_cast<size_type>(bytes),
+              flops});
+    }
 }
 
 void RecordLogger::on_iteration_complete(const LinOp*, size_type iteration,
@@ -265,13 +288,19 @@ void RecordLogger::on_batch_iteration_complete(const batch::BatchLinOp*,
           max_residual_norm});
 }
 
-void RecordLogger::on_batch_solver_stop(const batch::BatchLinOp*,
-                                        size_type num_systems,
-                                        size_type converged_systems,
-                                        size_type max_iterations)
+void RecordLogger::on_batch_solver_stop(
+    const batch::BatchLinOp*, size_type num_systems,
+    size_type converged_systems, size_type max_iterations,
+    const batch::BatchConvergenceLogger* per_system)
 {
     push({"batch_solver_stop", std::to_string(max_iterations),
           converged_systems, static_cast<double>(num_systems)});
+    if (per_system != nullptr) {
+        for (size_type s = 0; s < per_system->num_systems(); ++s) {
+            push({"batch_stop_reason", per_system->stop_reason(s), s,
+                  static_cast<double>(per_system->num_iterations(s))});
+        }
+    }
 }
 
 void RecordLogger::on_binding_call_completed(const char* name, double wall_ns,

@@ -36,13 +36,35 @@
 namespace mgko::log {
 
 
-/// Aggregates events into per-tag {count, wall_ns, bytes} summaries.
+/// Aggregates events into per-tag {count, wall_ns, bytes, flops,
+/// work_bytes} summaries with roofline derivations.
 class ProfilerLogger final : public EventLogger {
 public:
     struct tag_stats {
         size_type count{0};
         double wall_ns{0.0};
         size_type bytes{0};
+        /// Work reported by the tag's kernels through the cost-model
+        /// profiles (log/work_model.hpp); zero for operations whose
+        /// kernels bypass kernels::tick.
+        double flops{0.0};
+        double work_bytes{0.0};
+
+        /// Achieved GFLOP/s over the tag's accumulated wall time.
+        double gflops() const
+        {
+            return wall_ns > 0.0 ? flops / wall_ns : 0.0;
+        }
+        /// Achieved GB/s of kernel-reported traffic.
+        double gbps() const
+        {
+            return wall_ns > 0.0 ? work_bytes / wall_ns : 0.0;
+        }
+        /// Arithmetic intensity [flop/byte]; the roofline x-axis.
+        double intensity() const
+        {
+            return work_bytes > 0.0 ? flops / work_bytes : 0.0;
+        }
     };
 
     static std::shared_ptr<ProfilerLogger> create()
@@ -57,7 +79,8 @@ public:
     tag_stats stats(const std::string& tag) const;
 
     /// The summary as a JSON object: {"tags": {tag: {"count": n,
-    /// "wall_ns": t, "bytes": b}, ...}} — parseable by config/json.hpp.
+    /// "wall_ns": t, "bytes": b, "flops": f, "work_bytes": w,
+    /// "gflops": g, "gbps": s}, ...}} — parseable by config/json.hpp.
     std::string to_json() const;
 
     void reset();
@@ -74,7 +97,8 @@ public:
     void on_operation_launched(const Executor* exec,
                                const char* op_name) override;
     void on_operation_completed(const Executor* exec, const char* op_name,
-                                double wall_ns) override;
+                                double wall_ns, double flops,
+                                double bytes) override;
     void on_iteration_complete(const LinOp* solver, size_type iteration,
                                double residual_norm) override;
     void on_solver_stop(const LinOp* solver, size_type iterations,
@@ -83,17 +107,18 @@ public:
                                      size_type iteration,
                                      size_type active_systems,
                                      double max_residual_norm) override;
-    void on_batch_solver_stop(const batch::BatchLinOp* solver,
-                              size_type num_systems,
-                              size_type converged_systems,
-                              size_type max_iterations) override;
+    void on_batch_solver_stop(
+        const batch::BatchLinOp* solver, size_type num_systems,
+        size_type converged_systems, size_type max_iterations,
+        const batch::BatchConvergenceLogger* per_system) override;
     void on_binding_call_completed(const char* name, double wall_ns,
                                    double gil_wait_ns, double lookup_ns,
                                    double boxing_ns,
                                    double interpreter_ns) override;
 
 private:
-    void record(const std::string& tag, double wall_ns, size_type bytes);
+    void record(const std::string& tag, double wall_ns, size_type bytes,
+                double flops = 0.0, double work_bytes = 0.0);
 
     mutable std::mutex mutex_;
     std::map<std::string, tag_stats> stats_;
@@ -131,7 +156,8 @@ public:
     void on_operation_launched(const Executor* exec,
                                const char* op_name) override;
     void on_operation_completed(const Executor* exec, const char* op_name,
-                                double wall_ns) override;
+                                double wall_ns, double flops,
+                                double bytes) override;
     void on_iteration_complete(const LinOp* solver, size_type iteration,
                                double residual_norm) override;
     void on_solver_stop(const LinOp* solver, size_type iterations,
@@ -140,10 +166,10 @@ public:
                                      size_type iteration,
                                      size_type active_systems,
                                      double max_residual_norm) override;
-    void on_batch_solver_stop(const batch::BatchLinOp* solver,
-                              size_type num_systems,
-                              size_type converged_systems,
-                              size_type max_iterations) override;
+    void on_batch_solver_stop(
+        const batch::BatchLinOp* solver, size_type num_systems,
+        size_type converged_systems, size_type max_iterations,
+        const batch::BatchConvergenceLogger* per_system) override;
     void on_binding_call_completed(const char* name, double wall_ns,
                                    double gil_wait_ns, double lookup_ns,
                                    double boxing_ns,

@@ -1,0 +1,422 @@
+#include "log/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "batch/batch_log.hpp"
+#include "log/work_model.hpp"
+
+namespace mgko::log {
+
+namespace {
+
+double steady_now_ns()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Compact per-thread track id: threads get 0, 1, 2, ... in first-emission
+/// order, which keeps Perfetto's track list readable.
+int current_tid()
+{
+    static std::atomic<int> counter{0};
+    thread_local const int tid = counter.fetch_add(1);
+    return tid;
+}
+
+std::string json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(1);
+    out << value;
+    return out.str();
+}
+
+}  // namespace
+
+
+TraceLogger::TraceLogger() : origin_ns_{steady_now_ns()} {}
+
+
+double TraceLogger::now_ns() const { return steady_now_ns() - origin_ns_; }
+
+
+void TraceLogger::begin_span(const char* name, const char* cat)
+{
+    const int tid = current_tid();
+    const double ts = now_ns();
+    std::lock_guard<std::mutex> guard{mutex_};
+    const size_type id = next_span_id_++;
+    auto* stack = [&]() -> std::vector<std::pair<std::string, size_type>>* {
+        for (auto& [t, s] : open_) {
+            if (t == tid) {
+                return &s;
+            }
+        }
+        open_.emplace_back(tid,
+                           std::vector<std::pair<std::string, size_type>>{});
+        return &open_.back().second;
+    }();
+    stack->emplace_back(name, id);
+    events_.push_back({name, cat, 'B', ts, 0.0, tid, id, {}});
+}
+
+
+void TraceLogger::end_span(const char* name, const char* cat,
+                           std::string args)
+{
+    const int tid = current_tid();
+    const double ts = now_ns();
+    std::lock_guard<std::mutex> guard{mutex_};
+    size_type id = 0;
+    for (auto& [t, stack] : open_) {
+        if (t == tid && !stack.empty() && stack.back().first == name) {
+            id = stack.back().second;
+            stack.pop_back();
+            break;
+        }
+    }
+    events_.push_back({name, cat, 'E', ts, 0.0, tid, id, std::move(args)});
+}
+
+
+void TraceLogger::instant(const char* name, const char* cat, std::string args)
+{
+    const int tid = current_tid();
+    const double ts = now_ns();
+    std::lock_guard<std::mutex> guard{mutex_};
+    events_.push_back({name, cat, 'i', ts, 0.0, tid, 0, std::move(args)});
+}
+
+
+void TraceLogger::complete(const char* name, const char* cat, double ts_ns,
+                           double dur_ns, std::string args)
+{
+    const int tid = current_tid();
+    std::lock_guard<std::mutex> guard{mutex_};
+    events_.push_back(
+        {name, cat, 'X', ts_ns, dur_ns, tid, 0, std::move(args)});
+}
+
+
+std::vector<TraceLogger::trace_event> TraceLogger::events() const
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    return events_;
+}
+
+
+bool TraceLogger::well_nested() const
+{
+    const auto snapshot = events();
+    std::map<int, std::vector<std::string>> stacks;
+    for (const auto& e : snapshot) {
+        if (e.phase == 'B') {
+            stacks[e.tid].push_back(e.name);
+        } else if (e.phase == 'E') {
+            auto& stack = stacks[e.tid];
+            if (stack.empty() || stack.back() != e.name) {
+                return false;
+            }
+            stack.pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : stacks) {
+        if (!stack.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+
+std::string TraceLogger::to_json() const
+{
+    const auto snapshot = events();
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+    bool first = true;
+    for (const auto& e : snapshot) {
+        if (!first) {
+            out << ", ";
+        }
+        first = false;
+        out << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+            << json_escape(e.cat) << "\", \"ph\": \"" << e.phase
+            << "\", \"ts\": " << json_number(e.ts_ns / 1000.0)
+            << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (e.phase == 'X') {
+            out << ", \"dur\": " << json_number(e.dur_ns / 1000.0);
+        }
+        if (e.phase == 'i') {
+            out << ", \"s\": \"t\"";
+        }
+        // args: the span id (pairing B with E) plus any event payload.
+        if (e.span_id != 0 || !e.args.empty()) {
+            out << ", \"args\": {";
+            bool first_arg = true;
+            if (e.span_id != 0) {
+                out << "\"span\": " << e.span_id;
+                first_arg = false;
+            }
+            if (!e.args.empty()) {
+                out << (first_arg ? "" : ", ") << e.args;
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+
+void TraceLogger::reset()
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    events_.clear();
+    open_.clear();
+    next_span_id_ = 1;
+    origin_ns_ = steady_now_ns();
+}
+
+
+// --- hooks -----------------------------------------------------------------
+
+void TraceLogger::on_span_begin(const char* name)
+{
+    begin_span(name, "span");
+}
+
+void TraceLogger::on_span_end(const char* name)
+{
+    end_span(name, "span", {});
+}
+
+void TraceLogger::on_operation_launched(const Executor*, const char* op_name)
+{
+    begin_span(op_name, "op");
+}
+
+void TraceLogger::on_operation_completed(const Executor*, const char* op_name,
+                                         double wall_ns, double flops,
+                                         double bytes)
+{
+    std::ostringstream args;
+    args << "\"wall_ns\": " << json_number(wall_ns)
+         << ", \"flops\": " << json_number(flops)
+         << ", \"bytes\": " << json_number(bytes)
+         << ", \"gflops\": " << json_number(achieved_gflops(flops, wall_ns))
+         << ", \"gbps\": " << json_number(achieved_gbps(bytes, wall_ns));
+    end_span(op_name, "op", args.str());
+}
+
+void TraceLogger::on_allocation_completed(const Executor*, size_type bytes,
+                                          const void*)
+{
+    instant("mem.alloc", "mem", "\"bytes\": " + std::to_string(bytes));
+}
+
+void TraceLogger::on_free_completed(const Executor*, const void*)
+{
+    instant("mem.free", "mem", {});
+}
+
+void TraceLogger::on_copy_completed(const Executor*, const Executor*,
+                                    size_type bytes)
+{
+    instant("mem.copy", "mem", "\"bytes\": " + std::to_string(bytes));
+}
+
+void TraceLogger::on_pool_hit(const Executor*, size_type bytes)
+{
+    instant("pool.hit", "pool", "\"bytes\": " + std::to_string(bytes));
+}
+
+void TraceLogger::on_pool_miss(const Executor*, size_type bytes)
+{
+    instant("pool.miss", "pool", "\"bytes\": " + std::to_string(bytes));
+}
+
+void TraceLogger::on_pool_trim(const Executor*, size_type bytes_released)
+{
+    instant("pool.trim", "pool",
+            "\"bytes\": " + std::to_string(bytes_released));
+}
+
+void TraceLogger::on_iteration_complete(const LinOp*, size_type iteration,
+                                        double residual_norm)
+{
+    std::ostringstream args;
+    args << "\"iteration\": " << iteration
+         << ", \"residual_norm\": " << residual_norm;
+    instant("solver.iteration", "solver", args.str());
+}
+
+void TraceLogger::on_solver_stop(const LinOp*, size_type iterations,
+                                 bool converged, const char* reason)
+{
+    std::ostringstream args;
+    args << "\"iterations\": " << iterations
+         << ", \"converged\": " << (converged ? "true" : "false")
+         << ", \"reason\": \"" << json_escape(reason ? reason : "") << "\"";
+    instant("solver.stop", "solver", args.str());
+}
+
+void TraceLogger::on_batch_iteration_complete(const batch::BatchLinOp*,
+                                              size_type iteration,
+                                              size_type active_systems,
+                                              double max_residual_norm)
+{
+    std::ostringstream args;
+    args << "\"iteration\": " << iteration
+         << ", \"active_systems\": " << active_systems
+         << ", \"max_residual_norm\": " << max_residual_norm;
+    instant("batch.iteration", "batch", args.str());
+}
+
+void TraceLogger::on_batch_solver_stop(
+    const batch::BatchLinOp*, size_type num_systems,
+    size_type converged_systems, size_type max_iterations,
+    const batch::BatchConvergenceLogger* per_system)
+{
+    std::ostringstream args;
+    args << "\"num_systems\": " << num_systems
+         << ", \"converged_systems\": " << converged_systems
+         << ", \"max_iterations\": " << max_iterations;
+    if (per_system != nullptr) {
+        // Label the batch with its convergence outcomes: one count per
+        // distinct stop reason.
+        std::map<std::string, size_type> reasons;
+        for (size_type s = 0; s < per_system->num_systems(); ++s) {
+            ++reasons[per_system->stop_reason(s)];
+        }
+        args << ", \"stop_reasons\": {";
+        bool first = true;
+        for (const auto& [reason, count] : reasons) {
+            args << (first ? "" : ", ") << "\"" << json_escape(reason)
+                 << "\": " << count;
+            first = false;
+        }
+        args << "}";
+    }
+    instant("batch.stop", "batch", args.str());
+}
+
+void TraceLogger::on_binding_call_completed(const char* name, double wall_ns,
+                                            double gil_wait_ns,
+                                            double lookup_ns,
+                                            double boxing_ns,
+                                            double interpreter_ns)
+{
+    // The breakdown arrives at completion; reconstruct the call slice and
+    // its sequential children (gil wait, then lookup, then boxing, then
+    // the modeled interpreter frame) from the measured durations.
+    const double end = now_ns();
+    const double start = end - wall_ns;
+    std::ostringstream args;
+    args << "\"gil_wait_ns\": " << json_number(gil_wait_ns)
+         << ", \"lookup_ns\": " << json_number(lookup_ns)
+         << ", \"boxing_ns\": " << json_number(boxing_ns)
+         << ", \"interpreter_ns\": " << json_number(interpreter_ns);
+    complete(name, "bind", start, wall_ns, args.str());
+    double child_ts = start;
+    const std::pair<const char*, double> children[] = {
+        {"bind.gil_wait", gil_wait_ns},
+        {"bind.lookup", lookup_ns},
+        {"bind.boxing", boxing_ns},
+        {"bind.interpreter", interpreter_ns},
+    };
+    for (const auto& [child, dur] : children) {
+        if (dur > 0.0) {
+            complete(child, "bind", child_ts, dur, {});
+            child_ts += dur;
+        }
+    }
+}
+
+
+// --- MGKO_TRACE switch -----------------------------------------------------
+
+std::shared_ptr<TraceLogger> shared_tracer()
+{
+    static std::shared_ptr<TraceLogger> tracer = TraceLogger::create();
+    return tracer;
+}
+
+
+std::shared_ptr<TraceLogger> tracer_from_env()
+{
+    const char* value = std::getenv("MGKO_TRACE");
+    if (value == nullptr || *value == '\0') {
+        return nullptr;
+    }
+    return shared_tracer();
+}
+
+
+void dump_trace(const TraceLogger& tracer, const std::string& name)
+{
+    const char* value = std::getenv("MGKO_TRACE");
+    if (value == nullptr || *value == '\0') {
+        return;
+    }
+    const std::string dest{value};
+    const auto json = tracer.to_json();
+    if (dest == "-" || dest == "1" || dest == "stdout") {
+        std::cout << "=== mgko trace [" << name << "] ===\n"
+                  << json << std::endl;
+        return;
+    }
+    std::ofstream out{dest};
+    if (out) {
+        out << json << "\n";
+    } else {
+        std::cerr << "mgko: cannot write trace to '" << dest << "'\n";
+    }
+}
+
+
+}  // namespace mgko::log

@@ -1,0 +1,30 @@
+#include "log/work_model.hpp"
+
+namespace mgko::log {
+
+namespace {
+
+// One accumulator per thread: kernels note work from the thread that runs
+// them (OpenMP kernel bodies tick from the dispatching thread, after the
+// parallel region), and Executor::run drains it on that same thread.
+thread_local op_work tl_work{};
+
+}  // namespace
+
+
+void note_work(double flops, double bytes)
+{
+    tl_work.flops += flops;
+    tl_work.bytes += bytes;
+}
+
+
+op_work exchange_work(op_work next)
+{
+    const op_work prev = tl_work;
+    tl_work = next;
+    return prev;
+}
+
+
+}  // namespace mgko::log

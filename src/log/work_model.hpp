@@ -1,0 +1,147 @@
+// Per-kernel work model: FLOP and byte accounting for roofline-style
+// attribution (achieved GFLOP/s, GB/s, and arithmetic intensity per tag).
+//
+// Two halves:
+//
+//   * a *captured* work channel — every kernel already assembles a
+//     sim::kernel_profile carrying the exact flops/bytes it processed;
+//     kernels::tick() notes those amounts into a thread-local accumulator,
+//     and Executor::run() drains the accumulator around each dispatch so
+//     on_operation_completed can report the operation's real work next to
+//     its real wall time.  No kernel changes its signature for this.
+//
+//   * an *analytic* table — closed-form flop/byte formulas per operation
+//     family (spmv per storage format, dense BLAS-1, preconditioner
+//     apply), used by tests and the bench harness to validate that the
+//     captured counts match what the math says the kernel must do.  The
+//     analytic byte counts are compulsory-traffic lower bounds: they
+//     exclude the locality-dependent gather-miss term the cost model adds
+//     on top (bounded by one extra value read per nonzero), so
+//     captured_bytes ∈ [analytic.bytes, analytic.bytes + nnz * value_bytes
+//     * vec_cols] for the sparse formats.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace mgko::log {
+
+
+/// Work performed by one operation: floating-point operations and bytes
+/// moved through the memory system.
+struct op_work {
+    double flops{0.0};
+    double bytes{0.0};
+};
+
+
+/// Adds work to the calling thread's accumulator.  Called by
+/// kernels::tick() with the profile every kernel already computes; cheap
+/// enough to stay unconditional (two thread-local adds).
+void note_work(double flops, double bytes);
+
+/// Swaps the calling thread's accumulator for `next` and returns the
+/// previous contents.  Executor::run() exchanges in a zeroed accumulator
+/// before dispatch and exchanges the old one back afterwards, so nested
+/// runs and unlogged stretches never leak work into the wrong operation.
+op_work exchange_work(op_work next);
+
+
+// --- analytic per-kernel formulas ---------------------------------------
+//
+// vb/ib are sizeof(value)/sizeof(index); k is the number of right-hand-side
+// columns (1 for SpMV).  All byte counts are compulsory traffic: matrix
+// storage read once, vectors streamed once, result written once.
+
+/// CSR SpMV: y = A x.  values + column indices + row pointers + result.
+inline op_work csr_spmv_work(size_type rows, size_type nnz, size_type vb,
+                             size_type ib, size_type k = 1)
+{
+    const double n = static_cast<double>(nnz);
+    const double r = static_cast<double>(rows);
+    return {2.0 * n * static_cast<double>(k),
+            n * static_cast<double>(vb + ib) +
+                (r + 1.0) * static_cast<double>(ib) +
+                r * static_cast<double>(vb * k)};
+}
+
+/// COO SpMV: explicit row *and* column index per nonzero.
+inline op_work coo_spmv_work(size_type rows, size_type nnz, size_type vb,
+                             size_type ib, size_type k = 1)
+{
+    const double n = static_cast<double>(nnz);
+    const double r = static_cast<double>(rows);
+    return {2.0 * n * static_cast<double>(k),
+            n * static_cast<double>(vb + 2 * ib) +
+                r * static_cast<double>(vb * k)};
+}
+
+/// ELL SpMV: the padded slab is streamed, so bytes scale with rows*width
+/// while flops still scale with the true nnz.
+inline op_work ell_spmv_work(size_type rows, size_type width, size_type nnz,
+                             size_type vb, size_type ib, size_type k = 1)
+{
+    const double r = static_cast<double>(rows);
+    return {2.0 * static_cast<double>(nnz) * static_cast<double>(k),
+            r * static_cast<double>(width) * static_cast<double>(vb + ib) +
+                r * static_cast<double>(vb * k)};
+}
+
+/// Dense BLAS-1: y += alpha * x (axpy / add_scaled): read x, read+write y.
+inline op_work axpy_work(size_type n, size_type vb)
+{
+    const double nd = static_cast<double>(n);
+    return {2.0 * nd, 3.0 * nd * static_cast<double>(vb)};
+}
+
+/// Dense BLAS-1: x *= alpha.
+inline op_work scale_work(size_type n, size_type vb)
+{
+    const double nd = static_cast<double>(n);
+    return {nd, 2.0 * nd * static_cast<double>(vb)};
+}
+
+/// Dense BLAS-1: dot(x, y).
+inline op_work dot_work(size_type n, size_type vb)
+{
+    const double nd = static_cast<double>(n);
+    return {2.0 * nd, 2.0 * nd * static_cast<double>(vb)};
+}
+
+/// Dense BLAS-1: ||x||_2 (square + add per element).
+inline op_work norm2_work(size_type n, size_type vb)
+{
+    const double nd = static_cast<double>(n);
+    return {2.0 * nd, nd * static_cast<double>(vb)};
+}
+
+/// Scalar-Jacobi preconditioner apply: z = D^{-1} r (read diag, read r,
+/// write z).
+inline op_work jacobi_apply_work(size_type n, size_type vb)
+{
+    const double nd = static_cast<double>(n);
+    return {nd, 3.0 * nd * static_cast<double>(vb)};
+}
+
+
+// --- roofline derivations -----------------------------------------------
+
+/// flops per nanosecond == GFLOP/s.
+inline double achieved_gflops(double flops, double wall_ns)
+{
+    return wall_ns > 0.0 ? flops / wall_ns : 0.0;
+}
+
+/// bytes per nanosecond == GB/s.
+inline double achieved_gbps(double bytes, double wall_ns)
+{
+    return wall_ns > 0.0 ? bytes / wall_ns : 0.0;
+}
+
+/// Arithmetic intensity [flop/byte]; the roofline x-axis.
+inline double arithmetic_intensity(double flops, double bytes)
+{
+    return bytes > 0.0 ? flops / bytes : 0.0;
+}
+
+
+}  // namespace mgko::log

@@ -27,6 +27,7 @@ template <typename ValueType>
 void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
     using detail::set_scalar;
+    auto apply_span = this->make_span("solver.bicgstab.apply");
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
@@ -60,6 +61,7 @@ void Bicgstab<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
+        auto iteration_span = this->make_span("solver.bicgstab.iteration");
         const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
             this->log_stop(iter, false, "breakdown: rho == 0");

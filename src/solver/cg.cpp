@@ -25,6 +25,7 @@ template <typename ValueType>
 void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
     using detail::set_scalar;
+    auto apply_span = this->make_span("solver.cg.apply");
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
@@ -55,6 +56,7 @@ void Cg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
+        auto iteration_span = this->make_span("solver.cg.iteration");
         this->system_->apply(p, q);
         const double pq = detail::dot(p, q, reduce);
         if (pq == 0.0 || !std::isfinite(pq)) {

@@ -28,6 +28,7 @@ template <typename ValueType>
 void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
     using detail::set_scalar;
+    auto apply_span = this->make_span("solver.cgs.apply");
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
@@ -61,6 +62,7 @@ void Cgs<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     size_type iter = 0;
     bool first = true;
     while (!criterion->is_satisfied(iter, r_norm)) {
+        auto iteration_span = this->make_span("solver.cgs.iteration");
         const double rho = detail::dot(r_tilde, r, reduce);
         if (rho == 0.0 || !std::isfinite(rho)) {
             this->log_stop(iter, false, "breakdown: rho == 0");

@@ -73,6 +73,8 @@ Direct<ValueType, IndexType>::Direct(
 template <typename ValueType, typename IndexType>
 void Direct<ValueType, IndexType>::apply_impl(const LinOp* b, LinOp* x) const
 {
+    log::ScopedSpan apply_span{this, this->get_executor().get(),
+                               "solver.direct.apply"};
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     const auto n = get_size().rows;

@@ -26,6 +26,7 @@ template <typename ValueType>
 void Fcg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
     using detail::set_scalar;
+    auto apply_span = this->make_span("solver.fcg.apply");
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
@@ -59,6 +60,7 @@ void Fcg<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
+        auto iteration_span = this->make_span("solver.fcg.iteration");
         this->system_->apply(p, q);
         const double pq = detail::dot(p, q, reduce);
         if (pq == 0.0 || !std::isfinite(pq)) {

@@ -83,6 +83,7 @@ template <typename ValueType>
 void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
     using detail::set_scalar;
+    auto apply_span = this->make_span("solver.gmres.apply");
     auto exec = this->get_executor();
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
@@ -134,6 +135,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
     bool stopped = criterion->is_satisfied(total_iters, r_norm);
     while (!stopped) {
         // --- start a restart cycle --------------------------------------
+        auto cycle_span = this->make_span("solver.gmres.cycle");
         // Left-preconditioned initial direction: v0 = M r / ||M r||.
         this->precond_->apply(r, w_hat);
         const double beta0 = detail::norm2(w_hat, reduce);
@@ -156,6 +158,7 @@ void Gmres<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 
         size_type j_end = 0;
         for (size_type j = 0; j < m; ++j) {
+            auto iteration_span = this->make_span("solver.gmres.iteration");
             // w = M A v_j
             {
                 auto vj = basis->column_view(j);

@@ -20,6 +20,7 @@ enum ir_slots : std::size_t {
 template <typename ValueType>
 void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 {
+    auto apply_span = this->make_span("solver.ir.apply");
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     this->validate_single_column(dense_b);
@@ -43,6 +44,7 @@ void Ir<ValueType>::apply_impl(const LinOp* b, LinOp* x) const
 
     size_type iter = 0;
     while (!criterion->is_satisfied(iter, r_norm)) {
+        auto iteration_span = this->make_span("solver.ir.iteration");
         this->precond_->apply(r, d);
         dense_x->add_scaled(omega_s, d);
         r_norm = detail::compute_residual(this->system_.get(), dense_b,

@@ -177,6 +177,16 @@ protected:
         }
     }
 
+    /// Opens a span visible from both attachment points broadcast_event
+    /// reaches (the solver and its executor); destruction closes it, so
+    /// early returns keep the trace well nested.  Solvers bracket their
+    /// apply ("solver.<name>.apply") and each iteration
+    /// ("solver.<name>.iteration") with one of these.
+    log::ScopedSpan make_span(const char* name) const
+    {
+        return log::ScopedSpan{this, this->get_executor().get(), name};
+    }
+
     /// Records one iteration on the ConvergenceLogger and broadcasts it as
     /// an event.  Solvers call this (not logger_ directly) so both sinks
     /// stay consistent; the history convention is one entry per iteration

@@ -112,6 +112,8 @@ template <typename ValueType, typename IndexType, bool Lower>
 void TriangularSolver<ValueType, IndexType, Lower>::apply_impl(
     const LinOp* b, LinOp* x) const
 {
+    log::ScopedSpan apply_span{this, this->get_executor().get(),
+                               "solver.trs.apply"};
     auto dense_b = as_dense<ValueType>(b);
     auto dense_x = as_dense<ValueType>(x);
     const auto vec_cols = dense_b->get_size().cols;

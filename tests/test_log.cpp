@@ -1,25 +1,49 @@
 // The event-logging subsystem: EventLogger attachment at the executor,
 // solver, and binding layers, ProfilerLogger aggregation + JSON export,
-// RecordLogger capture, ConvergenceLogger edge cases, and the
-// zero-overhead-when-detached guarantee.
+// RecordLogger capture, ConvergenceLogger edge cases, the
+// zero-overhead-when-detached guarantee, and the tracing/metrics tier
+// (TraceLogger span nesting + Chrome JSON export, MetricsRegistry
+// exposition, roofline work accounting, batch stop-reason export).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "batch/batch_cg.hpp"
+#include "batch/batch_csr.hpp"
+#include "batch/batch_dense.hpp"
+#include <omp.h>
+
 #include "bindings/api.hpp"
 #include "bindings/registry.hpp"
+#include "config/config_solver.hpp"
 #include "config/json.hpp"
 #include "core/executor.hpp"
 #include "log/logger.hpp"
+#include "log/metrics.hpp"
 #include "log/profiler.hpp"
+#include "log/trace.hpp"
+#include "log/work_model.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "preconditioner/jacobi.hpp"
 #include "solver/cg.hpp"
 #include "stop/criterion.hpp"
 #include "tests/test_utils.hpp"
+
+// libgomp is not TSan-instrumented, so OpenMP-based stress cases skip
+// under -fsanitize=thread (the std::thread variants cover the same code).
+#if defined(__SANITIZE_THREAD__)
+#define MGKO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MGKO_TSAN 1
+#endif
+#endif
 
 namespace {
 
@@ -391,6 +415,523 @@ TEST(EventLogger, ConcurrentEmissionIntoOneProfilerIsSafe)
     EXPECT_EQ(hits + misses, num_threads * rounds);
     EXPECT_EQ(rec->count("allocation"), num_threads * rounds);
     EXPECT_EQ(rec->count("free"), num_threads * rounds);
+}
+
+
+// --- attachment dedup (satellite: add_logger/remove_logger fixes) --------
+
+TEST(EventLogger, DuplicateExecutorAttachmentIsIgnored)
+{
+    auto exec = ReferenceExecutor::create();
+    auto rec = log::RecordLogger::create();
+    exec->add_logger(rec);
+    exec->add_logger(rec);  // second attach of the same logger: no-op
+    EXPECT_EQ(exec->get_loggers().size(), 1u);
+
+    void* p = exec->alloc_bytes(128);
+    exec->free_bytes(p);
+    // One event per emission, not one per (duplicate) attachment.
+    EXPECT_EQ(rec->count("allocation"), 1);
+    EXPECT_EQ(rec->count("free"), 1);
+
+    // remove_logger removes the logger entirely; re-removal is a no-op.
+    exec->remove_logger(rec.get());
+    EXPECT_FALSE(exec->has_loggers());
+    exec->remove_logger(rec.get());
+    EXPECT_FALSE(exec->has_loggers());
+    // Distinct loggers still coexist.
+    auto rec2 = log::RecordLogger::create();
+    exec->add_logger(rec);
+    exec->add_logger(rec2);
+    EXPECT_EQ(exec->get_loggers().size(), 2u);
+    exec->remove_logger(rec.get());
+    EXPECT_EQ(exec->get_loggers().size(), 1u);
+    exec->remove_logger(rec2.get());
+}
+
+TEST(EventLogger, DuplicateBindingAttachmentIsIgnored)
+{
+    auto rec = log::RecordLogger::create();
+    ASSERT_TRUE(bind::get_loggers().empty());
+    bind::add_logger(rec);
+    bind::add_logger(rec);  // duplicate would double-count every call
+    EXPECT_EQ(bind::get_loggers().size(), 1u);
+
+    auto dev = bind::device("reference");
+    auto t = bind::as_tensor(dev, dim2{8, 1}, "double", 1.0);
+    (void)t.norm();
+    const auto calls = rec->count("binding_call");
+    EXPECT_GT(calls, 0);
+
+    bind::remove_logger(rec.get());
+    EXPECT_TRUE(bind::get_loggers().empty());
+    bind::remove_logger(rec.get());  // removing all occurrences is stable
+    EXPECT_TRUE(bind::get_loggers().empty());
+    // No events once detached.
+    (void)t.norm();
+    EXPECT_EQ(rec->count("binding_call"), calls);
+}
+
+
+// --- TraceLogger (tentpole: hierarchical tracing) ------------------------
+
+// Replays the begin/end events of a parsed Chrome trace and checks each
+// 'E' closes the innermost open 'B' of the same name on its thread track.
+bool parsed_trace_well_nested(const config::Json& trace)
+{
+    std::map<std::int64_t, std::vector<std::string>> stacks;
+    for (const auto& ev : trace.at("traceEvents").elements()) {
+        const auto& ph = ev.at("ph").as_string();
+        const auto tid = ev.at("tid").as_int();
+        if (ph == "B") {
+            stacks[tid].push_back(ev.at("name").as_string());
+        } else if (ph == "E") {
+            auto& stack = stacks[tid];
+            if (stack.empty() || stack.back() != ev.at("name").as_string()) {
+                return false;
+            }
+            stack.pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : stacks) {
+        if (!stack.empty()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(TraceLogger, CgSolveUnderMgkoTraceExportsWellNestedChromeJson)
+{
+    // The acceptance path: MGKO_TRACE=1 makes the executor factory attach
+    // the process-wide tracer, a CG solve emits solver phase spans and
+    // kernel slices, and the export is Chrome Trace Event JSON that
+    // round-trips through config/json.hpp.
+    ASSERT_EQ(setenv("MGKO_TRACE", "1", 1), 0);
+    auto tracer = log::tracer_from_env();
+    ASSERT_NE(tracer, nullptr);
+    EXPECT_EQ(tracer.get(), log::shared_tracer().get());
+    tracer->reset();
+
+    {
+        auto exec = ReferenceExecutor::create();  // auto-attaches the tracer
+        const size_type n = 32;
+        auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(
+            exec, test::laplacian_1d<double, int32>(n))};
+        auto solver = solver::Cg<double>::build()
+                          .with_criteria(stop::iteration(100))
+                          .with_criteria(stop::residual_norm(1e-10))
+                          .on(exec)
+                          ->generate(a);
+        auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+        auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+        solver->apply(b.get(), x.get());
+        exec->remove_logger(tracer.get());
+    }
+    ASSERT_EQ(unsetenv("MGKO_TRACE"), 0);
+
+    EXPECT_TRUE(tracer->well_nested());
+    const auto events = tracer->events();
+    size_type begins = 0;
+    size_type ends = 0;
+    bool saw_apply_span = false;
+    bool saw_iteration_span = false;
+    bool saw_spmv_span = false;
+    for (const auto& ev : events) {
+        begins += ev.phase == 'B';
+        ends += ev.phase == 'E';
+        if (ev.phase == 'B') {
+            EXPECT_GT(ev.span_id, 0u);
+            saw_apply_span |= ev.name == "solver.cg.apply";
+            saw_iteration_span |= ev.name == "solver.cg.iteration";
+            // Kernel slices carry the bare Operation tag under cat "op".
+            saw_spmv_span |= ev.name == "csr_spmv" && ev.cat == "op";
+        }
+    }
+    EXPECT_EQ(begins, ends);
+    EXPECT_TRUE(saw_apply_span);
+    EXPECT_TRUE(saw_iteration_span);
+    EXPECT_TRUE(saw_spmv_span);
+
+    // The export parses with the repo's own JSON parser and stays well
+    // nested after the round trip.
+    auto json = config::Json::parse(tracer->to_json());
+    ASSERT_TRUE(json.contains("traceEvents"));
+    ASSERT_TRUE(json.at("traceEvents").is_array());
+    EXPECT_EQ(json.at("traceEvents").elements().size(), events.size());
+    EXPECT_TRUE(parsed_trace_well_nested(json));
+    tracer->reset();
+    EXPECT_TRUE(tracer->events().empty());
+}
+
+TEST(TraceLogger, SolverConfigTraceKeyAttachesTheSharedTracer)
+{
+    auto tracer = log::shared_tracer();
+    tracer->reset();
+    auto exec = ReferenceExecutor::create();  // MGKO_TRACE unset: no attach
+    const size_type n = 24;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto config = config::Json::parse(
+        R"({"type": "solver::Cg", "max_iters": 50,
+            "reduction_factor": 1e-10, "trace": true})");
+    auto solver = config::config_solver(config, exec, a);
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+
+    EXPECT_TRUE(tracer->well_nested());
+    bool saw_apply_span = false;
+    for (const auto& ev : tracer->events()) {
+        saw_apply_span |=
+            ev.phase == 'B' && ev.name == "solver.cg.apply";
+    }
+    EXPECT_TRUE(saw_apply_span);
+    tracer->reset();
+}
+
+TEST(TraceLogger, BindingCallsBecomeCompleteSlicesWithBreakdownChildren)
+{
+    auto tracer = log::TraceLogger::create();
+    bind::add_logger(tracer);
+    auto dev = bind::device("reference");
+    auto t = bind::as_tensor(dev, dim2{16, 1}, "double", 1.0);
+    (void)t.norm();
+    bind::remove_logger(tracer.get());
+
+    bool saw_call_slice = false;
+    bool saw_interpreter_child = false;
+    for (const auto& ev : tracer->events()) {
+        if (ev.phase != 'X') {
+            continue;
+        }
+        if (ev.cat == "bind" && ev.name.rfind("bind.", 0) != 0) {
+            saw_call_slice = true;
+            EXPECT_GT(ev.dur_ns, 0.0);
+        }
+        saw_interpreter_child |= ev.name == "bind.interpreter";
+    }
+    EXPECT_TRUE(saw_call_slice);
+    EXPECT_TRUE(saw_interpreter_child);
+    EXPECT_TRUE(tracer->well_nested());  // 'X' slices don't affect nesting
+}
+
+
+// --- roofline accounting (tentpole: per-kernel work model) ---------------
+
+TEST(ProfilerLogger, CsrSpmvRooflineMatchesTheAnalyticWorkModel)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 64;
+    auto data = test::laplacian_1d<double, int32>(n);
+    const size_type nnz = data.entries.size();
+    auto a = std::shared_ptr<Mtx>{Mtx::create_from_data(exec, data)};
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create(exec, dim2{n, 1});
+
+    auto prof = log::ProfilerLogger::create();
+    exec->add_logger(prof);
+    const size_type reps = 5;
+    for (size_type r = 0; r < reps; ++r) {
+        a->apply(b.get(), x.get());
+    }
+    exec->remove_logger(prof.get());
+
+    const auto stats = prof->stats("op.csr_spmv");
+    ASSERT_EQ(stats.count, reps);
+    EXPECT_GT(stats.wall_ns, 0.0);
+
+    // Flops are exact: 2 nnz per SpMV.  Bytes match the analytic
+    // compulsory traffic up to the cost model's locality miss term, which
+    // is bounded by one extra value read per nonzero.
+    const auto analytic =
+        log::csr_spmv_work(n, nnz, sizeof(double), sizeof(int32));
+    const auto rd = static_cast<double>(reps);
+    EXPECT_DOUBLE_EQ(stats.flops, rd * analytic.flops);
+    EXPECT_GE(stats.work_bytes, rd * analytic.bytes);
+    EXPECT_LE(stats.work_bytes,
+              rd * (analytic.bytes +
+                    static_cast<double>(nnz) * sizeof(double)));
+
+    // The roofline derivations are live and consistent.
+    EXPECT_GT(stats.gflops(), 0.0);
+    EXPECT_GT(stats.gbps(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.gflops(),
+                     log::achieved_gflops(stats.flops, stats.wall_ns));
+    EXPECT_DOUBLE_EQ(stats.intensity(), stats.flops / stats.work_bytes);
+
+    // ...and survive the JSON export.
+    auto json = config::Json::parse(prof->to_json());
+    const auto& tag = json.at("tags").at("op.csr_spmv");
+    EXPECT_DOUBLE_EQ(tag.at("flops").as_double(), stats.flops);
+    EXPECT_GT(tag.at("gflops").as_double(), 0.0);
+    EXPECT_GT(tag.at("gbps").as_double(), 0.0);
+}
+
+TEST(RecordLogger, OperationEventsCarryCapturedWork)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 32;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create(exec, dim2{n, 1});
+    auto rec = log::RecordLogger::create();
+    exec->add_logger(rec);
+    a->apply(b.get(), x.get());
+    exec->remove_logger(rec.get());
+
+    const size_type nnz = 3 * n - 2;
+    bool saw_work = false;
+    for (const auto& r : rec->records()) {
+        if (r.kind == "operation_work" && r.name == "csr_spmv") {
+            saw_work = true;
+            EXPECT_DOUBLE_EQ(r.value, 2.0 * static_cast<double>(nnz));
+        }
+    }
+    EXPECT_TRUE(saw_work);
+}
+
+
+// --- MetricsRegistry (tentpole: metrics tier) ----------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndHistogramsRoundTrip)
+{
+    log::MetricsRegistry reg;
+    reg.inc_counter("mgko_events_total", "op.x");
+    reg.inc_counter("mgko_events_total", "op.x", 2.0);
+    reg.inc_counter("mgko_events_total", "op.y");
+    reg.set_gauge("mgko_residual_norm", "solver", 0.25);
+    reg.add_gauge("mgko_open_spans", "solver.cg.apply", 1.0);
+    reg.add_gauge("mgko_open_spans", "solver.cg.apply", -1.0);
+    reg.observe("mgko_latency_ns", "op.x", 1.0);
+    reg.observe("mgko_latency_ns", "op.x", 3.0);
+    reg.observe("mgko_latency_ns", "op.x", 1000.0);
+
+    EXPECT_EQ(reg.counter_value("mgko_events_total", "op.x"), 3.0);
+    EXPECT_EQ(reg.counter_value("mgko_events_total", "op.y"), 1.0);
+    EXPECT_EQ(reg.counter_value("mgko_events_total", "op.z"), 0.0);
+    EXPECT_EQ(reg.gauge_value("mgko_residual_norm", "solver"), 0.25);
+    EXPECT_EQ(reg.gauge_value("mgko_open_spans", "solver.cg.apply"), 0.0);
+
+    const auto hist = reg.histogram_snapshot("mgko_latency_ns", "op.x");
+    EXPECT_EQ(hist.count, 3u);
+    EXPECT_EQ(hist.sum, 1004.0);
+    EXPECT_EQ(hist.buckets[0], 1u);   // 1 <= 2^0
+    EXPECT_EQ(hist.buckets[2], 1u);   // 3 <= 2^2
+    EXPECT_EQ(hist.buckets[10], 1u);  // 1000 <= 2^10
+
+    // Prometheus text exposition: per-tag samples and the cumulative
+    // histogram series.
+    const auto text = reg.prometheus_text();
+    EXPECT_NE(text.find("# TYPE mgko_events_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mgko_events_total{tag=\"op.x\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE mgko_latency_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("mgko_latency_ns_count{tag=\"op.x\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+    // JSON exporter parses and carries the same values.
+    auto json = config::Json::parse(reg.to_json());
+    EXPECT_EQ(json.at("counters")
+                  .at("mgko_events_total")
+                  .at("op.x")
+                  .as_double(),
+              3.0);
+    EXPECT_EQ(json.at("histograms")
+                  .at("mgko_latency_ns")
+                  .at("op.x")
+                  .at("count")
+                  .as_int(),
+              3);
+
+    reg.reset();
+    EXPECT_EQ(reg.counter_value("mgko_events_total", "op.x"), 0.0);
+    EXPECT_EQ(reg.histogram_snapshot("mgko_latency_ns", "op.x").count, 0u);
+}
+
+TEST(MetricsLogger, CgSolveFeedsCountersGaugesAndLatencyHistograms)
+{
+    auto metrics = log::MetricsLogger::create();
+    auto exec = ReferenceExecutor::create();
+    exec->add_logger(metrics);
+    const size_type n = 32;
+    auto a = std::shared_ptr<Mtx>{
+        Mtx::create_from_data(exec, test::laplacian_1d<double, int32>(n))};
+    auto solver = solver::Cg<double>::build()
+                      .with_criteria(stop::iteration(100))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .on(exec)
+                      ->generate(a);
+    auto b = Vec::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    exec->remove_logger(metrics.get());
+
+    auto& reg = metrics->registry();
+    EXPECT_GT(reg.counter_value("mgko_events_total", "op.csr_spmv"), 0.0);
+    EXPECT_GT(reg.counter_value("mgko_flops_total", "op.csr_spmv"), 0.0);
+    EXPECT_GT(reg.counter_value("mgko_work_bytes_total", "op.csr_spmv"),
+              0.0);
+    EXPECT_GT(
+        reg.histogram_snapshot("mgko_latency_ns", "op.csr_spmv").count, 0u);
+    EXPECT_EQ(reg.counter_value("mgko_events_total", "solver.stop"), 1.0);
+    EXPECT_EQ(
+        reg.counter_value("mgko_events_total", "solver.stop.converged"),
+        1.0);
+    // Every span that opened also closed.
+    EXPECT_EQ(reg.gauge_value("mgko_open_spans", "solver.cg.apply"), 0.0);
+    EXPECT_EQ(reg.gauge_value("mgko_open_spans", "solver.cg.iteration"),
+              0.0);
+    EXPECT_GT(reg.counter_value("mgko_events_total",
+                                "span.solver.cg.iteration"),
+              0.0);
+}
+
+
+// --- concurrent tracing (satellite: TSan stress) -------------------------
+
+TEST(TraceLogger, ConcurrentStdThreadSpansStayWellNestedPerTrack)
+{
+    auto tracer = log::TraceLogger::create();
+    constexpr int num_threads = 8;
+    constexpr int rounds = 100;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < rounds; ++i) {
+                tracer->on_span_begin("outer");
+                tracer->on_span_begin("inner");
+                tracer->on_span_end("inner");
+                tracer->on_span_end("outer");
+            }
+        });
+    }
+    for (auto& th : threads) {
+        th.join();
+    }
+
+    EXPECT_TRUE(tracer->well_nested());
+    const auto events = tracer->events();
+    EXPECT_EQ(events.size(),
+              static_cast<std::size_t>(num_threads) * rounds * 4);
+    // Every thread got its own track, and every begin carries a span id.
+    std::set<int> tids;
+    for (const auto& ev : events) {
+        tids.insert(ev.tid);
+        if (ev.phase == 'B') {
+            EXPECT_GT(ev.span_id, 0u);
+        }
+    }
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(num_threads));
+}
+
+TEST(TraceLogger, ConcurrentOpenMpSpansStayWellNestedPerTrack)
+{
+#ifdef MGKO_TSAN
+    GTEST_SKIP() << "libgomp is not TSan-instrumented; the std::thread "
+                    "variant covers this under TSan";
+#else
+    auto tracer = log::TraceLogger::create();
+    constexpr int rounds = 100;
+    int num_threads = 0;
+#pragma omp parallel num_threads(4)
+    {
+#pragma omp single
+        num_threads = omp_get_num_threads();
+        for (int i = 0; i < rounds; ++i) {
+            tracer->on_span_begin("omp.outer");
+            tracer->on_span_begin("omp.inner");
+            tracer->on_span_end("omp.inner");
+            tracer->on_span_end("omp.outer");
+        }
+    }
+    EXPECT_TRUE(tracer->well_nested());
+    EXPECT_EQ(tracer->events().size(),
+              static_cast<std::size_t>(num_threads) * rounds * 4);
+#endif
+}
+
+
+// --- batch stop reasons (satellite: on_batch_solver_stop export) ---------
+
+TEST(EventLogger, BatchSolverStopExportsPerSystemStopReasons)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type num = 3;
+    const size_type n = 8;
+    auto data = test::laplacian_1d<double, int32>(n);
+    auto mat =
+        batch::Csr<double, int32>::create_duplicate(exec, num, data);
+    // Zero out system 1 entirely so it breaks down while 0 and 2 converge:
+    // the stop-reason export must distinguish the outcomes.
+    auto* vals = mat->system_values(1);
+    for (size_type k = 0; k < mat->get_num_stored_elements_per_system();
+         ++k) {
+        vals[k] = 0.0;
+    }
+    auto b = batch::Dense<double>::create(
+        exec, batch::batch_dim{num, dim2{n, 1}});
+    auto x = batch::Dense<double>::create(
+        exec, batch::batch_dim{num, dim2{n, 1}});
+    b->fill(1.0);
+    x->fill(0.0);
+    auto solver = batch::Cg<double>::build()
+                      .with_criteria(stop::iteration(500))
+                      .with_criteria(stop::residual_norm(1e-8))
+                      .on(exec)
+                      ->generate(std::move(mat));
+    auto rec = log::RecordLogger::create();
+    auto prof = log::ProfilerLogger::create();
+    auto tracer = log::TraceLogger::create();
+    solver->add_logger(rec);
+    solver->add_logger(prof);
+    solver->add_logger(tracer);
+    solver->apply(b.get(), x.get());
+
+    // RecordLogger: one stop-reason record per system, reasons verbatim.
+    std::vector<std::string> reasons;
+    for (const auto& r : rec->records()) {
+        if (r.kind == "batch_stop_reason") {
+            reasons.push_back(r.name);
+        }
+    }
+    ASSERT_EQ(reasons.size(), num);
+    EXPECT_NE(reasons[1].find("breakdown"), std::string::npos);
+    EXPECT_NE(reasons[0], reasons[1]);
+
+    // ProfilerLogger: batch.stop.<reason> tags partition the batch.
+    EXPECT_EQ(prof->stats("batch.stop").count, 1);
+    size_type tagged = 0;
+    size_type reason_tags = 0;
+    for (const auto& [tag, stats] : prof->summary()) {
+        if (tag.rfind("batch.stop.", 0) == 0) {
+            ++reason_tags;
+            tagged += stats.count;
+        }
+    }
+    EXPECT_GE(reason_tags, 2u);  // converged + breakdown at minimum
+    EXPECT_EQ(tagged, num);
+
+    // TraceLogger: the batch.stop instant carries the reason histogram,
+    // and the batch spans stay well nested around it.
+    EXPECT_TRUE(tracer->well_nested());
+    bool saw_stop_instant = false;
+    bool saw_apply_span = false;
+    for (const auto& ev : tracer->events()) {
+        if (ev.phase == 'i' && ev.name == "batch.stop") {
+            saw_stop_instant = true;
+            EXPECT_NE(ev.args.find("stop_reasons"), std::string::npos);
+            EXPECT_NE(ev.args.find("breakdown"), std::string::npos);
+        }
+        saw_apply_span |= ev.phase == 'B' && ev.name == "batch.cg.apply";
+    }
+    EXPECT_TRUE(saw_stop_instant);
+    EXPECT_TRUE(saw_apply_span);
 }
 
 }  // namespace
