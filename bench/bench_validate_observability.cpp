@@ -1,21 +1,37 @@
 // Validates the observability artifacts a bench run dumps:
 //
-//     bench_validate_observability --trace <file> [--profile <file>]
-//                                  [--metrics <file>]
+//     bench_validate_observability [--trace f] [--profile f] [--metrics f]
+//                                  [--prometheus f] [--flight f]
+//                                  [--overhead f]
 //
-// Each file is parsed with the repo's own config/json.hpp and checked for
-// the invariants CI relies on:
-//   * trace:   Chrome Trace Event JSON — a non-empty "traceEvents" array
-//              where every event carries "name", "ph", and "ts";
-//   * profile: ProfilerLogger JSON — a non-empty "tags" object whose
-//              entries carry "count" and "wall_ns";
-//   * metrics: MetricsRegistry JSON — "counters" and "histograms" objects.
+// Each JSON file is parsed with the repo's own config/json.hpp and checked
+// for the invariants CI relies on:
+//   * trace:      Chrome Trace Event JSON — a non-empty "traceEvents" array
+//                 where every event carries "name", "ph", and "ts";
+//   * profile:    ProfilerLogger JSON — a non-empty "tags" object whose
+//                 entries carry "count" and "wall_ns";
+//   * metrics:    MetricsRegistry JSON — "counters" and "histograms"
+//                 objects;
+//   * prometheus: a /metrics response body — non-empty Prometheus text
+//                 exposition (every line a comment or `name{labels} value`);
+//   * flight:     a flight-recorder snapshot (/trace.json or flight_dump)
+//                 — Chrome Trace JSON whose per-track 'B'/'E' events are
+//                 well nested;
+//   * overhead:   a BENCH_micro_overhead.json result block — every row's
+//                 "overhead_percent" must be finite and < 5.0, the
+//                 always-on flight recorder budget.
 //
 // Exits 0 when every given file validates, 1 (with a diagnostic on stderr)
 // otherwise, so the CI observability job fails on malformed output.
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "config/json.hpp"
 
@@ -112,6 +128,164 @@ bool validate_metrics(const std::string& file)
     return true;
 }
 
+// A Prometheus text exposition line is a comment/blank or
+// `metric_name{labels} value` with an optional trailing timestamp; this
+// checks the subset our exporters emit (metric name grammar, balanced
+// label braces, parseable value).
+bool validate_prometheus(const std::string& file)
+{
+    std::ifstream stream{file};
+    if (!stream) {
+        return fail(file, "cannot open file");
+    }
+    std::string line;
+    std::size_t samples = 0;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto bad = [&](const std::string& what) {
+            return fail(file, "line " + std::to_string(line_no) + ": " + what +
+                                  ": " + line);
+        };
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::size_t i = 0;
+        if (!std::isalpha(static_cast<unsigned char>(line[0])) &&
+            line[0] != '_') {
+            return bad("metric name must start [a-zA-Z_]");
+        }
+        while (i < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(line[i])) ||
+                line[i] == '_' || line[i] == ':')) {
+            ++i;
+        }
+        if (i < line.size() && line[i] == '{') {
+            const auto close = line.find('}', i);
+            if (close == std::string::npos) {
+                return bad("unterminated label set");
+            }
+            i = close + 1;
+        }
+        if (i >= line.size() || line[i] != ' ') {
+            return bad("expected ' ' before value");
+        }
+        const std::string value = line.substr(i + 1);
+        char* end = nullptr;
+        std::strtod(value.c_str(), &end);
+        if (end == value.c_str() && value != "+Inf" && value != "-Inf" &&
+            value != "NaN") {
+            return bad("unparseable sample value");
+        }
+        ++samples;
+    }
+    if (samples == 0) {
+        return fail(file, "no samples in exposition");
+    }
+    std::printf("[observability] %s: %zu prometheus samples OK\n",
+                file.c_str(), samples);
+    return true;
+}
+
+
+// Flight-recorder snapshot: valid trace JSON whose 'B'/'E' events are
+// well nested per (pid, tid) track — the guarantee the recorder's repair
+// pass makes despite ring wraparound.
+bool validate_flight(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("traceEvents") ||
+        !doc.at("traceEvents").is_array()) {
+        return fail(file, "missing 'traceEvents' array");
+    }
+    const auto& events = doc.at("traceEvents");
+    if (events.elements().empty()) {
+        return fail(file, "'traceEvents' must be non-empty");
+    }
+    std::map<double, std::vector<std::string>> stacks;
+    for (const auto& event : events.elements()) {
+        if (!event.is_object() || !event.contains("name") ||
+            !event.contains("ph") || !event.contains("ts")) {
+            return fail(file, "event lacks name/ph/ts");
+        }
+        const auto phase = event.at("ph").as_string();
+        const auto tid =
+            event.contains("tid") ? event.at("tid").as_double() : 0.0;
+        if (phase == "B") {
+            stacks[tid].push_back(event.at("name").as_string());
+        } else if (phase == "E") {
+            auto& stack = stacks[tid];
+            const auto name = event.at("name").as_string();
+            if (stack.empty() || stack.back() != name) {
+                return fail(file, "unbalanced span 'E': " + name);
+            }
+            stack.pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : stacks) {
+        if (!stack.empty()) {
+            return fail(file, "span left open on tid " +
+                                  std::to_string(static_cast<long>(tid)) +
+                                  ": " + stack.back());
+        }
+    }
+    std::printf("[observability] %s: %zu flight events, spans well nested\n",
+                file.c_str(), events.elements().size());
+    return true;
+}
+
+
+// BENCH_micro_overhead.json: every row's overhead_percent column must be
+// finite and under the 5% always-on budget.
+bool validate_overhead(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("columns") ||
+        !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    std::size_t overhead_column = columns.size();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].as_string() == "overhead_percent") {
+            overhead_column = i;
+        }
+    }
+    if (overhead_column == columns.size()) {
+        return fail(file, "no 'overhead_percent' column");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    for (const auto& row : rows) {
+        if (!row.is_array() || row.elements().size() <= overhead_column) {
+            return fail(file, "row shorter than the overhead column");
+        }
+        const double overhead =
+            row.elements()[overhead_column].as_double();
+        if (!std::isfinite(overhead)) {
+            return fail(file, "overhead_percent is not finite");
+        }
+        if (overhead >= 5.0) {
+            std::ostringstream what;
+            what << "always-on overhead " << overhead
+                 << "% exceeds the 5% budget";
+            return fail(file, what.str());
+        }
+        std::printf(
+            "[observability] %s: flight recorder overhead %.3f%% < 5%% OK\n",
+            file.c_str(), overhead);
+    }
+    return true;
+}
+
 }  // namespace
 
 
@@ -128,6 +302,12 @@ int main(int argc, char** argv)
             ok = validate_profile(file) && ok;
         } else if (flag == "--metrics") {
             ok = validate_metrics(file) && ok;
+        } else if (flag == "--prometheus") {
+            ok = validate_prometheus(file) && ok;
+        } else if (flag == "--flight") {
+            ok = validate_flight(file) && ok;
+        } else if (flag == "--overhead") {
+            ok = validate_overhead(file) && ok;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return 2;
@@ -138,7 +318,7 @@ int main(int argc, char** argv)
         std::fprintf(
             stderr,
             "usage: bench_validate_observability [--trace f] [--profile f] "
-            "[--metrics f]\n");
+            "[--metrics f] [--prometheus f] [--flight f] [--overhead f]\n");
         return 2;
     }
     return ok ? 0 : 1;

@@ -84,7 +84,9 @@ private:
 /// human-oriented `# csv` block followed by a machine-readable `# json`
 /// block carrying the same rows plus run metadata (compiler, flags, OMP
 /// thread count, timing repetitions), so plotting/CI scripts can consume
-/// results without re-parsing the CSV.
+/// results without re-parsing the CSV.  When MGKO_BENCH_JSON_DIR names a
+/// directory, the JSON document is additionally persisted there as
+/// BENCH_<figure>.json — the perf-trajectory artifacts CI uploads.
 class CsvBlock {
 public:
     CsvBlock(std::string figure, std::vector<std::string> columns,
@@ -144,35 +146,64 @@ private:
         return json_quote(cell);
     }
 
-    void print_json() const
+    std::string json_document() const
     {
-        std::printf("# json %s\n", figure_.c_str());
-        std::printf("{\"figure\": %s, \"metadata\": {",
-                    json_quote(figure_).c_str());
-        std::printf("\"compiler\": %s, ", json_quote(__VERSION__).c_str());
-        std::printf("\"flags\": %s, ",
-                    json_quote(MGKO_BENCH_CXX_FLAGS).c_str());
+        std::string out = "{\"figure\": " + json_quote(figure_) +
+                          ", \"metadata\": {\"compiler\": " +
+                          json_quote(__VERSION__) +
+                          ", \"flags\": " + json_quote(MGKO_BENCH_CXX_FLAGS);
         int omp_threads = 1;
 #ifdef _OPENMP
         omp_threads = omp_get_max_threads();
 #endif
-        std::printf("\"omp_threads\": %d, ", omp_threads);
-        std::printf("\"repetitions\": %d}, ", repetitions_);
-        std::printf("\"columns\": [");
+        out += ", \"omp_threads\": " + std::to_string(omp_threads);
+        out += ", \"repetitions\": " + std::to_string(repetitions_) + "}";
+        out += ", \"columns\": [";
         for (std::size_t i = 0; i < columns_.size(); ++i) {
-            std::printf("%s%s", i ? ", " : "", json_quote(columns_[i]).c_str());
+            out += (i ? ", " : "") + json_quote(columns_[i]);
         }
-        std::printf("], \"rows\": [");
+        out += "], \"rows\": [";
         for (std::size_t r = 0; r < rows_.size(); ++r) {
-            std::printf("%s[", r ? ", " : "");
+            out += r ? ", [" : "[";
             for (std::size_t i = 0; i < rows_[r].size(); ++i) {
-                std::printf("%s%s", i ? ", " : "",
-                            json_cell(rows_[r][i]).c_str());
+                out += (i ? ", " : "") + json_cell(rows_[r][i]);
             }
-            std::printf("]");
+            out += "]";
         }
-        std::printf("]}\n");
+        out += "]}";
+        return out;
+    }
+
+    void print_json() const
+    {
+        const auto document = json_document();
+        std::printf("# json %s\n", figure_.c_str());
+        std::printf("%s\n", document.c_str());
         std::printf("# end json\n");
+        persist_json(document);
+    }
+
+    /// MGKO_BENCH_JSON_DIR=<dir> persists every result block as
+    /// <dir>/BENCH_<figure>.json (the directory must exist).
+    void persist_json(const std::string& document) const
+    {
+        const char* dir = std::getenv("MGKO_BENCH_JSON_DIR");
+        if (dir == nullptr || *dir == '\0') {
+            return;
+        }
+        std::string path{dir};
+        if (path.back() != '/') {
+            path += '/';
+        }
+        path += "BENCH_" + figure_ + ".json";
+        std::FILE* file = std::fopen(path.c_str(), "w");
+        if (file == nullptr) {
+            std::fprintf(stderr, "mgko-bench: cannot write '%s'\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(file, "%s\n", document.c_str());
+        std::fclose(file);
     }
 
     std::string figure_;

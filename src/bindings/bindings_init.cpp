@@ -5,6 +5,9 @@
 // instantiated here and registered under its mangled name (paper §5.1 —
 // "pre-instantiation of all possible template parameter combinations that
 // the Python side might require").
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <mutex>
 
 #include "batch/batch_bicgstab.hpp"
@@ -16,9 +19,11 @@
 #include "config/config_solver.hpp"
 #include "core/dispatch.hpp"
 #include "core/mtx_io.hpp"
+#include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
 #include "log/trace.hpp"
 #include "matrix/convolution.hpp"
+#include "serve/telemetry_server.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
@@ -751,6 +756,37 @@ void register_observability_bindings(Module& m)
         log::shared_metrics()->registry().reset();
         return {};
     });
+
+    // args: [port] — starts the process-wide telemetry server (port 0 or
+    // no argument binds an ephemeral port) and returns the bound port.
+    m.def("telemetry_start", [](const List& args) -> Value {
+        int port = 0;
+        if (!args.empty() && !args.at(0).is_none()) {
+            port = static_cast<int>(args.at(0).as_int());
+        }
+        return Value{static_cast<std::int64_t>(serve::telemetry_start(port))};
+    });
+    m.def("telemetry_stop", [](const List&) -> Value {
+        serve::telemetry_stop();
+        return {};
+    });
+
+    // args: [path] — with a path, writes the flight recorder's black box
+    // there as text (the postmortem format) and returns the path; with no
+    // argument returns the Chrome Trace JSON of the snapshot.
+    m.def("flight_dump", [](const List& args) -> Value {
+        auto recorder = log::shared_flight_recorder();
+        if (args.empty() || args.at(0).is_none()) {
+            return Value{recorder->to_chrome_trace_json()};
+        }
+        const std::string path = args.at(0).as_string();
+        const int fd =
+            ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        MGKO_ENSURE(fd >= 0, "flight_dump: cannot write '" + path + "'");
+        recorder->write_postmortem(fd, "flight_dump binding");
+        ::close(fd);
+        return Value{path};
+    });
 }
 
 }  // namespace
@@ -781,6 +817,11 @@ void ensure_bindings_registered()
 #undef MGKO_REGISTER_BATCH_MATRIX
 
         register_observability_bindings(m);
+
+        // The always-on tier covers the binding layer too: every bound
+        // call lands in the flight recorder's ring unless the user set
+        // MGKO_FLIGHT_RECORDER=0.
+        add_logger(log::flight_recorder_from_env());
     });
 }
 

@@ -9,6 +9,7 @@
 #include "log/trace.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
+#include "serve/telemetry_server.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/cg.hpp"
 #include "solver/cgs.hpp"
@@ -259,6 +260,29 @@ std::shared_ptr<const LinOpFactory> parse_factory(
 }
 
 
+namespace {
+
+/// A `"telemetry"` key starts the process-wide exposition server from
+/// config alone: `true` binds an ephemeral port, a number binds that
+/// port.  Idempotent — a second solver config sees the running server.
+void apply_telemetry_key(const Json& config)
+{
+    if (!config.contains("telemetry")) {
+        return;
+    }
+    const auto& value = config.at("telemetry");
+    if (value.is_bool()) {
+        if (value.as_bool()) {
+            serve::telemetry_start(0);
+        }
+        return;
+    }
+    serve::telemetry_start(static_cast<int>(value.as_int()));
+}
+
+}  // namespace
+
+
 std::unique_ptr<LinOp> config_solver(const Json& config,
                                      std::shared_ptr<const Executor> exec,
                                      std::shared_ptr<const LinOp> system)
@@ -270,6 +294,7 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
     if (config.get_or("trace", Json{false}).as_bool()) {
         solver->add_logger(log::shared_tracer());
     }
+    apply_telemetry_key(config);
     return solver;
 }
 
@@ -298,6 +323,7 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
     if (config.get_or("trace", Json{false}).as_bool()) {
         solver->add_logger(log::shared_tracer());
     }
+    apply_telemetry_key(config);
     return solver;
 }
 

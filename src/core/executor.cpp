@@ -7,9 +7,11 @@
 
 #include <omp.h>
 
+#include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
 #include "log/trace.hpp"
 #include "log/work_model.hpp"
+#include "serve/telemetry_server.hpp"
 
 namespace mgko {
 
@@ -29,15 +31,25 @@ double now_wall_ns()
             .count());
 }
 
-/// MGKO_TRACE / MGKO_METRICS opt-ins: every factory-created executor gets
-/// the process-wide tracer/metrics logger attached, so setting the
-/// environment variable observes a whole run with no code changes.
+/// Observability wiring for every factory-created executor.  The opt-in
+/// tiers (MGKO_TRACE / MGKO_METRICS) attach the process-wide tracer and
+/// metrics logger; the always-on tier attaches the flight recorder
+/// unconditionally (opt out with MGKO_FLIGHT_RECORDER=0) and, when the
+/// telemetry server is live, the shared metrics registry so /metrics has
+/// executor-level series to serve.  MGKO_TELEMETRY_PORT and
+/// MGKO_FLIGHT_POSTMORTEM take effect on the first executor creation.
 /// add_logger deduplicates, so repeated attachment points are harmless.
 template <typename ExecPtr>
 ExecPtr with_env_observers(ExecPtr exec)
 {
+    log::install_crash_handler_from_env();
+    serve::telemetry_from_env();
     exec->add_logger(log::tracer_from_env());
     exec->add_logger(log::metrics_from_env());
+    exec->add_logger(log::flight_recorder_from_env());
+    if (serve::telemetry_active()) {
+        exec->add_logger(log::shared_metrics());
+    }
     return exec;
 }
 

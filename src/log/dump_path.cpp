@@ -1,0 +1,52 @@
+#include "log/dump_path.hpp"
+
+#include <sys/stat.h>
+
+namespace mgko::log {
+
+namespace {
+
+bool is_directory(const std::string& path)
+{
+    struct stat info{};
+    return ::stat(path.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
+}
+
+bool ends_with(const std::string& text, const std::string& suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+}  // namespace
+
+
+bool dump_to_stdout(const std::string& dest)
+{
+    return dest == "-" || dest == "1" || dest == "stdout";
+}
+
+
+std::string resolve_dump_path(const std::string& dest, const std::string& kind,
+                              const std::string& name, const std::string& ext)
+{
+    if (dest.empty()) {
+        return "mgko-" + kind + "-" + name + ext;
+    }
+    if (ends_with(dest, "/") || is_directory(dest)) {
+        std::string dir = dest;
+        if (!ends_with(dir, "/")) {
+            dir += '/';
+        }
+        return dir + "mgko-" + kind + "-" + name + ext;
+    }
+    std::string prefix = dest;
+    if (ends_with(prefix, ext)) {
+        prefix.resize(prefix.size() - ext.size());
+    }
+    return prefix + "-" + name + ext;
+}
+
+
+}  // namespace mgko::log

@@ -1,11 +1,14 @@
 #include "log/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "batch/batch_log.hpp"
+#include "log/dump_path.hpp"
 
 namespace mgko::log {
 
@@ -61,6 +64,37 @@ std::string label_escape(const std::string& text)
 }
 
 }  // namespace
+
+
+double MetricsRegistry::histogram::quantile(double q) const
+{
+    if (count == 0) {
+        return 0.0;
+    }
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double target = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (size_type i = 0; i < num_buckets; ++i) {
+        if (buckets[i] == 0) {
+            continue;
+        }
+        const double below = static_cast<double>(cumulative);
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) < target) {
+            continue;
+        }
+        // Rank `target` falls inside bucket i, which covers
+        // (2^(i-1), 2^i] (bucket 0 covers [0, 1], the last bucket is
+        // +Inf and capped at twice its lower bound for interpolation).
+        const double lower =
+            i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+        const double upper = std::ldexp(1.0, static_cast<int>(i));
+        const double fraction =
+            (target - below) / static_cast<double>(buckets[i]);
+        return lower + fraction * (upper - lower);
+    }
+    return std::ldexp(1.0, static_cast<int>(num_buckets));
+}
 
 
 // --- MetricsRegistry -------------------------------------------------------
@@ -176,6 +210,16 @@ std::string MetricsRegistry::prometheus_text() const
                 << format_value(h.sum) << "\n";
             out << name << "_count{tag=\"" << label << "\"} " << h.count
                 << "\n";
+            // Summary-style quantile estimates alongside the buckets, so
+            // dashboards can plot p99 without a histogram_quantile().
+            static constexpr const char* quantile_labels[] = {"0.5", "0.95",
+                                                              "0.99"};
+            static constexpr double quantile_values[] = {0.5, 0.95, 0.99};
+            for (int qi = 0; qi < 3; ++qi) {
+                out << name << "{tag=\"" << label << "\",quantile=\""
+                    << quantile_labels[qi] << "\"} "
+                    << format_value(h.quantile(quantile_values[qi])) << "\n";
+            }
         }
     }
     return out.str();
@@ -215,7 +259,11 @@ std::string MetricsRegistry::to_json() const
         for (const auto& [tag, h] : tags) {
             out << (first_tag ? "" : ", ") << "\"" << tag
                 << "\": {\"count\": " << h.count
-                << ", \"sum\": " << format_value(h.sum) << ", \"buckets\": {";
+                << ", \"sum\": " << format_value(h.sum)
+                << ", \"p50\": " << format_value(h.quantile(0.5))
+                << ", \"p95\": " << format_value(h.quantile(0.95))
+                << ", \"p99\": " << format_value(h.quantile(0.99))
+                << ", \"buckets\": {";
             first_tag = false;
             bool first_bucket = true;
             for (size_type i = 0; i < num_buckets; ++i) {
@@ -410,15 +458,16 @@ void dump_metrics(const MetricsLogger& metrics, const std::string& name)
     }
     const std::string dest{value};
     const auto text = metrics.registry().prometheus_text();
-    if (dest == "-" || dest == "1" || dest == "stdout") {
+    if (dump_to_stdout(dest)) {
         std::cout << "=== mgko metrics [" << name << "] ===\n" << text;
         return;
     }
-    std::ofstream out{dest};
+    const auto path = resolve_dump_path(dest, "metrics", name, ".txt");
+    std::ofstream out{path};
     if (out) {
         out << text;
     } else {
-        std::cerr << "mgko: cannot write metrics to '" << dest << "'\n";
+        std::cerr << "mgko: cannot write metrics to '" << path << "'\n";
     }
 }
 

@@ -44,6 +44,13 @@ public:
         std::array<std::uint64_t, num_buckets> buckets{};
         std::uint64_t count{0};
         double sum{0.0};
+
+        /// Quantile estimate from the log2 buckets: finds the bucket the
+        /// rank q*count falls into and interpolates linearly between its
+        /// bounds, so the estimate is exact to within one bucket (a factor
+        /// of 2 in value).  Returns 0 for an empty histogram.  Exposed in
+        /// both exporters as p50/p95/p99.
+        double quantile(double q) const;
     };
 
     void inc_counter(const std::string& name, const std::string& tag,
@@ -153,8 +160,8 @@ std::shared_ptr<MetricsLogger> shared_metrics();
 std::shared_ptr<MetricsLogger> metrics_from_env();
 
 /// Writes the registry's Prometheus text where MGKO_METRICS points: "-",
-/// "1" or "stdout" print it under a banner; any other value is used as a
-/// file path (overwritten).
+/// "1" or "stdout" print it under a banner; a directory or path prefix
+/// derives a per-run file name from `name` (see log/dump_path.hpp).
 void dump_metrics(const MetricsLogger& metrics, const std::string& name);
 
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "batch/batch_log.hpp"
+#include "log/dump_path.hpp"
 
 namespace mgko::log {
 
@@ -330,16 +331,17 @@ void dump_profile(const ProfilerLogger& profiler, const std::string& name)
     }
     const std::string dest{value};
     const auto json = profiler.to_json();
-    if (dest == "-" || dest == "1" || dest == "stdout") {
+    if (dump_to_stdout(dest)) {
         std::cout << "=== mgko profile [" << name << "] ===\n"
                   << json << std::endl;
         return;
     }
-    std::ofstream out{dest};
+    const auto path = resolve_dump_path(dest, "profile", name, ".json");
+    std::ofstream out{path};
     if (out) {
         out << json << "\n";
     } else {
-        std::cerr << "mgko: cannot write profile to '" << dest << "'\n";
+        std::cerr << "mgko: cannot write profile to '" << path << "'\n";
     }
 }
 

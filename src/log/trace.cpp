@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "batch/batch_log.hpp"
+#include "log/dump_path.hpp"
 #include "log/work_model.hpp"
 
 namespace mgko::log {
@@ -405,16 +406,17 @@ void dump_trace(const TraceLogger& tracer, const std::string& name)
     }
     const std::string dest{value};
     const auto json = tracer.to_json();
-    if (dest == "-" || dest == "1" || dest == "stdout") {
+    if (dump_to_stdout(dest)) {
         std::cout << "=== mgko trace [" << name << "] ===\n"
                   << json << std::endl;
         return;
     }
-    std::ofstream out{dest};
+    const auto path = resolve_dump_path(dest, "trace", name, ".json");
+    std::ofstream out{path};
     if (out) {
         out << json << "\n";
     } else {
-        std::cerr << "mgko: cannot write trace to '" << dest << "'\n";
+        std::cerr << "mgko: cannot write trace to '" << path << "'\n";
     }
 }
 

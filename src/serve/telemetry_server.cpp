@@ -1,0 +1,253 @@
+#include "serve/telemetry_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "core/exception.hpp"
+#include "log/flight_recorder.hpp"
+#include "log/metrics.hpp"
+
+namespace mgko::serve {
+
+namespace {
+
+std::string http_response(int status, const char* status_text,
+                          const char* content_type, const std::string& body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.0 " << status << " " << status_text << "\r\n"
+        << "Content-Type: " << content_type << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    return out.str();
+}
+
+void send_all(int fd, const std::string& data)
+{
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+        const ssize_t sent = ::send(fd, p, remaining, MSG_NOSIGNAL);
+        if (sent <= 0) {
+            return;
+        }
+        p += sent;
+        remaining -= static_cast<std::size_t>(sent);
+    }
+}
+
+}  // namespace
+
+
+std::string TelemetryServer::respond(const std::string& method,
+                                     const std::string& target,
+                                     std::uint64_t requests_so_far)
+{
+    if (method != "GET") {
+        return http_response(405, "Method Not Allowed", "text/plain",
+                             "method not allowed\n");
+    }
+    // Strip any query string: scrapers commonly append cache busters.
+    std::string path = target.substr(0, target.find('?'));
+    if (path == "/healthz") {
+        return http_response(200, "OK", "text/plain", "ok\n");
+    }
+    if (path == "/metrics") {
+        auto recorder = log::shared_flight_recorder();
+        std::ostringstream body;
+        body << log::shared_metrics()->registry().prometheus_text();
+        body << "# TYPE mgko_flight_records_total counter\n"
+             << "mgko_flight_records_total " << recorder->recorded() << "\n"
+             << "# TYPE mgko_flight_dropped_total counter\n"
+             << "mgko_flight_dropped_total " << recorder->dropped() << "\n"
+             << "# TYPE mgko_telemetry_requests_total counter\n"
+             << "mgko_telemetry_requests_total " << requests_so_far << "\n";
+        return http_response(200, "OK", "text/plain; version=0.0.4",
+                             body.str());
+    }
+    if (path == "/profile.json") {
+        return http_response(200, "OK", "application/json",
+                             log::shared_flight_recorder()->to_profile_json());
+    }
+    if (path == "/trace.json") {
+        return http_response(
+            200, "OK", "application/json",
+            log::shared_flight_recorder()->to_chrome_trace_json());
+    }
+    return http_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+
+std::unique_ptr<TelemetryServer> TelemetryServer::start(int port)
+{
+    std::unique_ptr<TelemetryServer> server{new TelemetryServer{}};
+    server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    MGKO_ENSURE(server->listen_fd_ >= 0, "telemetry: cannot create socket");
+    const int reuse = 1;
+    ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_ANY);
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(server->listen_fd_,
+               reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(server->listen_fd_, 16) != 0) {
+        ::close(server->listen_fd_);
+        MGKO_ENSURE(false, "telemetry: cannot bind port " +
+                               std::to_string(port));
+    }
+    socklen_t length = sizeof(address);
+    ::getsockname(server->listen_fd_,
+                  reinterpret_cast<sockaddr*>(&address), &length);
+    server->port_ = static_cast<int>(ntohs(address.sin_port));
+    server->running_.store(true, std::memory_order_release);
+    server->thread_ = std::thread{[raw = server.get()] { raw->serve_loop(); }};
+    return server;
+}
+
+
+void TelemetryServer::serve_loop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        // A bounded poll keeps stop() latency under ~100ms without
+        // needing a self-pipe.
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+            continue;
+        }
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            continue;
+        }
+        timeval timeout{1, 0};
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        char buffer[4096];
+        const ssize_t received = ::recv(client, buffer, sizeof(buffer) - 1, 0);
+        if (received > 0) {
+            buffer[received] = '\0';
+            std::istringstream request{buffer};
+            std::string method;
+            std::string target;
+            request >> method >> target;
+            const auto count =
+                requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+            send_all(client, respond(method, target, count));
+        }
+        ::close(client);
+    }
+}
+
+
+void TelemetryServer::stop()
+{
+    if (!running_.exchange(false)) {
+        return;
+    }
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+
+// --- process-wide server ---------------------------------------------------
+
+namespace {
+
+std::mutex& global_mutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unique_ptr<TelemetryServer>& global_server()
+{
+    static std::unique_ptr<TelemetryServer> server;
+    return server;
+}
+
+std::atomic<bool> global_active{false};
+std::atomic<int> global_port{0};
+
+}  // namespace
+
+
+int telemetry_start(int port)
+{
+    std::lock_guard<std::mutex> guard{global_mutex()};
+    auto& server = global_server();
+    if (!server) {
+        server = TelemetryServer::start(port);
+        global_active.store(true, std::memory_order_release);
+        global_port.store(server->port(), std::memory_order_release);
+    }
+    return server->port();
+}
+
+
+void telemetry_stop()
+{
+    std::lock_guard<std::mutex> guard{global_mutex()};
+    global_active.store(false, std::memory_order_release);
+    global_port.store(0, std::memory_order_release);
+    global_server().reset();
+}
+
+
+bool telemetry_active()
+{
+    return global_active.load(std::memory_order_acquire);
+}
+
+
+int telemetry_port() { return global_port.load(std::memory_order_acquire); }
+
+
+void telemetry_from_env()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char* value = std::getenv("MGKO_TELEMETRY_PORT");
+        if (value == nullptr || *value == '\0') {
+            return;
+        }
+        char* end = nullptr;
+        const long port = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || port < 0 || port > 65535) {
+            std::fprintf(stderr,
+                         "mgko: MGKO_TELEMETRY_PORT='%s' is not a port\n",
+                         value);
+            return;
+        }
+        try {
+            const int bound = telemetry_start(static_cast<int>(port));
+            std::fprintf(stderr, "mgko: telemetry server on port %d\n",
+                         bound);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "mgko: telemetry server failed: %s\n",
+                         e.what());
+        }
+    });
+}
+
+
+}  // namespace mgko::serve

@@ -1,0 +1,98 @@
+// Live telemetry exposition — the pull side of the always-on tier.
+//
+// TelemetryServer is a minimal dependency-free HTTP/1.0 endpoint over raw
+// POSIX sockets: one background thread accepts loopback or scrape traffic
+// and serves
+//
+//   GET /healthz       "ok" liveness probe
+//   GET /metrics       Prometheus text from the shared MetricsRegistry,
+//                      plus the server's own mgko_flight_*/mgko_telemetry_*
+//                      series (so a scrape is never empty)
+//   GET /profile.json  flight-recorder snapshot aggregated per tag
+//                      (ProfilerLogger's {"tags": ...} schema)
+//   GET /trace.json    flight-recorder snapshot as Chrome Trace JSON
+//
+// so a production host can be inspected while it runs instead of waiting
+// for an exit-time dump (cf. Koch et al. on observability surviving
+// embedding).  Serving is serial by design: responses are small snapshots
+// and the instrumented threads never block on a scrape.
+//
+// Process-wide control: telemetry_start(port) / telemetry_stop() manage a
+// single shared server (also reachable through the `telemetry_start` /
+// `telemetry_stop` bindings and the "telemetry" config key);
+// telemetry_from_env() starts it when MGKO_TELEMETRY_PORT is set.  Port 0
+// binds an ephemeral port, reported by the return value / port().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace mgko::serve {
+
+
+class TelemetryServer {
+public:
+    /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the
+    /// accept thread.  Throws mgko::Error when the socket cannot be
+    /// bound.
+    static std::unique_ptr<TelemetryServer> start(int port);
+
+    ~TelemetryServer();
+
+    TelemetryServer(const TelemetryServer&) = delete;
+    TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+    /// The bound port (the concrete one when constructed with port 0).
+    int port() const { return port_; }
+
+    std::uint64_t requests_served() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stops the accept loop and joins the thread; idempotent (the
+    /// destructor calls it).
+    void stop();
+
+    /// Routes one request to a full HTTP response string; exposed so unit
+    /// tests can exercise routing without sockets.
+    static std::string respond(const std::string& method,
+                               const std::string& target,
+                               std::uint64_t requests_so_far);
+
+private:
+    TelemetryServer() = default;
+    void serve_loop();
+
+    int listen_fd_{-1};
+    int port_{0};
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    std::thread thread_;
+};
+
+
+/// Starts the process-wide server if none is running; returns the bound
+/// port either way.
+int telemetry_start(int port);
+
+/// Stops and discards the process-wide server; no-op when none runs.
+void telemetry_stop();
+
+/// True while the process-wide server is running.
+bool telemetry_active();
+
+/// The process-wide server's port, 0 when inactive.
+int telemetry_port();
+
+/// telemetry_start($MGKO_TELEMETRY_PORT) once per process when that
+/// variable holds a port number; bind failures are reported on stderr
+/// rather than thrown (an embedded library must not kill its host over an
+/// occupied port).
+void telemetry_from_env();
+
+
+}  // namespace mgko::serve

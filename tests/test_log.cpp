@@ -23,6 +23,7 @@
 #include "config/config_solver.hpp"
 #include "config/json.hpp"
 #include "core/executor.hpp"
+#include "log/dump_path.hpp"
 #include "log/logger.hpp"
 #include "log/metrics.hpp"
 #include "log/profiler.hpp"
@@ -97,12 +98,14 @@ TEST(BindLogger, InvalidHandleAnswersBenignly)
 
 TEST(EventLogger, AddAndRemoveOnExecutor)
 {
+    // Fresh executors already carry the always-on flight recorder, so the
+    // bookkeeping assertions are relative to that baseline.
     auto exec = ReferenceExecutor::create();
-    EXPECT_FALSE(exec->has_loggers());
+    const auto baseline = exec->get_loggers().size();
     auto rec = log::RecordLogger::create();
     exec->add_logger(rec);
     EXPECT_TRUE(exec->has_loggers());
-    EXPECT_EQ(exec->get_loggers().size(), 1u);
+    EXPECT_EQ(exec->get_loggers().size(), baseline + 1);
 
     void* p = exec->alloc_bytes(256);
     exec->free_bytes(p);
@@ -110,7 +113,7 @@ TEST(EventLogger, AddAndRemoveOnExecutor)
     EXPECT_EQ(rec->count("free"), 1);
 
     exec->remove_logger(rec.get());
-    EXPECT_FALSE(exec->has_loggers());
+    EXPECT_EQ(exec->get_loggers().size(), baseline);
     void* q = exec->alloc_bytes(256);
     exec->free_bytes(q);
     EXPECT_EQ(rec->count("allocation"), 1);  // detached: no new events
@@ -333,14 +336,15 @@ TEST(EventLogger, BindingCallsEmitOverheadBreakdown)
 TEST(EventLogger, BindingLoggerRegistryAddRemove)
 {
     auto rec = log::RecordLogger::create();
-    EXPECT_TRUE(bind::get_loggers().empty());
+    const auto baseline = bind::get_loggers().size();
     bind::add_logger(rec);
-    EXPECT_EQ(bind::get_loggers().size(), 1u);
+    EXPECT_EQ(bind::get_loggers().size(), baseline + 1);
     bind::add_logger(nullptr);  // ignored
-    EXPECT_EQ(bind::get_loggers().size(), 1u);
+    EXPECT_EQ(bind::get_loggers().size(), baseline + 1);
     bind::remove_logger(rec.get());
-    EXPECT_TRUE(bind::get_loggers().empty());
+    EXPECT_EQ(bind::get_loggers().size(), baseline);
     bind::remove_logger(rec.get());  // second removal is a no-op
+    EXPECT_EQ(bind::get_loggers().size(), baseline);
 }
 
 
@@ -423,10 +427,11 @@ TEST(EventLogger, ConcurrentEmissionIntoOneProfilerIsSafe)
 TEST(EventLogger, DuplicateExecutorAttachmentIsIgnored)
 {
     auto exec = ReferenceExecutor::create();
+    const auto baseline = exec->get_loggers().size();
     auto rec = log::RecordLogger::create();
     exec->add_logger(rec);
     exec->add_logger(rec);  // second attach of the same logger: no-op
-    EXPECT_EQ(exec->get_loggers().size(), 1u);
+    EXPECT_EQ(exec->get_loggers().size(), baseline + 1);
 
     void* p = exec->alloc_bytes(128);
     exec->free_bytes(p);
@@ -436,26 +441,29 @@ TEST(EventLogger, DuplicateExecutorAttachmentIsIgnored)
 
     // remove_logger removes the logger entirely; re-removal is a no-op.
     exec->remove_logger(rec.get());
-    EXPECT_FALSE(exec->has_loggers());
+    EXPECT_EQ(exec->get_loggers().size(), baseline);
     exec->remove_logger(rec.get());
-    EXPECT_FALSE(exec->has_loggers());
+    EXPECT_EQ(exec->get_loggers().size(), baseline);
     // Distinct loggers still coexist.
     auto rec2 = log::RecordLogger::create();
     exec->add_logger(rec);
     exec->add_logger(rec2);
-    EXPECT_EQ(exec->get_loggers().size(), 2u);
+    EXPECT_EQ(exec->get_loggers().size(), baseline + 2);
     exec->remove_logger(rec.get());
-    EXPECT_EQ(exec->get_loggers().size(), 1u);
+    EXPECT_EQ(exec->get_loggers().size(), baseline + 1);
     exec->remove_logger(rec2.get());
 }
 
 TEST(EventLogger, DuplicateBindingAttachmentIsIgnored)
 {
     auto rec = log::RecordLogger::create();
-    ASSERT_TRUE(bind::get_loggers().empty());
+    // Registration attaches the always-on flight recorder; force it now so
+    // the baseline below is stable.
+    bind::ensure_bindings_registered();
+    const auto baseline = bind::get_loggers().size();
     bind::add_logger(rec);
     bind::add_logger(rec);  // duplicate would double-count every call
-    EXPECT_EQ(bind::get_loggers().size(), 1u);
+    EXPECT_EQ(bind::get_loggers().size(), baseline + 1);
 
     auto dev = bind::device("reference");
     auto t = bind::as_tensor(dev, dim2{8, 1}, "double", 1.0);
@@ -464,9 +472,9 @@ TEST(EventLogger, DuplicateBindingAttachmentIsIgnored)
     EXPECT_GT(calls, 0);
 
     bind::remove_logger(rec.get());
-    EXPECT_TRUE(bind::get_loggers().empty());
+    EXPECT_EQ(bind::get_loggers().size(), baseline);
     bind::remove_logger(rec.get());  // removing all occurrences is stable
-    EXPECT_TRUE(bind::get_loggers().empty());
+    EXPECT_EQ(bind::get_loggers().size(), baseline);
     // No events once detached.
     (void)t.norm();
     EXPECT_EQ(rec->count("binding_call"), calls);
@@ -751,6 +759,101 @@ TEST(MetricsRegistry, CountersGaugesAndHistogramsRoundTrip)
     reg.reset();
     EXPECT_EQ(reg.counter_value("mgko_events_total", "op.x"), 0.0);
     EXPECT_EQ(reg.histogram_snapshot("mgko_latency_ns", "op.x").count, 0u);
+}
+
+TEST(MetricsRegistry, QuantilesInterpolateWithinTheLog2Bucket)
+{
+    log::MetricsRegistry reg;
+    // 100 identical observations of 100 land in bucket (64, 128]; the
+    // rank-q estimate interpolates linearly inside that bucket.
+    for (int i = 0; i < 100; ++i) {
+        reg.observe("mgko_latency_ns", "op.x", 100.0);
+    }
+    const auto hist = reg.histogram_snapshot("mgko_latency_ns", "op.x");
+    EXPECT_NEAR(hist.quantile(0.5), 96.0, 1e-9);    // 64 + 0.50 * 64
+    EXPECT_NEAR(hist.quantile(0.95), 124.8, 1e-9);  // 64 + 0.95 * 64
+    EXPECT_NEAR(hist.quantile(0.99), 127.36, 1e-9);
+}
+
+TEST(MetricsRegistry, QuantilesOnASkewedDistribution)
+{
+    log::MetricsRegistry reg;
+    // 90% fast (1ns), 9% medium (500ns), 1% slow (100µs): the classic
+    // tail shape p50/p95/p99 exist to separate.
+    for (int i = 0; i < 90; ++i) {
+        reg.observe("mgko_latency_ns", "t", 1.0);
+    }
+    for (int i = 0; i < 9; ++i) {
+        reg.observe("mgko_latency_ns", "t", 500.0);
+    }
+    reg.observe("mgko_latency_ns", "t", 100000.0);
+    const auto hist = reg.histogram_snapshot("mgko_latency_ns", "t");
+    const double p50 = hist.quantile(0.5);
+    const double p95 = hist.quantile(0.95);
+    const double p99 = hist.quantile(0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, 1.0);  // inside bucket [0, 1]
+    EXPECT_GT(p95, 256.0);  // inside bucket (256, 512]
+    EXPECT_LE(p95, 512.0);
+    EXPECT_NEAR(p99, 512.0, 1e-9);  // rank 99 is the last medium sample
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_EQ(log::MetricsRegistry::histogram{}.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, ExportersCarryTheQuantileEstimates)
+{
+    log::MetricsRegistry reg;
+    for (int i = 0; i < 10; ++i) {
+        reg.observe("mgko_latency_ns", "op.x", 100.0);
+    }
+    const auto text = reg.prometheus_text();
+    EXPECT_NE(text.find("mgko_latency_ns{tag=\"op.x\",quantile=\"0.5\"} 96"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    auto json = config::Json::parse(reg.to_json());
+    const auto& hist =
+        json.at("histograms").at("mgko_latency_ns").at("op.x");
+    EXPECT_NEAR(hist.at("p50").as_double(), 96.0, 1e-9);
+    EXPECT_NEAR(hist.at("p95").as_double(), 124.8, 1e-9);
+    EXPECT_NEAR(hist.at("p99").as_double(), 127.36, 1e-9);
+}
+
+
+// --- dump destinations (MGKO_PROFILE / MGKO_TRACE / MGKO_METRICS) --------
+
+TEST(DumpPath, StdoutSentinelsAndDefaults)
+{
+    EXPECT_TRUE(log::dump_to_stdout("-"));
+    EXPECT_TRUE(log::dump_to_stdout("1"));
+    EXPECT_TRUE(log::dump_to_stdout("stdout"));
+    EXPECT_FALSE(log::dump_to_stdout("out.json"));
+    EXPECT_EQ(log::resolve_dump_path("", "trace", "fig5b", ".json"),
+              "mgko-trace-fig5b.json");
+}
+
+TEST(DumpPath, DirectoryDestinationsGetTheDefaultFileName)
+{
+    // A trailing slash marks a directory even if it does not exist yet...
+    EXPECT_EQ(log::resolve_dump_path("artifacts/", "profile", "run", ".json"),
+              "artifacts/mgko-profile-run.json");
+    // ...and an existing directory is recognized without one.
+    const std::string dir = ::testing::TempDir();
+    ASSERT_FALSE(dir.empty());
+    const std::string no_slash =
+        dir.back() == '/' ? dir.substr(0, dir.size() - 1) : dir;
+    EXPECT_EQ(log::resolve_dump_path(no_slash, "metrics", "run", ".txt"),
+              no_slash + "/mgko-metrics-run.txt");
+}
+
+TEST(DumpPath, OtherDestinationsActAsPrefixes)
+{
+    EXPECT_EQ(log::resolve_dump_path("/tmp/run7", "trace", "fig5b", ".json"),
+              "/tmp/run7-fig5b.json");
+    // A destination that already carries the extension keeps it at the end.
+    EXPECT_EQ(log::resolve_dump_path("out.json", "trace", "fig5b", ".json"),
+              "out-fig5b.json");
 }
 
 TEST(MetricsLogger, CgSolveFeedsCountersGaugesAndLatencyHistograms)

@@ -1,0 +1,245 @@
+// The always-on tier's exposition half: TelemetryServer request routing,
+// the live loopback endpoints (/healthz, /metrics, /profile.json,
+// /trace.json) scraped over real sockets, the process-wide
+// telemetry_start/stop lifecycle, and the "telemetry" config key.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "bindings/api.hpp"
+#include "bindings/registry.hpp"
+#include "config/config_solver.hpp"
+#include "config/json.hpp"
+#include "core/executor.hpp"
+#include "log/flight_recorder.hpp"
+#include "log/metrics.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "serve/telemetry_server.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+// Blocking HTTP/1.0 GET against 127.0.0.1:port; empty string when the
+// connection is refused.
+std::string http_get(int port, const std::string& target)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return {};
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return {};
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char buffer[4096];
+    ssize_t received;
+    while ((received = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+        response.append(buffer, static_cast<std::size_t>(received));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string body_of(const std::string& response)
+{
+    const auto split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string{}
+                                      : response.substr(split + 4);
+}
+
+// Generates some executor and binding traffic so the flight recorder and
+// metrics registry have something to expose.
+void generate_telemetry_events()
+{
+    auto exec = ReferenceExecutor::create();
+    exec->add_logger(log::shared_metrics());
+    auto a = std::shared_ptr<Csr<double, int32>>{
+        Csr<double, int32>::create_from_data(
+            exec, test::laplacian_1d<double, int32>(16))};
+    auto x = Dense<double>::create_filled(exec, dim2{16, 1}, 1.0);
+    auto y = Dense<double>::create_filled(exec, dim2{16, 1}, 0.0);
+    a->apply(x.get(), y.get());
+}
+
+
+// --- request routing (no sockets) ----------------------------------------
+
+TEST(TelemetryRouting, HealthzAnswersOk)
+{
+    const auto response = serve::TelemetryServer::respond("GET", "/healthz", 0);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_EQ(body_of(response), "ok\n");
+}
+
+TEST(TelemetryRouting, MetricsIsNeverEmptyAndDeclaresPrometheusType)
+{
+    const auto response = serve::TelemetryServer::respond("GET", "/metrics", 3);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    const auto body = body_of(response);
+    // The server's own series guarantee a scrape always has samples.
+    EXPECT_NE(body.find("mgko_flight_records_total"), std::string::npos);
+    EXPECT_NE(body.find("mgko_flight_dropped_total"), std::string::npos);
+    EXPECT_NE(body.find("mgko_telemetry_requests_total 3"), std::string::npos);
+}
+
+TEST(TelemetryRouting, ProfileAndTraceAreParseableJson)
+{
+    generate_telemetry_events();
+    const auto profile =
+        body_of(serve::TelemetryServer::respond("GET", "/profile.json", 0));
+    EXPECT_TRUE(config::Json::parse(profile).contains("tags"));
+    const auto trace =
+        body_of(serve::TelemetryServer::respond("GET", "/trace.json", 0));
+    auto doc = config::Json::parse(trace);
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    EXPECT_FALSE(doc.at("traceEvents").elements().empty());
+}
+
+TEST(TelemetryRouting, UnknownTargetIs404AndNonGetIs405)
+{
+    EXPECT_NE(serve::TelemetryServer::respond("GET", "/nope", 0)
+                  .find("HTTP/1.0 404"),
+              std::string::npos);
+    EXPECT_NE(serve::TelemetryServer::respond("POST", "/metrics", 0)
+                  .find("HTTP/1.0 405"),
+              std::string::npos);
+}
+
+TEST(TelemetryRouting, QueryStringsAreIgnored)
+{
+    const auto response =
+        serve::TelemetryServer::respond("GET", "/healthz?probe=1", 0);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+}
+
+
+// --- live loopback server -------------------------------------------------
+
+TEST(TelemetryServer, ServesHealthzAndMetricsOverLoopback)
+{
+    auto server = serve::TelemetryServer::start(0);
+    ASSERT_GT(server->port(), 0);
+    const auto health = http_get(server->port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_EQ(body_of(health), "ok\n");
+    generate_telemetry_events();
+    const auto metrics = http_get(server->port(), "/metrics");
+    EXPECT_NE(metrics.find("mgko_flight_records_total"), std::string::npos);
+    EXPECT_GE(server->requests_served(), 2u);
+    server->stop();
+}
+
+TEST(TelemetryServer, ServesTraceJsonOverLoopback)
+{
+    generate_telemetry_events();
+    auto server = serve::TelemetryServer::start(0);
+    const auto response = http_get(server->port(), "/trace.json");
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    auto doc = config::Json::parse(body_of(response));
+    ASSERT_TRUE(doc.contains("traceEvents"));
+    EXPECT_FALSE(doc.at("traceEvents").elements().empty());
+}
+
+TEST(TelemetryServer, StopRefusesFurtherConnections)
+{
+    auto server = serve::TelemetryServer::start(0);
+    const int port = server->port();
+    EXPECT_FALSE(http_get(port, "/healthz").empty());
+    server->stop();
+    EXPECT_TRUE(http_get(port, "/healthz").empty());
+    server->stop();  // idempotent
+}
+
+TEST(TelemetryServer, TwoInstancesBindDistinctPorts)
+{
+    auto first = serve::TelemetryServer::start(0);
+    auto second = serve::TelemetryServer::start(0);
+    EXPECT_NE(first->port(), second->port());
+    EXPECT_FALSE(http_get(first->port(), "/healthz").empty());
+    EXPECT_FALSE(http_get(second->port(), "/healthz").empty());
+}
+
+
+// --- process-wide lifecycle ----------------------------------------------
+
+TEST(TelemetryLifecycle, StartIsIdempotentAndStopTearsDown)
+{
+    ASSERT_FALSE(serve::telemetry_active());
+    const int port = serve::telemetry_start(0);
+    EXPECT_GT(port, 0);
+    EXPECT_TRUE(serve::telemetry_active());
+    EXPECT_EQ(serve::telemetry_port(), port);
+    // A second start reports the running server instead of rebinding.
+    EXPECT_EQ(serve::telemetry_start(0), port);
+    EXPECT_FALSE(http_get(port, "/healthz").empty());
+    serve::telemetry_stop();
+    EXPECT_FALSE(serve::telemetry_active());
+    EXPECT_EQ(serve::telemetry_port(), 0);
+    EXPECT_TRUE(http_get(port, "/healthz").empty());
+    serve::telemetry_stop();  // no-op
+}
+
+TEST(TelemetryLifecycle, BindingsControlTheSharedServer)
+{
+    bind::ensure_bindings_registered();
+    auto& m = bind::Module::instance();
+    const auto port = m.call("telemetry_start", {}).as_int();
+    EXPECT_GT(port, 0);
+    EXPECT_TRUE(serve::telemetry_active());
+    EXPECT_FALSE(http_get(static_cast<int>(port), "/healthz").empty());
+    m.call("telemetry_stop", {});
+    EXPECT_FALSE(serve::telemetry_active());
+}
+
+TEST(TelemetryLifecycle, ConfigTelemetryKeyStartsTheServer)
+{
+    ASSERT_FALSE(serve::telemetry_active());
+    auto exec = ReferenceExecutor::create();
+    auto a = std::shared_ptr<Csr<double, int32>>{
+        Csr<double, int32>::create_from_data(
+            exec, test::laplacian_1d<double, int32>(16))};
+    auto solver = config::config_solver(
+        config::Json::parse(
+            R"({"type": "cg", "max_iters": 5, "telemetry": true})"),
+        exec, a);
+    EXPECT_TRUE(serve::telemetry_active());
+    const int port = serve::telemetry_port();
+    EXPECT_FALSE(http_get(port, "/healthz").empty());
+    auto b = Dense<double>::create_filled(exec, dim2{16, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{16, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    // The solve's events are visible through the live endpoint.
+    const auto profile = body_of(http_get(port, "/profile.json"));
+    EXPECT_TRUE(config::Json::parse(profile).contains("tags"));
+    serve::telemetry_stop();
+}
+
+}  // namespace
