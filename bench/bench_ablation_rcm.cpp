@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "bench/common/harness.hpp"
-#include "matrix/spgemm.hpp"
+#include "reorder/reorder.hpp"
 #include "solver/triangular.hpp"
 
 using namespace mgko;
@@ -44,11 +44,12 @@ int main()
         auto original = Csr<double, int32>::create_from_data(
             host, data.cast<double, int32>());
         // Scramble first: real assembly orders are rarely bandwidth-optimal.
-        auto scrambled = permute_symmetric(
-            original.get(),
-            shuffled_identity(original->get_size().rows, 99));
-        auto rcm = reorder::rcm_ordering(scrambled.get());
-        auto reordered = permute_symmetric(scrambled.get(), rcm);
+        reorder::Permutation<int32> scramble{
+            shuffled_identity(original->get_size().rows, 99)};
+        auto scrambled = scramble.permute(original.get());
+        auto rcm = reorder::make_permutation(reorder::strategy::rcm,
+                                             scrambled.get());
+        auto reordered = rcm.permute(scrambled.get());
 
         const auto bw_before = reorder::bandwidth(scrambled.get());
         const auto bw_after = reorder::bandwidth(reordered.get());

@@ -1,0 +1,266 @@
+// Roofline-guided speed pass — the three tentpole optimizations measured
+// against their baselines on the simulated A100:
+//
+//   * roofline_sellcs_formats: SpMV GFLOP/s and effective GB/s (useful
+//     format-independent bytes / simulated time) for CSR, ELL, and
+//     SELL-C-σ on irregular power-law matrices.  Gate: SELL-C-σ ≥ 1.15x
+//     ELL GFLOP/s and ≥ ELL effective GB/s — ELL moves its padded slab
+//     at full rate, but most of those bytes buy no useful work.
+//   * roofline_sellcs_rcm: ILU-preconditioned CG iterations on a 2D
+//     stencil, scrambled order versus RCM.  Plain CG is permutation-
+//     invariant; ILU(0) quality is not, which is the point.
+//   * roofline_sellcs_mixed: IR with double/float/half inner correction —
+//     same converged residual (the outer loop is always double), rising
+//     inner-kernel GFLOP/s as the value width shrinks.
+//
+// MGKO_BENCH_SMOKE=1 shrinks every problem for the CI smoke lane;
+// MGKO_BENCH_JSON_DIR persists the three result blocks, which CI diffs
+// against the committed bench/results/BENCH_*.json baselines.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common/harness.hpp"
+#include "matrix/ell.hpp"
+#include "matrix/sellcs.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "reorder/reorder.hpp"
+#include "solver/cg.hpp"
+#include "solver/ir.hpp"
+#include "stop/criterion.hpp"
+
+using namespace mgko;
+
+namespace {
+
+std::vector<int32> shuffled_identity(size_type n, std::uint64_t seed)
+{
+    std::vector<int32> perm(static_cast<std::size_t>(n));
+    std::iota(perm.begin(), perm.end(), 0);
+    std::mt19937_64 engine{seed};
+    std::shuffle(perm.begin(), perm.end(), engine);
+    return perm;
+}
+
+double relative_residual(const Csr<double, int32>* a, const Dense<double>* b,
+                         const Dense<double>* x)
+{
+    auto exec = a->get_executor();
+    auto r = b->clone();
+    auto one_s = Dense<double>::create_scalar(exec, 1.0);
+    auto neg_one_s = Dense<double>::create_scalar(exec, -1.0);
+    a->apply(neg_one_s.get(), x, one_s.get(), r.get());
+    return r->norm2_scalar() / b->norm2_scalar();
+}
+
+}  // namespace
+
+int main()
+{
+    const bool smoke = std::getenv("MGKO_BENCH_SMOKE") != nullptr;
+    auto cuda = CudaExecutor::create();
+    auto host = ReferenceExecutor::create();
+    bench::ProfileScope profile{"roofline_sellcs", {cuda, host}};
+
+    // --- 1. formats: CSR vs ELL vs SELL-C-σ on irregular rows ------------
+    std::printf("Roofline 1/3: SpMV GFLOP/s and achieved GB/s on power-law "
+                "matrices, A100-sim, float64\n");
+    bench::CsvBlock formats{"roofline_sellcs_formats",
+                            {"matrix", "nnz", "csr_gflops", "ell_gflops",
+                             "sellcs_gflops", "csr_gbps", "ell_gbps",
+                             "sellcs_gbps", "sellcs_over_ell"}};
+    std::vector<double> sell_over_ell, gbps_margin;
+    const std::vector<size_type> sizes =
+        smoke ? std::vector<size_type>{3000}
+              : std::vector<size_type>{20000, 60000};
+    // Effective (achieved) bandwidth: the format-independent useful
+    // traffic — nnz values+indices, row pointers, x and y — divided by
+    // the measured time.  Raw streamed bytes would flatter ELL, which
+    // moves its padded slab at full rate but wastes most of it; effective
+    // GB/s charges every format for that waste.  Both factors come from
+    // the deterministic sim clock, so the column diffs exactly in CI.
+    auto effective_gbps = [](size_type rows, size_type nnz, double t) {
+        const double useful =
+            static_cast<double>(nnz) * (sizeof(double) + sizeof(int32)) +
+            static_cast<double>(rows + 1) * sizeof(int32) +
+            2.0 * static_cast<double>(rows) * sizeof(double);
+        return t > 0.0 ? useful / t * 1e-9 : 0.0;
+    };
+    for (const auto n : sizes) {
+        auto data =
+            matgen::power_law_rows(n, 8, 1.8, 42).cast<double, int32>();
+        const auto nnz = data.entries.size();
+        std::shared_ptr<Executor> exec = cuda;
+        auto csr = Csr<double, int32>::create_from_data(exec, data);
+        auto ell = Ell<double, int32>::create_from_data(exec, data);
+        auto sellcs = SellCs<double, int32>::create_from_data(exec, data);
+        auto b =
+            Dense<double>::create_filled(exec, dim2{data.size.cols, 1}, 1.0);
+        auto x = Dense<double>::create(exec, dim2{data.size.rows, 1});
+
+        const double t_csr = bench::time_seconds(
+            cuda.get(), [&] { csr->apply(b.get(), x.get()); });
+        const double t_ell = bench::time_seconds(
+            cuda.get(), [&] { ell->apply(b.get(), x.get()); });
+        const double t_sell = bench::time_seconds(
+            cuda.get(), [&] { sellcs->apply(b.get(), x.get()); });
+        const auto rows = data.size.rows;
+        const double gb_csr = effective_gbps(rows, nnz, t_csr);
+        const double gb_ell = effective_gbps(rows, nnz, t_ell);
+        const double gb_sell = effective_gbps(rows, nnz, t_sell);
+        const double g_csr = bench::spmv_gflops(nnz, t_csr);
+        const double g_ell = bench::spmv_gflops(nnz, t_ell);
+        const double g_sell = bench::spmv_gflops(nnz, t_sell);
+        sell_over_ell.push_back(g_sell / g_ell);
+        gbps_margin.push_back(gb_sell / gb_ell);
+        formats.add_row({"syn_powlaw_" + std::to_string(n),
+                         std::to_string(nnz), bench::fmt(g_csr),
+                         bench::fmt(g_ell), bench::fmt(g_sell),
+                         bench::fmt(gb_csr), bench::fmt(gb_ell),
+                         bench::fmt(gb_sell), bench::fmt(g_sell / g_ell)});
+    }
+    formats.print();
+    bench::check_shape(
+        "SELL-C-sigma beats ELL by >= 1.15x GFLOP/s on irregular rows",
+        bench::min_of(sell_over_ell) >= 1.15,
+        "speedup min " + bench::fmt(bench::min_of(sell_over_ell)) + "x");
+    bench::check_shape(
+        "SELL-C-sigma effective GB/s >= ELL (less bandwidth lost to padding)",
+        bench::min_of(gbps_margin) >= 1.0,
+        "GB/s ratio min " + bench::fmt(bench::min_of(gbps_margin)));
+
+    // --- 2. RCM: ILU-preconditioned CG on a scrambled 2D stencil ----------
+    std::printf("\nRoofline 2/3: ILU(0)-CG iterations, scrambled vs RCM "
+                "ordering, 2D 5-pt stencil\n");
+    bench::CsvBlock rcm_block{"roofline_sellcs_rcm",
+                              {"matrix", "n", "bandwidth_scrambled",
+                               "bandwidth_rcm", "ilu_cg_iters_scrambled",
+                               "ilu_cg_iters_rcm", "iter_ratio"}};
+    const size_type nx = smoke ? 24 : 64;
+    {
+        auto data = matgen::stencil_2d_5pt(nx, nx).cast<double, int32>();
+        auto original = Csr<double, int32>::create_from_data(host, data);
+        const auto n = original->get_size().rows;
+        // Scramble first: assembly orders are rarely bandwidth-optimal.
+        reorder::Permutation<int32> scramble{shuffled_identity(n, 99)};
+        std::shared_ptr<Csr<double, int32>> scrambled =
+            scramble.permute(original.get());
+        auto rcm = reorder::make_permutation(reorder::strategy::rcm,
+                                             scrambled.get());
+        std::shared_ptr<Csr<double, int32>> reordered =
+            rcm.permute(scrambled.get());
+
+        auto iters_of = [&](std::shared_ptr<Csr<double, int32>> mat) {
+            auto solver =
+                solver::Cg<double>::build()
+                    .with_criteria(stop::iteration(2000))
+                    .with_criteria(stop::residual_norm(1e-8))
+                    .with_preconditioner(
+                        preconditioner::Ilu<double, int32>::build_on(host))
+                    .on(host)
+                    ->generate(mat);
+            auto b = Dense<double>::create_filled(host, dim2{n, 1}, 1.0);
+            auto x = Dense<double>::create_filled(host, dim2{n, 1}, 0.0);
+            solver->apply(b.get(), x.get());
+            return dynamic_cast<solver::IterativeSolver<double>*>(
+                       solver.get())
+                ->get_logger()
+                ->num_iterations();
+        };
+        const auto it_scrambled = iters_of(scrambled);
+        const auto it_rcm = iters_of(reordered);
+        const auto bw_scrambled = reorder::bandwidth(scrambled.get());
+        const auto bw_rcm = reorder::bandwidth(reordered.get());
+        rcm_block.add_row(
+            {"syn_stencil2d_" + std::to_string(nx), std::to_string(n),
+             std::to_string(bw_scrambled), std::to_string(bw_rcm),
+             std::to_string(it_scrambled), std::to_string(it_rcm),
+             bench::fmt(static_cast<double>(it_scrambled) /
+                        static_cast<double>(std::max<size_type>(it_rcm, 1)))});
+        rcm_block.print();
+        bench::check_shape(
+            "RCM reduces ILU(0)-CG iterations on the scrambled stencil",
+            it_rcm < it_scrambled,
+            std::to_string(it_scrambled) + " -> " + std::to_string(it_rcm) +
+                " iterations (bandwidth " + std::to_string(bw_scrambled) +
+                " -> " + std::to_string(bw_rcm) + ")");
+    }
+
+    // --- 3. mixed precision: IR inner correction at three widths ----------
+    std::printf("\nRoofline 3/3: IR outer-double convergence with "
+                "double/float/half inner, 2D stencil\n");
+    bench::CsvBlock mixed{"roofline_sellcs_mixed",
+                          {"inner_precision", "converged", "iterations",
+                           "final_rel_residual", "inner_spmv_gflops"}};
+    const size_type mx = smoke ? 16 : 48;
+    {
+        auto data = matgen::stencil_2d_5pt(mx, mx).cast<double, int32>();
+        std::shared_ptr<Csr<double, int32>> a =
+            Csr<double, int32>::create_from_data(host, data);
+        const auto n = a->get_size().rows;
+        const auto nnz = data.entries.size();
+        auto b = Dense<double>::create_filled(host, dim2{n, 1}, 1.0);
+
+        // The roofline argument itself: the same SpMV at shrinking value
+        // widths.  The sim clock charges bytes, so GFLOP/s rises as the
+        // value type narrows — the bandwidth the inner solve banks.
+        auto spmv_gflops_at = [&](auto value_tag) {
+            using InnerV = decltype(value_tag);
+            auto inner_a = Csr<InnerV, int32>::create_from_data(
+                host, data.template cast<InnerV, int32>());
+            auto ib = Dense<InnerV>::create_filled(host, dim2{n, 1},
+                                                   one<InnerV>());
+            auto ix = Dense<InnerV>::create(host, dim2{n, 1});
+            const double t = bench::time_seconds(
+                host.get(), [&] { inner_a->apply(ib.get(), ix.get()); });
+            return bench::spmv_gflops(nnz, t);
+        };
+        const double spmv_by_width[] = {spmv_gflops_at(double{}),
+                                        spmv_gflops_at(float{}),
+                                        spmv_gflops_at(half{})};
+
+        const solver::precision precisions[] = {solver::precision::full,
+                                                solver::precision::single,
+                                                solver::precision::half_prec};
+        std::vector<double> residuals;
+        int width = 0;
+        for (const auto p : precisions) {
+            auto solver =
+                solver::Ir<double>::build()
+                    .with_criteria(stop::iteration(20000))
+                    .with_criteria(stop::residual_norm(1e-10))
+                    .with_preconditioner(
+                        preconditioner::Jacobi<double, int32>::build().on(
+                            host))
+                    .with_inner_precision(p)
+                    .on(host)
+                    ->generate(a);
+            auto x = Dense<double>::create_filled(host, dim2{n, 1}, 0.0);
+            solver->apply(b.get(), x.get());
+            auto logger = dynamic_cast<solver::IterativeSolver<double>*>(
+                              solver.get())
+                              ->get_logger();
+            const double rel = relative_residual(a.get(), b.get(), x.get());
+            residuals.push_back(rel);
+            mixed.add_row({solver::to_string(p),
+                           logger->has_converged() ? "1" : "0",
+                           std::to_string(logger->num_iterations()),
+                           bench::fmt(rel), bench::fmt(spmv_by_width[width])});
+            ++width;
+        }
+        mixed.print();
+        bench::check_shape(
+            "every inner precision reaches the double outer tolerance",
+            bench::max_of(residuals) < 1e-9,
+            "worst relative residual " +
+                bench::fmt(bench::max_of(residuals)));
+        bench::check_shape(
+            "inner-kernel GFLOP/s rises as the value width shrinks",
+            spmv_by_width[1] > spmv_by_width[0] &&
+                spmv_by_width[2] > spmv_by_width[1],
+            "double " + bench::fmt(spmv_by_width[0]) + " < float " +
+                bench::fmt(spmv_by_width[1]) + " < half " +
+                bench::fmt(spmv_by_width[2]) + " GF/s");
+    }
+    return 0;
+}

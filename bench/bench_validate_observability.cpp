@@ -2,7 +2,8 @@
 //
 //     bench_validate_observability [--trace f] [--profile f] [--metrics f]
 //                                  [--prometheus f] [--flight f]
-//                                  [--overhead f]
+//                                  [--overhead f] [--sellcs f]
+//                                  [--diff baseline,fresh]
 //
 // Each JSON file is parsed with the repo's own config/json.hpp and checked
 // for the invariants CI relies on:
@@ -19,10 +20,17 @@
 //                 well nested;
 //   * overhead:   a BENCH_micro_overhead.json result block — every row's
 //                 "overhead_percent" must be finite and < 5.0, the
-//                 always-on flight recorder budget.
+//                 always-on flight recorder budget;
+//   * sellcs:     a BENCH_roofline_sellcs_formats.json result block — on
+//                 every row SELL-C-σ must achieve >= 1.15x the ELL
+//                 GFLOP/s and >= the ELL GB/s, the speed-pass gate;
+//   * diff:       two comma-separated result blocks (committed baseline,
+//                 fresh run) — same figure/columns/row count, every
+//                 numeric cell within 10% relative, metadata ignored.
 //
 // Exits 0 when every given file validates, 1 (with a diagnostic on stderr)
 // otherwise, so the CI observability job fails on malformed output.
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -286,6 +294,155 @@ bool validate_overhead(const std::string& file)
     return true;
 }
 
+// BENCH_roofline_sellcs_formats.json: the SELL-C-σ speed gate.  Every
+// row must show sellcs_gflops >= 1.15 * ell_gflops and sellcs_gbps >=
+// ell_gbps, CI's protection against regressing the format's entire
+// reason to exist.
+bool validate_sellcs(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("columns") ||
+        !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto ell_gf = column_of("ell_gflops");
+    const auto sell_gf = column_of("sellcs_gflops");
+    const auto ell_gb = column_of("ell_gbps");
+    const auto sell_gb = column_of("sellcs_gbps");
+    if (ell_gf == columns.size() || sell_gf == columns.size() ||
+        ell_gb == columns.size() || sell_gb == columns.size()) {
+        return fail(file, "missing ell/sellcs gflops/gbps columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <= std::max({ell_gf, sell_gf, ell_gb, sell_gb})) {
+            return fail(file, "row shorter than the gate columns");
+        }
+        const double speedup =
+            cells[sell_gf].as_double() / cells[ell_gf].as_double();
+        const double gbps_ratio =
+            cells[sell_gb].as_double() / cells[ell_gb].as_double();
+        if (!std::isfinite(speedup) || speedup < 1.15) {
+            std::ostringstream what;
+            what << "SELL-C-sigma/ELL GFLOP/s " << speedup
+                 << " below the 1.15x gate";
+            return fail(file, what.str());
+        }
+        if (!std::isfinite(gbps_ratio) || gbps_ratio < 1.0) {
+            std::ostringstream what;
+            what << "SELL-C-sigma effective GB/s " << gbps_ratio
+                 << "x ELL, below the 1.0x gate";
+            return fail(file, what.str());
+        }
+        std::printf("[observability] %s: sellcs %.2fx ELL GFLOP/s, "
+                    "%.2fx GB/s OK\n",
+                    file.c_str(), speedup, gbps_ratio);
+    }
+    return true;
+}
+
+
+// Diffs a fresh result block against the committed baseline: identical
+// figure/columns/row count, numeric cells within 10% relative (the sim
+// clock is deterministic; the slack covers OMP thread-count changes),
+// string cells identical.  The metadata object (compiler, flags) is
+// intentionally ignored.
+bool validate_diff(const std::string& pair)
+{
+    const auto comma = pair.find(',');
+    if (comma == std::string::npos) {
+        return fail(pair, "--diff expects 'baseline,fresh'");
+    }
+    const auto base_file = pair.substr(0, comma);
+    const auto fresh_file = pair.substr(comma + 1);
+    Json base, fresh;
+    if (!load(base_file, base) || !load(fresh_file, fresh)) {
+        return false;
+    }
+    for (const auto* doc : {&base, &fresh}) {
+        if (!doc->is_object() || !doc->contains("figure") ||
+            !doc->contains("columns") || !doc->contains("rows")) {
+            return fail(pair, "result block lacks figure/columns/rows");
+        }
+    }
+    if (base.at("figure").as_string() != fresh.at("figure").as_string()) {
+        return fail(pair, "figure tags differ: " +
+                              base.at("figure").as_string() + " vs " +
+                              fresh.at("figure").as_string());
+    }
+    const auto& base_cols = base.at("columns").elements();
+    const auto& fresh_cols = fresh.at("columns").elements();
+    if (base_cols.size() != fresh_cols.size()) {
+        return fail(pair, "column counts differ");
+    }
+    for (std::size_t i = 0; i < base_cols.size(); ++i) {
+        if (base_cols[i].as_string() != fresh_cols[i].as_string()) {
+            return fail(pair, "column " + std::to_string(i) + " renamed: " +
+                                  base_cols[i].as_string() + " vs " +
+                                  fresh_cols[i].as_string());
+        }
+    }
+    const auto& base_rows = base.at("rows").elements();
+    const auto& fresh_rows = fresh.at("rows").elements();
+    if (base_rows.size() != fresh_rows.size()) {
+        return fail(pair, "row counts differ: " +
+                              std::to_string(base_rows.size()) + " vs " +
+                              std::to_string(fresh_rows.size()));
+    }
+    for (std::size_t r = 0; r < base_rows.size(); ++r) {
+        const auto& b_cells = base_rows[r].elements();
+        const auto& f_cells = fresh_rows[r].elements();
+        if (b_cells.size() != f_cells.size()) {
+            return fail(pair,
+                        "row " + std::to_string(r) + " cell counts differ");
+        }
+        for (std::size_t c = 0; c < b_cells.size(); ++c) {
+            const auto where = "row " + std::to_string(r) + " col " +
+                               base_cols[c].as_string();
+            if (b_cells[c].is_number() != f_cells[c].is_number()) {
+                return fail(pair, where + ": cell type changed");
+            }
+            if (!b_cells[c].is_number()) {
+                if (b_cells[c].as_string() != f_cells[c].as_string()) {
+                    return fail(pair, where + ": '" +
+                                          b_cells[c].as_string() +
+                                          "' became '" +
+                                          f_cells[c].as_string() + "'");
+                }
+                continue;
+            }
+            const double bv = b_cells[c].as_double();
+            const double fv = f_cells[c].as_double();
+            const double scale = std::max(std::abs(bv), std::abs(fv));
+            if (std::abs(bv - fv) > 0.10 * scale + 1e-12) {
+                std::ostringstream what;
+                what << where << ": " << bv << " -> " << fv
+                     << " drifts beyond 10%";
+                return fail(pair, what.str());
+            }
+        }
+    }
+    std::printf("[observability] %s vs %s: %zu rows within 10%% OK\n",
+                base_file.c_str(), fresh_file.c_str(), base_rows.size());
+    return true;
+}
+
 }  // namespace
 
 
@@ -308,6 +465,10 @@ int main(int argc, char** argv)
             ok = validate_flight(file) && ok;
         } else if (flag == "--overhead") {
             ok = validate_overhead(file) && ok;
+        } else if (flag == "--sellcs") {
+            ok = validate_sellcs(file) && ok;
+        } else if (flag == "--diff") {
+            ok = validate_diff(file) && ok;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return 2;
@@ -318,7 +479,8 @@ int main(int argc, char** argv)
         std::fprintf(
             stderr,
             "usage: bench_validate_observability [--trace f] [--profile f] "
-            "[--metrics f] [--prometheus f] [--flight f] [--overhead f]\n");
+            "[--metrics f] [--prometheus f] [--flight f] [--overhead f] "
+            "[--sellcs f] [--diff baseline,fresh]\n");
         return 2;
     }
     return ok ? 0 : 1;

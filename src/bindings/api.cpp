@@ -69,6 +69,9 @@ std::string normalize_format(const std::string& format)
     if (f == "hybrid" || f == "hyb") {
         return "Hybrid";
     }
+    if (f == "sellcs" || f == "sell" || f == "sell-c-sigma") {
+        return "Sellcs";
+    }
     throw BadParameter(__FILE__, __LINE__,
                        "unknown matrix format: " + format);
 }

@@ -29,7 +29,9 @@
 #include "matrix/dense.hpp"
 #include "matrix/ell.hpp"
 #include "matrix/hybrid.hpp"
+#include "matrix/sellcs.hpp"
 #include "matrix/spgemm.hpp"
+#include "reorder/reorder.hpp"
 #include "solver/direct.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
@@ -279,9 +281,21 @@ void register_tensor_bindings(Module& m)
         auto b = unbox_tensor<V>(args.at(1));
         auto x = unbox_tensor<V>(args.at(2));
         solver->apply(b.get(), x.get());
-        if (auto iterative =
-                std::dynamic_pointer_cast<mgko::solver::IterativeSolver<V>>(
-                    solver)) {
+        auto iterative =
+            std::dynamic_pointer_cast<mgko::solver::IterativeSolver<V>>(
+                solver);
+        if (!iterative) {
+            // A config "reorder" key wraps the solver; the logger lives on
+            // the inner operator running in the permuted space.
+            if (auto reordered =
+                    std::dynamic_pointer_cast<mgko::reorder::ReorderedOperator>(
+                        solver)) {
+                iterative = std::dynamic_pointer_cast<
+                    mgko::solver::IterativeSolver<V>>(
+                    reordered->inner_operator());
+            }
+        }
+        if (iterative) {
             return box("logger",
                        std::shared_ptr<const log::ConvergenceLogger>{
                            iterative->get_logger()});
@@ -340,6 +354,7 @@ void register_matrix_bindings(Module& m)
     register_format("coo", type_token<Coo<V, I>>{});
     register_format("ell", type_token<Ell<V, I>>{});
     register_format("hybrid", type_token<Hybrid<V, I>>{});
+    register_format("sellcs", type_token<SellCs<V, I>>{});
 
     // Format conversions (through the staging representation for the
     // non-CSR pairs; CSR owns direct paths).
@@ -386,6 +401,22 @@ void register_matrix_bindings(Module& m)
     m.def("matrix_convert_hybrid_to_csr" + s,
           [box_matrix](const List& args) -> Value {
               auto src = unbox_matrix<Hybrid<V, I>>(args.at(0));
+              auto dst = Csr<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_csr_to_sellcs" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<Csr<V, I>>(args.at(0));
+              auto dst = SellCs<V, I>::create(src->get_executor());
+              src->convert_to(dst.get());
+              const auto nnz = dst->get_num_stored_elements();
+              return box_matrix(std::shared_ptr<LinOp>{std::move(dst)}, nnz);
+          });
+    m.def("matrix_convert_sellcs_to_csr" + s,
+          [box_matrix](const List& args) -> Value {
+              auto src = unbox_matrix<SellCs<V, I>>(args.at(0));
               auto dst = Csr<V, I>::create(src->get_executor());
               src->convert_to(dst.get());
               const auto nnz = dst->get_num_stored_elements();

@@ -7,8 +7,14 @@
 #include "batch/batch_jacobi.hpp"
 #include "core/dispatch.hpp"
 #include "log/trace.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/ell.hpp"
+#include "matrix/hybrid.hpp"
+#include "matrix/sellcs.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
+#include "reorder/reorder.hpp"
 #include "serve/telemetry_server.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/cg.hpp"
@@ -105,8 +111,75 @@ std::shared_ptr<const LinOpFactory> parse_preconditioner(
 }
 
 
+/// Factory wrapper implementing the config keys "format" and "reorder":
+/// at generate() time the CSR system is permuted (P A Pᵀ), converted to
+/// the requested storage format, and handed to the wrapped solver factory;
+/// when a reordering is active the generated solver is wrapped in a
+/// reorder::ReorderedLinOp so callers keep working in the original index
+/// space.
 template <typename V, typename I>
-std::shared_ptr<const LinOpFactory> parse_factory_typed(
+class TransformedFactory : public LinOpFactory {
+public:
+    TransformedFactory(std::shared_ptr<const Executor> exec,
+                       std::shared_ptr<const LinOpFactory> inner,
+                       mat_format format, reorder::strategy strategy,
+                       size_type slice_size, size_type sorting_window)
+        : LinOpFactory{std::move(exec)},
+          inner_{std::move(inner)},
+          format_{format},
+          strategy_{strategy},
+          slice_size_{slice_size},
+          sorting_window_{sorting_window}
+    {}
+
+protected:
+    std::unique_ptr<LinOp> generate_impl(
+        std::shared_ptr<const LinOp> system) const override
+    {
+        auto csr = std::dynamic_pointer_cast<const Csr<V, I>>(system);
+        if (!csr) {
+            throw BadParameter(
+                __FILE__, __LINE__,
+                "'format'/'reorder' config keys require a CSR system matrix "
+                "of the config's value_type/index_type");
+        }
+        auto perm = reorder::make_permutation(strategy_, csr.get());
+        std::shared_ptr<const Csr<V, I>> working =
+            strategy_ == reorder::strategy::none ? csr
+                                                 : perm.permute(csr.get());
+        std::shared_ptr<const LinOp> converted = working;
+        if (format_ == mat_format::sellcs) {
+            converted = SellCs<V, I>::create_from_data(
+                get_executor(), working->to_data(), slice_size_,
+                sorting_window_);
+        } else if (format_ != mat_format::csr) {
+            converted = dispatch_format(
+                format_, [&](auto token) -> std::shared_ptr<const LinOp> {
+                    using Mat =
+                        typename decltype(token)::template type<V, I>;
+                    return Mat::create_from_data(get_executor(),
+                                                 working->to_data());
+                });
+        }
+        auto solver = inner_->generate(std::move(converted));
+        if (strategy_ == reorder::strategy::none) {
+            return solver;
+        }
+        return reorder::ReorderedLinOp<V, I>::create(
+            std::shared_ptr<LinOp>{std::move(solver)}, std::move(perm));
+    }
+
+private:
+    std::shared_ptr<const LinOpFactory> inner_;
+    mat_format format_;
+    reorder::strategy strategy_;
+    size_type slice_size_;
+    size_type sorting_window_;
+};
+
+
+template <typename V, typename I>
+std::shared_ptr<const LinOpFactory> parse_factory_inner(
     const Json& config, std::shared_ptr<const Executor> exec)
 {
     const auto& type = config.at("type").as_string();
@@ -146,6 +219,8 @@ std::shared_ptr<const LinOpFactory> parse_factory_typed(
         builder.with_krylov_dim(config.get_or("krylov_dim", Json{30}).as_int());
         builder.with_relaxation_factor(
             config.get_or("relaxation_factor", Json{1.0}).as_double());
+        builder.with_inner_precision(solver::precision_from_string(
+            config.get_or("inner_precision", Json{"double"}).as_string()));
         return std::shared_ptr<const LinOpFactory>{builder.on(exec)};
     };
 
@@ -170,6 +245,36 @@ std::shared_ptr<const LinOpFactory> parse_factory_typed(
         return configure(solver::Ir<V>::build());
     }
     throw BadParameter(__FILE__, __LINE__, "unknown solver type: " + type);
+}
+
+
+template <typename V, typename I>
+std::shared_ptr<const LinOpFactory> parse_factory_typed(
+    const Json& config, std::shared_ptr<const Executor> exec)
+{
+    auto factory = parse_factory_inner<V, I>(config, exec);
+    // Storage-format and reordering transforms apply uniformly to every
+    // solver type; both strings are validated here even at their defaults.
+    const auto format = format_from_string(
+        config.get_or("format", Json{"csr"}).as_string());
+    const auto strategy = reorder::strategy_from_string(
+        config.get_or("reorder", Json{"none"}).as_string());
+    if (format == mat_format::csr && strategy == reorder::strategy::none) {
+        return factory;
+    }
+    const auto slice_size = static_cast<size_type>(
+        config.get_or("slice_size",
+                      Json{static_cast<std::int64_t>(
+                          SellCs<V, I>::default_slice_size)})
+            .as_int());
+    const auto sorting_window = static_cast<size_type>(
+        config.get_or("sorting_window",
+                      Json{static_cast<std::int64_t>(
+                          SellCs<V, I>::default_sorting_window)})
+            .as_int());
+    return std::make_shared<TransformedFactory<V, I>>(
+        std::move(exec), std::move(factory), format, strategy, slice_size,
+        sorting_window);
 }
 
 

@@ -63,4 +63,46 @@ decltype(auto) dispatch_value_index(dtype vt, itype it, Fn&& fn)
 }
 
 
+template <typename ValueType, typename IndexType>
+class Csr;
+template <typename ValueType, typename IndexType>
+class Coo;
+template <typename ValueType, typename IndexType>
+class Ell;
+template <typename ValueType, typename IndexType>
+class Hybrid;
+template <typename ValueType, typename IndexType>
+class SellCs;
+
+
+/// Carries a sparse format class template; `type<V, I>` names the concrete
+/// matrix class once value and index types are fixed.
+template <template <typename, typename> class M>
+struct format_token {
+    template <typename V, typename I>
+    using type = M<V, I>;
+};
+
+
+/// Invokes fn(format_token<M>{}) for the runtime format tag — the format
+/// axis of the paper's pre-instantiated dispatch grid.
+template <typename Fn>
+decltype(auto) dispatch_format(mat_format f, Fn&& fn)
+{
+    switch (f) {
+    case mat_format::csr:
+        return fn(format_token<Csr>{});
+    case mat_format::coo:
+        return fn(format_token<Coo>{});
+    case mat_format::ell:
+        return fn(format_token<Ell>{});
+    case mat_format::hybrid:
+        return fn(format_token<Hybrid>{});
+    case mat_format::sellcs:
+        return fn(format_token<SellCs>{});
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid format tag");
+}
+
+
 }  // namespace mgko

@@ -62,6 +62,47 @@ dtype dtype_from_string(const std::string& name)
 }
 
 
+std::string to_string(mat_format f)
+{
+    switch (f) {
+    case mat_format::csr:
+        return "csr";
+    case mat_format::coo:
+        return "coo";
+    case mat_format::ell:
+        return "ell";
+    case mat_format::hybrid:
+        return "hybrid";
+    case mat_format::sellcs:
+        return "sellcs";
+    }
+    return "unknown";
+}
+
+
+mat_format format_from_string(const std::string& name)
+{
+    if (name == "csr" || name == "Csr") {
+        return mat_format::csr;
+    }
+    if (name == "coo" || name == "Coo") {
+        return mat_format::coo;
+    }
+    if (name == "ell" || name == "Ell") {
+        return mat_format::ell;
+    }
+    if (name == "hybrid" || name == "Hybrid" || name == "hyb") {
+        return mat_format::hybrid;
+    }
+    if (name == "sellcs" || name == "Sellcs" || name == "sell" ||
+        name == "sell-c-sigma" || name == "SellCs") {
+        return mat_format::sellcs;
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown matrix format: " + name);
+}
+
+
 itype itype_from_string(const std::string& name)
 {
     if (name == "int32" || name == "i32" || name == "int") {

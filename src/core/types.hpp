@@ -63,13 +63,20 @@ enum class dtype { f16, f32, f64 };
 /// Run-time tag for index types.
 enum class itype { i32, i64 };
 
+/// Run-time tag for sparse storage formats; selected by config
+/// ("format": "sellcs") and by the binding layer's format strings.
+enum class mat_format { csr, coo, ell, hybrid, sellcs };
+
 /// Canonical names ("half", "float", "double") as used in the paper's API.
 std::string to_string(dtype t);
 std::string to_string(itype t);
+std::string to_string(mat_format f);
 /// Parses dtype names; accepts aliases ("float16"/"half", "float32"/"float"/
 /// "single", "float64"/"double").  Throws BadParameter for unknown names.
 dtype dtype_from_string(const std::string& name);
 itype itype_from_string(const std::string& name);
+/// Parses format names; accepts aliases ("hyb", "sell", "sell-c-sigma").
+mat_format format_from_string(const std::string& name);
 /// Size in bytes of the runtime-tagged type (Table 1 of the paper).
 size_type size_of(dtype t);
 size_type size_of(itype t);

@@ -86,6 +86,19 @@ inline op_work ell_spmv_work(size_type rows, size_type width, size_type nnz,
                 r * static_cast<double>(vb * k)};
 }
 
+/// SELL-C-σ SpMV: the padded per-slice slabs plus the slice offsets are
+/// streamed; on irregular-row matrices `padded_elems` is far below ELL's
+/// rows * max_width, which is the format's entire bandwidth argument.
+inline op_work sellcs_spmv_work(size_type rows, size_type padded_elems,
+                                size_type nnz, size_type vb, size_type ib,
+                                size_type k = 1)
+{
+    const double r = static_cast<double>(rows);
+    return {2.0 * static_cast<double>(nnz) * static_cast<double>(k),
+            static_cast<double>(padded_elems) * static_cast<double>(vb + ib) +
+                r * static_cast<double>(ib) + r * static_cast<double>(vb * k)};
+}
+
 /// Dense BLAS-1: y += alpha * x (axpy / add_scaled): read x, read+write y.
 inline op_work axpy_work(size_type n, size_type vb)
 {

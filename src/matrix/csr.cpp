@@ -9,6 +9,7 @@
 #include "matrix/coo.hpp"
 #include "matrix/dense.hpp"
 #include "matrix/ell.hpp"
+#include "matrix/sellcs.hpp"
 
 namespace mgko {
 
@@ -458,6 +459,14 @@ void Csr<ValueType, IndexType>::convert_to(
 template <typename ValueType, typename IndexType>
 void Csr<ValueType, IndexType>::convert_to(
     Ell<ValueType, IndexType>* result) const
+{
+    result->read(to_data());
+}
+
+
+template <typename ValueType, typename IndexType>
+void Csr<ValueType, IndexType>::convert_to(
+    SellCs<ValueType, IndexType>* result) const
 {
     result->read(to_data());
 }

@@ -29,6 +29,8 @@ template <typename ValueType, typename IndexType>
 class Coo;
 template <typename ValueType, typename IndexType>
 class Ell;
+template <typename ValueType, typename IndexType>
+class SellCs;
 
 
 template <typename ValueType = double, typename IndexType = int32>
@@ -89,6 +91,7 @@ public:
     void convert_to(Dense<ValueType>* result) const;
     void convert_to(Coo<ValueType, IndexType>* result) const;
     void convert_to(Ell<ValueType, IndexType>* result) const;
+    void convert_to(SellCs<ValueType, IndexType>* result) const;
 
     /// Structural statistics feeding the SimClock cost profile; cached and
     /// invalidated when the structure changes.

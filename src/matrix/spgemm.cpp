@@ -1,8 +1,6 @@
 #include "matrix/spgemm.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <numeric>
 #include <vector>
 
 #include "core/math.hpp"
@@ -72,145 +70,9 @@ std::unique_ptr<Csr<ValueType, IndexType>> spgemm(
 }
 
 
-template <typename ValueType, typename IndexType>
-std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(
-    const Csr<ValueType, IndexType>* a,
-    const std::vector<IndexType>& permutation)
-{
-    const auto n = a->get_size().rows;
-    MGKO_ENSURE(a->get_size().rows == a->get_size().cols,
-                "symmetric permutation requires a square matrix");
-    MGKO_ENSURE(static_cast<size_type>(permutation.size()) == n,
-                "permutation length mismatch");
-    // inverse[old] = new
-    std::vector<IndexType> inverse(static_cast<std::size_t>(n));
-    for (size_type i = 0; i < n; ++i) {
-        const auto old = static_cast<size_type>(
-            permutation[static_cast<std::size_t>(i)]);
-        MGKO_ENSURE(old >= 0 && old < n, "permutation entry out of range");
-        inverse[static_cast<std::size_t>(old)] = static_cast<IndexType>(i);
-    }
-    matrix_data<ValueType, IndexType> data{a->get_size()};
-    const auto* ptrs = a->get_const_row_ptrs();
-    const auto* cols = a->get_const_col_idxs();
-    const auto* vals = a->get_const_values();
-    for (size_type row = 0; row < n; ++row) {
-        const auto new_row = inverse[static_cast<std::size_t>(row)];
-        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
-            data.add(new_row,
-                     inverse[static_cast<std::size_t>(cols[k])], vals[k]);
-        }
-    }
-    return Csr<ValueType, IndexType>::create_from_data(a->get_executor(),
-                                                       data);
-}
-
-
-namespace reorder {
-
-template <typename ValueType, typename IndexType>
-std::vector<IndexType> rcm_ordering(const Csr<ValueType, IndexType>* a)
-{
-    const auto n = a->get_size().rows;
-    MGKO_ENSURE(a->get_size().rows == a->get_size().cols,
-                "RCM requires a square matrix");
-    // Symmetrized adjacency (pattern of A + Aᵀ, no self loops).
-    std::vector<std::vector<IndexType>> adj(static_cast<std::size_t>(n));
-    const auto* ptrs = a->get_const_row_ptrs();
-    const auto* cols = a->get_const_col_idxs();
-    for (size_type row = 0; row < n; ++row) {
-        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
-            const auto col = static_cast<size_type>(cols[k]);
-            if (col != row) {
-                adj[static_cast<std::size_t>(row)].push_back(
-                    static_cast<IndexType>(col));
-                adj[static_cast<std::size_t>(col)].push_back(
-                    static_cast<IndexType>(row));
-            }
-        }
-    }
-    std::vector<size_type> degree(static_cast<std::size_t>(n));
-    for (size_type v = 0; v < n; ++v) {
-        auto& neighbors = adj[static_cast<std::size_t>(v)];
-        std::sort(neighbors.begin(), neighbors.end());
-        neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
-                        neighbors.end());
-        degree[static_cast<std::size_t>(v)] =
-            static_cast<size_type>(neighbors.size());
-    }
-
-    std::vector<bool> visited(static_cast<std::size_t>(n), false);
-    std::vector<IndexType> order;
-    order.reserve(static_cast<std::size_t>(n));
-    // Process every connected component, seeding each BFS with its
-    // minimum-degree unvisited vertex (a cheap pseudo-peripheral choice).
-    for (size_type seed_scan = 0; seed_scan < n; ++seed_scan) {
-        if (visited[static_cast<std::size_t>(seed_scan)]) {
-            continue;
-        }
-        size_type seed = seed_scan;
-        for (size_type v = seed_scan; v < n; ++v) {
-            if (!visited[static_cast<std::size_t>(v)] &&
-                degree[static_cast<std::size_t>(v)] <
-                    degree[static_cast<std::size_t>(seed)]) {
-                seed = v;
-            }
-        }
-        std::deque<IndexType> queue;
-        queue.push_back(static_cast<IndexType>(seed));
-        visited[static_cast<std::size_t>(seed)] = true;
-        while (!queue.empty()) {
-            const auto v = queue.front();
-            queue.pop_front();
-            order.push_back(v);
-            auto neighbors = adj[static_cast<std::size_t>(v)];
-            std::sort(neighbors.begin(), neighbors.end(),
-                      [&](IndexType x, IndexType y) {
-                          return degree[static_cast<std::size_t>(x)] <
-                                 degree[static_cast<std::size_t>(y)];
-                      });
-            for (const auto w : neighbors) {
-                if (!visited[static_cast<std::size_t>(w)]) {
-                    visited[static_cast<std::size_t>(w)] = true;
-                    queue.push_back(w);
-                }
-            }
-        }
-    }
-    // Reverse Cuthill-McKee: reverse the BFS order.
-    std::reverse(order.begin(), order.end());
-    return order;
-}
-
-
-template <typename ValueType, typename IndexType>
-size_type bandwidth(const Csr<ValueType, IndexType>* a)
-{
-    size_type result = 0;
-    const auto* ptrs = a->get_const_row_ptrs();
-    const auto* cols = a->get_const_col_idxs();
-    for (size_type row = 0; row < a->get_size().rows; ++row) {
-        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
-            const auto distance =
-                std::abs(static_cast<std::int64_t>(cols[k]) -
-                         static_cast<std::int64_t>(row));
-            result = std::max(result, static_cast<size_type>(distance));
-        }
-    }
-    return result;
-}
-
-}  // namespace reorder
-
-
 #define MGKO_DECLARE_SPGEMM(ValueType, IndexType)                          \
     template std::unique_ptr<Csr<ValueType, IndexType>> spgemm(            \
-        const Csr<ValueType, IndexType>*, const Csr<ValueType, IndexType>*); \
-    template std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric( \
-        const Csr<ValueType, IndexType>*, const std::vector<IndexType>&);  \
-    template std::vector<IndexType> reorder::rcm_ordering(                 \
-        const Csr<ValueType, IndexType>*);                                 \
-    template size_type reorder::bandwidth(const Csr<ValueType, IndexType>*)
+        const Csr<ValueType, IndexType>*, const Csr<ValueType, IndexType>*)
 MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_SPGEMM);
 
 

@@ -10,6 +10,11 @@
 #include <memory>
 
 #include "matrix/csr.hpp"
+// Deprecated include path: permute_symmetric and the reorder:: orderings
+// moved to the first-class reorder module.  This header keeps re-exporting
+// them so existing includes of matrix/spgemm.hpp continue to compile;
+// include reorder/reorder.hpp directly in new code.
+#include "reorder/reorder.hpp"
 
 namespace mgko {
 
@@ -18,30 +23,6 @@ namespace mgko {
 template <typename ValueType, typename IndexType>
 std::unique_ptr<Csr<ValueType, IndexType>> spgemm(
     const Csr<ValueType, IndexType>* a, const Csr<ValueType, IndexType>* b);
-
-
-/// Symmetric permutation P A Pᵀ (rows and columns) of a square matrix;
-/// `permutation[new_index] = old_index`.
-template <typename ValueType, typename IndexType>
-std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(
-    const Csr<ValueType, IndexType>* a,
-    const std::vector<IndexType>& permutation);
-
-
-namespace reorder {
-
-/// Reverse Cuthill-McKee ordering computed on the symmetrized pattern of
-/// `a`; returns `perm` with perm[new_index] = old_index.  Reduces the
-/// matrix bandwidth, which improves SpMV locality and level-scheduled
-/// triangular-solve parallelism.
-template <typename ValueType, typename IndexType>
-std::vector<IndexType> rcm_ordering(const Csr<ValueType, IndexType>* a);
-
-/// Half bandwidth max_{(i,j) in A} |i - j| — the quantity RCM minimizes.
-template <typename ValueType, typename IndexType>
-size_type bandwidth(const Csr<ValueType, IndexType>* a);
-
-}  // namespace reorder
 
 
 }  // namespace mgko

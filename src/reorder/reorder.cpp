@@ -1,0 +1,286 @@
+#include "reorder/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "core/math.hpp"
+
+namespace mgko {
+
+
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(
+    const Csr<ValueType, IndexType>* a,
+    const std::vector<IndexType>& permutation)
+{
+    const auto n = a->get_size().rows;
+    MGKO_ENSURE(a->get_size().rows == a->get_size().cols,
+                "symmetric permutation requires a square matrix");
+    MGKO_ENSURE(static_cast<size_type>(permutation.size()) == n,
+                "permutation length mismatch");
+    // inverse[old] = new
+    std::vector<IndexType> inverse(static_cast<std::size_t>(n));
+    for (size_type i = 0; i < n; ++i) {
+        const auto old = static_cast<size_type>(
+            permutation[static_cast<std::size_t>(i)]);
+        MGKO_ENSURE(old >= 0 && old < n, "permutation entry out of range");
+        inverse[static_cast<std::size_t>(old)] = static_cast<IndexType>(i);
+    }
+    matrix_data<ValueType, IndexType> data{a->get_size()};
+    const auto* ptrs = a->get_const_row_ptrs();
+    const auto* cols = a->get_const_col_idxs();
+    const auto* vals = a->get_const_values();
+    for (size_type row = 0; row < n; ++row) {
+        const auto new_row = inverse[static_cast<std::size_t>(row)];
+        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
+            data.add(new_row,
+                     inverse[static_cast<std::size_t>(cols[k])], vals[k]);
+        }
+    }
+    return Csr<ValueType, IndexType>::create_from_data(a->get_executor(),
+                                                       data);
+}
+
+
+namespace reorder {
+
+
+std::string to_string(strategy s)
+{
+    switch (s) {
+    case strategy::none:
+        return "none";
+    case strategy::rcm:
+        return "rcm";
+    case strategy::degree:
+        return "degree";
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid reorder strategy");
+}
+
+
+strategy strategy_from_string(const std::string& name)
+{
+    std::string lower;
+    for (const auto ch : name) {
+        lower.push_back(static_cast<char>(std::tolower(ch)));
+    }
+    if (lower == "none" || lower.empty()) {
+        return strategy::none;
+    }
+    if (lower == "rcm") {
+        return strategy::rcm;
+    }
+    if (lower == "degree") {
+        return strategy::degree;
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown reorder strategy: " + name);
+}
+
+
+template <typename ValueType, typename IndexType>
+std::vector<IndexType> rcm_ordering(const Csr<ValueType, IndexType>* a)
+{
+    const auto n = a->get_size().rows;
+    MGKO_ENSURE(a->get_size().rows == a->get_size().cols,
+                "RCM requires a square matrix");
+    // Symmetrized adjacency (pattern of A + Aᵀ, no self loops).
+    std::vector<std::vector<IndexType>> adj(static_cast<std::size_t>(n));
+    const auto* ptrs = a->get_const_row_ptrs();
+    const auto* cols = a->get_const_col_idxs();
+    for (size_type row = 0; row < n; ++row) {
+        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
+            const auto col = static_cast<size_type>(cols[k]);
+            if (col != row) {
+                adj[static_cast<std::size_t>(row)].push_back(
+                    static_cast<IndexType>(col));
+                adj[static_cast<std::size_t>(col)].push_back(
+                    static_cast<IndexType>(row));
+            }
+        }
+    }
+    std::vector<size_type> degree(static_cast<std::size_t>(n));
+    for (size_type v = 0; v < n; ++v) {
+        auto& neighbors = adj[static_cast<std::size_t>(v)];
+        std::sort(neighbors.begin(), neighbors.end());
+        neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                        neighbors.end());
+        degree[static_cast<std::size_t>(v)] =
+            static_cast<size_type>(neighbors.size());
+    }
+
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<IndexType> order;
+    order.reserve(static_cast<std::size_t>(n));
+    // Process every connected component, seeding each BFS with its
+    // minimum-degree unvisited vertex (a cheap pseudo-peripheral choice).
+    for (size_type seed_scan = 0; seed_scan < n; ++seed_scan) {
+        if (visited[static_cast<std::size_t>(seed_scan)]) {
+            continue;
+        }
+        size_type seed = seed_scan;
+        for (size_type v = seed_scan; v < n; ++v) {
+            if (!visited[static_cast<std::size_t>(v)] &&
+                degree[static_cast<std::size_t>(v)] <
+                    degree[static_cast<std::size_t>(seed)]) {
+                seed = v;
+            }
+        }
+        std::deque<IndexType> queue;
+        queue.push_back(static_cast<IndexType>(seed));
+        visited[static_cast<std::size_t>(seed)] = true;
+        while (!queue.empty()) {
+            const auto v = queue.front();
+            queue.pop_front();
+            order.push_back(v);
+            auto neighbors = adj[static_cast<std::size_t>(v)];
+            std::sort(neighbors.begin(), neighbors.end(),
+                      [&](IndexType x, IndexType y) {
+                          return degree[static_cast<std::size_t>(x)] <
+                                 degree[static_cast<std::size_t>(y)];
+                      });
+            for (const auto w : neighbors) {
+                if (!visited[static_cast<std::size_t>(w)]) {
+                    visited[static_cast<std::size_t>(w)] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    // Reverse Cuthill-McKee: reverse the BFS order.
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+
+template <typename ValueType, typename IndexType>
+std::vector<IndexType> degree_ordering(const Csr<ValueType, IndexType>* a)
+{
+    const auto n = a->get_size().rows;
+    MGKO_ENSURE(a->get_size().rows == a->get_size().cols,
+                "degree ordering requires a square matrix");
+    const auto* ptrs = a->get_const_row_ptrs();
+    std::vector<IndexType> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), IndexType{});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](IndexType x, IndexType y) {
+                         return ptrs[x + 1] - ptrs[x] > ptrs[y + 1] - ptrs[y];
+                     });
+    return order;
+}
+
+
+template <typename ValueType, typename IndexType>
+size_type bandwidth(const Csr<ValueType, IndexType>* a)
+{
+    size_type result = 0;
+    const auto* ptrs = a->get_const_row_ptrs();
+    const auto* cols = a->get_const_col_idxs();
+    for (size_type row = 0; row < a->get_size().rows; ++row) {
+        for (auto k = ptrs[row]; k < ptrs[row + 1]; ++k) {
+            const auto distance =
+                std::abs(static_cast<std::int64_t>(cols[k]) -
+                         static_cast<std::int64_t>(row));
+            result = std::max(result, static_cast<size_type>(distance));
+        }
+    }
+    return result;
+}
+
+
+template <typename IndexType>
+template <typename ValueType>
+void Permutation<IndexType>::apply_rows(const Dense<ValueType>* in,
+                                        Dense<ValueType>* out,
+                                        bool inverse) const
+{
+    MGKO_ENSURE(in->get_size() == out->get_size(),
+                "permutation input/output shape mismatch");
+    MGKO_ENSURE(in->get_size().rows == size(),
+                "permutation length must match the vector rows");
+    const auto cols = in->get_size().cols;
+    const auto* src = in->get_const_values();
+    auto* dst = out->get_values();
+    const auto in_stride = in->get_stride();
+    const auto out_stride = out->get_stride();
+    for (size_type i = 0; i < size(); ++i) {
+        const auto old = static_cast<size_type>(
+            perm_[static_cast<std::size_t>(i)]);
+        const auto from = inverse ? i : old;
+        const auto to = inverse ? old : i;
+        for (size_type c = 0; c < cols; ++c) {
+            dst[to * out_stride + c] = src[from * in_stride + c];
+        }
+    }
+    // Gather + scatter: both vectors traverse memory once each.
+    in->get_executor()->charge_copy(
+        nullptr, 2 * size() * cols * sizeof(ValueType));
+}
+
+
+template <typename ValueType, typename IndexType>
+void ReorderedLinOp<ValueType, IndexType>::ensure_buffers(dim2 b_size,
+                                                          dim2 x_size) const
+{
+    if (!perm_b_ || perm_b_->get_size() != b_size) {
+        perm_b_ = Dense<ValueType>::create(get_executor(), b_size);
+    }
+    if (!perm_x_ || perm_x_->get_size() != x_size) {
+        perm_x_ = Dense<ValueType>::create(get_executor(), x_size);
+    }
+}
+
+
+template <typename ValueType, typename IndexType>
+void ReorderedLinOp<ValueType, IndexType>::apply_impl(const LinOp* b,
+                                                      LinOp* x) const
+{
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    ensure_buffers(dense_b->get_size(), dense_x->get_size());
+    perm_.permute_rows(dense_b, perm_b_.get());
+    // Solvers use x as the initial guess, so it crosses into the permuted
+    // space too.
+    perm_.permute_rows(dense_x, perm_x_.get());
+    inner_->apply(perm_b_.get(), perm_x_.get());
+    perm_.inverse_permute_rows(perm_x_.get(), dense_x);
+}
+
+
+template <typename ValueType, typename IndexType>
+void ReorderedLinOp<ValueType, IndexType>::apply_impl(const LinOp* alpha,
+                                                      const LinOp* b,
+                                                      const LinOp* beta,
+                                                      LinOp* x) const
+{
+    auto dense_b = as_dense<ValueType>(b);
+    auto dense_x = as_dense<ValueType>(x);
+    ensure_buffers(dense_b->get_size(), dense_x->get_size());
+    perm_.permute_rows(dense_b, perm_b_.get());
+    perm_.permute_rows(dense_x, perm_x_.get());
+    inner_->apply(alpha, perm_b_.get(), beta, perm_x_.get());
+    perm_.inverse_permute_rows(perm_x_.get(), dense_x);
+}
+
+
+}  // namespace reorder
+
+
+#define MGKO_DECLARE_REORDER(ValueType, IndexType)                          \
+    template std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(  \
+        const Csr<ValueType, IndexType>*, const std::vector<IndexType>&);   \
+    template std::vector<IndexType> reorder::rcm_ordering(                  \
+        const Csr<ValueType, IndexType>*);                                  \
+    template std::vector<IndexType> reorder::degree_ordering(               \
+        const Csr<ValueType, IndexType>*);                                  \
+    template size_type reorder::bandwidth(                                  \
+        const Csr<ValueType, IndexType>*);                                  \
+    template void reorder::Permutation<IndexType>::apply_rows(              \
+        const Dense<ValueType>*, Dense<ValueType>*, bool) const;            \
+    template class reorder::ReorderedLinOp<ValueType, IndexType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_REORDER);
+
+
+}  // namespace mgko

@@ -1,0 +1,197 @@
+// First-class reordering transforms.
+//
+// Home of the matrix-reordering layer that used to live inside
+// matrix/spgemm.hpp: ordering computations (RCM, degree sort), the
+// symmetric permutation kernel, and two composable wrappers —
+// reorder::Permutation, which applies an ordering to CSR operators and
+// Dense vectors, and reorder::ReorderedLinOp, which makes a solver run on
+// the permuted system while presenting the original index space to
+// callers (permute b in, inverse-permute x out).  Config selects all of
+// this with {"reorder": "rcm"}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+
+namespace mgko {
+
+
+/// Symmetric permutation P A Pᵀ (rows and columns) of a square matrix;
+/// `permutation[new_index] = old_index`.
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> permute_symmetric(
+    const Csr<ValueType, IndexType>* a,
+    const std::vector<IndexType>& permutation);
+
+
+namespace reorder {
+
+
+/// Ordering strategies selectable from config ("reorder" key).
+enum class strategy { none, rcm, degree };
+
+std::string to_string(strategy s);
+/// Parses "none" / "rcm" / "degree" (case-insensitive); throws
+/// BadParameter on anything else.
+strategy strategy_from_string(const std::string& name);
+
+
+/// Reverse Cuthill-McKee ordering computed on the symmetrized pattern of
+/// `a`; returns `perm` with perm[new_index] = old_index.  Reduces the
+/// matrix bandwidth, which improves SpMV locality and level-scheduled
+/// triangular-solve parallelism.
+template <typename ValueType, typename IndexType>
+std::vector<IndexType> rcm_ordering(const Csr<ValueType, IndexType>* a);
+
+/// Descending-degree ordering (stable): rows sorted by decreasing nonzero
+/// count.  Groups rows of similar length, which is exactly what SELL-C-σ's
+/// σ-window wants globally; also a useful load-balance baseline against
+/// RCM in ablations.
+template <typename ValueType, typename IndexType>
+std::vector<IndexType> degree_ordering(const Csr<ValueType, IndexType>* a);
+
+/// Half bandwidth max_{(i,j) in A} |i - j| — the quantity RCM minimizes.
+template <typename ValueType, typename IndexType>
+size_type bandwidth(const Csr<ValueType, IndexType>* a);
+
+
+/// A row/column ordering as a reusable transform; perm[new_index] =
+/// old_index throughout, matching rcm_ordering's output.
+template <typename IndexType>
+class Permutation {
+public:
+    explicit Permutation(std::vector<IndexType> perm)
+        : perm_{std::move(perm)}
+    {}
+
+    /// Identity permutation of length n.
+    static Permutation identity(size_type n)
+    {
+        std::vector<IndexType> p(static_cast<std::size_t>(n));
+        for (size_type i = 0; i < n; ++i) {
+            p[static_cast<std::size_t>(i)] = static_cast<IndexType>(i);
+        }
+        return Permutation{std::move(p)};
+    }
+
+    size_type size() const { return static_cast<size_type>(perm_.size()); }
+    const std::vector<IndexType>& get_order() const { return perm_; }
+
+    /// P A Pᵀ.
+    template <typename ValueType>
+    std::unique_ptr<Csr<ValueType, IndexType>> permute(
+        const Csr<ValueType, IndexType>* a) const
+    {
+        return permute_symmetric(a, perm_);
+    }
+
+    /// out[new_row] = in[old_row]: moves vectors into the permuted index
+    /// space (apply to b before solving the permuted system).
+    template <typename ValueType>
+    void permute_rows(const Dense<ValueType>* in,
+                      Dense<ValueType>* out) const
+    {
+        apply_rows(in, out, /* inverse= */ false);
+    }
+
+    /// out[old_row] = in[new_row]: moves vectors back to the original
+    /// index space (apply to x after solving the permuted system).
+    template <typename ValueType>
+    void inverse_permute_rows(const Dense<ValueType>* in,
+                              Dense<ValueType>* out) const
+    {
+        apply_rows(in, out, /* inverse= */ true);
+    }
+
+private:
+    template <typename ValueType>
+    void apply_rows(const Dense<ValueType>* in, Dense<ValueType>* out,
+                    bool inverse) const;
+
+    std::vector<IndexType> perm_;
+};
+
+
+/// Computes the ordering `s` for `a`; strategy::none yields the identity.
+template <typename ValueType, typename IndexType>
+Permutation<IndexType> make_permutation(strategy s,
+                                        const Csr<ValueType, IndexType>* a)
+{
+    switch (s) {
+    case strategy::none:
+        return Permutation<IndexType>::identity(a->get_size().rows);
+    case strategy::rcm:
+        return Permutation<IndexType>{rcm_ordering(a)};
+    case strategy::degree:
+        return Permutation<IndexType>{degree_ordering(a)};
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid reorder strategy");
+}
+
+
+/// Type-erased view of a reordered operator so callers (the binding
+/// layer's solver_apply) can recover the wrapped solver without knowing
+/// the value/index types.
+class ReorderedOperator {
+public:
+    virtual ~ReorderedOperator() = default;
+    /// The operator running in the permuted index space.
+    virtual std::shared_ptr<LinOp> inner_operator() const = 0;
+};
+
+
+/// Runs `inner` (built on the permuted system P A Pᵀ) while exposing the
+/// original index space: apply permutes b in, solves, and inverse-permutes
+/// x back out.  Permutation buffers persist across applies, so steady-state
+/// applications allocate nothing.
+template <typename ValueType, typename IndexType>
+class ReorderedLinOp : public LinOp, public ReorderedOperator {
+public:
+    static std::unique_ptr<ReorderedLinOp> create(
+        std::shared_ptr<LinOp> inner, Permutation<IndexType> perm)
+    {
+        return std::unique_ptr<ReorderedLinOp>{
+            new ReorderedLinOp{std::move(inner), std::move(perm)}};
+    }
+
+    std::shared_ptr<LinOp> inner_operator() const override
+    {
+        return inner_;
+    }
+
+    const Permutation<IndexType>& get_permutation() const { return perm_; }
+
+protected:
+    ReorderedLinOp(std::shared_ptr<LinOp> inner, Permutation<IndexType> perm)
+        : LinOp{inner->get_executor(), inner->get_size()},
+          inner_{std::move(inner)},
+          perm_{std::move(perm)}
+    {
+        MGKO_ENSURE(perm_.size() == get_size().rows,
+                    "permutation length must match the operator size");
+    }
+
+    void apply_impl(const LinOp* b, LinOp* x) const override;
+    void apply_impl(const LinOp* alpha, const LinOp* b, const LinOp* beta,
+                    LinOp* x) const override;
+
+private:
+    /// Grows the persistent buffers to the shapes of this apply; no-op
+    /// (and no allocation) when shapes are unchanged.
+    void ensure_buffers(dim2 b_size, dim2 x_size) const;
+
+    std::shared_ptr<LinOp> inner_;
+    Permutation<IndexType> perm_;
+    mutable std::unique_ptr<Dense<ValueType>> perm_b_;
+    mutable std::unique_ptr<Dense<ValueType>> perm_x_;
+};
+
+
+}  // namespace reorder
+
+
+}  // namespace mgko

@@ -35,6 +35,7 @@ enum class spmv_strategy {
     coo_flat_atomic,    ///< flat nnz split with atomic row updates (PyTorch-like)
     coo_gather_scatter, ///< gather/multiply/scatter pipeline (TensorFlow-like)
     ell_rowmajor,       ///< ELL padded rows
+    sellcs,             ///< SELL-C-σ sliced, per-slice column-major
 };
 
 /// Memory-system efficiency of each strategy relative to pure streaming.
@@ -57,6 +58,12 @@ constexpr double strategy_efficiency(spmv_strategy s)
         return 0.48;
     case spmv_strategy::ell_rowmajor:
         return 0.80;
+    case spmv_strategy::sellcs:
+        // Per-slice column-major: lanes stay coalesced like ELL, but the
+        // fixed slice height keeps the streamed slab contiguous per slice
+        // (no strided jumps across the full row count), so the access
+        // pattern sits between ELL and the classical row split.
+        return 0.86;
     }
     return 0.5;
 }
@@ -277,6 +284,7 @@ double strategy_imbalance(spmv_strategy strategy, const MachineModel& m,
     case spmv_strategy::coo_gather_scatter:
         return 1.05;
     case spmv_strategy::ell_rowmajor:
+    case spmv_strategy::sellcs:
         return 1.0;  // padding cost is carried in the byte count instead
     }
     return 1.0;
@@ -285,12 +293,13 @@ double strategy_imbalance(spmv_strategy strategy, const MachineModel& m,
 
 /// Assembles a sparse-apply cost profile from (possibly cached) structural
 /// statistics.  `vec_cols` is the number of right-hand-side columns (1 for
-/// SpMV); `ell_width` is the padded row width (ELL format only).
+/// SpMV); `padded` is the padded storage extent: the per-row width for ELL,
+/// the total stored (padded) element count for SELL-C-σ, unused otherwise.
 inline kernel_profile assemble_spmv_profile(
     spmv_strategy strategy, const MachineModel& m, size_type rows,
     size_type nnz, size_type value_bytes, size_type index_bytes, double miss,
     double imbalance, size_type vec_cols = 1, bool advanced = false,
-    size_type ell_width = 0)
+    size_type padded = 0)
 {
     kernel_profile p;
     const double vb = static_cast<double>(value_bytes);
@@ -319,8 +328,15 @@ inline kernel_profile assemble_spmv_profile(
         p.extra_launches = 2;  // gather, multiply, scatter = 3 kernels total
     }
     if (strategy == spmv_strategy::ell_rowmajor) {
-        p.bytes = r * static_cast<double>(ell_width) * (vb + ib) + r * vb * k +
+        p.bytes = r * static_cast<double>(padded) * (vb + ib) + r * vb * k +
                   n * vb * k * miss;
+    }
+    if (strategy == spmv_strategy::sellcs) {
+        // The padded slab (typically far smaller than ELL's rows * max_width
+        // on irregular-row matrices) plus the slice offsets are streamed;
+        // flops still scale with the true nnz.
+        p.bytes = static_cast<double>(padded) * (vb + ib) + r * ib +
+                  r * vb * k * (advanced ? 2 : 1) + n * vb * k * miss;
     }
     p.flops = 2.0 * n * k;
     p.efficiency = strategy_efficiency(strategy);
@@ -338,6 +354,7 @@ inline kernel_profile assemble_spmv_profile(
     case spmv_strategy::balanced_nnz:
     case spmv_strategy::wavefront64:
     case spmv_strategy::ell_rowmajor:
+    case spmv_strategy::sellcs:
         p.extra_ns += 1.2 * r / std::max(m.workers, 1);
         break;
     default:
@@ -354,14 +371,14 @@ kernel_profile profile_spmv(spmv_strategy strategy, const MachineModel& m,
                             const IndexType* row_ptrs,
                             const IndexType* col_idxs, size_type value_bytes,
                             size_type index_bytes, size_type vec_cols = 1,
-                            bool advanced = false, size_type ell_width = 0)
+                            bool advanced = false, size_type padded = 0)
 {
     const double miss =
         col_idxs != nullptr ? locality_miss_rate(col_idxs, nnz, cols) : 0.3;
     const double imbalance = strategy_imbalance(strategy, m, rows, row_ptrs);
     return assemble_spmv_profile(strategy, m, rows, nnz, value_bytes,
                                  index_bytes, miss, imbalance, vec_cols,
-                                 advanced, ell_width);
+                                 advanced, padded);
 }
 
 

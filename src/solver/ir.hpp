@@ -1,10 +1,36 @@
 // Iterative Refinement (preconditioned Richardson iteration):
 // x += relaxation * M(b - A x).
+//
+// With `with_inner_precision(precision::single | half_prec)` the
+// correction solve M(b - A x) is replaced by a few Jacobi-preconditioned
+// Richardson sweeps on a reduced-precision copy of A: the outer residual
+// b - A x stays in ValueType (the accuracy of the final answer), while the
+// bandwidth-heavy inner SpMVs stream half-width values — the classic
+// mixed-precision IR trade.  The reduced-precision system, its
+// preconditioner, and all cast buffers persist across applies, so
+// steady-state applications allocate nothing.
 #pragma once
 
 #include "solver/solver_base.hpp"
 
 namespace mgko::solver {
+
+
+namespace detail {
+
+/// Type-erased inner correction solver of mixed-precision IR; defined
+/// here (not in ir.cpp) so Ir<V>'s unique_ptr member has a complete type
+/// wherever Ir is instantiated.
+template <typename ValueType>
+class ir_inner_base {
+public:
+    virtual ~ir_inner_base() = default;
+    /// Approximately solves A d = r in reduced precision; r and d are in
+    /// the outer precision.
+    virtual void solve(const Dense<ValueType>* r, Dense<ValueType>* d) = 0;
+};
+
+}  // namespace detail
 
 
 template <typename ValueType = double>
@@ -22,6 +48,10 @@ protected:
 
     void apply_impl(const LinOp* b, LinOp* x) const override;
     using IterativeSolver<ValueType>::apply_impl;
+
+private:
+    /// Built lazily on the first apply that requests reduced precision.
+    mutable std::unique_ptr<detail::ir_inner_base<ValueType>> inner_;
 };
 
 

@@ -1,0 +1,42 @@
+#include "solver/solver_base.hpp"
+
+#include <cctype>
+
+namespace mgko::solver {
+
+
+std::string to_string(precision p)
+{
+    switch (p) {
+    case precision::full:
+        return "double";
+    case precision::single:
+        return "float";
+    case precision::half_prec:
+        return "half";
+    }
+    throw BadParameter(__FILE__, __LINE__, "invalid precision tag");
+}
+
+
+precision precision_from_string(const std::string& name)
+{
+    std::string lower;
+    for (const auto ch : name) {
+        lower.push_back(static_cast<char>(std::tolower(ch)));
+    }
+    if (lower == "double" || lower == "full" || lower == "fp64") {
+        return precision::full;
+    }
+    if (lower == "float" || lower == "single" || lower == "fp32") {
+        return precision::single;
+    }
+    if (lower == "half" || lower == "fp16") {
+        return precision::half_prec;
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown inner precision: " + name);
+}
+
+
+}  // namespace mgko::solver

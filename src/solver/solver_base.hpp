@@ -31,6 +31,17 @@
 namespace mgko::solver {
 
 
+/// Working precision of a solver's inner stage.  Used by mixed-precision
+/// IR (config key "inner_precision"): the outer residual stays in the
+/// solver's value type while the inner correction solve runs reduced.
+enum class precision { full, single, half_prec };
+
+std::string to_string(precision p);
+/// Parses "double"/"full", "float"/"single", "half"; throws BadParameter
+/// on anything else.
+precision precision_from_string(const std::string& name);
+
+
 /// Parameters shared by the iterative solvers.  Unknown fields are ignored
 /// by solvers that do not use them (krylov_dim by CG, etc.).
 struct iterative_parameters {
@@ -43,6 +54,8 @@ struct iterative_parameters {
     size_type krylov_dim{30};
     /// Richardson relaxation factor.
     double relaxation_factor{1.0};
+    /// Inner-stage working precision (mixed-precision IR).
+    precision inner_precision{precision::full};
 };
 
 
@@ -76,6 +89,11 @@ public:
     builder& with_relaxation_factor(double factor)
     {
         relaxation_factor = factor;
+        return *this;
+    }
+    builder& with_inner_precision(precision p)
+    {
+        inner_precision = p;
         return *this;
     }
 

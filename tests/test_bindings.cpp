@@ -60,7 +60,7 @@ TEST(Registry, RegistersFullPreInstantiatedSurface)
     // Table 1 cross product: every dtype/itype combination exists.
     for (const char* v : {"half", "float", "double"}) {
         for (const char* i : {"int32", "int64"}) {
-            for (const char* f : {"csr", "coo", "ell"}) {
+            for (const char* f : {"csr", "coo", "ell", "hybrid", "sellcs"}) {
                 EXPECT_TRUE(m.has(std::string{"matrix_apply_"} + f + "_" + v +
                                   "_" + i))
                     << v << " " << i << " " << f;
@@ -217,14 +217,65 @@ TEST(BindApi, FormatConversions)
     EXPECT_EQ(coo.format(), "Coo");
     EXPECT_EQ(coo.nnz(), csr.nnz());
     auto ell = csr.to_format("Ell");
+    auto sellcs = csr.to_format("Sellcs");
+    EXPECT_EQ(sellcs.format(), "Sellcs");
     auto b = bind::as_tensor(dev, dim2{30, 1}, "double", 1.0);
     auto x1 = csr.spmv(b);
     auto x2 = coo.spmv(b);
     auto x3 = ell.spmv(b);
+    auto x4 = sellcs.spmv(b);
+    auto x5 = sellcs.to_format("Csr").spmv(b);
     for (size_type i = 0; i < 30; ++i) {
         EXPECT_NEAR(x1.item(i), x2.item(i), 1e-12);
         EXPECT_NEAR(x1.item(i), x3.item(i), 1e-12);
+        EXPECT_NEAR(x1.item(i), x4.item(i), 1e-12);
+        EXPECT_NEAR(x1.item(i), x5.item(i), 1e-12);
     }
+}
+
+TEST(BindApi, ConfigSolverWithFormatReorderAndInnerPrecisionKeys)
+{
+    // The tentpole trio through the binding layer: SELL-C-σ storage, RCM
+    // reordering (the logger is recovered through the ReorderedOperator
+    // wrapper), and reduced-precision inner IR.
+    auto dev = bind::device("cuda");
+    const size_type n = 64;
+    auto mtx = bind::matrix_from_data(
+        dev, test::laplacian_1d<double, int64>(n).cast<double, int64>(),
+        "double", "Csr");
+    auto b = bind::as_tensor(dev, dim2{n, 1}, "double", 1.0);
+
+    auto cfg = config::Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 1000,
+        "reduction_factor": 1e-10,
+        "format": "sellcs",
+        "reorder": "rcm"
+    })");
+    auto x = bind::as_tensor(dev, dim2{n, 1}, "double", 0.0);
+    auto [logger, result] = bind::solve(dev, mtx, b, x, cfg);
+    EXPECT_TRUE(logger.valid());
+    EXPECT_TRUE(logger.converged());
+    EXPECT_LT(logger.final_residual_norm(), 1e-8);
+
+    auto ir_cfg = config::Json::parse(R"({
+        "type": "solver::Ir",
+        "max_iters": 5000,
+        "reduction_factor": 1e-8,
+        "inner_precision": "float"
+    })");
+    auto x2 = bind::as_tensor(dev, dim2{n, 1}, "double", 0.0);
+    auto [ir_logger, ir_result] = bind::solve(dev, mtx, b, x2, ir_cfg);
+    EXPECT_TRUE(ir_logger.valid());
+    EXPECT_TRUE(ir_logger.converged());
+
+    auto bad = config::Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 10,
+        "format": "bsr"
+    })");
+    auto x3 = bind::as_tensor(dev, dim2{n, 1}, "double", 0.0);
+    EXPECT_THROW(bind::solve(dev, mtx, b, x3, bad), BadParameter);
 }
 
 TEST(BindApi, Listing1FlowGmresWithIlu)

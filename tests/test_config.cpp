@@ -231,6 +231,64 @@ TEST_F(ConfigSolver, RejectsInvalidConfigs)
     EXPECT_THROW(config::parse_factory(bad_precond, exec_), BadParameter);
 }
 
+TEST_F(ConfigSolver, FormatAndReorderKeysSolveTransparently)
+{
+    // The solver runs on an RCM-permuted SELL-C-σ system, but callers see
+    // the original index space and the usual residual.
+    auto cfg = Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 1000,
+        "reduction_factor": 1e-10,
+        "format": "sellcs",
+        "reorder": "rcm"
+    })");
+    EXPECT_LT(solve_and_residual(cfg), 1e-9);
+
+    auto degree = Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 1000,
+        "reduction_factor": 1e-10,
+        "format": "ell",
+        "reorder": "degree"
+    })");
+    EXPECT_LT(solve_and_residual(degree), 1e-9);
+}
+
+TEST_F(ConfigSolver, SellcsFormatKeyHonoursSliceParameters)
+{
+    auto cfg = Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 1000,
+        "reduction_factor": 1e-10,
+        "format": "sellcs",
+        "slice_size": 8,
+        "sorting_window": 16
+    })");
+    EXPECT_LT(solve_and_residual(cfg), 1e-9);
+}
+
+TEST_F(ConfigSolver, RejectsUnknownFormatReorderAndInnerPrecision)
+{
+    auto base = [] {
+        auto cfg = Json::make_object();
+        cfg["type"] = Json{"solver::Cg"};
+        cfg["max_iters"] = Json{10};
+        return cfg;
+    };
+    auto bad_format = base();
+    bad_format["format"] = Json{"bsr"};
+    EXPECT_THROW(config::parse_factory(bad_format, exec_), BadParameter);
+
+    auto bad_reorder = base();
+    bad_reorder["reorder"] = Json{"metis"};
+    EXPECT_THROW(config::parse_factory(bad_reorder, exec_), BadParameter);
+
+    auto bad_precision = base();
+    bad_precision["type"] = Json{"solver::Ir"};
+    bad_precision["inner_precision"] = Json{"bf8"};
+    EXPECT_THROW(config::parse_factory(bad_precision, exec_), BadParameter);
+}
+
 TEST_F(ConfigSolver, TriangularSolversThroughConfig)
 {
     auto cfg = Json::make_object();

@@ -1,0 +1,242 @@
+// SELL-C-σ format: construction, degenerate inputs, and SpMV parity with
+// CSR across the value x index type grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/matgen.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/sellcs.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+template <typename V, typename I>
+void expect_spmv_matches_csr(const matrix_data<V, I>& data, double tol)
+{
+    auto exec = ReferenceExecutor::create();
+    auto csr = Csr<V, I>::create_from_data(exec, data);
+    auto sellcs = SellCs<V, I>::create_from_data(exec, data);
+
+    const auto n = data.size.rows;
+    const auto m = data.size.cols;
+    auto b = Dense<V>::create(exec, dim2{m, 1});
+    for (size_type i = 0; i < m; ++i) {
+        b->at(i) = static_cast<V>(std::sin(static_cast<double>(i) + 1.0));
+    }
+    auto x_csr = Dense<V>::create_filled(exec, dim2{n, 1}, V{});
+    auto x_sell = Dense<V>::create_filled(exec, dim2{n, 1}, V{});
+    csr->apply(b.get(), x_csr.get());
+    sellcs->apply(b.get(), x_sell.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(to_float(x_sell->at(i)), to_float(x_csr->at(i)), tol)
+            << "row " << i;
+    }
+
+    // Advanced apply x = 2 A b - x, starting from the plain-apply result.
+    auto alpha = Dense<V>::create_scalar(exec, V{2.0});
+    auto beta = Dense<V>::create_scalar(exec, V{-1.0});
+    auto y_csr = x_csr->clone();
+    auto y_sell = x_sell->clone();
+    csr->apply(alpha.get(), b.get(), beta.get(), y_csr.get());
+    sellcs->apply(alpha.get(), b.get(), beta.get(), y_sell.get());
+    for (size_type i = 0; i < n; ++i) {
+        EXPECT_NEAR(to_float(y_sell->at(i)), to_float(y_csr->at(i)), 3 * tol)
+            << "row " << i;
+    }
+}
+
+
+TEST(SellCs, MatchesCsrSpmvAcrossValueAndIndexTypes)
+{
+    auto data = matgen::power_law_rows(500, 8, 1.8, 42);
+    expect_spmv_matches_csr<double, int32>(data.cast<double, int32>(), 1e-12);
+    expect_spmv_matches_csr<double, int64>(data.cast<double, int64>(), 1e-12);
+    expect_spmv_matches_csr<float, int32>(data.cast<float, int32>(), 1e-4);
+    expect_spmv_matches_csr<float, int64>(data.cast<float, int64>(), 1e-4);
+    expect_spmv_matches_csr<half, int32>(data.cast<half, int32>(), 5e-2);
+    expect_spmv_matches_csr<half, int64>(data.cast<half, int64>(), 5e-2);
+}
+
+
+TEST(SellCs, HandlesMatrixWithNoEntries)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{10, 10}};
+    auto mat = SellCs<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(mat->get_num_nonzeros(), 0u);
+    EXPECT_EQ(mat->get_num_stored_elements(), 0u);
+
+    auto b = Dense<double>::create_filled(exec, dim2{10, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{10, 1}, 7.0);
+    mat->apply(b.get(), x.get());
+    for (size_type i = 0; i < 10; ++i) {
+        EXPECT_EQ(x->at(i), 0.0);
+    }
+}
+
+
+TEST(SellCs, HandlesEmptyRowsInterleavedWithFullOnes)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{7, 7}};
+    // Rows 1, 3, 4, 6 stay empty.
+    data.add(0, 0, 1.0);
+    data.add(2, 1, 2.0);
+    data.add(2, 6, 3.0);
+    data.add(5, 5, 4.0);
+    auto mat =
+        SellCs<double, int32>::create_from_data(exec, data, 4, 4);
+    EXPECT_EQ(mat->get_num_nonzeros(), 4u);
+
+    auto b = Dense<double>::create_filled(exec, dim2{7, 1}, 1.0);
+    auto x = Dense<double>::create(exec, dim2{7, 1});
+    mat->apply(b.get(), x.get());
+    EXPECT_EQ(x->at(0), 1.0);
+    EXPECT_EQ(x->at(1), 0.0);
+    EXPECT_EQ(x->at(2), 5.0);
+    EXPECT_EQ(x->at(3), 0.0);
+    EXPECT_EQ(x->at(4), 0.0);
+    EXPECT_EQ(x->at(5), 4.0);
+    EXPECT_EQ(x->at(6), 0.0);
+}
+
+
+TEST(SellCs, HandlesZeroByZeroMatrix)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{0, 0}};
+    auto mat = SellCs<double, int32>::create_from_data(exec, data);
+    EXPECT_EQ(mat->get_num_slices(), 0u);
+    EXPECT_EQ(mat->get_num_nonzeros(), 0u);
+
+    auto b = Dense<double>::create(exec, dim2{0, 1});
+    auto x = Dense<double>::create(exec, dim2{0, 1});
+    EXPECT_NO_THROW(mat->apply(b.get(), x.get()));
+}
+
+
+TEST(SellCs, HandlesSingleRowShorterThanSliceSize)
+{
+    auto exec = ReferenceExecutor::create();
+    matrix_data<double, int32> data{dim2{1, 5}};
+    data.add(0, 1, 2.0);
+    data.add(0, 3, 4.0);
+    auto mat = SellCs<double, int32>::create_from_data(exec, data);
+    ASSERT_EQ(mat->get_num_slices(), 1u);
+    // One slice of C lanes padded to the single row's width.
+    using Mat = SellCs<double, int32>;
+    EXPECT_EQ(mat->get_num_stored_elements(), 2 * Mat::default_slice_size);
+
+    auto b = Dense<double>::create_filled(exec, dim2{5, 1}, 1.0);
+    auto x = Dense<double>::create(exec, dim2{1, 1});
+    mat->apply(b.get(), x.get());
+    EXPECT_EQ(x->at(0), 6.0);
+}
+
+
+TEST(SellCs, SortingWindowLargerThanMatrixSortsGlobally)
+{
+    auto exec = ReferenceExecutor::create();
+    // Row lengths 1, 3, 2 with σ = 100 >> rows: global descending sort.
+    matrix_data<double, int32> data{dim2{3, 3}};
+    data.add(0, 0, 1.0);
+    data.add(1, 0, 1.0);
+    data.add(1, 1, 1.0);
+    data.add(1, 2, 1.0);
+    data.add(2, 0, 1.0);
+    data.add(2, 2, 1.0);
+    auto mat = SellCs<double, int32>::create_from_data(exec, data, 1, 100);
+    const auto* perm = mat->get_const_permutation();
+    EXPECT_EQ(perm[0], 1);
+    EXPECT_EQ(perm[1], 2);
+    EXPECT_EQ(perm[2], 0);
+    // C = 1: each slice padded to exactly its row's length.
+    EXPECT_EQ(mat->get_num_stored_elements(), 6u);
+
+    auto b = Dense<double>::create_filled(exec, dim2{3, 1}, 1.0);
+    auto x = Dense<double>::create(exec, dim2{3, 1});
+    mat->apply(b.get(), x.get());
+    EXPECT_EQ(x->at(0), 1.0);
+    EXPECT_EQ(x->at(1), 3.0);
+    EXPECT_EQ(x->at(2), 2.0);
+}
+
+
+TEST(SellCs, PadsLessThanEllOnIrregularRows)
+{
+    auto exec = ReferenceExecutor::create();
+    auto data = matgen::power_law_rows(2000, 8, 1.8, 7).cast<double, int32>();
+    auto sellcs = SellCs<double, int32>::create_from_data(exec, data);
+    auto csr = Csr<double, int32>::create_from_data(exec, data);
+    // ELL pads every row to the global max width.
+    size_type max_width = 0;
+    const auto* ptrs = csr->get_const_row_ptrs();
+    for (size_type r = 0; r < data.size.rows; ++r) {
+        max_width = std::max(
+            max_width, static_cast<size_type>(ptrs[r + 1] - ptrs[r]));
+    }
+    const auto ell_stored = data.size.rows * max_width;
+    EXPECT_LT(sellcs->get_num_stored_elements(), ell_stored / 2)
+        << "σ-sorted slices should pad far less than ELL on power-law rows";
+    EXPECT_GE(sellcs->get_num_stored_elements(),
+              sellcs->get_num_nonzeros());
+}
+
+
+TEST(SellCs, RoundTripsThroughCsr)
+{
+    auto exec = ReferenceExecutor::create();
+    auto data =
+        test::random_sparse<double, int32>(200, 6, 99).cast<double, int32>();
+    auto csr = Csr<double, int32>::create_from_data(exec, data);
+    auto sellcs = SellCs<double, int32>::create(exec);
+    csr->convert_to(sellcs.get());
+    auto back = Csr<double, int32>::create(exec);
+    sellcs->convert_to(back.get());
+
+    auto original = csr->to_data();
+    auto round_trip = back->to_data();
+    ASSERT_EQ(round_trip.entries.size(), original.entries.size());
+    for (std::size_t k = 0; k < original.entries.size(); ++k) {
+        EXPECT_EQ(round_trip.entries[k].row, original.entries[k].row);
+        EXPECT_EQ(round_trip.entries[k].col, original.entries[k].col);
+        EXPECT_EQ(round_trip.entries[k].value, original.entries[k].value);
+    }
+}
+
+
+TEST(SellCs, RejectsOutOfRangeSliceSize)
+{
+    auto exec = ReferenceExecutor::create();
+    using Mat = SellCs<double, int32>;
+    EXPECT_THROW(Mat::create(exec, dim2{4, 4}, 0), Error);
+    EXPECT_THROW(Mat::create(exec, dim2{4, 4}, Mat::max_slice_size + 1),
+                 Error);
+}
+
+
+TEST(SellCs, RunsOnEveryExecutor)
+{
+    auto data = matgen::power_law_rows(300, 6, 1.8, 5).cast<double, int32>();
+    auto host = ReferenceExecutor::create();
+    auto host_mat = SellCs<double, int32>::create_from_data(host, data);
+    auto b = Dense<double>::create_filled(host, dim2{300, 1}, 1.0);
+    auto reference = Dense<double>::create(host, dim2{300, 1});
+    host_mat->apply(b.get(), reference.get());
+
+    for (auto exec : test::all_executors()) {
+        auto mat = SellCs<double, int32>::create_from_data(exec, data);
+        auto x = Dense<double>::create(exec, dim2{300, 1});
+        mat->apply(b.get(), x.get());
+        for (size_type i = 0; i < 300; ++i) {
+            EXPECT_NEAR(x->at(i), reference->at(i), 1e-12);
+        }
+    }
+}
+
+}  // namespace
