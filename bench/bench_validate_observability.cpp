@@ -3,7 +3,7 @@
 //     bench_validate_observability [--trace f] [--profile f] [--metrics f]
 //                                  [--prometheus f] [--flight f]
 //                                  [--overhead f] [--sellcs f]
-//                                  [--diff baseline,fresh]
+//                                  [--solveserver f] [--diff baseline,fresh]
 //
 // Each JSON file is parsed with the repo's own config/json.hpp and checked
 // for the invariants CI relies on:
@@ -24,6 +24,9 @@
 //   * sellcs:     a BENCH_roofline_sellcs_formats.json result block — on
 //                 every row SELL-C-σ must achieve >= 1.15x the ELL
 //                 GFLOP/s and >= the ELL GB/s, the speed-pass gate;
+//   * solveserver: a BENCH_solve_server.json result block — an aggregate
+//                 'all' row must exist with requests > 0, and every served
+//                 class must report finite, ordered latency quantiles;
 //   * diff:       two comma-separated result blocks (committed baseline,
 //                 fresh run) — same figure/columns/row count, every
 //                 numeric cell within 10% relative, metadata ignored.
@@ -298,6 +301,74 @@ bool validate_overhead(const std::string& file)
 // row must show sellcs_gflops >= 1.15 * ell_gflops and sellcs_gbps >=
 // ell_gbps, CI's protection against regressing the format's entire
 // reason to exist.
+bool validate_solveserver(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("figure") ||
+        doc.at("figure").as_string() != "solve_server") {
+        return fail(file, "not a solve_server result block");
+    }
+    if (!doc.contains("columns") || !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto cls = column_of("class");
+    const auto requests = column_of("requests");
+    const auto p50 = column_of("p50_ms");
+    const auto p99 = column_of("p99_ms");
+    if (cls == columns.size() || requests == columns.size() ||
+        p50 == columns.size() || p99 == columns.size()) {
+        return fail(file, "missing class/requests/p50_ms/p99_ms columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    bool saw_all = false;
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <= std::max({cls, requests, p50, p99})) {
+            return fail(file, "row shorter than the gate columns");
+        }
+        const double count = cells[requests].as_double();
+        const double p50_ms = cells[p50].as_double();
+        const double p99_ms = cells[p99].as_double();
+        // A class can legitimately be empty in a tiny smoke run, but a
+        // served class must carry finite, ordered quantiles.
+        if (count > 0 &&
+            (!std::isfinite(p50_ms) || !std::isfinite(p99_ms) ||
+             p50_ms <= 0.0 || p99_ms + 1e-12 < p50_ms)) {
+            return fail(file, "class '" + cells[cls].as_string() +
+                                  "' has malformed latency quantiles");
+        }
+        if (cells[cls].as_string() == "all") {
+            saw_all = true;
+            if (count <= 0) {
+                return fail(file, "the aggregate row served no requests");
+            }
+            std::printf("[observability] %s: %g requests, p50 %.3g ms, "
+                        "p99 %.3g ms OK\n",
+                        file.c_str(), count, p50_ms, p99_ms);
+        }
+    }
+    if (!saw_all) {
+        return fail(file, "no aggregate 'all' row");
+    }
+    return true;
+}
+
+
 bool validate_sellcs(const std::string& file)
 {
     Json doc;
@@ -467,6 +538,8 @@ int main(int argc, char** argv)
             ok = validate_overhead(file) && ok;
         } else if (flag == "--sellcs") {
             ok = validate_sellcs(file) && ok;
+        } else if (flag == "--solveserver") {
+            ok = validate_solveserver(file) && ok;
         } else if (flag == "--diff") {
             ok = validate_diff(file) && ok;
         } else {
@@ -480,7 +553,7 @@ int main(int argc, char** argv)
             stderr,
             "usage: bench_validate_observability [--trace f] [--profile f] "
             "[--metrics f] [--prometheus f] [--flight f] [--overhead f] "
-            "[--sellcs f] [--diff baseline,fresh]\n");
+            "[--sellcs f] [--solveserver f] [--diff baseline,fresh]\n");
         return 2;
     }
     return ok ? 0 : 1;

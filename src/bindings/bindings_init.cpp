@@ -23,6 +23,7 @@
 #include "log/metrics.hpp"
 #include "log/trace.hpp"
 #include "matrix/convolution.hpp"
+#include "serve/solve_server.hpp"
 #include "serve/telemetry_server.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
@@ -800,6 +801,28 @@ void register_observability_bindings(Module& m)
     m.def("telemetry_stop", [](const List&) -> Value {
         serve::telemetry_stop();
         return {};
+    });
+
+    // args: [port] — starts the process-wide solve-as-a-service server
+    // (port 0 or no argument binds an ephemeral port) and returns the
+    // bound port.  Same conflict semantics as telemetry_start.
+    m.def("solve_server_start", [](const List& args) -> Value {
+        int port = 0;
+        if (!args.empty() && !args.at(0).is_none()) {
+            port = static_cast<int>(args.at(0).as_int());
+        }
+        return Value{
+            static_cast<std::int64_t>(serve::solve_server_start(port))};
+    });
+    m.def("solve_server_stop", [](const List&) -> Value {
+        serve::solve_server_stop();
+        return {};
+    });
+    m.def("solve_server_port", [](const List&) -> Value {
+        return Value{static_cast<std::int64_t>(serve::solve_server_port())};
+    });
+    m.def("solve_server_stats", [](const List&) -> Value {
+        return Value{serve::solve_server_stats_json()};
     });
 
     // args: [path] — with a path, writes the flight recorder's black box

@@ -1,5 +1,6 @@
 #include "config/config_solver.hpp"
 
+#include <limits>
 #include <vector>
 
 #include "batch/batch_bicgstab.hpp"
@@ -9,12 +10,14 @@
 #include "log/trace.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
 #include "matrix/ell.hpp"
 #include "matrix/hybrid.hpp"
 #include "matrix/sellcs.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
 #include "reorder/reorder.hpp"
+#include "serve/solve_server.hpp"
 #include "serve/telemetry_server.hpp"
 #include "solver/bicgstab.hpp"
 #include "solver/cg.hpp"
@@ -385,6 +388,24 @@ void apply_telemetry_key(const Json& config)
     serve::telemetry_start(static_cast<int>(value.as_int()));
 }
 
+/// A `"solve_server"` key starts the process-wide solve-as-a-service
+/// endpoint the same way: `true` for an ephemeral port, a number for a
+/// concrete one.
+void apply_solve_server_key(const Json& config)
+{
+    if (!config.contains("solve_server")) {
+        return;
+    }
+    const auto& value = config.at("solve_server");
+    if (value.is_bool()) {
+        if (value.as_bool()) {
+            serve::solve_server_start(0);
+        }
+        return;
+    }
+    serve::solve_server_start(static_cast<int>(value.as_int()));
+}
+
 }  // namespace
 
 
@@ -400,7 +421,88 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
         solver->add_logger(log::shared_tracer());
     }
     apply_telemetry_key(config);
+    apply_solve_server_key(config);
     return solver;
+}
+
+
+std::unique_ptr<LinOp> generate_solver(const Json& config,
+                                       std::shared_ptr<const Executor> exec,
+                                       const matrix_data<double, int64>& data)
+{
+    return dispatch_value_index(
+        config_value_type(config), config_index_type(config),
+        [&](auto v, auto i) -> std::unique_ptr<LinOp> {
+            using V = typename decltype(v)::type;
+            using I = typename decltype(i)::type;
+            std::shared_ptr<const LinOp> system{
+                Csr<V, I>::create_from_data(exec,
+                                            data.template cast<V, I>())};
+            return config_solver(config, exec, std::move(system));
+        });
+}
+
+
+solve_report apply_solver(const Json& config,
+                          std::shared_ptr<const Executor> exec, LinOp* solver,
+                          const std::vector<double>& rhs,
+                          const std::vector<double>& initial_guess)
+{
+    MGKO_ENSURE(solver != nullptr, "apply_solver requires a solver");
+    const auto rows = solver->get_size().rows;
+    MGKO_ENSURE(rhs.size() == rows,
+                "rhs length " + std::to_string(rhs.size()) +
+                    " does not match the system's " + std::to_string(rows) +
+                    " rows");
+    MGKO_ENSURE(initial_guess.empty() || initial_guess.size() == rows,
+                "initial guess length does not match the system");
+    return dispatch_value_index(
+        config_value_type(config), config_index_type(config),
+        [&](auto v, auto) -> solve_report {
+            using V = typename decltype(v)::type;
+            auto b = Dense<V>::create(exec, dim2{rows, 1});
+            auto x = Dense<V>::create(exec, dim2{rows, 1});
+            for (size_type r = 0; r < rows; ++r) {
+                b->at(r, 0) = static_cast<V>(rhs[r]);
+                x->at(r, 0) = initial_guess.empty()
+                                  ? zero<V>()
+                                  : static_cast<V>(initial_guess[r]);
+            }
+            solver->apply(b.get(), x.get());
+            solve_report report;
+            report.solution.resize(rows);
+            for (size_type r = 0; r < rows; ++r) {
+                report.solution[r] =
+                    static_cast<double>(to_float(x->at(r, 0)));
+            }
+            // The convergence log lives on the typed iterative solver; a
+            // config "reorder" key wraps it in a ReorderedLinOp whose
+            // inner operator runs in the permuted space.
+            auto* iterative =
+                dynamic_cast<solver::IterativeSolver<V>*>(solver);
+            if (iterative == nullptr) {
+                if (auto* reordered =
+                        dynamic_cast<reorder::ReorderedOperator*>(solver)) {
+                    iterative = dynamic_cast<solver::IterativeSolver<V>*>(
+                        reordered->inner_operator().get());
+                }
+            }
+            if (iterative != nullptr) {
+                const auto logger = iterative->get_logger();
+                report.iterations = logger->num_iterations();
+                report.converged = logger->has_converged();
+                report.residual_norm = logger->final_residual_norm();
+                report.stop_reason = logger->stop_reason();
+            } else {
+                // Direct and triangular solvers run to completion with no
+                // iteration log.
+                report.converged = true;
+                report.residual_norm =
+                    std::numeric_limits<double>::quiet_NaN();
+                report.stop_reason = "direct";
+            }
+            return report;
+        });
 }
 
 
@@ -429,6 +531,7 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
         solver->add_logger(log::shared_tracer());
     }
     apply_telemetry_key(config);
+    apply_solve_server_key(config);
     return solver;
 }
 

@@ -30,11 +30,14 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "batch/batch_lin_op.hpp"
 #include "config/json.hpp"
 #include "core/executor.hpp"
 #include "core/lin_op.hpp"
+#include "core/matrix_data.hpp"
 
 namespace mgko::config {
 
@@ -68,6 +71,45 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
 /// The value/index types a configuration selects (defaults: double, int32).
 dtype config_value_type(const Json& configuration);
 itype config_index_type(const Json& configuration);
+
+
+// --- solve-as-a-service glue (serve::SolveServer) --------------------------
+//
+// The serving layer works in wire types (staging matrix_data and host
+// double vectors) while the configuration picks the compute types at run
+// time; these helpers bridge the two so the server never has to spell out
+// the value/index dispatch the binding layer performs.
+
+/// Host-side outcome of one solve through the config entry point: the
+/// solution column plus the convergence log (what bind::Solver::apply
+/// returns as a Logger, flattened to plain values for serialization).
+struct solve_report {
+    std::vector<double> solution;
+    size_type iterations{0};
+    bool converged{false};
+    double residual_norm{0.0};
+    std::string stop_reason;
+};
+
+/// Builds the CSR system of the configuration's value/index types from
+/// staging data and generates the configured solver on it — the setup
+/// (including any factorization the preconditioner performs) that a
+/// server wants to pay once per uploaded operator, not once per request.
+std::unique_ptr<LinOp> generate_solver(const Json& configuration,
+                                       std::shared_ptr<const Executor> exec,
+                                       const matrix_data<double, int64>& data);
+
+/// Applies a solver generated from the same configuration (generate_solver
+/// or config_solver) to `rhs`, starting from `initial_guess` (zeros when
+/// empty).  Both host vectors are length rows; the configuration is only
+/// consulted for its value type, so it must match the one the solver was
+/// generated with.  Returns the solution and the convergence log; solvers
+/// without one (Direct, LowerTrs/UpperTrs) report converged with reason
+/// "direct".
+solve_report apply_solver(const Json& configuration,
+                          std::shared_ptr<const Executor> exec, LinOp* solver,
+                          const std::vector<double>& rhs,
+                          const std::vector<double>& initial_guess = {});
 
 
 }  // namespace mgko::config

@@ -11,6 +11,7 @@
 #include "log/metrics.hpp"
 #include "log/trace.hpp"
 #include "log/work_model.hpp"
+#include "serve/solve_server.hpp"
 #include "serve/telemetry_server.hpp"
 
 namespace mgko {
@@ -44,6 +45,7 @@ ExecPtr with_env_observers(ExecPtr exec)
 {
     log::install_crash_handler_from_env();
     serve::telemetry_from_env();
+    serve::solve_server_from_env();
     exec->add_logger(log::tracer_from_env());
     exec->add_logger(log::metrics_from_env());
     exec->add_logger(log::flight_recorder_from_env());

@@ -1,0 +1,100 @@
+// Shared POSIX HTTP plumbing for the serve:: layer.
+//
+// TelemetryServer proved a dependency-free HTTP endpoint can live in-tree;
+// SolveServer put real traffic on it.  Both now share the hardened helpers
+// here instead of each open-coding recv/send loops:
+//
+//   * send_all()          writes a full response even when the socket is
+//                         non-blocking, the send buffer is tiny, or a
+//                         signal lands mid-write: EINTR retries, EAGAIN
+//                         polls for writability with a deadline, all other
+//                         errnos are surfaced to the caller instead of
+//                         silently truncating the response.
+//   * read_http_request() reads one request without assuming it arrives in
+//                         a single recv(): it accumulates until the
+//                         "\r\n\r\n" header terminator (bounded), then
+//                         reads Content-Length body bytes (bounded
+//                         separately), with a wall-clock deadline so a
+//                         stalled client cannot pin a worker.  The request
+//                         line and headers are parsed into HttpRequest.
+//   * http_response()     formats a full HTTP/1.0 response with
+//                         Content-Length and Connection: close, plus any
+//                         extra headers (e.g. Retry-After for 429s).
+//
+// Servers put accepted client sockets into non-blocking mode (see
+// set_nonblocking) so every wait happens in poll() under an explicit
+// deadline rather than inside a blocking syscall.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace mgko::serve {
+
+
+/// One parsed HTTP request.  Header names are lowercased; values are
+/// trimmed of surrounding whitespace.
+struct HttpRequest {
+    std::string method;
+    std::string target;
+    std::string version;
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /// Lowercased-name header lookup; empty string when absent.
+    std::string header(const std::string& name) const
+    {
+        auto it = headers.find(name);
+        return it == headers.end() ? std::string{} : it->second;
+    }
+};
+
+
+/// Outcome of read_http_request.
+enum class read_result {
+    ok,         ///< a complete request was parsed
+    timeout,    ///< the deadline expired before the request completed (408)
+    too_large,  ///< header block or body exceeded its bound (431 / 413)
+    closed,     ///< the peer closed before sending a complete request
+    malformed,  ///< bytes arrived but do not parse as an HTTP request (400)
+    error,      ///< a socket error other than EINTR/EAGAIN
+};
+
+/// Human-readable name of a read_result (diagnostics and tests).
+const char* to_string(read_result r);
+
+/// Puts `fd` into non-blocking mode; returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// Reads one HTTP request from `fd` (which should be non-blocking):
+/// accumulates until the "\r\n\r\n" header terminator — tolerating
+/// arbitrary TCP segmentation, down to one byte per segment — then reads
+/// the Content-Length body.  The header block is bounded by
+/// `max_header_bytes`, the body by `max_body_bytes`, and the whole read by
+/// `deadline_ms` of wall time.  On read_result::ok, `out` carries the
+/// parsed request; on any other result its contents are unspecified.
+read_result read_http_request(int fd, HttpRequest& out,
+                              std::size_t max_header_bytes = 8 * 1024,
+                              std::size_t max_body_bytes = 0,
+                              int deadline_ms = 1000);
+
+/// Writes all of `data` to `fd`: retries on EINTR, polls for writability
+/// on EAGAIN/EWOULDBLOCK until `deadline_ms` expires, and returns false on
+/// the deadline or any other errno (the caller knows the response may be
+/// truncated instead of finding out from the peer's logs).
+bool send_all(int fd, const std::string& data, int deadline_ms = 5000);
+
+/// The standard reason phrase for the status codes the serve:: layer
+/// emits; "Unknown" otherwise.
+const char* http_status_text(int status);
+
+/// Formats a complete HTTP/1.0 response with Content-Type, Content-Length,
+/// and Connection: close headers.  `extra_headers` is spliced verbatim
+/// into the header block and must be empty or "Name: value\r\n"-shaped.
+std::string http_response(int status, const char* content_type,
+                          const std::string& body,
+                          const std::string& extra_headers = {});
+
+
+}  // namespace mgko::serve

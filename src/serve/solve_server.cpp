@@ -1,0 +1,838 @@
+#include "serve/solve_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "config/config_solver.hpp"
+#include "config/json.hpp"
+#include "core/exception.hpp"
+#include "core/executor.hpp"
+#include "core/mtx_io.hpp"
+#include "log/flight_recorder.hpp"
+#include "log/metrics.hpp"
+
+namespace mgko::serve {
+
+namespace {
+
+using config::Json;
+
+/// An unknown operator handle: a client-visible 404, distinct from the
+/// 400 every other mgko::Error maps to.
+class NotFoundError : public Error {
+public:
+    NotFoundError(const std::string& file, int line, const std::string& what)
+        : Error(file, line, what)
+    {}
+};
+
+/// Size of one value/index pair for the configured types; used by the
+/// cache's byte estimate.
+size_type config_element_bytes(const Json& config)
+{
+    return size_of(config::config_value_type(config)) +
+           size_of(config::config_index_type(config));
+}
+
+Json error_json(const std::string& message)
+{
+    Json body = Json::make_object();
+    body["error"] = Json{message};
+    return body;
+}
+
+std::string json_response(int status, const Json& body,
+                          const std::string& extra_headers = {})
+{
+    return http_response(status, "application/json", body.dump() + "\n",
+                         extra_headers);
+}
+
+/// Parses the matrix payload of an upload or inline-solve body: either a
+/// Matrix Market document under "mtx" or a triplet object under
+/// "triplet".  Throws BadParameter / FileError on malformed payloads.
+matrix_data<double, int64> parse_matrix_payload(const Json& body)
+{
+    if (body.contains("mtx")) {
+        std::istringstream stream{body.at("mtx").as_string()};
+        return read_mtx(stream, "<upload>");
+    }
+    if (!body.contains("triplet")) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "matrix payload requires 'mtx' or 'triplet'");
+    }
+    const auto& triplet = body.at("triplet");
+    const auto rows = triplet.at("rows").as_int();
+    const auto cols = triplet.at("cols").as_int();
+    MGKO_ENSURE(rows > 0 && cols > 0,
+                "'triplet' needs positive 'rows' and 'cols'");
+    matrix_data<double, int64> data{
+        dim2{static_cast<size_type>(rows), static_cast<size_type>(cols)}};
+    for (const auto& entry : triplet.at("entries").elements()) {
+        const auto& cells = entry.elements();
+        MGKO_ENSURE(cells.size() == 3,
+                    "'triplet' entries are [row, col, value] triples");
+        data.add(cells[0].as_int(), cells[1].as_int(),
+                 cells[2].as_double());
+    }
+    data.validate();
+    data.sort_row_major();
+    data.sum_duplicates();
+    return data;
+}
+
+std::vector<double> parse_vector(const Json& body, const std::string& key,
+                                 size_type rows)
+{
+    if (!body.contains(key)) {
+        return {};
+    }
+    std::vector<double> result;
+    result.reserve(rows);
+    for (const auto& cell : body.at(key).elements()) {
+        result.push_back(cell.as_double());
+    }
+    MGKO_ENSURE(result.size() == rows,
+                "'" + key + "' length " + std::to_string(result.size()) +
+                    " does not match the operator's " +
+                    std::to_string(rows) + " rows");
+    return result;
+}
+
+}  // namespace
+
+
+/// Cache and queue state behind the public interface.
+struct SolveServer::Impl {
+    /// One generated solver: the product of parse + convert + factor for a
+    /// concrete (operator, config) pair.  Iterative solvers keep
+    /// persistent workspaces, so applies are serialized per solver by
+    /// apply_mutex; distinct solvers apply concurrently.
+    struct CachedSolver {
+        std::unique_ptr<LinOp> solver;
+        std::mutex apply_mutex;
+        size_type bytes{0};
+    };
+
+    /// One uploaded operator: staging data plus the solvers generated from
+    /// it, keyed by the compact config document.
+    struct OperatorEntry {
+        std::string handle;
+        matrix_data<double, int64> data;
+        size_type staging_bytes{0};
+        std::map<std::string, std::shared_ptr<CachedSolver>> solvers;
+        std::list<std::string>::iterator lru_position;
+    };
+
+    std::shared_ptr<Executor> exec;
+
+    // --- operator cache (cache_mutex guards all four) ---
+    std::mutex cache_mutex;
+    std::map<std::string, std::shared_ptr<OperatorEntry>> operators;
+    std::list<std::string> lru;  ///< front = least recently used
+    size_type cache_bytes{0};
+    std::uint64_t next_handle{0};
+
+    // --- request queue ---
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<int> queue;
+    bool draining{false};
+    std::vector<std::thread> workers;
+
+    // --- counters (relaxed: each is independently monotone) ---
+    std::atomic<std::uint64_t> requests_total{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> client_errors{0};
+    std::atomic<std::uint64_t> server_errors{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> send_failures{0};
+    std::atomic<std::uint64_t> uploads{0};
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> cache_evictions{0};
+    std::atomic<std::uint64_t> solver_generations{0};
+    std::atomic<std::uint64_t> queue_peak{0};
+
+    /// Moves `handle` to the back (most recently used) of the LRU list.
+    /// Caller holds cache_mutex.
+    void touch(OperatorEntry& entry)
+    {
+        lru.erase(entry.lru_position);
+        entry.lru_position = lru.insert(lru.end(), entry.handle);
+    }
+
+    /// Evicts least-recently-used operators until the cache fits the
+    /// budget, sparing `in_use`.  Caller holds cache_mutex.
+    void evict_to_fit(size_type capacity, const std::string& in_use)
+    {
+        auto it = lru.begin();
+        while (cache_bytes > capacity && it != lru.end()) {
+            if (*it == in_use) {
+                ++it;
+                continue;
+            }
+            auto found = operators.find(*it);
+            size_type freed = found->second->staging_bytes;
+            for (const auto& [key, solver] : found->second->solvers) {
+                freed += solver->bytes;
+            }
+            cache_bytes -= std::min(cache_bytes, freed);
+            operators.erase(found);
+            it = lru.erase(it);
+            cache_evictions.fetch_add(1, std::memory_order_relaxed);
+            log::shared_metrics()->registry().inc_counter(
+                "mgko_solve_cache_total", "evict");
+        }
+    }
+};
+
+
+SolveServer::~SolveServer() { stop(); }
+
+
+std::unique_ptr<SolveServer> SolveServer::start(SolveServerOptions options)
+{
+    MGKO_ENSURE(options.num_workers > 0, "solve server needs >= 1 worker");
+    MGKO_ENSURE(options.queue_capacity > 0,
+                "solve server needs a queue of >= 1");
+    std::unique_ptr<SolveServer> server{new SolveServer{}};
+    server->options_ = std::move(options);
+    server->impl_ = std::make_unique<Impl>();
+    server->impl_->exec = OmpExecutor::create();
+
+    server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    MGKO_ENSURE(server->listen_fd_ >= 0, "solve server: cannot create socket");
+    const int reuse = 1;
+    ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_ANY);
+    address.sin_port =
+        htons(static_cast<std::uint16_t>(server->options_.port));
+    if (::bind(server->listen_fd_,
+               reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) != 0 ||
+        ::listen(server->listen_fd_,
+                 static_cast<int>(server->options_.queue_capacity)) != 0) {
+        ::close(server->listen_fd_);
+        server->listen_fd_ = -1;
+        MGKO_ENSURE(false, "solve server: cannot bind port " +
+                               std::to_string(server->options_.port));
+    }
+    socklen_t length = sizeof(address);
+    ::getsockname(server->listen_fd_,
+                  reinterpret_cast<sockaddr*>(&address), &length);
+    server->port_ = static_cast<int>(ntohs(address.sin_port));
+
+    server->accepting_.store(true, std::memory_order_release);
+    for (size_type w = 0; w < server->options_.num_workers; ++w) {
+        server->impl_->workers.emplace_back(
+            [raw = server.get()] { raw->worker_loop(); });
+    }
+    server->acceptor_ =
+        std::thread{[raw = server.get()] { raw->accept_loop(); }};
+    return server;
+}
+
+
+void SolveServer::accept_loop()
+{
+    while (accepting_.load(std::memory_order_acquire)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0 || (pfd.revents & POLLIN) == 0) {
+            continue;
+        }
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) {
+            continue;
+        }
+        set_nonblocking(client);
+        bool enqueued = false;
+        {
+            std::lock_guard<std::mutex> guard{impl_->queue_mutex};
+            if (impl_->queue.size() <
+                static_cast<std::size_t>(options_.queue_capacity)) {
+                impl_->queue.push_back(client);
+                const auto depth =
+                    static_cast<std::uint64_t>(impl_->queue.size());
+                auto& peak = impl_->queue_peak;
+                std::uint64_t seen = peak.load(std::memory_order_relaxed);
+                while (seen < depth &&
+                       !peak.compare_exchange_weak(
+                           seen, depth, std::memory_order_relaxed)) {
+                }
+                enqueued = true;
+            }
+        }
+        if (enqueued) {
+            impl_->queue_cv.notify_one();
+            continue;
+        }
+        // Backpressure: answer 429 immediately instead of queueing
+        // unboundedly.  The response is small; a short send deadline keeps
+        // the acceptor responsive even against a stalled client.
+        impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
+        impl_->rejected.fetch_add(1, std::memory_order_relaxed);
+        log::shared_metrics()->registry().inc_counter(
+            "mgko_solve_requests_total", "serve.rejected");
+        send_all(client,
+                 json_response(429,
+                               error_json("server saturated, retry later"),
+                               "Retry-After: 1\r\n"),
+                 250);
+        ::close(client);
+    }
+}
+
+
+void SolveServer::worker_loop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock{impl_->queue_mutex};
+            impl_->queue_cv.wait(lock, [this] {
+                return !impl_->queue.empty() || impl_->draining;
+            });
+            if (impl_->queue.empty()) {
+                return;  // draining and nothing left: graceful exit
+            }
+            fd = impl_->queue.front();
+            impl_->queue.pop_front();
+        }
+        if (options_.worker_test_hook) {
+            options_.worker_test_hook();
+        }
+        serve_connection(fd);
+    }
+}
+
+
+void SolveServer::serve_connection(int fd)
+{
+    HttpRequest request;
+    const auto result =
+        read_http_request(fd, request, 8 * 1024, options_.max_body_bytes,
+                          options_.request_deadline_ms);
+    std::string response;
+    switch (result) {
+    case read_result::ok:
+        response = handle(request);
+        break;
+    case read_result::timeout:
+        impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
+        impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
+        response = json_response(408, error_json("request timeout"));
+        break;
+    case read_result::too_large:
+        impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
+        impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
+        response = json_response(413, error_json("request too large"));
+        break;
+    case read_result::malformed:
+        impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
+        impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
+        response = json_response(400, error_json("malformed request"));
+        break;
+    case read_result::closed:
+    case read_result::error:
+        ::close(fd);
+        return;  // nothing to answer
+    }
+    if (!send_all(fd, response, options_.request_deadline_ms)) {
+        impl_->send_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(fd);
+}
+
+
+std::string SolveServer::handle(const HttpRequest& request)
+{
+    impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
+    const std::string path =
+        request.target.substr(0, request.target.find('?'));
+    const char* route = path == "/v1/solve"       ? "serve.solve"
+                        : path == "/v1/operators" ? "serve.upload"
+                        : path == "/v1/stats"     ? "serve.stats"
+                                                  : "serve.other";
+    auto& registry = log::shared_metrics()->registry();
+    auto recorder = log::shared_flight_recorder();
+    recorder->on_span_begin(route);
+    const auto started = std::chrono::steady_clock::now();
+    std::string response;
+    int status = 500;
+    try {
+        if (path == "/healthz") {
+            status = 200;
+            response = http_response(200, "text/plain", "ok\n");
+        } else if (path == "/metrics") {
+            status = 200;
+            response = http_response(200, "text/plain; version=0.0.4",
+                                     metrics_text());
+        } else if (path == "/v1/stats") {
+            if (request.method != "GET") {
+                status = 405;
+                response = json_response(
+                    405, error_json("stats is GET-only"));
+            } else {
+                status = 200;
+                response = http_response(200, "application/json",
+                                         stats_json() + "\n");
+            }
+        } else if (path == "/v1/operators") {
+            if (request.method != "POST") {
+                status = 405;
+                response = json_response(
+                    405, error_json("operator upload is POST-only"));
+            } else {
+                status = 200;
+                response = handle_upload(request);
+            }
+        } else if (path == "/v1/solve") {
+            if (request.method != "POST") {
+                status = 405;
+                response = json_response(
+                    405, error_json("solve is POST-only"));
+            } else {
+                status = 200;
+                response = handle_solve(request);
+            }
+        } else {
+            status = 404;
+            response = json_response(
+                404, error_json("unknown target: " + path));
+        }
+    } catch (const NotFoundError& e) {
+        status = 404;
+        response = json_response(404, error_json(e.what()));
+    } catch (const Error& e) {
+        // The repo's own exceptions are client errors: malformed configs,
+        // malformed matrices, mismatched shapes.
+        status = 400;
+        response = json_response(400, error_json(e.what()));
+    } catch (const std::exception& e) {
+        status = 500;
+        response = json_response(500, error_json(e.what()));
+    }
+    const auto wall_ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - started)
+                .count());
+    recorder->on_operation_completed(nullptr, route, wall_ns, 0.0, 0.0);
+    recorder->on_span_end(route);
+    registry.observe("mgko_solve_latency_ns", route, wall_ns);
+    const char* outcome = status < 400                  ? "ok"
+                          : status == 429              ? "rejected"
+                          : status < 500               ? "client_error"
+                                                        : "server_error";
+    registry.inc_counter("mgko_solve_requests_total",
+                         std::string{route} + "." + outcome);
+    if (status < 400) {
+        impl_->ok.fetch_add(1, std::memory_order_relaxed);
+    } else if (status < 500) {
+        impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        impl_->server_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return response;
+}
+
+
+std::string SolveServer::handle_upload(const HttpRequest& request)
+{
+    auto body = Json::parse(request.body);
+    auto data = parse_matrix_payload(body);
+    const auto staging_bytes =
+        static_cast<size_type>(data.entries.size()) *
+            sizeof(matrix_data<double, int64>::entry) +
+        1024;  // map/list/handle bookkeeping
+    auto entry = std::make_shared<Impl::OperatorEntry>();
+    entry->data = std::move(data);
+    entry->staging_bytes = staging_bytes;
+    Json response = Json::make_object();
+    {
+        std::lock_guard<std::mutex> guard{impl_->cache_mutex};
+        entry->handle = "op-" + std::to_string(++impl_->next_handle);
+        entry->lru_position =
+            impl_->lru.insert(impl_->lru.end(), entry->handle);
+        impl_->operators[entry->handle] = entry;
+        impl_->cache_bytes += staging_bytes;
+        impl_->evict_to_fit(options_.cache_capacity_bytes, entry->handle);
+    }
+    impl_->uploads.fetch_add(1, std::memory_order_relaxed);
+    response["operator"] = Json{entry->handle};
+    response["rows"] =
+        Json{static_cast<std::int64_t>(entry->data.size.rows)};
+    response["cols"] =
+        Json{static_cast<std::int64_t>(entry->data.size.cols)};
+    response["nnz"] =
+        Json{static_cast<std::int64_t>(entry->data.num_stored())};
+    response["bytes"] = Json{static_cast<std::int64_t>(staging_bytes)};
+    return json_response(200, response);
+}
+
+
+std::string SolveServer::handle_solve(const HttpRequest& request)
+{
+    auto body = Json::parse(request.body);
+    MGKO_ENSURE(body.contains("config"),
+                "solve request requires a 'config' object");
+    const auto config = body.at("config");
+    const auto config_key = config.dump();
+
+    std::shared_ptr<Impl::OperatorEntry> entry;
+    std::shared_ptr<Impl::CachedSolver> cached;
+    const char* cache_outcome = "inline";
+    std::string handle_name;
+    auto& registry = log::shared_metrics()->registry();
+
+    matrix_data<double, int64> inline_data;
+    if (body.contains("operator")) {
+        handle_name = body.at("operator").as_string();
+        std::lock_guard<std::mutex> guard{impl_->cache_mutex};
+        auto found = impl_->operators.find(handle_name);
+        if (found == impl_->operators.end()) {
+            throw NotFoundError(
+                __FILE__, __LINE__,
+                "unknown operator '" + handle_name +
+                    "' (expired from the cache or never uploaded)");
+        }
+        entry = found->second;
+        impl_->touch(*entry);
+        auto solver_it = entry->solvers.find(config_key);
+        if (solver_it != entry->solvers.end()) {
+            cached = solver_it->second;
+            cache_outcome = "hit";
+        }
+    } else {
+        inline_data = parse_matrix_payload(body);
+    }
+
+    size_type rows = entry ? entry->data.size.rows : inline_data.size.rows;
+    std::unique_ptr<LinOp> inline_solver;
+    LinOp* solver = nullptr;
+
+    if (cached) {
+        impl_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+        registry.inc_counter("mgko_solve_cache_total", "hit");
+        solver = cached->solver.get();
+    } else if (entry) {
+        // Miss: generate (parse + convert + factor) outside the cache
+        // lock — factorization is the expensive step the cache exists to
+        // amortize — then publish.  Two concurrent misses may both
+        // generate; the first one published wins and the loser's work is
+        // discarded (correct, just not free).
+        impl_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+        registry.inc_counter("mgko_solve_cache_total", "miss");
+        auto generated = std::make_shared<Impl::CachedSolver>();
+        generated->solver =
+            config::generate_solver(config, impl_->exec, entry->data);
+        impl_->solver_generations.fetch_add(1, std::memory_order_relaxed);
+        registry.inc_counter("mgko_solve_generations_total", "serve");
+        generated->bytes =
+            static_cast<size_type>(entry->data.num_stored()) *
+                config_element_bytes(config) * 3 +
+            rows * 16 + 4096;
+        {
+            std::lock_guard<std::mutex> guard{impl_->cache_mutex};
+            auto [it, inserted] =
+                entry->solvers.emplace(config_key, generated);
+            if (inserted) {
+                impl_->cache_bytes += generated->bytes;
+                impl_->evict_to_fit(options_.cache_capacity_bytes,
+                                    entry->handle);
+            }
+            cached = it->second;
+        }
+        cache_outcome = "miss";
+        solver = cached->solver.get();
+    } else {
+        // Inline matrix: solve once, cache nothing.
+        inline_solver =
+            config::generate_solver(config, impl_->exec, inline_data);
+        impl_->solver_generations.fetch_add(1, std::memory_order_relaxed);
+        registry.inc_counter("mgko_solve_generations_total", "serve");
+        solver = inline_solver.get();
+    }
+
+    auto rhs = parse_vector(body, "b", rows);
+    if (rhs.empty()) {
+        rhs.assign(rows, 1.0);
+    }
+    const auto guess = parse_vector(body, "x0", rows);
+
+    config::solve_report report;
+    if (cached) {
+        // Persistent workspaces make a generated solver single-flight;
+        // distinct (operator, config) pairs still solve concurrently.
+        std::lock_guard<std::mutex> guard{cached->apply_mutex};
+        report =
+            config::apply_solver(config, impl_->exec, solver, rhs, guess);
+    } else {
+        report =
+            config::apply_solver(config, impl_->exec, solver, rhs, guess);
+    }
+    impl_->solves.fetch_add(1, std::memory_order_relaxed);
+
+    Json response = Json::make_object();
+    Json solution = Json::make_array();
+    for (const double v : report.solution) {
+        solution.push_back(Json{v});
+    }
+    response["x"] = std::move(solution);
+    response["iterations"] =
+        Json{static_cast<std::int64_t>(report.iterations)};
+    response["converged"] = Json{report.converged};
+    response["residual_norm"] = Json{report.residual_norm};
+    response["stop_reason"] = Json{report.stop_reason};
+    response["cache"] = Json{cache_outcome};
+    if (!handle_name.empty()) {
+        response["operator"] = Json{handle_name};
+    }
+    return json_response(200, response);
+}
+
+
+std::string SolveServer::metrics_text() const
+{
+    const auto s = stats();
+    std::ostringstream body;
+    body << log::shared_metrics()->registry().prometheus_text();
+    body << "# TYPE mgko_solve_requests_served_total counter\n"
+         << "mgko_solve_requests_served_total " << s.requests_total << "\n"
+         << "# TYPE mgko_solve_rejected_total counter\n"
+         << "mgko_solve_rejected_total " << s.rejected << "\n"
+         << "# TYPE mgko_solve_cache_hits_total counter\n"
+         << "mgko_solve_cache_hits_total " << s.cache_hits << "\n"
+         << "# TYPE mgko_solve_cache_misses_total counter\n"
+         << "mgko_solve_cache_misses_total " << s.cache_misses << "\n"
+         << "# TYPE mgko_solve_cache_evictions_total counter\n"
+         << "mgko_solve_cache_evictions_total " << s.cache_evictions << "\n"
+         << "# TYPE mgko_solve_cache_bytes gauge\n"
+         << "mgko_solve_cache_bytes " << s.cache_bytes << "\n"
+         << "# TYPE mgko_solve_queue_peak gauge\n"
+         << "mgko_solve_queue_peak " << s.queue_peak << "\n";
+    return body.str();
+}
+
+
+SolveServer::Stats SolveServer::stats() const
+{
+    Stats s;
+    s.requests_total =
+        impl_->requests_total.load(std::memory_order_relaxed);
+    s.ok = impl_->ok.load(std::memory_order_relaxed);
+    s.client_errors = impl_->client_errors.load(std::memory_order_relaxed);
+    s.server_errors = impl_->server_errors.load(std::memory_order_relaxed);
+    s.rejected = impl_->rejected.load(std::memory_order_relaxed);
+    s.send_failures = impl_->send_failures.load(std::memory_order_relaxed);
+    s.uploads = impl_->uploads.load(std::memory_order_relaxed);
+    s.solves = impl_->solves.load(std::memory_order_relaxed);
+    s.cache_hits = impl_->cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = impl_->cache_misses.load(std::memory_order_relaxed);
+    s.cache_evictions =
+        impl_->cache_evictions.load(std::memory_order_relaxed);
+    s.solver_generations =
+        impl_->solver_generations.load(std::memory_order_relaxed);
+    s.queue_peak = impl_->queue_peak.load(std::memory_order_relaxed);
+    s.queue_capacity = options_.queue_capacity;
+    {
+        std::lock_guard<std::mutex> guard{impl_->cache_mutex};
+        s.cache_operators = static_cast<size_type>(impl_->operators.size());
+        s.cache_bytes = impl_->cache_bytes;
+    }
+    return s;
+}
+
+
+std::string SolveServer::stats_json() const
+{
+    const auto s = stats();
+    Json doc = Json::make_object();
+    auto put = [&doc](const char* key, std::uint64_t v) {
+        doc[key] = Json{static_cast<std::int64_t>(v)};
+    };
+    put("requests_total", s.requests_total);
+    put("ok", s.ok);
+    put("client_errors", s.client_errors);
+    put("server_errors", s.server_errors);
+    put("rejected", s.rejected);
+    put("send_failures", s.send_failures);
+    put("uploads", s.uploads);
+    put("solves", s.solves);
+    Json cache = Json::make_object();
+    cache["operators"] = Json{static_cast<std::int64_t>(s.cache_operators)};
+    cache["bytes"] = Json{static_cast<std::int64_t>(s.cache_bytes)};
+    cache["capacity_bytes"] =
+        Json{static_cast<std::int64_t>(options_.cache_capacity_bytes)};
+    cache["hits"] = Json{static_cast<std::int64_t>(s.cache_hits)};
+    cache["misses"] = Json{static_cast<std::int64_t>(s.cache_misses)};
+    cache["evictions"] =
+        Json{static_cast<std::int64_t>(s.cache_evictions)};
+    cache["solver_generations"] =
+        Json{static_cast<std::int64_t>(s.solver_generations)};
+    doc["cache"] = std::move(cache);
+    Json queue = Json::make_object();
+    queue["capacity"] =
+        Json{static_cast<std::int64_t>(s.queue_capacity)};
+    queue["peak"] = Json{static_cast<std::int64_t>(s.queue_peak)};
+    doc["queue"] = std::move(queue);
+    doc["workers"] =
+        Json{static_cast<std::int64_t>(options_.num_workers)};
+    return doc.dump();
+}
+
+
+void SolveServer::stop()
+{
+    if (stopped_.exchange(true)) {
+        return;
+    }
+    // Phase 1: no new connections.
+    accepting_.store(false, std::memory_order_release);
+    if (acceptor_.joinable()) {
+        acceptor_.join();
+    }
+    // Phase 2: drain — workers keep serving until the queue is empty,
+    // finish whatever solve is in flight, then exit.
+    {
+        std::lock_guard<std::mutex> guard{impl_->queue_mutex};
+        impl_->draining = true;
+    }
+    impl_->queue_cv.notify_all();
+    for (auto& worker : impl_->workers) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+    impl_->workers.clear();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+
+// --- process-wide server ---------------------------------------------------
+
+namespace {
+
+std::mutex& global_mutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unique_ptr<SolveServer>& global_server()
+{
+    static std::unique_ptr<SolveServer> server;
+    return server;
+}
+
+std::atomic<bool> global_active{false};
+std::atomic<int> global_port{0};
+
+/// One-shot latch for solve_server_from_env.  Deliberately not a
+/// call_once: SolveServer::start creates its executor through the factory,
+/// which calls solve_server_from_env again — with a call_once that
+/// re-entrant call would deadlock on the in-flight once_flag.
+std::atomic<bool> env_attempted{false};
+
+}  // namespace
+
+
+int solve_server_start(int port)
+{
+    // An explicit start supersedes the env wiring; claiming the latch here
+    // also keeps the executor created inside SolveServer::start from
+    // re-entering this function (global_mutex is not recursive).
+    env_attempted.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> guard{global_mutex()};
+    auto& server = global_server();
+    if (!server) {
+        SolveServerOptions options;
+        options.port = port;
+        server = SolveServer::start(std::move(options));
+        global_active.store(true, std::memory_order_release);
+        global_port.store(server->port(), std::memory_order_release);
+    } else if (port != 0 && port != server->port()) {
+        throw BadParameter(
+            __FILE__, __LINE__,
+            "solve server already running on port " +
+                std::to_string(server->port()) + ", cannot rebind to " +
+                std::to_string(port) + " (solve_server_stop() it first)");
+    }
+    return server->port();
+}
+
+
+void solve_server_stop()
+{
+    std::lock_guard<std::mutex> guard{global_mutex()};
+    global_active.store(false, std::memory_order_release);
+    global_port.store(0, std::memory_order_release);
+    global_server().reset();
+}
+
+
+bool solve_server_active()
+{
+    return global_active.load(std::memory_order_acquire);
+}
+
+
+int solve_server_port() { return global_port.load(std::memory_order_acquire); }
+
+
+std::string solve_server_stats_json()
+{
+    std::lock_guard<std::mutex> guard{global_mutex()};
+    auto& server = global_server();
+    return server ? server->stats_json() : std::string{"{}"};
+}
+
+
+void solve_server_from_env()
+{
+    if (env_attempted.exchange(true, std::memory_order_acq_rel)) {
+        return;
+    }
+    const char* value = std::getenv("MGKO_SOLVE_PORT");
+    if (value == nullptr || *value == '\0') {
+        return;
+    }
+    char* end = nullptr;
+    const long port = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || port < 0 || port > 65535) {
+        std::fprintf(stderr, "mgko: MGKO_SOLVE_PORT='%s' is not a port\n",
+                     value);
+        return;
+    }
+    try {
+        const int bound = solve_server_start(static_cast<int>(port));
+        std::fprintf(stderr, "mgko: solve server on port %d\n", bound);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "mgko: solve server failed: %s\n", e.what());
+    }
+}
+
+
+}  // namespace mgko::serve

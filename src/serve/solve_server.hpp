@@ -1,0 +1,179 @@
+// Solve-as-a-service: the request-serving layer on the serve:: spine.
+//
+// TelemetryServer proved a dependency-free POSIX HTTP endpoint can live
+// in-tree; SolveServer promotes that spine into a real service.  The
+// economics mirror Ginkgo's LinOp design (generate once, apply many): a
+// matrix uploaded once is parsed and factored once, then solved thousands
+// of times against different right-hand sides.
+//
+//   POST /v1/operators   matrix payload -> cached operator handle.
+//                        Body is JSON carrying either
+//                          {"mtx": "<Matrix Market text>"}          or
+//                          {"triplet": {"rows": R, "cols": C,
+//                                       "entries": [[r, c, v], ...]}}
+//                        Response: {"operator": "op-1", "rows", "cols",
+//                        "nnz", "bytes"}.
+//   POST /v1/solve       config JSON + operator handle or inline matrix.
+//                        Body: {"config": {...config_solver schema...},
+//                               "operator": "op-1" | "mtx"/"triplet": ...,
+//                               "b": [...], "x0": [...]}   (b defaults to
+//                        all ones, x0 to zeros).  The (operator, config)
+//                        pair selects a cached generated solver — a cache
+//                        hit skips parsing, conversion, and
+//                        factorization.  Response: {"x": [...],
+//                        "iterations", "converged", "residual_norm",
+//                        "stop_reason", "cache": "hit"|"miss"|"inline",
+//                        "operator"}.
+//   GET  /v1/stats       live counters: requests by outcome, cache
+//                        hits/misses/evictions and resident bytes, queue
+//                        high-water mark, rejected (429) count.
+//   GET  /metrics        Prometheus text: the shared MetricsRegistry plus
+//                        the server's own mgko_solve_* series.
+//   GET  /healthz        liveness probe.
+//
+// Concurrency: one acceptor thread feeds a bounded queue drained by a
+// worker pool.  Admission control is explicit backpressure — when the
+// queue is full the acceptor answers 429 with a Retry-After header
+// immediately instead of queueing unboundedly (clients see latency honestly
+// instead of through a growing queue).  Cached solvers hold persistent
+// workspaces, so each one is applied under its own mutex; different
+// operators (and different configs on one operator) solve concurrently.
+// stop() is graceful: it stops accepting, then drains queued and
+// in-flight requests before joining the workers.
+//
+// Observability rides the existing spine: every request lands in the
+// shared MetricsRegistry (mgko_solve_latency_ns histograms per route,
+// outcome counters) and opens a FlightRecorder span ("serve.solve", ...),
+// so /metrics, /v1/stats, the telemetry endpoints, and the crash black box
+// all see solve traffic with no extra wiring.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/types.hpp"
+#include "serve/http.hpp"
+
+namespace mgko::serve {
+
+
+struct SolveServerOptions {
+    /// TCP port; 0 binds an ephemeral port (see SolveServer::port()).
+    int port{0};
+    /// Worker threads draining the request queue.
+    size_type num_workers{4};
+    /// Accepted-but-unserviced connections held before the acceptor
+    /// answers 429 + Retry-After instead of queueing further.
+    size_type queue_capacity{64};
+    /// Approximate byte budget for cached operators and their generated
+    /// solvers; least-recently-used operators are evicted beyond it.
+    size_type cache_capacity_bytes{size_type{64} << 20};
+    /// Per-request body bound (413 beyond it) — matrix uploads dominate.
+    size_type max_body_bytes{size_type{8} << 20};
+    /// Wall-clock bound on reading one request (408) and writing its
+    /// response.
+    int request_deadline_ms{5000};
+    /// Test-only: called by each worker after dequeuing a connection and
+    /// before serving it; lets tests stall the pool deterministically to
+    /// exercise backpressure.  Leave empty in production.
+    std::function<void()> worker_test_hook{};
+};
+
+
+class SolveServer {
+public:
+    /// Binds and starts the acceptor + worker pool.  Throws mgko::Error
+    /// when the socket cannot be bound.
+    static std::unique_ptr<SolveServer> start(SolveServerOptions options = {});
+
+    ~SolveServer();
+
+    SolveServer(const SolveServer&) = delete;
+    SolveServer& operator=(const SolveServer&) = delete;
+
+    /// The bound port (the concrete one when constructed with port 0).
+    int port() const { return port_; }
+
+    /// Graceful shutdown: stop accepting, serve everything queued and
+    /// in flight, join the pool.  Idempotent; the destructor calls it.
+    void stop();
+
+    /// Point-in-time counters (also exported as /v1/stats and /metrics).
+    struct Stats {
+        std::uint64_t requests_total{0};
+        std::uint64_t ok{0};
+        std::uint64_t client_errors{0};  ///< 4xx other than 429
+        std::uint64_t server_errors{0};  ///< 5xx
+        std::uint64_t rejected{0};       ///< 429 backpressure answers
+        std::uint64_t send_failures{0};  ///< responses we could not write
+        std::uint64_t uploads{0};
+        std::uint64_t solves{0};
+        std::uint64_t cache_hits{0};
+        std::uint64_t cache_misses{0};
+        std::uint64_t cache_evictions{0};
+        std::uint64_t solver_generations{0};
+        size_type cache_operators{0};
+        size_type cache_bytes{0};
+        size_type queue_capacity{0};
+        std::uint64_t queue_peak{0};
+    };
+    Stats stats() const;
+    /// Stats as a JSON object (the /v1/stats body).
+    std::string stats_json() const;
+
+    /// Routes one parsed request to a full HTTP response; exposed so unit
+    /// tests can exercise routing, parsing, and the cache without
+    /// sockets.  Thread-safe.
+    std::string handle(const HttpRequest& request);
+
+private:
+    SolveServer() = default;
+
+    void accept_loop();
+    void worker_loop();
+    void serve_connection(int fd);
+
+    std::string handle_upload(const HttpRequest& request);
+    std::string handle_solve(const HttpRequest& request);
+    std::string metrics_text() const;
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+
+    SolveServerOptions options_;
+    int listen_fd_{-1};
+    int port_{0};
+    std::atomic<bool> accepting_{false};
+    std::atomic<bool> stopped_{false};
+    std::thread acceptor_;
+};
+
+
+/// Starts the process-wide solve server if none is running; returns the
+/// bound port.  Like telemetry_start: with a server already running,
+/// port 0 reports it and a conflicting explicit port throws BadParameter.
+int solve_server_start(int port);
+
+/// Graceful stop + discard of the process-wide server; no-op when none.
+void solve_server_stop();
+
+/// True while the process-wide server is running.
+bool solve_server_active();
+
+/// The process-wide server's port, 0 when inactive.
+int solve_server_port();
+
+/// The process-wide server's /v1/stats JSON; "{}" when inactive.
+std::string solve_server_stats_json();
+
+/// solve_server_start($MGKO_SOLVE_PORT) once per process when that
+/// variable holds a port number; bind failures are reported on stderr
+/// rather than thrown (same embedded-library contract as telemetry).
+void solve_server_from_env();
+
+
+}  // namespace mgko::serve

@@ -14,38 +14,9 @@
 #include "core/exception.hpp"
 #include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
+#include "serve/http.hpp"
 
 namespace mgko::serve {
-
-namespace {
-
-std::string http_response(int status, const char* status_text,
-                          const char* content_type, const std::string& body)
-{
-    std::ostringstream out;
-    out << "HTTP/1.0 " << status << " " << status_text << "\r\n"
-        << "Content-Type: " << content_type << "\r\n"
-        << "Content-Length: " << body.size() << "\r\n"
-        << "Connection: close\r\n\r\n"
-        << body;
-    return out.str();
-}
-
-void send_all(int fd, const std::string& data)
-{
-    const char* p = data.data();
-    std::size_t remaining = data.size();
-    while (remaining > 0) {
-        const ssize_t sent = ::send(fd, p, remaining, MSG_NOSIGNAL);
-        if (sent <= 0) {
-            return;
-        }
-        p += sent;
-        remaining -= static_cast<std::size_t>(sent);
-    }
-}
-
-}  // namespace
 
 
 std::string TelemetryServer::respond(const std::string& method,
@@ -53,13 +24,12 @@ std::string TelemetryServer::respond(const std::string& method,
                                      std::uint64_t requests_so_far)
 {
     if (method != "GET") {
-        return http_response(405, "Method Not Allowed", "text/plain",
-                             "method not allowed\n");
+        return http_response(405, "text/plain", "method not allowed\n");
     }
     // Strip any query string: scrapers commonly append cache busters.
     std::string path = target.substr(0, target.find('?'));
     if (path == "/healthz") {
-        return http_response(200, "OK", "text/plain", "ok\n");
+        return http_response(200, "text/plain", "ok\n");
     }
     if (path == "/metrics") {
         auto recorder = log::shared_flight_recorder();
@@ -71,19 +41,18 @@ std::string TelemetryServer::respond(const std::string& method,
              << "mgko_flight_dropped_total " << recorder->dropped() << "\n"
              << "# TYPE mgko_telemetry_requests_total counter\n"
              << "mgko_telemetry_requests_total " << requests_so_far << "\n";
-        return http_response(200, "OK", "text/plain; version=0.0.4",
-                             body.str());
+        return http_response(200, "text/plain; version=0.0.4", body.str());
     }
     if (path == "/profile.json") {
-        return http_response(200, "OK", "application/json",
+        return http_response(200, "application/json",
                              log::shared_flight_recorder()->to_profile_json());
     }
     if (path == "/trace.json") {
         return http_response(
-            200, "OK", "application/json",
+            200, "application/json",
             log::shared_flight_recorder()->to_chrome_trace_json());
     }
-    return http_response(404, "Not Found", "text/plain", "not found\n");
+    return http_response(404, "text/plain", "not found\n");
 }
 
 
@@ -131,20 +100,27 @@ void TelemetryServer::serve_loop()
         if (client < 0) {
             continue;
         }
-        timeval timeout{1, 0};
-        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                     sizeof(timeout));
-        char buffer[4096];
-        const ssize_t received = ::recv(client, buffer, sizeof(buffer) - 1, 0);
-        if (received > 0) {
-            buffer[received] = '\0';
-            std::istringstream request{buffer};
-            std::string method;
-            std::string target;
-            request >> method >> target;
+        set_nonblocking(client);
+        // Requests may arrive in arbitrarily small TCP segments; the shared
+        // reader accumulates until the header terminator (8 KiB bound,
+        // telemetry requests carry no body) instead of trusting one recv.
+        HttpRequest request;
+        const auto result =
+            read_http_request(client, request, 8 * 1024, 0, 1000);
+        if (result == read_result::ok) {
             const auto count =
                 requests_.fetch_add(1, std::memory_order_relaxed) + 1;
-            send_all(client, respond(method, target, count));
+            send_all(client,
+                     respond(request.method, request.target, count));
+        } else if (result == read_result::timeout) {
+            send_all(client,
+                     http_response(408, "text/plain", "request timeout\n"));
+        } else if (result == read_result::too_large ||
+                   result == read_result::malformed) {
+            send_all(client,
+                     http_response(
+                         result == read_result::too_large ? 431 : 400,
+                         "text/plain", "bad request\n"));
         }
         ::close(client);
     }
@@ -199,6 +175,15 @@ int telemetry_start(int port)
         server = TelemetryServer::start(port);
         global_active.store(true, std::memory_order_release);
         global_port.store(server->port(), std::memory_order_release);
+    } else if (port != 0 && port != server->port()) {
+        // Silently answering with a server bound elsewhere hid
+        // misconfigurations; an explicit conflicting port is an error.
+        // Port 0 ("any port") keeps reporting the running server.
+        throw BadParameter(
+            __FILE__, __LINE__,
+            "telemetry server already running on port " +
+                std::to_string(server->port()) + ", cannot rebind to " +
+                std::to_string(port) + " (telemetry_stop() it first)");
     }
     return server->port();
 }

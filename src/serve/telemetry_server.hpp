@@ -15,7 +15,10 @@
 // so a production host can be inspected while it runs instead of waiting
 // for an exit-time dump (cf. Koch et al. on observability surviving
 // embedding).  Serving is serial by design: responses are small snapshots
-// and the instrumented threads never block on a scrape.
+// and the instrumented threads never block on a scrape.  Socket I/O goes
+// through the shared serve/http.hpp helpers (bounded segmented request
+// reads, EINTR/EAGAIN-hardened sends) — the same spine SolveServer's
+// request traffic rides on.
 //
 // Process-wide control: telemetry_start(port) / telemetry_stop() manage a
 // single shared server (also reachable through the `telemetry_start` /
@@ -76,7 +79,12 @@ private:
 
 
 /// Starts the process-wide server if none is running; returns the bound
-/// port either way.
+/// port.  When a server is already running, `port` 0 (meaning "any
+/// port") reports the running server's port, while a non-zero `port`
+/// that differs from the bound one throws BadParameter — a second
+/// explicit port is a conflicting configuration, not a request the
+/// running server can satisfy.  Pass 0 to bind an ephemeral port on
+/// first start (the concrete port comes back as the return value).
 int telemetry_start(int port);
 
 /// Stops and discards the process-wide server; no-op when none runs.

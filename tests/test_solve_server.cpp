@@ -1,0 +1,649 @@
+// The solve-as-a-service layer: the hardened serve/http.hpp helpers
+// (send_all under a tiny send buffer, request reassembly from arbitrary
+// segmentation, read deadlines) and SolveServer itself — upload/solve
+// round trips over loopback, the (operator, config) solver cache with LRU
+// eviction, 429 backpressure under a stalled worker pool, graceful drain,
+// and the process-wide lifecycle.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/config_solver.hpp"
+#include "config/json.hpp"
+#include "core/executor.hpp"
+#include "matrix/csr.hpp"
+#include "serve/http.hpp"
+#include "serve/solve_server.hpp"
+#include "tests/test_utils.hpp"
+
+namespace {
+
+using namespace mgko;
+using config::Json;
+
+
+// --- tiny blocking HTTP/1.0 client ----------------------------------------
+
+int connect_loopback(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string recv_all(int fd)
+{
+    std::string response;
+    char buffer[8192];
+    ssize_t received;
+    while ((received = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+        response.append(buffer, static_cast<std::size_t>(received));
+    }
+    return response;
+}
+
+std::string http_request(int port, const std::string& method,
+                         const std::string& target, const std::string& body)
+{
+    const int fd = connect_loopback(port);
+    if (fd < 0) {
+        return {};
+    }
+    std::string request = method + " " + target + " HTTP/1.0\r\n";
+    if (!body.empty()) {
+        request += "Content-Length: " + std::to_string(body.size()) +
+                   "\r\nContent-Type: application/json\r\n";
+    }
+    request += "\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return {};
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    auto response = recv_all(fd);
+    ::close(fd);
+    return response;
+}
+
+int status_of(const std::string& response)
+{
+    // "HTTP/1.0 NNN ..."
+    return response.size() > 12 ? std::atoi(response.c_str() + 9) : -1;
+}
+
+std::string body_of(const std::string& response)
+{
+    const auto split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string{}
+                                      : response.substr(split + 4);
+}
+
+
+// --- payload builders ------------------------------------------------------
+
+/// 1D Laplacian as the triplet upload payload.
+Json laplacian_triplet(int n)
+{
+    Json triplet = Json::make_object();
+    triplet["rows"] = Json{static_cast<std::int64_t>(n)};
+    triplet["cols"] = Json{static_cast<std::int64_t>(n)};
+    Json entries = Json::make_array();
+    auto add = [&entries](int r, int c, double v) {
+        Json e = Json::make_array();
+        e.push_back(Json{static_cast<std::int64_t>(r)});
+        e.push_back(Json{static_cast<std::int64_t>(c)});
+        e.push_back(Json{v});
+        entries.push_back(std::move(e));
+    };
+    for (int i = 0; i < n; ++i) {
+        add(i, i, 2.0);
+        if (i > 0) {
+            add(i, i - 1, -1.0);
+        }
+        if (i + 1 < n) {
+            add(i, i + 1, -1.0);
+        }
+    }
+    triplet["entries"] = std::move(entries);
+    return triplet;
+}
+
+Json cg_config()
+{
+    Json config = Json::make_object();
+    config["type"] = Json{"solver::Cg"};
+    config["max_iters"] = Json{std::int64_t{200}};
+    config["reduction_factor"] = Json{1e-10};
+    return config;
+}
+
+std::string upload_laplacian(int port, int n)
+{
+    Json payload = Json::make_object();
+    payload["triplet"] = laplacian_triplet(n);
+    const auto response =
+        http_request(port, "POST", "/v1/operators", payload.dump());
+    EXPECT_EQ(status_of(response), 200) << response;
+    return Json::parse(body_of(response)).at("operator").as_string();
+}
+
+
+// --- serve/http.hpp helpers ------------------------------------------------
+
+TEST(HttpHelpers, SendAllSurvivesATinySendBuffer)
+{
+    // Regression: the old send_all treated EAGAIN as fatal, so a response
+    // larger than the socket's send buffer was silently truncated the
+    // moment the buffer filled.  With a deliberately tiny SO_SNDBUF and a
+    // slow reader, every EAGAIN must be waited out instead.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const int sndbuf = 4096;
+    ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                           sizeof(sndbuf)),
+              0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    const std::string payload(512 * 1024, 'x');
+    std::string received;
+    std::thread reader{[&] {
+        char buffer[1024];
+        ssize_t n;
+        while ((n = ::recv(fds[1], buffer, sizeof(buffer), 0)) > 0) {
+            received.append(buffer, static_cast<std::size_t>(n));
+            ::usleep(100);  // drain slower than the writer fills
+        }
+    }};
+    EXPECT_TRUE(serve::send_all(fds[0], payload, 30000));
+    ::shutdown(fds[0], SHUT_WR);
+    reader.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    EXPECT_EQ(received.size(), payload.size());
+    EXPECT_EQ(received, payload);
+}
+
+TEST(HttpHelpers, SendAllSurfacesABrokenPeer)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    ::close(fds[1]);
+    EXPECT_FALSE(serve::send_all(fds[0], std::string(64 * 1024, 'x'), 1000));
+    ::close(fds[0]);
+}
+
+TEST(HttpHelpers, ReassemblesAByteByByteRequest)
+{
+    // Regression: the pre-fix server parsed whatever one recv() returned.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    const std::string request =
+        "POST /v1/solve HTTP/1.0\r\n"
+        "Content-Type: application/json\r\n"
+        "Content-Length: 5\r\n"
+        "\r\n"
+        "hello";
+    std::thread writer{[&] {
+        for (const char c : request) {
+            ASSERT_EQ(::send(fds[1], &c, 1, 0), 1);
+            ::usleep(500);
+        }
+    }};
+    serve::HttpRequest parsed;
+    const auto result =
+        serve::read_http_request(fds[0], parsed, 8 * 1024, 1024, 10000);
+    writer.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ASSERT_EQ(result, serve::read_result::ok)
+        << serve::to_string(result);
+    EXPECT_EQ(parsed.method, "POST");
+    EXPECT_EQ(parsed.target, "/v1/solve");
+    EXPECT_EQ(parsed.header("content-type"), "application/json");
+    EXPECT_EQ(parsed.body, "hello");
+}
+
+TEST(HttpHelpers, ReportsTimeoutWhenTheTerminatorNeverArrives)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    const std::string partial = "GET /x HTTP/1.0\r\n";
+    ASSERT_EQ(::send(fds[1], partial.data(), partial.size(), 0),
+              static_cast<ssize_t>(partial.size()));
+    serve::HttpRequest parsed;
+    EXPECT_EQ(serve::read_http_request(fds[0], parsed, 8 * 1024, 0, 100),
+              serve::read_result::timeout);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(HttpHelpers, BoundsTheHeaderBlockAndTheBody)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    const std::string oversized =
+        "GET /x HTTP/1.0\r\nx-junk: " + std::string(16 * 1024, 'j');
+    ASSERT_GT(::send(fds[1], oversized.data(), oversized.size(), 0), 0);
+    serve::HttpRequest parsed;
+    EXPECT_EQ(serve::read_http_request(fds[0], parsed, 1024, 0, 1000),
+              serve::read_result::too_large);
+    ::close(fds[0]);
+    ::close(fds[1]);
+
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ASSERT_TRUE(serve::set_nonblocking(fds[0]));
+    const std::string big_body =
+        "POST /x HTTP/1.0\r\nContent-Length: 999999\r\n\r\n";
+    ASSERT_EQ(::send(fds[1], big_body.data(), big_body.size(), 0),
+              static_cast<ssize_t>(big_body.size()));
+    EXPECT_EQ(serve::read_http_request(fds[0], parsed, 8 * 1024, 1024, 1000),
+              serve::read_result::too_large);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(HttpHelpers, ConcurrentClientsEachGetTheirFullResponse)
+{
+    // The helpers are per-connection state machines with no shared state;
+    // hammer one server from many threads and require byte-exact replies.
+    serve::SolveServerOptions options;
+    options.num_workers = 4;
+    options.queue_capacity = 256;
+    auto server = serve::SolveServer::start(std::move(options));
+    constexpr int num_threads = 8;
+    constexpr int per_thread = 25;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    clients.reserve(num_threads);
+    for (int t = 0; t < num_threads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                const auto target =
+                    (t + i) % 2 == 0 ? "/healthz" : "/v1/stats";
+                const auto response =
+                    http_request(server->port(), "GET", target, "");
+                if (status_of(response) == 200 &&
+                    response.find("Content-Length:") != std::string::npos &&
+                    !body_of(response).empty()) {
+                    ok.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& c : clients) {
+        c.join();
+    }
+    EXPECT_EQ(ok.load(), num_threads * per_thread);
+    server->stop();
+}
+
+
+// --- SolveServer routing and solving ---------------------------------------
+
+TEST(SolveServer, UploadSolveRoundTripOverLoopback)
+{
+    auto server = serve::SolveServer::start({});
+    ASSERT_GT(server->port(), 0);
+    const auto handle = upload_laplacian(server->port(), 32);
+    EXPECT_EQ(handle.rfind("op-", 0), 0u);
+
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+    const auto response =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    ASSERT_EQ(status_of(response), 200) << response;
+    const auto result = Json::parse(body_of(response));
+    EXPECT_TRUE(result.at("converged").as_bool());
+    EXPECT_GT(result.at("iterations").as_int(), 0);
+    EXPECT_EQ(result.at("cache").as_string(), "miss");
+    ASSERT_EQ(result.at("x").size(), 32u);
+    // A*x = b with b = ones: check the first interior residual row.
+    const auto& x = result.at("x").elements();
+    const double r1 = -x[0].as_double() + 2.0 * x[1].as_double() -
+                      x[2].as_double();
+    EXPECT_NEAR(r1, 1.0, 1e-6);
+    server->stop();
+}
+
+TEST(SolveServer, CacheHitSkipsRegeneration)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 24);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+
+    const auto first =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    ASSERT_EQ(status_of(first), 200) << first;
+    EXPECT_EQ(Json::parse(body_of(first)).at("cache").as_string(), "miss");
+    const auto second =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    ASSERT_EQ(status_of(second), 200) << second;
+    EXPECT_EQ(Json::parse(body_of(second)).at("cache").as_string(), "hit");
+
+    // The cache's reason to exist: one generation, many solves.
+    const auto stats = server->stats();
+    EXPECT_EQ(stats.solver_generations, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.solves, 2u);
+    server->stop();
+}
+
+TEST(SolveServer, InlineMatrixSolvesWithoutCaching)
+{
+    auto server = serve::SolveServer::start({});
+    Json solve = Json::make_object();
+    solve["triplet"] = laplacian_triplet(8);
+    solve["config"] = cg_config();
+    const auto response =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    ASSERT_EQ(status_of(response), 200) << response;
+    EXPECT_EQ(Json::parse(body_of(response)).at("cache").as_string(),
+              "inline");
+    EXPECT_EQ(server->stats().cache_operators, 0u);
+    server->stop();
+}
+
+TEST(SolveServer, MtxUploadAndCustomRhs)
+{
+    auto server = serve::SolveServer::start({});
+    std::ostringstream mtx;
+    mtx << "%%MatrixMarket matrix coordinate real general\n"
+        << "2 2 2\n"
+        << "1 1 2.0\n"
+        << "2 2 4.0\n";
+    Json upload = Json::make_object();
+    upload["mtx"] = Json{mtx.str()};
+    const auto uploaded = http_request(server->port(), "POST",
+                                       "/v1/operators", upload.dump());
+    ASSERT_EQ(status_of(uploaded), 200) << uploaded;
+    const auto parsed = Json::parse(body_of(uploaded));
+    EXPECT_EQ(parsed.at("rows").as_int(), 2);
+    EXPECT_EQ(parsed.at("nnz").as_int(), 2);
+
+    Json solve = Json::make_object();
+    solve["operator"] = parsed.at("operator");
+    solve["config"] = cg_config();
+    Json b = Json::make_array();
+    b.push_back(Json{4.0});
+    b.push_back(Json{8.0});
+    solve["b"] = std::move(b);
+    const auto response =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    ASSERT_EQ(status_of(response), 200) << response;
+    const auto result = Json::parse(body_of(response));
+    const auto& x = result.at("x").elements();
+    EXPECT_NEAR(x[0].as_double(), 2.0, 1e-8);
+    EXPECT_NEAR(x[1].as_double(), 2.0, 1e-8);
+    server->stop();
+}
+
+TEST(SolveServer, RoutingErrorsAreTypedJson)
+{
+    // handle() is exposed precisely so error paths need no sockets.
+    auto server = serve::SolveServer::start({});
+    serve::HttpRequest request;
+    request.method = "GET";
+    request.target = "/nope";
+    EXPECT_NE(server->handle(request).find("HTTP/1.0 404"),
+              std::string::npos);
+    request.target = "/v1/solve";  // GET on a POST-only route
+    EXPECT_NE(server->handle(request).find("HTTP/1.0 405"),
+              std::string::npos);
+    request.method = "POST";
+    request.body = "this is not json";
+    const auto malformed = server->handle(request);
+    EXPECT_NE(malformed.find("HTTP/1.0 400"), std::string::npos);
+    EXPECT_NE(body_of(malformed).find("error"), std::string::npos);
+    request.body = "{\"config\": {\"type\": \"solver::Cg\"}}";
+    EXPECT_NE(server->handle(request).find("HTTP/1.0 400"),
+              std::string::npos);  // no operator, no matrix, no criteria
+    server->stop();
+}
+
+TEST(SolveServer, UnknownOperatorHandleIs404)
+{
+    auto server = serve::SolveServer::start({});
+    Json solve = Json::make_object();
+    solve["operator"] = Json{"op-999"};
+    solve["config"] = cg_config();
+    const auto response =
+        http_request(server->port(), "POST", "/v1/solve", solve.dump());
+    EXPECT_EQ(status_of(response), 404) << response;
+    server->stop();
+}
+
+TEST(SolveServer, StatsAndMetricsExposeTraffic)
+{
+    auto server = serve::SolveServer::start({});
+    upload_laplacian(server->port(), 16);
+    const auto stats_response =
+        http_request(server->port(), "GET", "/v1/stats", "");
+    ASSERT_EQ(status_of(stats_response), 200);
+    const auto stats = Json::parse(body_of(stats_response));
+    EXPECT_GE(stats.at("requests_total").as_int(), 1);
+    EXPECT_EQ(stats.at("uploads").as_int(), 1);
+    EXPECT_EQ(stats.at("cache").at("operators").as_int(), 1);
+    EXPECT_GT(stats.at("cache").at("bytes").as_int(), 0);
+    const auto metrics = body_of(
+        http_request(server->port(), "GET", "/metrics", ""));
+    EXPECT_NE(metrics.find("mgko_solve_requests_served_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("mgko_solve_cache_bytes"), std::string::npos);
+    server->stop();
+}
+
+
+// --- cache eviction --------------------------------------------------------
+
+TEST(SolveServer, EvictsLeastRecentlyUsedOperatorsBeyondTheByteBudget)
+{
+    serve::SolveServerOptions options;
+    // Each 64-point Laplacian stages ~190 entries * 24 B + 1 KiB of
+    // bookkeeping ~= 5.5 KiB; a 12 KiB budget holds two at most.
+    options.cache_capacity_bytes = 12 * 1024;
+    auto server = serve::SolveServer::start(std::move(options));
+    const auto first = upload_laplacian(server->port(), 64);
+    const auto second = upload_laplacian(server->port(), 64);
+    // Touch the first so the second becomes the LRU victim.
+    Json solve = Json::make_object();
+    solve["operator"] = Json{first};
+    solve["config"] = cg_config();
+    ASSERT_EQ(status_of(http_request(server->port(), "POST", "/v1/solve",
+                                     solve.dump())),
+              200);
+    const auto third = upload_laplacian(server->port(), 64);
+    const auto stats = server->stats();
+    EXPECT_GE(stats.cache_evictions, 1u);
+    EXPECT_LE(stats.cache_operators, 2u);
+
+    // The evicted handle answers 404; the survivors still solve.
+    solve["operator"] = Json{second};
+    EXPECT_EQ(status_of(http_request(server->port(), "POST", "/v1/solve",
+                                     solve.dump())),
+              404);
+    solve["operator"] = Json{third};
+    EXPECT_EQ(status_of(http_request(server->port(), "POST", "/v1/solve",
+                                     solve.dump())),
+              200);
+    server->stop();
+}
+
+
+// --- backpressure and graceful drain ---------------------------------------
+
+class WorkerStall {
+public:
+    void maybe_block()
+    {
+        std::unique_lock<std::mutex> lock{mutex_};
+        ++entered_;
+        entered_cv_.notify_all();
+        release_cv_.wait(lock, [this] { return !stalled_; });
+    }
+
+    /// Blocks until `count` workers have entered the stall.
+    void await_entered(int count)
+    {
+        std::unique_lock<std::mutex> lock{mutex_};
+        entered_cv_.wait(lock, [&] { return entered_ >= count; });
+    }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock{mutex_};
+            stalled_ = false;
+        }
+        release_cv_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable entered_cv_;
+    std::condition_variable release_cv_;
+    int entered_{0};
+    bool stalled_{true};
+};
+
+TEST(SolveServer, AnswersRetryAfterWhenTheQueueIsFull)
+{
+    auto stall = std::make_shared<WorkerStall>();
+    serve::SolveServerOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 1;
+    options.worker_test_hook = [stall] { stall->maybe_block(); };
+    auto server = serve::SolveServer::start(std::move(options));
+
+    // First client occupies the only worker (stalled in the hook)...
+    const int busy = connect_loopback(server->port());
+    ASSERT_GE(busy, 0);
+    const std::string request = "GET /healthz HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(busy, request.data(), request.size(), 0), 0);
+    stall->await_entered(1);
+    // ...the second fills the queue...
+    const int queued = connect_loopback(server->port());
+    ASSERT_GE(queued, 0);
+    ASSERT_GT(::send(queued, request.data(), request.size(), 0), 0);
+    // ...and with worker busy + queue full, the next must be turned away
+    // immediately with 429 and a Retry-After hint, not left hanging.
+    const auto rejected =
+        http_request(server->port(), "GET", "/healthz", "");
+    EXPECT_EQ(status_of(rejected), 429) << rejected;
+    EXPECT_NE(rejected.find("Retry-After:"), std::string::npos);
+
+    stall->release();
+    EXPECT_NE(recv_all(busy).find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(recv_all(queued).find("HTTP/1.0 200"), std::string::npos);
+    ::close(busy);
+    ::close(queued);
+    const auto stats = server->stats();
+    EXPECT_GE(stats.rejected, 1u);
+    EXPECT_GE(stats.queue_peak, 1u);
+    server->stop();
+}
+
+TEST(SolveServer, StopDrainsQueuedAndInFlightRequests)
+{
+    auto stall = std::make_shared<WorkerStall>();
+    serve::SolveServerOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 8;
+    options.worker_test_hook = [stall] { stall->maybe_block(); };
+    auto server = serve::SolveServer::start(std::move(options));
+
+    const int in_flight = connect_loopback(server->port());
+    const int queued = connect_loopback(server->port());
+    ASSERT_GE(in_flight, 0);
+    ASSERT_GE(queued, 0);
+    const std::string request = "GET /v1/stats HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(in_flight, request.data(), request.size(), 0), 0);
+    stall->await_entered(1);
+    ASSERT_GT(::send(queued, request.data(), request.size(), 0), 0);
+
+    // stop() must not abandon either connection: it stops accepting, then
+    // waits for the pool to drain both before returning.
+    std::thread stopper{[&] { server->stop(); }};
+    stall->release();
+    stopper.join();
+    EXPECT_NE(recv_all(in_flight).find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(recv_all(queued).find("HTTP/1.0 200"), std::string::npos);
+    ::close(in_flight);
+    ::close(queued);
+    // New connections are refused after stop.
+    EXPECT_EQ(http_request(server->port(), "GET", "/healthz", ""), "");
+}
+
+
+// --- process-wide lifecycle ------------------------------------------------
+
+TEST(SolveServerLifecycle, StartStopAndConflictingPortThrows)
+{
+    ASSERT_FALSE(serve::solve_server_active());
+    EXPECT_EQ(serve::solve_server_stats_json(), "{}");
+    const int port = serve::solve_server_start(0);
+    EXPECT_GT(port, 0);
+    EXPECT_TRUE(serve::solve_server_active());
+    EXPECT_EQ(serve::solve_server_port(), port);
+    EXPECT_EQ(serve::solve_server_start(0), port);
+    EXPECT_EQ(serve::solve_server_start(port), port);
+    EXPECT_THROW(serve::solve_server_start(port == 65535 ? 1024 : port + 1),
+                 BadParameter);
+    EXPECT_NE(serve::solve_server_stats_json(), "{}");
+    EXPECT_EQ(status_of(http_request(port, "GET", "/healthz", "")), 200);
+    serve::solve_server_stop();
+    EXPECT_FALSE(serve::solve_server_active());
+    EXPECT_EQ(serve::solve_server_port(), 0);
+    serve::solve_server_stop();  // no-op
+}
+
+TEST(SolveServerLifecycle, ConfigKeyStartsTheServer)
+{
+    ASSERT_FALSE(serve::solve_server_active());
+    auto exec = ReferenceExecutor::create();
+    auto system = std::shared_ptr<const LinOp>{
+        Csr<double, int32>::create_from_data(
+            exec, test::laplacian_1d<double, int32>(8))};
+    auto config = cg_config();
+    config["solve_server"] = Json{true};
+    auto solver = config::config_solver(config, exec, system);
+    EXPECT_TRUE(serve::solve_server_active());
+    EXPECT_GT(serve::solve_server_port(), 0);
+    serve::solve_server_stop();
+}
+
+}  // namespace

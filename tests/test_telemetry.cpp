@@ -157,6 +157,66 @@ TEST(TelemetryServer, ServesHealthzAndMetricsOverLoopback)
     server->stop();
 }
 
+TEST(TelemetryServer, AssemblesRequestsArrivingOneByteAtATime)
+{
+    // Regression: the old serve_loop issued a single recv() and parsed
+    // whatever that returned, so a request split across TCP segments was
+    // served "" -> 404.  The shared reader must tolerate the worst case.
+    auto server = serve::TelemetryServer::start(0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string request = "GET /healthz HTTP/1.0\r\n\r\n";
+    for (const char c : request) {
+        ASSERT_EQ(::send(fd, &c, 1, 0), 1);
+        ::usleep(2000);
+    }
+    std::string response;
+    char buffer[512];
+    ssize_t received;
+    while ((received = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+        response.append(buffer, static_cast<std::size_t>(received));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_EQ(body_of(response), "ok\n");
+    server->stop();
+}
+
+TEST(TelemetryServer, AnswersRequestTimeoutWhenHeadersNeverComplete)
+{
+    auto server = serve::TelemetryServer::start(0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    // Half a request, then silence: the server must give up with 408
+    // instead of pinning its serve loop forever.
+    const std::string partial = "GET /healthz HT";
+    ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+              static_cast<ssize_t>(partial.size()));
+    std::string response;
+    char buffer[512];
+    ssize_t received;
+    while ((received = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+        response.append(buffer, static_cast<std::size_t>(received));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("HTTP/1.0 408"), std::string::npos);
+    server->stop();
+}
+
 TEST(TelemetryServer, ServesTraceJsonOverLoopback)
 {
     generate_telemetry_events();
@@ -205,6 +265,24 @@ TEST(TelemetryLifecycle, StartIsIdempotentAndStopTearsDown)
     EXPECT_EQ(serve::telemetry_port(), 0);
     EXPECT_TRUE(http_get(port, "/healthz").empty());
     serve::telemetry_stop();  // no-op
+}
+
+TEST(TelemetryLifecycle, ConflictingExplicitPortThrows)
+{
+    ASSERT_FALSE(serve::telemetry_active());
+    const int port = serve::telemetry_start(0);
+    // Port 0 means "any" and reports the running server; re-requesting the
+    // bound port is consistent; a *different* explicit port is a
+    // conflicting configuration and must not be silently ignored (the old
+    // behavior handed back the running server on the wrong port).
+    EXPECT_EQ(serve::telemetry_start(0), port);
+    EXPECT_EQ(serve::telemetry_start(port), port);
+    EXPECT_THROW(serve::telemetry_start(port == 65535 ? 1024 : port + 1),
+                 BadParameter);
+    // The running server survives the rejected rebind.
+    EXPECT_TRUE(serve::telemetry_active());
+    EXPECT_FALSE(http_get(port, "/healthz").empty());
+    serve::telemetry_stop();
 }
 
 TEST(TelemetryLifecycle, BindingsControlTheSharedServer)
