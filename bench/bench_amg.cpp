@@ -1,0 +1,206 @@
+// AMG milestone bench: preconditioned-CG iteration counts and simulated
+// times for Jacobi-CG, ILU-CG, and AMG-CG on matgen's 2D/3D Poisson
+// stencils, plus the AMG setup-vs-solve breakdown.
+//
+// Gates (nonzero exit on violation — CI's bench-smoke lane runs this):
+//   * every variant converges on every problem;
+//   * AMG-CG needs fewer iterations than ILU-CG everywhere;
+//   * on the largest 2D Poisson problem AMG-CG needs <= 25% of the
+//     Jacobi-CG iterations (the milestone's acceptance bar) and wins on
+//     simulated solve time against both baselines.
+//
+// MGKO_BENCH_SMOKE=1 shrinks the grids for the CI lane.  Runs on the
+// ReferenceExecutor so iteration counts and simulated times stay
+// deterministic and thread-count independent (the committed
+// bench/results/BENCH_amg.json baseline is diffed at 10% tolerance).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common/harness.hpp"
+#include "multigrid/amg_solver.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "solver/cg.hpp"
+#include "stop/criterion.hpp"
+
+using namespace mgko;
+
+namespace {
+
+struct problem {
+    std::string name;
+    matgen::data64 data;
+    /// Strength threshold: 0.08 suits 5/7-point stencils; the 27-point
+    /// stencil needs a lower bar (each of its 26 couplings is individually
+    /// weak against sqrt(|a_ii a_jj|) = 26).
+    double theta{0.08};
+    bool largest_2d{false};
+};
+
+struct run_result {
+    size_type iterations{0};
+    bool converged{false};
+    double setup_seconds{0.0};
+    double solve_seconds{0.0};
+};
+
+run_result run_cg(std::shared_ptr<Executor> exec,
+                  std::shared_ptr<Csr<double, int32>> a,
+                  std::shared_ptr<const LinOpFactory> precond)
+{
+    run_result result;
+    const auto n = a->get_size().rows;
+    std::unique_ptr<LinOp> solver;
+    auto factory = solver::Cg<double>::build()
+                       .with_criteria(stop::iteration(5000))
+                       .with_criteria(stop::residual_norm(1e-10))
+                       .with_preconditioner(std::move(precond))
+                       .on(exec);
+    // Setup: solver generation including the preconditioner's hierarchy /
+    // factorization work (what a server pays once per operator).
+    result.setup_seconds = bench::time_seconds(
+        exec.get(), [&] { solver = factory->generate(a); }, 1);
+    auto b = Dense<double>::create_filled(exec, dim2{n, 1}, 1.0);
+    auto x = Dense<double>::create_filled(exec, dim2{n, 1}, 0.0);
+    result.solve_seconds = bench::time_seconds(exec.get(), [&] {
+        x->fill(0.0);
+        solver->apply(b.get(), x.get());
+    });
+    auto logger =
+        dynamic_cast<solver::IterativeSolver<double>*>(solver.get())
+            ->get_logger();
+    result.iterations = logger->num_iterations();
+    result.converged = logger->has_converged();
+    return result;
+}
+
+}  // namespace
+
+
+int main()
+{
+    auto host = ReferenceExecutor::create();
+    const bool smoke = std::getenv("MGKO_BENCH_SMOKE") != nullptr;
+
+    std::vector<problem> problems;
+    const std::vector<size_type> sizes_2d =
+        smoke ? std::vector<size_type>{32, 48}
+              : std::vector<size_type>{48, 96, 160};
+    for (const auto s : sizes_2d) {
+        problems.push_back({"poisson2d_5pt_" + std::to_string(s),
+                            matgen::stencil_2d_5pt(s, s)});
+    }
+    problems.back().largest_2d = true;
+    const size_type s3 = smoke ? 14 : 20;
+    problems.push_back({"poisson3d_7pt_" + std::to_string(s3),
+                        matgen::stencil_3d_7pt(s3, s3, s3)});
+    const size_type s27 = smoke ? 10 : 14;
+    problems.push_back({"poisson3d_27pt_" + std::to_string(s27),
+                        matgen::stencil_3d_27pt(s27, s27, s27), 0.02});
+    const size_type sa = smoke ? 32 : 64;
+    problems.push_back({"aniso2d_eps1e-2_" + std::to_string(sa),
+                        matgen::stencil_2d_aniso(sa, sa, 0.01)});
+
+    bench::CsvBlock csv{"amg",
+                        {"matrix", "n", "nnz", "jacobi_iters",
+                         "jacobi_solve_s", "ilu_iters", "ilu_solve_s",
+                         "amg_iters", "amg_setup_s", "amg_solve_s",
+                         "amg_levels", "operator_complexity"}};
+
+    std::printf("AMG milestone: CG preconditioned by jacobi / ilu(0) / "
+                "smoothed-aggregation AMG on Poisson stencils\n");
+    bool ok = true;
+    bench::ProfileScope profile{"amg", {host}};
+    for (const auto& p : problems) {
+        auto a = std::shared_ptr<Csr<double, int32>>{
+            Csr<double, int32>::create_from_data(host,
+                                                 p.data.cast<double, int32>())};
+
+        const auto jacobi = run_cg(
+            host, a, preconditioner::Jacobi<double, int32>::build().on(host));
+        const auto ilu =
+            run_cg(host, a, preconditioner::Ilu<double, int32>::build_on(host));
+        auto amg_factory = multigrid::AmgPreconditioner<double, int32>::build()
+                               .with_theta(p.theta)
+                               .on(host);
+        const auto amg = run_cg(host, a, amg_factory);
+        // Hierarchy shape for the breakdown columns.
+        auto precond = amg_factory->generate(a);
+        const auto& hierarchy =
+            dynamic_cast<multigrid::AmgPreconditioner<double, int32>*>(
+                precond.get())
+                ->get_hierarchy();
+
+        csv.add_row({p.name, std::to_string(a->get_size().rows),
+                     std::to_string(a->get_num_stored_elements()),
+                     std::to_string(jacobi.iterations),
+                     bench::fmt(jacobi.solve_seconds),
+                     std::to_string(ilu.iterations),
+                     bench::fmt(ilu.solve_seconds),
+                     std::to_string(amg.iterations),
+                     bench::fmt(amg.setup_seconds),
+                     bench::fmt(amg.solve_seconds),
+                     std::to_string(hierarchy.num_levels()),
+                     bench::fmt(hierarchy.operator_complexity())});
+
+        for (const auto& [label, r] :
+             {std::pair<const char*, const run_result*>{"jacobi", &jacobi},
+              {"ilu", &ilu},
+              {"amg", &amg}}) {
+            if (!r->converged) {
+                std::fprintf(stderr, "[amg] %s: %s-CG failed to converge\n",
+                             p.name.c_str(), label);
+                ok = false;
+            }
+        }
+        if (amg.iterations >= ilu.iterations) {
+            std::fprintf(stderr,
+                         "[amg] %s: AMG-CG %lld iters did not beat ILU-CG "
+                         "%lld\n",
+                         p.name.c_str(),
+                         static_cast<long long>(amg.iterations),
+                         static_cast<long long>(ilu.iterations));
+            ok = false;
+        }
+        if (p.largest_2d) {
+            bench::check_shape(
+                "AMG-CG converges in <= 25% of the Jacobi-CG iterations "
+                "on the largest 2D Poisson stencil",
+                amg.iterations * 4 <= jacobi.iterations,
+                std::to_string(amg.iterations) + " vs " +
+                    std::to_string(jacobi.iterations) + " iterations");
+            if (amg.iterations * 4 > jacobi.iterations) {
+                ok = false;
+            }
+            bench::check_shape(
+                "AMG-CG wins on simulated solve time at the largest 2D "
+                "size",
+                amg.solve_seconds < jacobi.solve_seconds &&
+                    amg.solve_seconds < ilu.solve_seconds,
+                "amg " + bench::fmt(amg.solve_seconds) + "s vs jacobi " +
+                    bench::fmt(jacobi.solve_seconds) + "s, ilu " +
+                    bench::fmt(ilu.solve_seconds) + "s");
+            if (amg.solve_seconds >= jacobi.solve_seconds ||
+                amg.solve_seconds >= ilu.solve_seconds) {
+                ok = false;
+            }
+        }
+        std::printf("%-22s n=%-7lld jacobi %4lld  ilu %4lld  amg %3lld "
+                    "(setup %ss, solve %ss, %lld levels)\n",
+                    p.name.c_str(),
+                    static_cast<long long>(a->get_size().rows),
+                    static_cast<long long>(jacobi.iterations),
+                    static_cast<long long>(ilu.iterations),
+                    static_cast<long long>(amg.iterations),
+                    bench::fmt(amg.setup_seconds).c_str(),
+                    bench::fmt(amg.solve_seconds).c_str(),
+                    static_cast<long long>(hierarchy.num_levels()));
+    }
+    csv.print();
+    if (!ok) {
+        std::fprintf(stderr, "[amg] gate violated — see diagnostics above\n");
+    }
+    return ok ? 0 : 1;
+}

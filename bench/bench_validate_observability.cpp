@@ -27,6 +27,13 @@
 //   * solveserver: a BENCH_solve_server.json result block — an aggregate
 //                 'all' row must exist with requests > 0, and every served
 //                 class must report finite, ordered latency quantiles;
+//   * amg:        a BENCH_amg.json result block, optionally followed by a
+//                 comma and a trace dump from the same run — AMG-CG must
+//                 beat Jacobi-CG and ILU-CG on iteration count on every
+//                 row and need <= 25% of the Jacobi-CG iterations on the
+//                 largest 2D Poisson row; when the trace is given, its
+//                 per-level "amg.cycle.level<k>" spans must be present and
+//                 well nested (level k strictly inside level k-1);
 //   * diff:       two comma-separated result blocks (committed baseline,
 //                 fresh run) — same figure/columns/row count, every
 //                 numeric cell within 10% relative, metadata ignored.
@@ -429,6 +436,169 @@ bool validate_sellcs(const std::string& file)
 }
 
 
+// BENCH_amg.json (+ optional trace): the AMG milestone gates.  Iteration
+// counts are deterministic on the ReferenceExecutor, so these are exact:
+// AMG-CG strictly beats Jacobi-CG and ILU-CG everywhere, and on the
+// largest 2D Poisson row wins by at least 4x over Jacobi-CG.  The trace
+// check replays the dumped span events and verifies the V-cycle's
+// "amg.cycle.level<k>" spans nest strictly inside level k-1.
+bool validate_amg(const std::string& files)
+{
+    const auto comma = files.find(',');
+    const auto result_file =
+        comma == std::string::npos ? files : files.substr(0, comma);
+    Json doc;
+    if (!load(result_file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("figure") ||
+        doc.at("figure").as_string() != "amg") {
+        return fail(result_file, "not an amg result block");
+    }
+    if (!doc.contains("columns") || !doc.contains("rows")) {
+        return fail(result_file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto matrix = column_of("matrix");
+    const auto n_col = column_of("n");
+    const auto jacobi = column_of("jacobi_iters");
+    const auto ilu = column_of("ilu_iters");
+    const auto amg = column_of("amg_iters");
+    const auto setup = column_of("amg_setup_s");
+    const auto solve = column_of("amg_solve_s");
+    if (matrix == columns.size() || n_col == columns.size() ||
+        jacobi == columns.size() || ilu == columns.size() ||
+        amg == columns.size() || setup == columns.size() ||
+        solve == columns.size()) {
+        return fail(result_file, "missing matrix/n/*_iters/amg_*_s columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(result_file, "no result rows");
+    }
+    double largest_2d_n = -1.0;
+    double largest_2d_ratio = 0.0;
+    std::string largest_2d_name;
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <=
+            std::max({matrix, n_col, jacobi, ilu, amg, setup, solve})) {
+            return fail(result_file, "row shorter than the gate columns");
+        }
+        const auto name = cells[matrix].as_string();
+        const double jacobi_iters = cells[jacobi].as_double();
+        const double ilu_iters = cells[ilu].as_double();
+        const double amg_iters = cells[amg].as_double();
+        if (amg_iters < 1.0 || !std::isfinite(cells[setup].as_double()) ||
+            !std::isfinite(cells[solve].as_double()) ||
+            cells[setup].as_double() <= 0.0 ||
+            cells[solve].as_double() <= 0.0) {
+            return fail(result_file,
+                        "'" + name + "' has a degenerate amg row");
+        }
+        if (amg_iters >= ilu_iters || amg_iters >= jacobi_iters) {
+            std::ostringstream what;
+            what << "'" << name << "': AMG-CG " << amg_iters
+                 << " iters does not beat ILU-CG " << ilu_iters
+                 << " / Jacobi-CG " << jacobi_iters;
+            return fail(result_file, what.str());
+        }
+        if (name.rfind("poisson2d", 0) == 0 &&
+            cells[n_col].as_double() > largest_2d_n) {
+            largest_2d_n = cells[n_col].as_double();
+            largest_2d_ratio = amg_iters / jacobi_iters;
+            largest_2d_name = name;
+        }
+    }
+    if (largest_2d_n < 0.0) {
+        return fail(result_file, "no poisson2d row to apply the 4x gate to");
+    }
+    if (largest_2d_ratio > 0.25) {
+        std::ostringstream what;
+        what << "'" << largest_2d_name << "': AMG-CG/Jacobi-CG iteration "
+             << "ratio " << largest_2d_ratio << " above the 0.25 gate";
+        return fail(result_file, what.str());
+    }
+    std::printf("[observability] %s: %zu rows, AMG-CG beats Jacobi/ILU "
+                "everywhere, largest-2D ratio %.3f <= 0.25 OK\n",
+                result_file.c_str(), rows.size(), largest_2d_ratio);
+    if (comma == std::string::npos) {
+        return true;
+    }
+
+    const auto trace_file = files.substr(comma + 1);
+    Json trace;
+    if (!load(trace_file, trace)) {
+        return false;
+    }
+    if (!trace.is_object() || !trace.contains("traceEvents") ||
+        !trace.at("traceEvents").is_array()) {
+        return fail(trace_file, "missing 'traceEvents' array");
+    }
+    const std::string prefix = "amg.cycle.level";
+    std::map<double, std::vector<int>> level_stacks;
+    std::size_t span_count = 0;
+    int max_level = -1;
+    for (const auto& event : trace.at("traceEvents").elements()) {
+        if (!event.is_object() || !event.contains("name") ||
+            !event.contains("ph")) {
+            continue;
+        }
+        const auto name = event.at("name").as_string();
+        if (name.rfind(prefix, 0) != 0) {
+            continue;
+        }
+        const int level = std::atoi(name.c_str() + prefix.size());
+        const auto phase = event.at("ph").as_string();
+        const auto tid =
+            event.contains("tid") ? event.at("tid").as_double() : 0.0;
+        auto& stack = level_stacks[tid];
+        if (phase == "B") {
+            // A V-cycle descends one level at a time: level k only opens
+            // inside an open level k-1 (level 0 at the top).
+            const int expected = stack.empty() ? 0 : stack.back() + 1;
+            if (level != expected) {
+                std::ostringstream what;
+                what << "span '" << name << "' opened at depth "
+                     << stack.size() << " (expected level " << expected
+                     << ")";
+                return fail(trace_file, what.str());
+            }
+            stack.push_back(level);
+            max_level = std::max(max_level, level);
+            ++span_count;
+        } else if (phase == "E") {
+            if (stack.empty() || stack.back() != level) {
+                return fail(trace_file,
+                            "span '" + name + "' closed out of order");
+            }
+            stack.pop_back();
+        }
+    }
+    for (const auto& [tid, stack] : level_stacks) {
+        if (!stack.empty()) {
+            return fail(trace_file, "amg cycle span left open on tid " +
+                                        std::to_string(static_cast<long>(tid)));
+        }
+    }
+    if (span_count == 0 || max_level < 1) {
+        return fail(trace_file, "no nested amg.cycle.level spans in trace");
+    }
+    std::printf("[observability] %s: %zu amg.cycle spans across %d levels "
+                "well nested OK\n",
+                trace_file.c_str(), span_count, max_level + 1);
+    return true;
+}
+
+
 // Diffs a fresh result block against the committed baseline: identical
 // figure/columns/row count, numeric cells within 10% relative (the sim
 // clock is deterministic; the slack covers OMP thread-count changes),
@@ -540,6 +710,8 @@ int main(int argc, char** argv)
             ok = validate_sellcs(file) && ok;
         } else if (flag == "--solveserver") {
             ok = validate_solveserver(file) && ok;
+        } else if (flag == "--amg") {
+            ok = validate_amg(file) && ok;
         } else if (flag == "--diff") {
             ok = validate_diff(file) && ok;
         } else {
@@ -553,7 +725,8 @@ int main(int argc, char** argv)
             stderr,
             "usage: bench_validate_observability [--trace f] [--profile f] "
             "[--metrics f] [--prometheus f] [--flight f] [--overhead f] "
-            "[--sellcs f] [--solveserver f] [--diff baseline,fresh]\n");
+            "[--sellcs f] [--solveserver f] [--amg results[,trace]] "
+            "[--diff baseline,fresh]\n");
         return 2;
     }
     return ok ? 0 : 1;

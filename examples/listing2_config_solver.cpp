@@ -4,6 +4,7 @@
 // through the same pre-instantiated bindings — no recompilation, no
 // temporary files (paper §5).
 #include <cstdio>
+#include <string>
 
 #include "bindings/api.hpp"
 #include "config/json.hpp"
@@ -47,11 +48,15 @@ int main()
 
     // Run-time experimentation, the point of the config interface: swap
     // the solver and preconditioner without touching any binding code.
+    // Config blocks are strict — each preconditioner only accepts its own
+    // keys — so the sweep replaces the whole block instead of mutating
+    // the Jacobi one (whose "max_block_size" Ic/AMG would reject).
     for (const char* solver_type : {"solver::Cg", "solver::Bicgstab"}) {
         for (const char* precond : {"preconditioner::Ic",
-                                    "preconditioner::Jacobi"}) {
+                                    "preconditioner::Jacobi", "amg"}) {
             cfg["type"] = Json{solver_type};
-            cfg["preconditioner"]["type"] = Json{precond};
+            cfg["preconditioner"] = Json::parse(
+                std::string{R"({"type": ")"} + precond + R"("})");
             auto x2 = pg::as_tensor(dev, dim2{n, 1}, "double", 0.0);
             auto [log2, res2] = pg::solve(dev, mtx, b, x2, cfg);
             std::printf("%-18s + %-24s: iterations=%4lld residual=%.3e\n",

@@ -32,6 +32,7 @@
 #include "matrix/hybrid.hpp"
 #include "matrix/sellcs.hpp"
 #include "matrix/spgemm.hpp"
+#include "multigrid/amg_solver.hpp"
 #include "reorder/reorder.hpp"
 #include "solver/direct.hpp"
 #include "preconditioner/ilu.hpp"
@@ -448,6 +449,23 @@ void register_matrix_bindings(Module& m)
         return box("precond",
                    std::shared_ptr<const LinOp>{factory->generate(mat)});
     });
+    // args: device, matrix, theta, max_levels, min_coarse_rows, smoother,
+    //       cycles
+    m.def("precond_amg" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto factory =
+            mgko::multigrid::AmgPreconditioner<V, I>::build()
+                .with_theta(args.at(2).as_double())
+                .with_max_levels(args.at(3).as_int())
+                .with_min_coarse_rows(args.at(4).as_int())
+                .with_smoother(mgko::multigrid::smoother_from_string(
+                    args.at(5).as_string()))
+                .with_cycles(args.at(6).as_int())
+                .on(std::move(exec));
+        return box("precond",
+                   std::shared_ptr<const LinOp>{factory->generate(mat)});
+    });
 
     // Direct solver bindings.
     auto make_criteria = [](const List& args, std::size_t max_iters_idx,
@@ -502,6 +520,23 @@ void register_matrix_bindings(Module& m)
     register_krylov("cgs", type_token<mgko::solver::Cgs<V>>{});
     register_krylov("bicgstab", type_token<mgko::solver::Bicgstab<V>>{});
     register_krylov("fcg", type_token<mgko::solver::Fcg<V>>{});
+
+    // Standalone AMG V-cycle solver.
+    // args: device, matrix, max_iters, reduction, theta, smoother
+    m.def("solver_amg" + s, [](const List& args) -> Value {
+        auto exec = unbox_device(args.at(0));
+        auto mat = unbox_matrix<Csr<V, I>>(args.at(1));
+        auto factory =
+            mgko::multigrid::AmgSolver<V, I>::build()
+                .with_criteria(stop::iteration(args.at(2).as_int()))
+                .with_criteria(
+                    stop::residual_norm(args.at(3).as_double()))
+                .with_theta(args.at(4).as_double())
+                .with_smoother(mgko::multigrid::smoother_from_string(
+                    args.at(5).as_string()))
+                .on(std::move(exec));
+        return box_linop("solver", factory->generate(mat));
+    });
 
     // C = A @ B (sparse matrix product; §1 names it next to SpMV as a
     // core sparse-ML operation).

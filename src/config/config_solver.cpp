@@ -1,5 +1,7 @@
 #include "config/config_solver.hpp"
 
+#include <algorithm>
+#include <initializer_list>
 #include <limits>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "matrix/ell.hpp"
 #include "matrix/hybrid.hpp"
 #include "matrix/sellcs.hpp"
+#include "multigrid/amg_solver.hpp"
 #include "preconditioner/ilu.hpp"
 #include "preconditioner/jacobi.hpp"
 #include "reorder/reorder.hpp"
@@ -32,6 +35,74 @@
 namespace mgko::config {
 
 namespace {
+
+/// Rejects config keys outside `valid` so a typo ("thetta") fails loudly
+/// instead of silently running with the default; the message lists every
+/// key the chosen solver/preconditioner accepts.
+void validate_config_keys(const Json& config, std::vector<std::string> valid,
+                          const std::string& context)
+{
+    std::sort(valid.begin(), valid.end());
+    for (const auto& [key, value] : config.items()) {
+        (void)value;
+        if (!std::binary_search(valid.begin(), valid.end(), key)) {
+            std::string list;
+            for (const auto& k : valid) {
+                list += list.empty() ? k : ", " + k;
+            }
+            throw BadParameter(__FILE__, __LINE__,
+                               "unknown config key '" + key + "' for " +
+                                   context + " (valid keys: " + list + ")");
+        }
+    }
+}
+
+/// Keys every solver config accepts (dtype selection, storage/reorder
+/// transforms, and the observability toggles), plus the chosen solver's own.
+std::vector<std::string> solver_config_keys(
+    std::initializer_list<const char*> extra)
+{
+    std::vector<std::string> valid{
+        "type",          "value_type", "index_type", "format",
+        "reorder",       "slice_size", "sorting_window", "trace",
+        "telemetry",     "solve_server"};
+    valid.insert(valid.end(), extra.begin(), extra.end());
+    return valid;
+}
+
+
+multigrid::amg_parameters parse_amg_parameters(const Json& config)
+{
+    multigrid::amg_parameters p;
+    p.theta = config.get_or("theta", Json{p.theta}).as_double();
+    p.max_levels = static_cast<size_type>(
+        config.get_or("max_levels",
+                      Json{static_cast<std::int64_t>(p.max_levels)})
+            .as_int());
+    p.min_coarse_rows = static_cast<size_type>(
+        config.get_or("min_coarse_rows",
+                      Json{static_cast<std::int64_t>(p.min_coarse_rows)})
+            .as_int());
+    p.smoother = multigrid::smoother_from_string(
+        config.get_or("smoother", Json{multigrid::to_string(p.smoother)})
+            .as_string());
+    p.pre_sweeps = static_cast<size_type>(
+        config.get_or("pre_sweeps",
+                      Json{static_cast<std::int64_t>(p.pre_sweeps)})
+            .as_int());
+    p.post_sweeps = static_cast<size_type>(
+        config.get_or("post_sweeps",
+                      Json{static_cast<std::int64_t>(p.post_sweeps)})
+            .as_int());
+    p.smoothed_prolongation =
+        config.get_or("smoothed_prolongation", Json{p.smoothed_prolongation})
+            .as_bool();
+    p.cycles = static_cast<size_type>(
+        config.get_or("cycles", Json{static_cast<std::int64_t>(p.cycles)})
+            .as_int());
+    return p;
+}
+
 
 stop::baseline parse_baseline(const std::string& name)
 {
@@ -98,16 +169,31 @@ std::shared_ptr<const LinOpFactory> parse_preconditioner(
     const auto& type = config.at("type").as_string();
     if (type == "preconditioner::Jacobi" || type == "Jacobi" ||
         type == "jacobi") {
+        validate_config_keys(config, {"type", "max_block_size"},
+                             "preconditioner \"jacobi\"");
         return preconditioner::Jacobi<V, I>::build()
             .with_max_block_size(config.get_or("max_block_size", Json{1})
                                      .as_int())
             .on(std::move(exec));
     }
     if (type == "preconditioner::Ilu" || type == "Ilu" || type == "ilu") {
+        validate_config_keys(config, {"type"}, "preconditioner \"ilu\"");
         return preconditioner::Ilu<V, I>::build_on(std::move(exec));
     }
     if (type == "preconditioner::Ic" || type == "Ic" || type == "ic") {
+        validate_config_keys(config, {"type"}, "preconditioner \"ic\"");
         return preconditioner::Ic<V, I>::build_on(std::move(exec));
+    }
+    if (type == "preconditioner::Amg" || type == "Amg" || type == "amg" ||
+        type == "multigrid::Amg") {
+        validate_config_keys(
+            config,
+            {"type", "theta", "max_levels", "min_coarse_rows", "smoother",
+             "cycles", "pre_sweeps", "post_sweeps", "smoothed_prolongation"},
+            "preconditioner \"amg\"");
+        return std::make_shared<
+            multigrid::AmgPreconditionerFactory<V, I>>(
+            std::move(exec), parse_amg_parameters(config));
     }
     throw BadParameter(__FILE__, __LINE__,
                        "unknown preconditioner type: " + type);
@@ -189,20 +275,64 @@ std::shared_ptr<const LinOpFactory> parse_factory_inner(
 
     // Direct and triangular solvers carry no criteria.
     if (type == "solver::Direct" || type == "Direct" || type == "direct") {
+        validate_config_keys(config, solver_config_keys({}),
+                             "solver \"direct\"");
         return solver::Direct<V, I>::build_on(std::move(exec));
     }
     if (type == "solver::LowerTrs" || type == "LowerTrs") {
+        validate_config_keys(config, solver_config_keys({"unit_diagonal"}),
+                             "solver \"LowerTrs\"");
         return solver::LowerTrs<V, I>::build()
             .with_unit_diagonal(
                 config.get_or("unit_diagonal", Json{false}).as_bool())
             .on(std::move(exec));
     }
     if (type == "solver::UpperTrs" || type == "UpperTrs") {
+        validate_config_keys(config, solver_config_keys({"unit_diagonal"}),
+                             "solver \"UpperTrs\"");
         return solver::UpperTrs<V, I>::build()
             .with_unit_diagonal(
                 config.get_or("unit_diagonal", Json{false}).as_bool())
             .on(std::move(exec));
     }
+
+    // The standalone V-cycle solver: stopping criteria plus the hierarchy
+    // knobs; the multigrid cycle itself is the preconditioning, so no
+    // "preconditioner" sub-object applies here.
+    if (type == "solver::Amg" || type == "Amg" || type == "amg" ||
+        type == "multigrid::AmgSolver") {
+        validate_config_keys(
+            config,
+            solver_config_keys({"criteria", "max_iters", "reduction_factor",
+                                "baseline", "theta", "max_levels",
+                                "min_coarse_rows", "smoother", "pre_sweeps",
+                                "post_sweeps", "smoothed_prolongation"}),
+            "solver \"amg\"");
+        multigrid::amg_solver_parameters params;
+        params.criteria = parse_criteria(config);
+        params.amg = parse_amg_parameters(config);
+        return std::make_shared<multigrid::AmgSolverFactory<V, I>>(
+            std::move(exec), std::move(params));
+    }
+
+    const bool known_iterative =
+        type == "solver::Cg" || type == "Cg" || type == "cg" ||
+        type == "solver::Cgs" || type == "Cgs" || type == "cgs" ||
+        type == "solver::Bicgstab" || type == "Bicgstab" ||
+        type == "bicgstab" || type == "solver::Fcg" || type == "Fcg" ||
+        type == "fcg" || type == "solver::Gmres" || type == "Gmres" ||
+        type == "gmres" || type == "solver::Ir" || type == "Ir" ||
+        type == "ir" || type == "richardson";
+    if (!known_iterative) {
+        throw BadParameter(__FILE__, __LINE__,
+                           "unknown solver type: " + type);
+    }
+    validate_config_keys(
+        config,
+        solver_config_keys({"criteria", "max_iters", "reduction_factor",
+                            "baseline", "preconditioner", "krylov_dim",
+                            "relaxation_factor", "inner_precision"}),
+        "solver \"" + type + "\"");
 
     auto criteria = parse_criteria(config);
     std::shared_ptr<const LinOpFactory> precond;
@@ -288,6 +418,12 @@ std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory_typed(
     const auto& type = config.at("type").as_string();
     const auto expected = config.at("batch").as_int();
     MGKO_ENSURE(expected >= 0, "'batch' must be a non-negative system count");
+    validate_config_keys(
+        config,
+        {"type", "batch", "value_type", "index_type", "criteria", "max_iters",
+         "reduction_factor", "baseline", "preconditioner", "trace",
+         "telemetry", "solve_server"},
+        "batched solver \"" + type + "\"");
 
     auto criteria = parse_criteria(config);
     std::shared_ptr<const batch::BatchLinOpFactory> precond;

@@ -135,6 +135,20 @@ inline op_work jacobi_apply_work(size_type n, size_type vb)
     return {nd, 3.0 * nd * static_cast<double>(vb)};
 }
 
+/// SpGEMM C = A * B (Gustavson row-merge): both operands streamed, the
+/// result written, with a 1.5x factor for the accumulator/touched-list
+/// traffic of the merge.  `products` is the number of scalar a_ik * b_kj
+/// terms (sum over A's nonzeros of the matching B-row length) — data
+/// dependent, so callers count it while merging; each term is one multiply
+/// plus one add.
+inline op_work spgemm_work(size_type a_nnz, size_type b_nnz, size_type c_nnz,
+                           double products, size_type vb, size_type ib)
+{
+    return {2.0 * products,
+            static_cast<double>(a_nnz + b_nnz + c_nnz) *
+                static_cast<double>(vb + ib) * 1.5};
+}
+
 
 // --- roofline derivations -----------------------------------------------
 

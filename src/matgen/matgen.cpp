@@ -99,6 +99,59 @@ data64 stencil_3d_7pt(size_type nx, size_type ny, size_type nz)
 }
 
 
+data64 stencil_2d_aniso(size_type nx, size_type ny, double epsilon)
+{
+    data64 data{dim2{nx * ny}};
+    auto idx = [&](size_type i, size_type j) { return i * ny + j; };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            const auto row = idx(i, j);
+            data.add(row, row, 2.0 + 2.0 * epsilon);
+            if (i > 0) data.add(row, idx(i - 1, j), -1.0);
+            if (i + 1 < nx) data.add(row, idx(i + 1, j), -1.0);
+            if (j > 0) data.add(row, idx(i, j - 1), -epsilon);
+            if (j + 1 < ny) data.add(row, idx(i, j + 1), -epsilon);
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+
+data64 stencil_3d_27pt(size_type nx, size_type ny, size_type nz)
+{
+    data64 data{dim2{nx * ny * nz}};
+    auto idx = [&](size_type i, size_type j, size_type k) {
+        return (i * ny + j) * nz + k;
+    };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            for (size_type k = 0; k < nz; ++k) {
+                const auto row = idx(i, j, k);
+                for (int di = -1; di <= 1; ++di) {
+                    for (int dj = -1; dj <= 1; ++dj) {
+                        for (int dk = -1; dk <= 1; ++dk) {
+                            const auto ni = i + di;
+                            const auto nj = j + dj;
+                            const auto nk = k + dk;
+                            if (ni < 0 || nj < 0 || nk < 0 || ni >= nx ||
+                                nj >= ny || nk >= nz) {
+                                continue;
+                            }
+                            data.add(row, idx(ni, nj, nk),
+                                     di == 0 && dj == 0 && dk == 0 ? 26.0
+                                                                   : -1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    data.sort_row_major();
+    return data;
+}
+
+
 data64 random_uniform(size_type n, size_type nnz_per_row, std::uint64_t seed)
 {
     std::mt19937_64 engine{seed};

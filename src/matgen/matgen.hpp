@@ -31,6 +31,13 @@ data64 stencil_2d_5pt(size_type nx, size_type ny);
 data64 stencil_2d_9pt(size_type nx, size_type ny);
 /// 7-point Laplacian on an nx x ny x nz grid (SPD, ~7 nnz/row).
 data64 stencil_3d_7pt(size_type nx, size_type ny, size_type nz);
+/// Anisotropic 5-point stencil: x-coupling -1, y-coupling -epsilon, diagonal
+/// 2 + 2*epsilon (SPD for epsilon > 0).  Small epsilon makes the y-links
+/// weak — the non-trivial target for AMG strength-of-connection filtering.
+data64 stencil_2d_aniso(size_type nx, size_type ny, double epsilon);
+/// 27-point 3D Poisson stencil: all 26 neighbors -1, diagonal 26 on
+/// interior nodes (SPD, diagonally dominant on the boundary).
+data64 stencil_3d_27pt(size_type nx, size_type ny, size_type nz);
 /// Uniform random pattern with `nnz_per_row` entries/row plus a dominant
 /// diagonal.
 data64 random_uniform(size_type n, size_type nnz_per_row,

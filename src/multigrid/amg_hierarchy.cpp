@@ -1,0 +1,479 @@
+#include "multigrid/amg_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/kernel_utils.hpp"
+#include "core/math.hpp"
+#include "core/matrix_data.hpp"
+#include "matrix/spgemm.hpp"
+#include "solver/direct.hpp"
+
+namespace mgko::multigrid {
+
+
+std::string to_string(smoother_type s)
+{
+    return s == smoother_type::jacobi ? "jacobi" : "gauss_seidel";
+}
+
+smoother_type smoother_from_string(const std::string& name)
+{
+    if (name == "jacobi") {
+        return smoother_type::jacobi;
+    }
+    if (name == "gauss_seidel" || name == "gs") {
+        return smoother_type::gauss_seidel;
+    }
+    throw BadParameter(__FILE__, __LINE__,
+                       "unknown smoother '" + name +
+                           "' (expected \"jacobi\" or \"gauss_seidel\")");
+}
+
+
+namespace {
+
+// Workspace layout: four slots per level (residual, smoother scratch,
+// coarse rhs, coarse solution), then the +-1 scalars after the last level.
+constexpr std::size_t slots_per_level = 4;
+constexpr std::size_t ws_r = 0;
+constexpr std::size_t ws_tmp = 1;
+constexpr std::size_t ws_coarse_b = 2;
+constexpr std::size_t ws_coarse_x = 3;
+
+
+/// Greedy unsmoothed aggregation over the strength graph.  Fills `agg`
+/// (fine row -> aggregate id) and returns the number of aggregates.
+///
+/// Pass 1 seeds an aggregate from every node whose strong neighbourhood is
+/// still untouched (the node plus all strong neighbours join).  Pass 2
+/// attaches leftovers to the aggregate of their strongest aggregated
+/// neighbour.  Pass 3 turns isolated stragglers into singletons.
+template <typename ValueType, typename IndexType>
+size_type aggregate_rows(const Csr<ValueType, IndexType>* a, double theta,
+                         std::vector<IndexType>& agg)
+{
+    const auto n = a->get_size().rows;
+    const auto* row_ptrs = a->get_const_row_ptrs();
+    const auto* col_idxs = a->get_const_col_idxs();
+    const auto* values = a->get_const_values();
+
+    std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+    for (size_type row = 0; row < n; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (static_cast<size_type>(col_idxs[k]) == row) {
+                diag[static_cast<std::size_t>(row)] =
+                    std::abs(to_float(values[k]));
+            }
+        }
+    }
+    auto strong = [&](size_type row, size_type k) {
+        const auto col = static_cast<size_type>(col_idxs[k]);
+        if (col == row || col >= n) {
+            return false;
+        }
+        const double bound = theta * std::sqrt(diag[row] * diag[col]);
+        return std::abs(to_float(values[static_cast<std::size_t>(k)])) >=
+               bound;
+    };
+
+    constexpr IndexType unassigned = -1;
+    agg.assign(static_cast<std::size_t>(n), unassigned);
+    IndexType num_agg = 0;
+    for (size_type row = 0; row < n; ++row) {
+        if (agg[row] != unassigned) {
+            continue;
+        }
+        bool neighborhood_free = true;
+        for (auto k = row_ptrs[row];
+             neighborhood_free && k < row_ptrs[row + 1]; ++k) {
+            if (strong(row, static_cast<size_type>(k)) &&
+                agg[static_cast<std::size_t>(col_idxs[k])] != unassigned) {
+                neighborhood_free = false;
+            }
+        }
+        if (!neighborhood_free) {
+            continue;
+        }
+        agg[row] = num_agg;
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (strong(row, static_cast<size_type>(k))) {
+                agg[static_cast<std::size_t>(col_idxs[k])] = num_agg;
+            }
+        }
+        ++num_agg;
+    }
+    for (size_type row = 0; row < n; ++row) {
+        if (agg[row] != unassigned) {
+            continue;
+        }
+        double best = -1.0;
+        IndexType target = unassigned;
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            const auto col = static_cast<std::size_t>(col_idxs[k]);
+            if (strong(row, static_cast<size_type>(k)) &&
+                agg[col] != unassigned) {
+                const double w =
+                    std::abs(to_float(values[static_cast<std::size_t>(k)]));
+                if (w > best) {
+                    best = w;
+                    target = agg[col];
+                }
+            }
+        }
+        agg[row] = target;
+    }
+    for (size_type row = 0; row < n; ++row) {
+        if (agg[row] == unassigned) {
+            agg[row] = num_agg++;
+        }
+    }
+    return static_cast<size_type>(num_agg);
+}
+
+
+/// The prolongation smoother M = I - omega * D_f^{-1} A_f, where A_f keeps
+/// the strong entries and lumps the filtered weak couplings into the
+/// diagonal, and omega = 4 / (3 rho) with rho the Gershgorin bound on
+/// rho(D_f^{-1} A_f) — the standard smoothed-aggregation damping.
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Csr<ValueType, IndexType>> prolongation_smoother(
+    const Csr<ValueType, IndexType>* a, double theta)
+{
+    const auto exec = a->get_executor();
+    const auto n = a->get_size().rows;
+    const auto* row_ptrs = a->get_const_row_ptrs();
+    const auto* col_idxs = a->get_const_col_idxs();
+    const auto* values = a->get_const_values();
+
+    std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+    for (size_type row = 0; row < n; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            if (static_cast<size_type>(col_idxs[k]) == row) {
+                diag[static_cast<std::size_t>(row)] = to_float(values[k]);
+            }
+        }
+    }
+    // Filtered diagonal (weak couplings lumped in) and Gershgorin bound.
+    std::vector<double> filtered_diag(diag);
+    double rho = 0.0;
+    for (size_type row = 0; row < n; ++row) {
+        double strong_abs = 0.0;
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            const auto col = static_cast<size_type>(col_idxs[k]);
+            if (col == row) {
+                continue;
+            }
+            const double v = to_float(values[k]);
+            const double bound =
+                theta * std::sqrt(std::abs(diag[row] * diag[col]));
+            if (std::abs(v) >= bound) {
+                strong_abs += std::abs(v);
+            } else {
+                filtered_diag[static_cast<std::size_t>(row)] += v;
+            }
+        }
+        const double d = std::abs(filtered_diag[static_cast<std::size_t>(row)]);
+        if (d > 0.0) {
+            rho = std::max(rho, (d + strong_abs) / d);
+        }
+    }
+    const double omega = rho > 0.0 ? 4.0 / (3.0 * rho) : 2.0 / 3.0;
+
+    matrix_data<ValueType, IndexType> m{dim2{n, n}};
+    for (size_type row = 0; row < n; ++row) {
+        double df = filtered_diag[static_cast<std::size_t>(row)];
+        if (df == 0.0) {
+            df = diag[static_cast<std::size_t>(row)] != 0.0
+                     ? diag[static_cast<std::size_t>(row)]
+                     : 1.0;
+        }
+        m.add(static_cast<IndexType>(row), static_cast<IndexType>(row),
+              static_cast<ValueType>(1.0 - omega));
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            const auto col = static_cast<size_type>(col_idxs[k]);
+            if (col == row) {
+                continue;
+            }
+            const double v = to_float(values[k]);
+            const double bound =
+                theta * std::sqrt(std::abs(diag[row] * diag[col]));
+            if (std::abs(v) >= bound) {
+                m.add(static_cast<IndexType>(row),
+                      static_cast<IndexType>(col),
+                      static_cast<ValueType>(-omega * v / df));
+            }
+        }
+    }
+    return Csr<ValueType, IndexType>::create_from_data(exec, m);
+}
+
+
+/// 1 / a_ii per row, shared by both smoothers.
+template <typename ValueType, typename IndexType>
+std::unique_ptr<Dense<ValueType>> inverted_diagonal(
+    const Csr<ValueType, IndexType>* a)
+{
+    auto diag = a->extract_diagonal();
+    auto* vals = diag->get_values();
+    for (size_type row = 0; row < a->get_size().rows; ++row) {
+        vals[row] = safe_reciprocal(vals[row]);
+    }
+    return diag;
+}
+
+}  // namespace
+
+
+template <typename ValueType, typename IndexType>
+Hierarchy<ValueType, IndexType>::Hierarchy(
+    std::shared_ptr<const Executor> exec, amg_parameters params,
+    std::shared_ptr<const Csr<ValueType, IndexType>> fine)
+    : exec_{std::move(exec)}, params_{params}, workspace_{exec_}
+{
+    MGKO_ENSURE(fine != nullptr, "AMG hierarchy requires a system matrix");
+    MGKO_ENSURE(fine->get_size().rows == fine->get_size().cols,
+                "AMG hierarchy requires a square system");
+    MGKO_ENSURE(params_.theta >= 0.0 && params_.theta < 1.0,
+                "AMG strength threshold theta must be in [0, 1)");
+    MGKO_ENSURE(params_.max_levels >= 1, "AMG needs at least one level");
+    log::ScopedSpan setup_span{nullptr, exec_.get(), "amg.setup"};
+
+    levels_.push_back(level{});
+    levels_.back().op = fine;
+    while (levels_.size() < params_.max_levels &&
+           levels_.back().op->get_size().rows > params_.min_coarse_rows) {
+        auto& fine_level = levels_.back();
+        const auto* a = fine_level.op.get();
+        const auto n = a->get_size().rows;
+
+        // Strength filter + greedy aggregation run as one host-side
+        // operation so setup work is attributed in the profiler like any
+        // other kernel.
+        std::vector<IndexType> agg;
+        size_type num_agg = 0;
+        auto agg_kernel = [&](const Executor* e) {
+            num_agg = aggregate_rows(a, params_.theta, agg);
+            kernels::tick(
+                e, sim::profile_stream(
+                       static_cast<double>(a->get_num_stored_elements()) *
+                           (sizeof(ValueType) + sizeof(IndexType)) * 2.0,
+                       4.0 * static_cast<double>(a->get_num_stored_elements()),
+                       0.6));
+        };
+        exec_->run(make_operation(
+            "amg_aggregate",
+            [&](const ReferenceExecutor* e) { agg_kernel(e); },
+            [&](const OmpExecutor* e) { agg_kernel(e); },
+            [&](const CudaExecutor* e) { agg_kernel(e); },
+            [&](const HipExecutor* e) { agg_kernel(e); }));
+        if (num_agg * 10 > n * 9) {
+            // Aggregation stalled (less than 10% reduction): deeper levels
+            // would near-replicate this one and blow up the operator
+            // complexity; stop and let the bottom solver handle this level.
+            break;
+        }
+
+        // Tentative piecewise-constant prolongation: T[i, agg[i]] = 1.
+        matrix_data<ValueType, IndexType> t_data{dim2{n, num_agg}};
+        for (size_type row = 0; row < n; ++row) {
+            t_data.add(static_cast<IndexType>(row), agg[row],
+                       one<ValueType>());
+        }
+        auto tentative =
+            Csr<ValueType, IndexType>::create_from_data(exec_, t_data);
+
+        if (params_.smoothed_prolongation) {
+            auto smoother = prolongation_smoother(a, params_.theta);
+            fine_level.prolong = spgemm(smoother.get(), tentative.get());
+        } else {
+            fine_level.prolong = std::move(tentative);
+        }
+        fine_level.restrict_op = fine_level.prolong->transpose();
+
+        // Galerkin coarse operator A_c = R (A P).
+        auto ap = spgemm(a, fine_level.prolong.get());
+        auto coarse = spgemm(fine_level.restrict_op.get(), ap.get());
+        levels_.push_back(level{});
+        levels_.back().op = std::move(coarse);
+    }
+
+    for (size_type k = 0; k < levels_.size(); ++k) {
+        levels_[k].cycle_span = "amg.cycle.level" + std::to_string(k);
+        levels_[k].inv_diag = inverted_diagonal(levels_[k].op.get());
+    }
+    const auto& coarsest = levels_.back().op;
+    if (coarsest->get_size().rows <=
+        solver::Direct<ValueType, IndexType>::max_dimension) {
+        coarse_solver_ = solver::Direct<ValueType, IndexType>::build_on(exec_)
+                             ->generate(coarsest);
+    }
+}
+
+
+template <typename ValueType, typename IndexType>
+double Hierarchy<ValueType, IndexType>::operator_complexity() const
+{
+    double total = 0.0;
+    for (const auto& l : levels_) {
+        total += static_cast<double>(l.op->get_num_stored_elements());
+    }
+    const auto fine_nnz =
+        static_cast<double>(levels_.front().op->get_num_stored_elements());
+    return fine_nnz > 0.0 ? total / fine_nnz : 1.0;
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hierarchy<ValueType, IndexType>::smooth(size_type lvl,
+                                             const Dense<ValueType>* b,
+                                             Dense<ValueType>* x,
+                                             bool backward) const
+{
+    const auto& l = levels_[lvl];
+    const auto n = l.op->get_size().rows;
+    const auto* inv_diag = l.inv_diag->get_const_values();
+    const auto* bv = b->get_const_values();
+    const auto b_stride = b->get_stride();
+    auto* xv = x->get_values();
+    const auto x_stride = x->get_stride();
+
+    if (params_.smoother == smoother_type::jacobi) {
+        // x += w * D^{-1} (b - A x), with the SpMV charged by Csr::apply
+        // and the fused update charged here.
+        auto* tmp = workspace_.vec(slots_per_level * lvl + ws_tmp, dim2{n, 1});
+        l.op->apply(x, tmp);
+        const auto* tv = tmp->get_const_values();
+        const auto w = params_.jacobi_weight;
+        auto kernel = [&](const Executor* e) {
+            const int nt = kernels::exec_threads(e);
+#pragma omp parallel for num_threads(nt) if (nt > 1)
+            for (size_type i = 0; i < n; ++i) {
+                xv[i * x_stride] += static_cast<ValueType>(
+                    w * to_float(inv_diag[i]) *
+                    (to_float(bv[i * b_stride]) - to_float(tv[i])));
+            }
+            kernels::tick(
+                e, sim::profile_stream(
+                       4.0 * static_cast<double>(n) * sizeof(ValueType),
+                       4.0 * static_cast<double>(n), 0.9));
+        };
+        exec_->run(make_operation(
+            "amg_jacobi_relax", [&](const ReferenceExecutor* e) { kernel(e); },
+            [&](const OmpExecutor* e) { kernel(e); },
+            [&](const CudaExecutor* e) { kernel(e); },
+            [&](const HipExecutor* e) { kernel(e); }));
+        return;
+    }
+
+    // Gauss-Seidel: x_i = inv_diag_i * (b_i - sum_{j != i} a_ij x_j), swept
+    // forward before and backward after coarse correction so the cycle
+    // stays symmetric.  The row recurrence is sequential by construction,
+    // so every backend runs the serial loop (the cost model still charges
+    // the streamed matrix traffic).
+    const auto* row_ptrs = l.op->get_const_row_ptrs();
+    const auto* col_idxs = l.op->get_const_col_idxs();
+    const auto* values = l.op->get_const_values();
+    auto kernel = [&](const Executor* e) {
+        for (size_type step = 0; step < n; ++step) {
+            const auto row = backward ? n - 1 - step : step;
+            double acc = to_float(bv[row * b_stride]);
+            for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+                const auto col = static_cast<size_type>(col_idxs[k]);
+                if (col != row) {
+                    acc -= to_float(values[k]) * to_float(xv[col * x_stride]);
+                }
+            }
+            xv[row * x_stride] =
+                static_cast<ValueType>(to_float(inv_diag[row]) * acc);
+        }
+        kernels::tick(
+            e, sim::profile_stream(
+                   static_cast<double>(l.op->get_num_stored_elements()) *
+                           (sizeof(ValueType) + sizeof(IndexType)) +
+                       3.0 * static_cast<double>(n) * sizeof(ValueType),
+                   2.0 * static_cast<double>(l.op->get_num_stored_elements()),
+                   0.7));
+    };
+    exec_->run(make_operation(
+        "amg_gauss_seidel", [&](const ReferenceExecutor* e) { kernel(e); },
+        [&](const OmpExecutor* e) { kernel(e); },
+        [&](const CudaExecutor* e) { kernel(e); },
+        [&](const HipExecutor* e) { kernel(e); }));
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hierarchy<ValueType, IndexType>::run_level(
+    size_type lvl, const Dense<ValueType>* b, Dense<ValueType>* x,
+    const log::EnableLogging* owner) const
+{
+    log::ScopedSpan span{owner, exec_.get(), levels_[lvl].cycle_span.c_str()};
+    const auto& l = levels_[lvl];
+    const auto n = l.op->get_size().rows;
+
+    if (lvl + 1 == levels_.size()) {
+        if (coarse_solver_) {
+            coarse_solver_->apply(b, x);
+        } else {
+            // Coarsest level too large to densify: relax instead.
+            for (size_type s = 0; s < 2 * (params_.pre_sweeps +
+                                           params_.post_sweeps);
+                 ++s) {
+                smooth(lvl, b, x, s % 2 == 1);
+            }
+        }
+        return;
+    }
+
+    for (size_type s = 0; s < params_.pre_sweeps; ++s) {
+        smooth(lvl, b, x, false);
+    }
+
+    const auto base = slots_per_level * lvl;
+    auto* one_s = workspace_.scalar(slots_per_level * levels_.size(), 1.0);
+    auto* neg_one_s =
+        workspace_.scalar(slots_per_level * levels_.size() + 1, -1.0);
+    auto* r = workspace_.vec(base + ws_r, dim2{n, 1});
+    r->copy_from(b);
+    l.op->apply(neg_one_s, x, one_s, r);
+
+    const auto nc = l.restrict_op->get_size().rows;
+    auto* coarse_b = workspace_.vec(base + ws_coarse_b, dim2{nc, 1});
+    auto* coarse_x = workspace_.vec(base + ws_coarse_x, dim2{nc, 1});
+    l.restrict_op->apply(r, coarse_b);
+    coarse_x->fill(zero<ValueType>());
+    run_level(lvl + 1, coarse_b, coarse_x, owner);
+    // x += P x_c
+    l.prolong->apply(one_s, coarse_x, one_s, x);
+
+    for (size_type s = 0; s < params_.post_sweeps; ++s) {
+        smooth(lvl, b, x, true);
+    }
+}
+
+
+template <typename ValueType, typename IndexType>
+void Hierarchy<ValueType, IndexType>::cycle(
+    const Dense<ValueType>* b, Dense<ValueType>* x,
+    const log::EnableLogging* owner) const
+{
+    MGKO_ENSURE(b != nullptr && x != nullptr,
+                "AMG cycle requires non-null vectors");
+    MGKO_ENSURE(b->get_size() == x->get_size() &&
+                    b->get_size().rows == levels_.front().op->get_size().rows,
+                "AMG cycle vectors must match the fine system");
+    if (b->get_size().cols != 1) {
+        MGKO_NOT_SUPPORTED("AMG cycles support a single right-hand side");
+    }
+    run_level(0, b, x, owner);
+}
+
+
+#define MGKO_DECLARE_AMG_HIERARCHY(ValueType, IndexType) \
+    template class Hierarchy<ValueType, IndexType>
+MGKO_INSTANTIATE_FOR_EACH_VALUE_AND_INDEX_TYPE(MGKO_DECLARE_AMG_HIERARCHY);
+
+
+}  // namespace mgko::multigrid

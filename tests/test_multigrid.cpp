@@ -1,0 +1,820 @@
+// AMG subsystem tests: hierarchy construction, strength-of-connection
+// semicoarsening, V-cycle convergence, preconditioner composability,
+// zero-allocation steady state, config-layer keys, matgen stencils, and the
+// spgemm regressions the Galerkin products rely on.  Everything runs on the
+// ReferenceExecutor so the binary stays sanitizer-friendly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "config/config_solver.hpp"
+#include "config/json.hpp"
+#include "core/exception.hpp"
+#include "log/event_logger.hpp"
+#include "matgen/matgen.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/spgemm.hpp"
+#include "multigrid/amg_solver.hpp"
+#include "preconditioner/ilu.hpp"
+#include "preconditioner/jacobi.hpp"
+#include "solver/bicgstab.hpp"
+#include "solver/cg.hpp"
+#include "solver/cgs.hpp"
+#include "solver/fcg.hpp"
+#include "solver/gmres.hpp"
+#include "stop/criterion.hpp"
+#include "tests/test_utils.hpp"
+
+namespace mgko {
+namespace {
+
+using Vec = Dense<double>;
+using Mtx = Csr<double, int32>;
+using config::Json;
+
+
+std::shared_ptr<Mtx> make_matrix(std::shared_ptr<const Executor> exec,
+                                 const matgen::data64& data)
+{
+    return Mtx::create_from_data(exec, data.cast<double, int32>());
+}
+
+std::shared_ptr<Mtx> poisson_2d(std::shared_ptr<const Executor> exec,
+                                size_type nx, size_type ny)
+{
+    return make_matrix(std::move(exec), matgen::stencil_2d_5pt(nx, ny));
+}
+
+/// True residual norm ||b - A x||_2, computed host-side.
+double true_residual_norm(const Mtx* a, const Vec* b, const Vec* x)
+{
+    const auto n = a->get_size().rows;
+    const auto* row_ptrs = a->get_const_row_ptrs();
+    const auto* col_idxs = a->get_const_col_idxs();
+    const auto* values = a->get_const_values();
+    double sum = 0.0;
+    for (size_type row = 0; row < n; ++row) {
+        double r = b->at(row, 0);
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            r -= values[k] * x->at(static_cast<size_type>(col_idxs[k]), 0);
+        }
+        sum += r * r;
+    }
+    return std::sqrt(sum);
+}
+
+/// Dense reference product of two staging matrices.
+std::vector<std::vector<double>> dense_product(const matgen::data64& a,
+                                               const matgen::data64& b)
+{
+    std::vector<std::vector<double>> bd(
+        static_cast<std::size_t>(b.size.rows),
+        std::vector<double>(static_cast<std::size_t>(b.size.cols), 0.0));
+    for (const auto& e : b.entries) {
+        bd[static_cast<std::size_t>(e.row)][static_cast<std::size_t>(e.col)] +=
+            e.value;
+    }
+    std::vector<std::vector<double>> result(
+        static_cast<std::size_t>(a.size.rows),
+        std::vector<double>(static_cast<std::size_t>(b.size.cols), 0.0));
+    for (const auto& e : a.entries) {
+        for (size_type col = 0; col < b.size.cols; ++col) {
+            result[static_cast<std::size_t>(e.row)][col] +=
+                e.value * bd[static_cast<std::size_t>(e.col)][col];
+        }
+    }
+    return result;
+}
+
+void expect_matches_dense(const Mtx* m,
+                          const std::vector<std::vector<double>>& expected)
+{
+    ASSERT_EQ(m->get_size().rows, expected.size());
+    std::vector<std::vector<double>> got(
+        expected.size(),
+        std::vector<double>(expected.empty() ? 0 : expected[0].size(), 0.0));
+    const auto* row_ptrs = m->get_const_row_ptrs();
+    const auto* col_idxs = m->get_const_col_idxs();
+    const auto* values = m->get_const_values();
+    for (size_type row = 0; row < m->get_size().rows; ++row) {
+        for (auto k = row_ptrs[row]; k < row_ptrs[row + 1]; ++k) {
+            got[row][static_cast<std::size_t>(col_idxs[k])] += values[k];
+        }
+    }
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+        for (std::size_t c = 0; c < expected[r].size(); ++c) {
+            EXPECT_NEAR(got[r][c], expected[r][c], 1e-12)
+                << "mismatch at (" << r << ", " << c << ")";
+        }
+    }
+}
+
+
+/// Captures operation-completion events and span begin/end sequences.
+struct RecordingLogger : log::EventLogger {
+    std::map<std::string, int> op_count;
+    std::map<std::string, double> op_flops;
+    std::map<std::string, double> op_bytes;
+    /// (is_begin, span name) in emission order.
+    std::vector<std::pair<bool, std::string>> spans;
+
+    void on_operation_completed(const Executor*, const char* op_name, double,
+                                double flops, double bytes) override
+    {
+        op_count[op_name] += 1;
+        op_flops[op_name] += flops;
+        op_bytes[op_name] += bytes;
+    }
+    void on_span_begin(const char* name) override
+    {
+        spans.emplace_back(true, name);
+    }
+    void on_span_end(const char* name) override
+    {
+        spans.emplace_back(false, name);
+    }
+};
+
+
+// --- matgen satellites ------------------------------------------------------
+
+TEST(MatgenAniso, StencilEntriesRowSumsAndSymmetry)
+{
+    const size_type nx = 7, ny = 5;
+    const double eps = 0.1;
+    auto data = matgen::stencil_2d_aniso(nx, ny, eps);
+    ASSERT_EQ(data.size.rows, nx * ny);
+    ASSERT_EQ(data.size.cols, nx * ny);
+
+    std::map<std::pair<int64, int64>, double> entries;
+    std::vector<double> row_sum(nx * ny, 0.0);
+    for (const auto& e : data.entries) {
+        entries[{e.row, e.col}] += e.value;
+        row_sum[static_cast<std::size_t>(e.row)] += e.value;
+    }
+    // Symmetry: every entry has its mirror.
+    for (const auto& [key, value] : entries) {
+        auto mirror = entries.find({key.second, key.first});
+        ASSERT_NE(mirror, entries.end());
+        EXPECT_DOUBLE_EQ(mirror->second, value);
+    }
+    auto idx = [&](size_type i, size_type j) {
+        return static_cast<int64>(i * ny + j);
+    };
+    for (size_type i = 0; i < nx; ++i) {
+        for (size_type j = 0; j < ny; ++j) {
+            EXPECT_DOUBLE_EQ((entries[{idx(i, j), idx(i, j)}]), 2.0 + 2.0 * eps);
+            const bool interior =
+                i > 0 && i + 1 < nx && j > 0 && j + 1 < ny;
+            if (interior) {
+                // Interior row sums vanish (constant vectors in the near
+                // null space — what AMG's piecewise-constant P captures).
+                EXPECT_NEAR(row_sum[static_cast<std::size_t>(idx(i, j))], 0.0,
+                            1e-14);
+                EXPECT_DOUBLE_EQ((entries[{idx(i, j), idx(i - 1, j)}]), -1.0);
+                EXPECT_DOUBLE_EQ((entries[{idx(i, j), idx(i, j - 1)}]), -eps);
+            } else {
+                EXPECT_GT(row_sum[static_cast<std::size_t>(idx(i, j))], 0.0);
+            }
+        }
+    }
+}
+
+TEST(Matgen27Point, StencilSizeRowSumsAndSymmetry)
+{
+    const size_type nx = 4, ny = 3, nz = 5;
+    auto data = matgen::stencil_3d_27pt(nx, ny, nz);
+    ASSERT_EQ(data.size.rows, nx * ny * nz);
+
+    std::map<std::pair<int64, int64>, double> entries;
+    std::vector<int> row_nnz(nx * ny * nz, 0);
+    std::vector<double> row_sum(nx * ny * nz, 0.0);
+    for (const auto& e : data.entries) {
+        entries[{e.row, e.col}] += e.value;
+        row_nnz[static_cast<std::size_t>(e.row)] += 1;
+        row_sum[static_cast<std::size_t>(e.row)] += e.value;
+    }
+    for (const auto& [key, value] : entries) {
+        auto mirror = entries.find({key.second, key.first});
+        ASSERT_NE(mirror, entries.end());
+        EXPECT_DOUBLE_EQ(mirror->second, value);
+    }
+    auto idx = [&](size_type i, size_type j, size_type k) {
+        return static_cast<std::size_t>((i * ny + j) * nz + k);
+    };
+    // Interior rows: the full 27-point stencil with zero row sum; corner
+    // rows: a 2x2x2 neighbourhood (8 entries) and positive row sum.
+    const auto interior = idx(1, 1, 1);
+    EXPECT_EQ(row_nnz[interior], 27);
+    EXPECT_NEAR(row_sum[interior], 0.0, 1e-14);
+    EXPECT_DOUBLE_EQ(
+        (entries[{static_cast<int64>(interior), static_cast<int64>(interior)}]),
+        26.0);
+    const auto corner = idx(0, 0, 0);
+    EXPECT_EQ(row_nnz[corner], 8);
+    EXPECT_GT(row_sum[corner], 0.0);
+}
+
+
+// --- spgemm satellites ------------------------------------------------------
+
+TEST(SpgemmAmg, HandlesEmptyRows)
+{
+    auto exec = ReferenceExecutor::create();
+    matgen::data64 a_data{dim2{4, 4}};
+    a_data.add(0, 1, 2.0);
+    a_data.add(2, 0, -1.0);
+    a_data.add(2, 3, 3.0);  // rows 1 and 3 stay empty
+    matgen::data64 b_data{dim2{4, 4}};
+    b_data.add(0, 0, 5.0);
+    b_data.add(1, 2, 4.0);
+    b_data.add(3, 1, -2.0);  // rows 2 and 3 of the product stay sparse
+
+    auto a = make_matrix(exec, a_data);
+    auto b = make_matrix(exec, b_data);
+    auto c = spgemm(a.get(), b.get());
+    ASSERT_EQ(c->get_size(), (dim2{4, 4}));
+    expect_matches_dense(c.get(), dense_product(a_data, b_data));
+    // Empty input rows produce empty output rows, not garbage.
+    const auto* row_ptrs = c->get_const_row_ptrs();
+    EXPECT_EQ(row_ptrs[1], row_ptrs[2]);
+    EXPECT_EQ(row_ptrs[3], row_ptrs[4]);
+}
+
+TEST(SpgemmAmg, RectangularGalerkinTripleProduct)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 6, nc = 2;
+    // Piecewise-constant P over aggregates {0,1,2} and {3,4,5}.
+    matgen::data64 p_data{dim2{n, nc}};
+    for (size_type i = 0; i < n; ++i) {
+        p_data.add(static_cast<int64>(i), static_cast<int64>(i / 3), 1.0);
+    }
+    auto a_data = test::laplacian_1d<double, int64>(n);
+    a_data.size = dim2{n, n};
+    auto a = make_matrix(exec, a_data);
+    auto p = make_matrix(exec, p_data);
+
+    auto r = p->transpose();
+    ASSERT_EQ(r->get_size(), (dim2{nc, n}));
+    auto ap = spgemm(a.get(), p.get());
+    ASSERT_EQ(ap->get_size(), (dim2{n, nc}));
+    auto rap = spgemm(r.get(), ap.get());
+    ASSERT_EQ(rap->get_size(), (dim2{nc, nc}));
+
+    // R A P sums A over 3x3 blocks: diagonal 2*3 - 2*2 = 2, coupling -1.
+    expect_matches_dense(rap.get(), {{2.0, -1.0}, {-1.0, 2.0}});
+
+    // Non-conformant operand order is rejected, not silently accepted.
+    EXPECT_THROW(spgemm(p.get(), a.get()), DimensionMismatch);
+}
+
+TEST(SpgemmAmg, OutputIsSortedAndDuplicateFree)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = Mtx::create_from_data(exec, test::random_sparse(40, 6, 11));
+    auto b = Mtx::create_from_data(exec, test::random_sparse(40, 6, 22));
+    auto c = spgemm(a.get(), b.get());
+    const auto* row_ptrs = c->get_const_row_ptrs();
+    const auto* col_idxs = c->get_const_col_idxs();
+    for (size_type row = 0; row < c->get_size().rows; ++row) {
+        for (auto k = row_ptrs[row] + 1; k < row_ptrs[row + 1]; ++k) {
+            ASSERT_LT(col_idxs[k - 1], col_idxs[k])
+                << "row " << row << " is unsorted or has duplicates";
+        }
+    }
+}
+
+TEST(SpgemmAmg, TransposeBasedRestrictionMatchesAggregateSizes)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type n = 7, nc = 3;
+    matgen::data64 p_data{dim2{n, nc}};
+    const int64 agg[] = {0, 0, 1, 1, 1, 2, 2};
+    for (size_type i = 0; i < n; ++i) {
+        p_data.add(static_cast<int64>(i), agg[i], 1.0);
+    }
+    auto p = make_matrix(exec, p_data);
+    auto r = p->transpose();
+    // P^T P is diagonal with the aggregate cardinalities.
+    auto gram = spgemm(r.get(), p.get());
+    expect_matches_dense(gram.get(),
+                         {{2.0, 0.0, 0.0}, {0.0, 3.0, 0.0}, {0.0, 0.0, 2.0}});
+}
+
+TEST(SpgemmAmg, ReportsWorkThroughOperationEvents)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = Mtx::create_from_data(exec, test::random_sparse(30, 5, 33));
+    auto b = Mtx::create_from_data(exec, test::random_sparse(30, 5, 44));
+    auto rec = std::make_shared<RecordingLogger>();
+    exec->add_logger(rec);
+    auto c = spgemm(a.get(), b.get());
+    exec->remove_logger(rec.get());
+
+    ASSERT_EQ(rec->op_count["spgemm"], 1);
+    // flops = 2 * (number of scalar products), computable from the inputs.
+    double products = 0.0;
+    const auto* a_ptrs = a->get_const_row_ptrs();
+    const auto* a_cols = a->get_const_col_idxs();
+    const auto* b_ptrs = b->get_const_row_ptrs();
+    for (size_type row = 0; row < a->get_size().rows; ++row) {
+        for (auto k = a_ptrs[row]; k < a_ptrs[row + 1]; ++k) {
+            const auto inner = static_cast<size_type>(a_cols[k]);
+            products += static_cast<double>(b_ptrs[inner + 1] - b_ptrs[inner]);
+        }
+    }
+    EXPECT_DOUBLE_EQ(rec->op_flops["spgemm"], 2.0 * products);
+    EXPECT_GT(rec->op_bytes["spgemm"], 0.0);
+}
+
+
+// --- hierarchy construction -------------------------------------------------
+
+TEST(AmgHierarchy, CoarsensPoissonToDirectSolvableLevel)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 48, 48);
+    multigrid::amg_parameters params;
+    multigrid::Hierarchy<double, int32> h{exec, params, a};
+
+    ASSERT_GE(h.num_levels(), 3u);
+    for (size_type k = 0; k + 1 < h.num_levels(); ++k) {
+        const auto rows = h.get_level(k).op->get_size().rows;
+        const auto coarse_rows = h.get_level(k + 1).op->get_size().rows;
+        EXPECT_LT(coarse_rows, rows) << "level " << k << " did not coarsen";
+        // Transfer operators chain: P_k is rows_k x rows_{k+1}, R = P^T.
+        ASSERT_NE(h.get_level(k).prolong, nullptr);
+        EXPECT_EQ(h.get_level(k).prolong->get_size(),
+                  (dim2{rows, coarse_rows}));
+        EXPECT_EQ(h.get_level(k).restrict_op->get_size(),
+                  (dim2{coarse_rows, rows}));
+    }
+    const auto coarsest_rows =
+        h.get_level(h.num_levels() - 1).op->get_size().rows;
+    EXPECT_TRUE(coarsest_rows <= params.min_coarse_rows ||
+                h.num_levels() == params.max_levels);
+    // Smoothed aggregation on a 5-point stencil stays cheap: the classic
+    // operator-complexity measure must remain well below 3.
+    EXPECT_GT(h.operator_complexity(), 1.0);
+    EXPECT_LT(h.operator_complexity(), 3.0);
+}
+
+TEST(AmgHierarchy, StrengthFilterSemicoarsensAnisotropicProblem)
+{
+    auto exec = ReferenceExecutor::create();
+    const size_type nx = 24, ny = 10;
+    // x-coupling -1, y-coupling -0.01: with theta = 0.08 only the
+    // x-direction links are strong, so aggregates must be x-line segments.
+    auto a = make_matrix(exec, matgen::stencil_2d_aniso(nx, ny, 0.01));
+    multigrid::amg_parameters params;
+    params.max_levels = 2;
+    params.smoothed_prolongation = false;  // keep the tentative P readable
+    multigrid::Hierarchy<double, int32> h{exec, params, a};
+    ASSERT_EQ(h.num_levels(), 2u);
+
+    const auto* p = h.get_level(0).prolong.get();
+    const auto* row_ptrs = p->get_const_row_ptrs();
+    const auto* col_idxs = p->get_const_col_idxs();
+    const auto num_agg = p->get_size().cols;
+    // Aggregation along strong lines only coarsens the x direction, so the
+    // coarse grid keeps at least one point per 5 fine points per line (and
+    // genuinely coarsens).
+    EXPECT_GE(num_agg, nx * ny / 5);
+    EXPECT_LT(num_agg, nx * ny);
+    std::vector<int64> agg_line(num_agg, -1);
+    for (size_type row = 0; row < nx * ny; ++row) {
+        ASSERT_EQ(row_ptrs[row + 1] - row_ptrs[row], 1)
+            << "tentative P must be piecewise constant";
+        const auto aggregate = static_cast<size_type>(col_idxs[row_ptrs[row]]);
+        const auto line = static_cast<int64>(row % ny);  // the y index
+        if (agg_line[aggregate] < 0) {
+            agg_line[aggregate] = line;
+        }
+        EXPECT_EQ(agg_line[aggregate], line)
+            << "aggregate " << aggregate << " crossed a weak y-link at row "
+            << row;
+    }
+}
+
+
+// --- standalone V-cycle solver ----------------------------------------------
+
+TEST(AmgSolver, VCycleConvergesWithBothSmoothers)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 32, 32);
+    auto b = test::random_vector<double>(exec, a->get_size().rows, 5);
+    for (const auto smoother : {multigrid::smoother_type::jacobi,
+                                multigrid::smoother_type::gauss_seidel}) {
+        auto solver = multigrid::AmgSolver<double, int32>::build()
+                          .with_criteria(stop::iteration(100))
+                          .with_criteria(stop::residual_norm(1e-10))
+                          .with_smoother(smoother)
+                          .on(exec)
+                          ->generate(a);
+        auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+        solver->apply(b.get(), x.get());
+
+        auto* amg =
+            dynamic_cast<multigrid::AmgSolver<double, int32>*>(solver.get());
+        ASSERT_NE(amg, nullptr);
+        auto logger = amg->get_logger();
+        EXPECT_TRUE(logger->has_converged())
+            << "smoother " << multigrid::to_string(smoother);
+        EXPECT_LT(logger->num_iterations(), 100u);
+        EXPECT_EQ(logger->residual_history().size(),
+                  logger->num_iterations() + 1);
+        const double b_norm = true_residual_norm(
+            a.get(), b.get(),
+            Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0).get());
+        EXPECT_LE(true_residual_norm(a.get(), b.get(), x.get()),
+                  1e-9 * b_norm);
+        EXPECT_GE(amg->get_hierarchy().num_levels(), 3u);
+    }
+}
+
+TEST(AmgSolver, SecondApplyPerformsZeroExecutorAllocations)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 24, 24);
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    auto solver = multigrid::AmgSolver<double, int32>::build()
+                      .with_criteria(stop::iteration(60))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .on(exec)
+                      ->generate(a);
+    solver->apply(b.get(), x.get());  // warm-up: populates every workspace
+
+    x->fill(0.0);
+    const auto system_allocs = exec->num_allocations();
+    solver->apply(b.get(), x.get());
+    EXPECT_EQ(exec->num_allocations(), system_allocs)
+        << "steady-state V-cycle apply() hit the system allocator";
+}
+
+TEST(AmgPreconditioner, SecondApplyPerformsZeroExecutorAllocations)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 24, 24);
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    auto precond = multigrid::AmgPreconditioner<double, int32>::build()
+                       .on(exec)
+                       ->generate(a);
+    precond->apply(b.get(), x.get());  // warm-up
+
+    const auto system_allocs = exec->num_allocations();
+    precond->apply(b.get(), x.get());
+    EXPECT_EQ(exec->num_allocations(), system_allocs)
+        << "steady-state preconditioner apply() hit the system allocator";
+}
+
+
+// --- preconditioner composability -------------------------------------------
+
+size_type preconditioned_cg_iterations(
+    std::shared_ptr<const Executor> exec, std::shared_ptr<Mtx> a,
+    std::shared_ptr<const LinOpFactory> precond)
+{
+    auto builder = solver::Cg<double>::build()
+                       .with_criteria(stop::iteration(2000))
+                       .with_criteria(stop::residual_norm(1e-10));
+    if (precond) {
+        builder.with_preconditioner(std::move(precond));
+    }
+    auto solver = builder.on(exec)->generate(a);
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    auto* cg = dynamic_cast<solver::Cg<double>*>(solver.get());
+    EXPECT_TRUE(cg->get_logger()->has_converged());
+    return cg->get_logger()->num_iterations();
+}
+
+TEST(AmgPreconditioner, CutsCgIterationsToQuarterOfJacobi)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 48, 48);
+    const auto jacobi_iters = preconditioned_cg_iterations(
+        exec, a, preconditioner::Jacobi<double, int32>::build().on(exec));
+    const auto amg_iters = preconditioned_cg_iterations(
+        exec, a, multigrid::AmgPreconditioner<double, int32>::build().on(exec));
+    // The acceptance bar of the AMG milestone: <= 25% of Jacobi-CG.
+    EXPECT_LE(amg_iters * 4, jacobi_iters)
+        << "AMG-CG took " << amg_iters << " vs Jacobi-CG " << jacobi_iters;
+}
+
+TEST(AmgPreconditioner, ComposesWithEveryKrylovSolver)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 20, 20);
+    const auto n = a->get_size().rows;
+    auto b = test::random_vector<double>(exec, n, 17);
+
+    using make_solver_fn = std::unique_ptr<LinOp> (*)(
+        std::shared_ptr<const Executor>, std::shared_ptr<Mtx>,
+        std::shared_ptr<const LinOpFactory>);
+    const std::pair<const char*, make_solver_fn> solvers[] = {
+        {"cg",
+         [](std::shared_ptr<const Executor> e, std::shared_ptr<Mtx> m,
+            std::shared_ptr<const LinOpFactory> p) -> std::unique_ptr<LinOp> {
+             return solver::Cg<double>::build()
+                 .with_criteria(stop::iteration(500))
+                 .with_criteria(stop::residual_norm(1e-8))
+                 .with_preconditioner(std::move(p))
+                 .on(std::move(e))
+                 ->generate(std::move(m));
+         }},
+        {"fcg",
+         [](std::shared_ptr<const Executor> e, std::shared_ptr<Mtx> m,
+            std::shared_ptr<const LinOpFactory> p) -> std::unique_ptr<LinOp> {
+             return solver::Fcg<double>::build()
+                 .with_criteria(stop::iteration(500))
+                 .with_criteria(stop::residual_norm(1e-8))
+                 .with_preconditioner(std::move(p))
+                 .on(std::move(e))
+                 ->generate(std::move(m));
+         }},
+        {"cgs",
+         [](std::shared_ptr<const Executor> e, std::shared_ptr<Mtx> m,
+            std::shared_ptr<const LinOpFactory> p) -> std::unique_ptr<LinOp> {
+             return solver::Cgs<double>::build()
+                 .with_criteria(stop::iteration(500))
+                 .with_criteria(stop::residual_norm(1e-8))
+                 .with_preconditioner(std::move(p))
+                 .on(std::move(e))
+                 ->generate(std::move(m));
+         }},
+        {"bicgstab",
+         [](std::shared_ptr<const Executor> e, std::shared_ptr<Mtx> m,
+            std::shared_ptr<const LinOpFactory> p) -> std::unique_ptr<LinOp> {
+             return solver::Bicgstab<double>::build()
+                 .with_criteria(stop::iteration(500))
+                 .with_criteria(stop::residual_norm(1e-8))
+                 .with_preconditioner(std::move(p))
+                 .on(std::move(e))
+                 ->generate(std::move(m));
+         }},
+        {"gmres",
+         [](std::shared_ptr<const Executor> e, std::shared_ptr<Mtx> m,
+            std::shared_ptr<const LinOpFactory> p) -> std::unique_ptr<LinOp> {
+             return solver::Gmres<double>::build()
+                 .with_criteria(stop::iteration(500))
+                 .with_criteria(stop::residual_norm(1e-8))
+                 .with_preconditioner(std::move(p))
+                 .on(std::move(e))
+                 ->generate(std::move(m));
+         }},
+    };
+    const std::pair<const char*,
+                    std::shared_ptr<const LinOpFactory> (*)(
+                        std::shared_ptr<const Executor>)>
+        preconds[] = {
+            {"jacobi",
+             [](std::shared_ptr<const Executor> e)
+                 -> std::shared_ptr<const LinOpFactory> {
+                 return preconditioner::Jacobi<double, int32>::build().on(
+                     std::move(e));
+             }},
+            {"ilu",
+             [](std::shared_ptr<const Executor> e)
+                 -> std::shared_ptr<const LinOpFactory> {
+                 return preconditioner::Ilu<double, int32>::build_on(
+                     std::move(e));
+             }},
+            {"amg",
+             [](std::shared_ptr<const Executor> e)
+                 -> std::shared_ptr<const LinOpFactory> {
+                 return multigrid::AmgPreconditioner<double, int32>::build()
+                     .on(std::move(e));
+             }},
+        };
+
+    for (const auto& [solver_name, make_solver] : solvers) {
+        for (const auto& [precond_name, make_precond] : preconds) {
+            SCOPED_TRACE(std::string{solver_name} + " + " + precond_name);
+            auto solver = make_solver(exec, a, make_precond(exec));
+            auto x = Vec::create_filled(exec, dim2{n, 1}, 0.0);
+            solver->apply(b.get(), x.get());
+            auto* iterative =
+                dynamic_cast<solver::IterativeSolver<double>*>(solver.get());
+            ASSERT_NE(iterative, nullptr);
+            auto logger = iterative->get_logger();
+            EXPECT_TRUE(logger->has_converged());
+            // The logging contract every solver upholds regardless of the
+            // preconditioner plugged in.
+            EXPECT_EQ(logger->residual_history().size(),
+                      logger->num_iterations() + 1);
+            EXPECT_LT(true_residual_norm(a.get(), b.get(), x.get()), 1e-6);
+        }
+    }
+}
+
+
+// --- config layer -----------------------------------------------------------
+
+TEST(AmgConfig, SolverTypeAmgSolves)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 24, 24);
+    auto config = Json::parse(R"({
+        "type": "amg",
+        "theta": 0.08,
+        "max_levels": 8,
+        "min_coarse_rows": 32,
+        "smoother": "gauss_seidel",
+        "pre_sweeps": 1,
+        "post_sweeps": 1,
+        "max_iters": 80,
+        "reduction_factor": 1e-10
+    })");
+    auto solver = config::config_solver(config, exec, a);
+    auto* amg =
+        dynamic_cast<multigrid::AmgSolver<double, int32>*>(solver.get());
+    ASSERT_NE(amg, nullptr);
+    EXPECT_DOUBLE_EQ(amg->get_amg_parameters().theta, 0.08);
+    EXPECT_EQ(amg->get_amg_parameters().smoother,
+              multigrid::smoother_type::gauss_seidel);
+    EXPECT_EQ(amg->get_amg_parameters().min_coarse_rows, 32u);
+
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    EXPECT_TRUE(amg->get_logger()->has_converged());
+}
+
+TEST(AmgConfig, PreconditionerTypeAmgSolves)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 24, 24);
+    auto config = Json::parse(R"({
+        "type": "solver::Cg",
+        "max_iters": 100,
+        "reduction_factor": 1e-10,
+        "preconditioner": {"type": "amg", "theta": 0.08, "cycles": 1,
+                           "smoother": "jacobi"}
+    })");
+    auto solver = config::config_solver(config, exec, a);
+    auto* cg = dynamic_cast<solver::Cg<double>*>(solver.get());
+    ASSERT_NE(cg, nullptr);
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    EXPECT_TRUE(cg->get_logger()->has_converged());
+    EXPECT_LT(cg->get_logger()->num_iterations(), 30u);
+}
+
+TEST(AmgConfig, RejectsUnknownKeysListingValidOnes)
+{
+    auto exec = ReferenceExecutor::create();
+    // Typo'd AMG key: rejected, and the message names both the offender
+    // and the accepted spelling.
+    auto typo = Json::parse(
+        R"({"type": "amg", "thetta": 0.1, "max_iters": 10})");
+    try {
+        config::parse_factory(typo, exec);
+        FAIL() << "expected BadParameter for key 'thetta'";
+    } catch (const BadParameter& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("thetta"), std::string::npos) << message;
+        EXPECT_NE(message.find("theta"), std::string::npos) << message;
+        EXPECT_NE(message.find("valid keys"), std::string::npos) << message;
+    }
+    // AMG-only keys do not leak into other solvers.
+    auto cg_with_theta = Json::parse(
+        R"({"type": "solver::Cg", "theta": 0.1, "max_iters": 10})");
+    EXPECT_THROW(config::parse_factory(cg_with_theta, exec), BadParameter);
+    // Typo inside a preconditioner block is caught too.
+    auto precond_typo = Json::parse(R"({
+        "type": "solver::Cg", "max_iters": 10,
+        "preconditioner": {"type": "amg", "cycless": 2}
+    })");
+    EXPECT_THROW(config::parse_factory(precond_typo, exec), BadParameter);
+    // Valid solver-specific keys keep working.
+    auto gmres = Json::parse(
+        R"({"type": "solver::Gmres", "krylov_dim": 20, "max_iters": 10})");
+    EXPECT_NO_THROW(config::parse_factory(gmres, exec));
+}
+
+TEST(AmgConfig, DispatchesAcrossValueAndIndexTypes)
+{
+    auto exec = ReferenceExecutor::create();
+    auto data = matgen::stencil_2d_5pt(16, 16).cast<float, int64>();
+    auto a = Csr<float, int64>::create_from_data(exec, data);
+    auto config = Json::parse(R"({
+        "type": "amg",
+        "value_type": "float32",
+        "index_type": "int64",
+        "max_iters": 60,
+        "reduction_factor": 1e-4
+    })");
+    auto solver = config::config_solver(config, exec, std::move(a));
+    auto* amg =
+        dynamic_cast<multigrid::AmgSolver<float, int64>*>(solver.get());
+    ASSERT_NE(amg, nullptr) << "config must dispatch to the float32/int64 "
+                               "instantiation";
+    auto b = Dense<float>::create_filled(exec, dim2{16 * 16, 1}, 1.0f);
+    auto x = Dense<float>::create_filled(exec, dim2{16 * 16, 1}, 0.0f);
+    solver->apply(b.get(), x.get());
+    EXPECT_TRUE(amg->get_logger()->has_converged());
+}
+
+
+// --- observability ----------------------------------------------------------
+
+TEST(AmgObservability, SetupEmitsSpanAndAttributedKernels)
+{
+    auto exec = ReferenceExecutor::create();
+    auto rec = std::make_shared<RecordingLogger>();
+    exec->add_logger(rec);
+    auto a = poisson_2d(exec, 32, 32);
+    multigrid::Hierarchy<double, int32> h{exec, multigrid::amg_parameters{},
+                                          a};
+    exec->remove_logger(rec.get());
+
+    // Setup runs under a single "amg.setup" span...
+    int setup_begin = 0, setup_end = 0;
+    for (const auto& [is_begin, name] : rec->spans) {
+        if (name == "amg.setup") {
+            (is_begin ? setup_begin : setup_end) += 1;
+        }
+    }
+    EXPECT_EQ(setup_begin, 1);
+    EXPECT_EQ(setup_end, 1);
+    // ...and charges its aggregation and Galerkin kernels to the profiler.
+    EXPECT_GE(rec->op_count["amg_aggregate"],
+              static_cast<int>(h.num_levels()) - 1);
+    EXPECT_GT(rec->op_count["spgemm"], 0);
+    EXPECT_GT(rec->op_flops["amg_aggregate"], 0.0);
+    EXPECT_GT(rec->op_flops["spgemm"], 0.0);
+}
+
+TEST(AmgObservability, CycleSpansAreWellNestedPerLevel)
+{
+    auto exec = ReferenceExecutor::create();
+    auto a = poisson_2d(exec, 32, 32);
+    auto solver = multigrid::AmgSolver<double, int32>::build()
+                      .with_criteria(stop::iteration(3))
+                      .with_criteria(stop::residual_norm(1e-10))
+                      .on(exec)
+                      ->generate(a);
+    auto* amg =
+        dynamic_cast<multigrid::AmgSolver<double, int32>*>(solver.get());
+    ASSERT_NE(amg, nullptr);
+    const auto num_levels = amg->get_hierarchy().num_levels();
+    ASSERT_GE(num_levels, 2u);
+
+    auto rec = std::make_shared<RecordingLogger>();
+    exec->add_logger(rec);
+    auto b = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 1.0);
+    auto x = Vec::create_filled(exec, dim2{a->get_size().rows, 1}, 0.0);
+    solver->apply(b.get(), x.get());
+    exec->remove_logger(rec.get());
+
+    // Replay the span stream against a stack: every end must close the
+    // innermost open span, and the stream must end balanced.
+    std::vector<std::string> stack;
+    std::map<std::string, int> seen;
+    size_type max_cycle_depth = 0;
+    for (const auto& [is_begin, name] : rec->spans) {
+        if (is_begin) {
+            stack.push_back(name);
+            seen[name] += 1;
+            if (name.rfind("amg.cycle.level", 0) == 0) {
+                size_type depth = 0;
+                for (const auto& open : stack) {
+                    depth += open.rfind("amg.cycle.level", 0) == 0 ? 1 : 0;
+                }
+                max_cycle_depth = std::max(max_cycle_depth, depth);
+            }
+        } else {
+            ASSERT_FALSE(stack.empty())
+                << "span end '" << name << "' without a matching begin";
+            ASSERT_EQ(stack.back(), name)
+                << "span '" << name << "' closed out of order";
+            stack.pop_back();
+        }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed span '" << stack.back() << "'";
+    // Every level's span fired, and the V shape nests level k inside k-1.
+    for (size_type k = 0; k < num_levels; ++k) {
+        EXPECT_GT(seen["amg.cycle.level" + std::to_string(k)], 0)
+            << "level " << k << " span missing";
+    }
+    EXPECT_EQ(max_cycle_depth, num_levels);
+    EXPECT_GT(seen["solver.amg.apply"], 0);
+    EXPECT_GT(seen["solver.amg.iteration"], 0);
+}
+
+
+}  // namespace
+}  // namespace mgko
