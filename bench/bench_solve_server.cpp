@@ -14,12 +14,18 @@
 //   bench_solve_server [--clients N] [--requests N] [--n SIZE]
 //                      [--port P] [--serve-seconds S]
 //
+// After the load phase the bench turns on full trace sampling and checks
+// the request-attribution contract (DESIGN.md §17): summed per-request
+// "cost" flops must reconcile with the process-wide work model within 1%,
+// and tracing must cost under 3% per request versus MGKO_TRACE_SAMPLE=0
+// (min-of-batches, reported as the solve_server_attrib result block).
+//
 // MGKO_BENCH_SMOKE=1 shrinks the load to 8 clients x 50 requests (the CI
 // observability job's smoke configuration).  --port binds the server to a
 // fixed port and --serve-seconds keeps it serving after the workload so
 // external clients (CI's curl probes) can scrape the live endpoints.
-// Exits nonzero when any response is dropped, truncated, or the workload
-// produces no successes.
+// Exits nonzero when any response is dropped, truncated, the workload
+// produces no successes, or an attribution gate fails.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -27,9 +33,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,7 +45,9 @@
 #include "bench/common/harness.hpp"
 #include "config/json.hpp"
 #include "log/metrics.hpp"
+#include "log/trace_context.hpp"
 #include "serve/solve_server.hpp"
+#include "serve/telemetry_server.hpp"
 
 using namespace mgko;
 using config::Json;
@@ -76,9 +86,11 @@ int connect_loopback(int port)
 }
 
 /// One blocking request/response exchange; empty response on any socket
-/// failure (counted as dropped by the caller).
+/// failure (counted as dropped by the caller).  `extra_headers` is spliced
+/// into the request head verbatim ("Name: value\r\n" lines).
 std::string exchange(int port, const std::string& method,
-                     const std::string& target, const std::string& body)
+                     const std::string& target, const std::string& body,
+                     const std::string& extra_headers = {})
 {
     const int fd = connect_loopback(port);
     if (fd < 0) {
@@ -89,6 +101,7 @@ std::string exchange(int port, const std::string& method,
         request += "Content-Length: " + std::to_string(body.size()) +
                    "\r\nContent-Type: application/json\r\n";
     }
+    request += extra_headers;
     request += "\r\n" + body;
     std::size_t sent = 0;
     while (sent < request.size()) {
@@ -113,6 +126,13 @@ std::string exchange(int port, const std::string& method,
 int status_of(const std::string& response)
 {
     return response.size() > 12 ? std::atoi(response.c_str() + 9) : -1;
+}
+
+std::string body_of(const std::string& response)
+{
+    const auto split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string{}
+                                      : response.substr(split + 4);
 }
 
 /// A response is complete iff its body length matches its Content-Length.
@@ -204,6 +224,17 @@ int main(int argc, char** argv)
         } else if (flag == "--serve-seconds" && i + 1 < argc) {
             serve_seconds = std::atoi(argv[++i]);
         }
+    }
+
+    // Telemetry must be live before the server creates its executor so the
+    // shared metrics registry records executor-level series — the global
+    // side of the request-attribution reconciliation below.  Honour a
+    // CI-provided fixed port, fall back to an ephemeral one.
+    if (const char* env_port = std::getenv("MGKO_TELEMETRY_PORT");
+        env_port != nullptr && *env_port != '\0') {
+        serve::telemetry_from_env();
+    } else {
+        serve::telemetry_start(0);
     }
 
     serve::SolveServerOptions options;
@@ -334,7 +365,124 @@ int main(int argc, char** argv)
             .count();
 
     const auto stats = server->stats();
+
+    // --- request attribution -----------------------------------------------
+    // Sequential fully-sampled traffic: every /v1/solve response must carry
+    // a "cost" block, and the summed per-request flops must reconcile with
+    // the shared registry's mgko_flops_total over the same window — the
+    // request-attributed and executor-attributed views of the identical
+    // drained work model.
+    auto& registry = log::shared_metrics()->registry();
+    log::set_trace_sample_rate(1.0);
+    registry.reset();
+    const int attrib_requests = 48;
+    double attrib_flops = 0.0;
+    std::uint64_t attrib_kernels = 0;
+    int attrib_served = 0;
+    bool missing_cost = false;
+    for (int r = 0; r < attrib_requests; ++r) {
+        const auto response =
+            exchange(server->port(), "POST", "/v1/solve", solve_body(r));
+        if (status_of(response) != 200) {
+            continue;
+        }
+        const auto parsed = Json::parse(body_of(response));
+        if (!parsed.contains("cost")) {
+            missing_cost = true;
+            continue;
+        }
+        const auto& cost = parsed.at("cost");
+        attrib_flops += cost.at("flops").as_double();
+        attrib_kernels +=
+            static_cast<std::uint64_t>(cost.at("kernels").as_double());
+        ++attrib_served;
+    }
+    double model_flops = 0.0;
+    {
+        const auto snapshot = Json::parse(registry.to_json());
+        if (snapshot.at("counters").contains("mgko_flops_total")) {
+            for (const auto& [tag, value] :
+                 snapshot.at("counters").at("mgko_flops_total").items()) {
+                (void)tag;
+                model_flops += value.as_double();
+            }
+        }
+    }
+    const double attrib_error_percent =
+        model_flops > 0.0
+            ? std::abs(attrib_flops - model_flops) / model_flops * 100.0
+            : 100.0;
+
+    // --- tracing overhead --------------------------------------------------
+    // Per-request cost with the sampler fully on vs fully off
+    // (MGKO_TRACE_SAMPLE=0 equivalent), driven through handle() directly:
+    // the traced path — context minting, per-kernel attribution, the
+    // response cost block — is identical to socket traffic, but loopback
+    // jitter (connect/recv scheduling) would otherwise swamp a
+    // single-digit-percent signal.  Batches interleave A/B to decorrelate
+    // machine drift; min-of-batches suppresses scheduler noise.
+    // The probe solves a larger operator than the load mix: tracing has a
+    // fixed per-request component (context minting, serializing the cost
+    // block) on top of the per-kernel rate, and the budget is a statement
+    // about requests that do real work — against the load mix's ~250us
+    // toy solves the constant would masquerade as rate.
+    const int overhead_batch = 32;
+    const int overhead_repeats = 7;
+    std::string probe_handle;
+    {
+        Json payload = Json::make_object();
+        payload["triplet"] =
+            laplacian_triplet(std::max(matrix_size * 4, 512));
+        const auto response = exchange(server->port(), "POST",
+                                       "/v1/operators", payload.dump());
+        if (status_of(response) != 200) {
+            std::fprintf(stderr, "probe upload failed:\n%s\n",
+                         response.c_str());
+            return 1;
+        }
+        probe_handle =
+            Json::parse(body_of(response)).at("operator").as_string();
+    }
+    Json probe_body = Json::make_object();
+    probe_body["operator"] = Json{probe_handle};
+    probe_body["config"] = cg_config();
+    serve::HttpRequest probe;
+    probe.method = "POST";
+    probe.target = "/v1/solve";
+    probe.version = "HTTP/1.0";
+    probe.body = probe_body.dump();
+    const auto run_batch = [&] {
+        const auto begin = std::chrono::steady_clock::now();
+        for (int r = 0; r < overhead_batch; ++r) {
+            const auto response = server->handle(probe);
+            (void)response;
+        }
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count()) /
+               overhead_batch;
+    };
+    run_batch();  // warmup
+    double traced_ns = std::numeric_limits<double>::infinity();
+    double untraced_ns = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < overhead_repeats; ++rep) {
+        log::set_trace_sample_rate(1.0);
+        traced_ns = std::min(traced_ns, run_batch());
+        log::set_trace_sample_rate(0.0);
+        untraced_ns = std::min(untraced_ns, run_batch());
+    }
+    log::set_trace_sample_rate(1.0);
+    const double overhead_percent =
+        untraced_ns > 0.0 ? (traced_ns - untraced_ns) / untraced_ns * 100.0
+                          : 0.0;
+
     if (serve_seconds > 0) {
+        // Fresh slate for external scrapers: the serve window's own
+        // traffic repopulates the registry, so every exemplar a scraper
+        // sees points at a request whose records are still in the flight
+        // ring (the load phase above wrapped it many times over).
+        registry.reset();
         // Scrape window for external clients (the CI smoke job curls the
         // live endpoints while we linger here).
         std::printf("serving for %d more seconds on port %d...\n",
@@ -359,6 +507,19 @@ int main(int argc, char** argv)
     }
     row("all");
     csv.print();
+
+    bench::CsvBlock attrib_csv{
+        "solve_server_attrib",
+        {"requests", "attrib_flops", "model_flops", "attrib_error_percent",
+         "traced_us_per_req", "untraced_us_per_req", "overhead_percent"}};
+    attrib_csv.add_row({std::to_string(attrib_served),
+                        bench::fmt(attrib_flops, "%.6g"),
+                        bench::fmt(model_flops, "%.6g"),
+                        bench::fmt(attrib_error_percent, "%.4f"),
+                        bench::fmt(traced_ns * 1e-3),
+                        bench::fmt(untraced_ns * 1e-3),
+                        bench::fmt(overhead_percent, "%.3f")});
+    attrib_csv.print();
 
     const auto sent = totals.sent.load();
     const auto ok = totals.ok.load();
@@ -400,6 +561,32 @@ int main(int argc, char** argv)
     if (sent >= 100 &&
         (stats.cache_hits == 0 || stats.cache_misses > stats.cache_hits)) {
         std::fprintf(stderr, "FAIL: solver cache did not amortize\n");
+        failed = true;
+    }
+    std::printf("attribution: %d requests, %llu kernels, request flops "
+                "%.6g vs model flops %.6g (%.4f%% apart); tracing overhead "
+                "%.3f%% (%.3g us traced vs %.3g us untraced per request)\n",
+                attrib_served,
+                static_cast<unsigned long long>(attrib_kernels),
+                attrib_flops, model_flops, attrib_error_percent,
+                overhead_percent, traced_ns * 1e-3, untraced_ns * 1e-3);
+    if (missing_cost || attrib_served == 0) {
+        std::fprintf(stderr, "FAIL: fully sampled solve responses must "
+                             "carry a 'cost' block\n");
+        failed = true;
+    }
+    if (!std::isfinite(attrib_error_percent) || attrib_error_percent > 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: per-request flops drift %.4f%% from the work "
+                     "model (budget 1%%)\n",
+                     attrib_error_percent);
+        failed = true;
+    }
+    if (!std::isfinite(overhead_percent) || overhead_percent > 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: tracing overhead %.3f%% exceeds the 3%% "
+                     "budget\n",
+                     overhead_percent);
         failed = true;
     }
     return failed ? 1 : 0;

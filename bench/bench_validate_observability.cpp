@@ -3,7 +3,9 @@
 //     bench_validate_observability [--trace f] [--profile f] [--metrics f]
 //                                  [--prometheus f] [--flight f]
 //                                  [--overhead f] [--sellcs f]
-//                                  [--solveserver f] [--diff baseline,fresh]
+//                                  [--solveserver f] [--exemplars m,t]
+//                                  [--requestattrib f]
+//                                  [--diff baseline,fresh]
 //
 // Each JSON file is parsed with the repo's own config/json.hpp and checked
 // for the invariants CI relies on:
@@ -34,6 +36,16 @@
 //                 largest 2D Poisson row; when the trace is given, its
 //                 per-level "amg.cycle.level<k>" spans must be present and
 //                 well nested (level k strictly inside level k-1);
+//   * exemplars:  comma-separated /metrics body and /trace.json dump from
+//                 the same live server — every OpenMetrics exemplar
+//                 (` # {trace_id="..."} value` after a histogram bucket
+//                 sample) must satisfy the exemplar grammar, and every
+//                 exemplar's trace id must resolve to at least one record
+//                 in the trace dump (the metrics -> trace causality hop);
+//   * requestattrib: a BENCH_solve_server_attrib.json result block — the
+//                 summed per-request "cost" flops must sit within 1% of
+//                 the global work model and the tracing overhead under
+//                 the 3% budget;
 //   * diff:       two comma-separated result blocks (committed baseline,
 //                 fresh run) — same figure/columns/row count, every
 //                 numeric cell within 10% relative, metadata ignored.
@@ -47,6 +59,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -599,6 +612,174 @@ bool validate_amg(const std::string& files)
 }
 
 
+// OpenMetrics exemplars: every ` # {trace_id="..."} value` suffix in the
+// /metrics body must satisfy the exemplar grammar, and every exemplar's
+// trace id must resolve to records in the /trace.json dump scraped from
+// the same server — the causality hop from a histogram bucket back to the
+// one request that last landed in it.
+bool validate_exemplars(const std::string& pair)
+{
+    const auto comma = pair.find(',');
+    if (comma == std::string::npos) {
+        return fail(pair, "--exemplars expects 'metrics.txt,trace.json'");
+    }
+    const auto metrics_file = pair.substr(0, comma);
+    const auto trace_file = pair.substr(comma + 1);
+
+    const auto lowercase_hex = [](const std::string& s) {
+        return !s.empty() &&
+               std::all_of(s.begin(), s.end(), [](char c) {
+                   return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+               });
+    };
+
+    std::ifstream stream{metrics_file};
+    if (!stream) {
+        return fail(metrics_file, "cannot open file");
+    }
+    std::vector<std::string> exemplar_words;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto bad = [&](const std::string& what) {
+            return fail(metrics_file, "line " + std::to_string(line_no) +
+                                          ": " + what + ": " + line);
+        };
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        const auto marker = line.find(" # ");
+        if (marker == std::string::npos) {
+            continue;
+        }
+        const std::string prefix = " # {trace_id=\"";
+        if (line.compare(marker, prefix.size(), prefix) != 0) {
+            return bad("exemplar must open with {trace_id=\"");
+        }
+        const auto id_begin = marker + prefix.size();
+        const auto id_end = line.find('"', id_begin);
+        if (id_end == std::string::npos) {
+            return bad("unterminated exemplar trace id");
+        }
+        const auto id = line.substr(id_begin, id_end - id_begin);
+        if (id.size() != 32 || !lowercase_hex(id)) {
+            return bad("exemplar trace id must be 32 lowercase hex");
+        }
+        if (line.compare(id_end, 3, "\"} ") != 0) {
+            return bad("expected '\"} value' after the trace id");
+        }
+        const std::string value = line.substr(id_end + 3);
+        char* end = nullptr;
+        std::strtod(value.c_str(), &end);
+        if (end == value.c_str()) {
+            return bad("unparseable exemplar value");
+        }
+        // Flight records carry the low 64 bits of the trace id.
+        exemplar_words.push_back(id.substr(16));
+    }
+    if (exemplar_words.empty()) {
+        return fail(metrics_file, "no exemplars in exposition");
+    }
+
+    Json trace;
+    if (!load(trace_file, trace)) {
+        return false;
+    }
+    if (!trace.is_object() || !trace.contains("traceEvents") ||
+        !trace.at("traceEvents").is_array()) {
+        return fail(trace_file, "missing 'traceEvents' array");
+    }
+    std::set<std::string> recorded;
+    for (const auto& event : trace.at("traceEvents").elements()) {
+        if (event.is_object() && event.contains("args") &&
+            event.at("args").is_object() &&
+            event.at("args").contains("trace_id")) {
+            recorded.insert(event.at("args").at("trace_id").as_string());
+        }
+    }
+    for (const auto& word : exemplar_words) {
+        if (recorded.find(word) == recorded.end()) {
+            return fail(pair, "exemplar trace id ..." + word +
+                                  " has no records in the trace dump");
+        }
+    }
+    std::printf("[observability] %s: %zu exemplars, all resolvable among "
+                "%zu traced records in %s OK\n",
+                metrics_file.c_str(), exemplar_words.size(),
+                recorded.size(), trace_file.c_str());
+    return true;
+}
+
+
+// BENCH_solve_server_attrib.json: the request-attribution gates.  The
+// summed per-request "cost" flops must reconcile with the global work
+// model within 1%, and full trace sampling must cost under 3% per
+// request.
+bool validate_requestattrib(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("figure") ||
+        doc.at("figure").as_string() != "solve_server_attrib") {
+        return fail(file, "not a solve_server_attrib result block");
+    }
+    if (!doc.contains("columns") || !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto requests = column_of("requests");
+    const auto error = column_of("attrib_error_percent");
+    const auto overhead = column_of("overhead_percent");
+    if (requests == columns.size() || error == columns.size() ||
+        overhead == columns.size()) {
+        return fail(file, "missing requests/attrib_error_percent/"
+                          "overhead_percent columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <= std::max({requests, error, overhead})) {
+            return fail(file, "row shorter than the gate columns");
+        }
+        if (cells[requests].as_double() <= 0) {
+            return fail(file, "attribution run served no requests");
+        }
+        const double error_percent = cells[error].as_double();
+        const double overhead_percent = cells[overhead].as_double();
+        if (!std::isfinite(error_percent) || error_percent > 1.0) {
+            std::ostringstream what;
+            what << "per-request flops drift " << error_percent
+                 << "% from the work model, above the 1% gate";
+            return fail(file, what.str());
+        }
+        if (!std::isfinite(overhead_percent) || overhead_percent > 3.0) {
+            std::ostringstream what;
+            what << "tracing overhead " << overhead_percent
+                 << "% above the 3% budget";
+            return fail(file, what.str());
+        }
+        std::printf("[observability] %s: attribution within %.4f%%, "
+                    "overhead %.3f%% OK\n",
+                    file.c_str(), error_percent, overhead_percent);
+    }
+    return true;
+}
+
+
 // Diffs a fresh result block against the committed baseline: identical
 // figure/columns/row count, numeric cells within 10% relative (the sim
 // clock is deterministic; the slack covers OMP thread-count changes),
@@ -710,6 +891,10 @@ int main(int argc, char** argv)
             ok = validate_sellcs(file) && ok;
         } else if (flag == "--solveserver") {
             ok = validate_solveserver(file) && ok;
+        } else if (flag == "--exemplars") {
+            ok = validate_exemplars(file) && ok;
+        } else if (flag == "--requestattrib") {
+            ok = validate_requestattrib(file) && ok;
         } else if (flag == "--amg") {
             ok = validate_amg(file) && ok;
         } else if (flag == "--diff") {
@@ -725,7 +910,8 @@ int main(int argc, char** argv)
             stderr,
             "usage: bench_validate_observability [--trace f] [--profile f] "
             "[--metrics f] [--prometheus f] [--flight f] [--overhead f] "
-            "[--sellcs f] [--solveserver f] [--amg results[,trace]] "
+            "[--sellcs f] [--solveserver f] [--exemplars metrics,trace] "
+            "[--requestattrib f] [--amg results[,trace]] "
             "[--diff baseline,fresh]\n");
         return 2;
     }

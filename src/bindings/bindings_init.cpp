@@ -824,6 +824,22 @@ void register_observability_bindings(Module& m)
         return {};
     });
 
+    // args: [rate] — sets the request-trace sampling probability (the
+    // binding twin of MGKO_TRACE_SAMPLE / the "trace_sample" config key);
+    // with no argument just returns the current rate.
+    m.def("trace_sample", [](const List& args) -> Value {
+        if (!args.empty() && !args.at(0).is_none()) {
+            log::set_trace_sample_rate(args.at(0).as_double());
+        }
+        return Value{log::trace_sample_rate()};
+    });
+    // The calling thread's active trace context as a W3C traceparent
+    // string; "" when no context is in scope (see log/trace_context.hpp).
+    m.def("traceparent", [](const List&) -> Value {
+        const auto ctx = log::current_trace_context();
+        return Value{ctx.valid() ? ctx.traceparent() : std::string{}};
+    });
+
     // args: [port] — starts the process-wide telemetry server (port 0 or
     // no argument binds an ephemeral port) and returns the bound port.
     m.def("telemetry_start", [](const List& args) -> Value {

@@ -10,6 +10,7 @@
 #include "batch/batch_jacobi.hpp"
 #include "core/dispatch.hpp"
 #include "log/trace.hpp"
+#include "log/trace_context.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
@@ -65,7 +66,7 @@ std::vector<std::string> solver_config_keys(
     std::vector<std::string> valid{
         "type",          "value_type", "index_type", "format",
         "reorder",       "slice_size", "sorting_window", "trace",
-        "telemetry",     "solve_server"};
+        "trace_sample",  "telemetry",  "solve_server"};
     valid.insert(valid.end(), extra.begin(), extra.end());
     return valid;
 }
@@ -422,7 +423,7 @@ std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory_typed(
         config,
         {"type", "batch", "value_type", "index_type", "criteria", "max_iters",
          "reduction_factor", "baseline", "preconditioner", "trace",
-         "telemetry", "solve_server"},
+         "trace_sample", "telemetry", "solve_server"},
         "batched solver \"" + type + "\"");
 
     auto criteria = parse_criteria(config);
@@ -542,6 +543,21 @@ void apply_solve_server_key(const Json& config)
     serve::solve_server_start(static_cast<int>(value.as_int()));
 }
 
+/// A `"trace_sample"` key sets the process-wide request-trace sampling
+/// probability (the config-layer twin of MGKO_TRACE_SAMPLE; see
+/// log/trace_context.hpp).  Must be a number in [0, 1].
+void apply_trace_sample_key(const Json& config)
+{
+    if (!config.contains("trace_sample")) {
+        return;
+    }
+    const auto rate = config.at("trace_sample").as_double();
+    MGKO_ENSURE(rate >= 0.0 && rate <= 1.0,
+                "'trace_sample' must be a probability in [0, 1], got " +
+                    std::to_string(rate));
+    log::set_trace_sample_rate(rate);
+}
+
 }  // namespace
 
 
@@ -558,6 +574,7 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
     }
     apply_telemetry_key(config);
     apply_solve_server_key(config);
+    apply_trace_sample_key(config);
     return solver;
 }
 
@@ -668,6 +685,7 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
     }
     apply_telemetry_key(config);
     apply_solve_server_key(config);
+    apply_trace_sample_key(config);
     return solver;
 }
 

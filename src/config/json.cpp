@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -248,96 +249,101 @@ private:
 };
 
 
-void dump_string(std::ostream& os, const std::string& s)
+// Serialization appends straight into one growing string: dump() sits on
+// the serve:: response path, where the per-number ostringstream this used
+// to construct (locale setup and all) dominated the cost of answering a
+// request.
+void dump_string(std::string& out, const std::string& s)
 {
-    os << '"';
+    out += '"';
     for (const char c : s) {
         switch (c) {
         case '"':
-            os << "\\\"";
+            out += "\\\"";
             break;
         case '\\':
-            os << "\\\\";
+            out += "\\\\";
             break;
         case '\n':
-            os << "\\n";
+            out += "\\n";
             break;
         case '\t':
-            os << "\\t";
+            out += "\\t";
             break;
         case '\r':
-            os << "\\r";
+            out += "\\r";
             break;
         default:
-            os << c;
+            out += c;
         }
     }
-    os << '"';
+    out += '"';
 }
 
-void dump_impl(std::ostream& os, const Json& value, int indent, int depth)
+void append_pad(std::string& out, int indent, int depth)
 {
-    const std::string pad =
-        indent < 0 ? "" : "\n" + std::string(static_cast<std::size_t>(
-                                                 indent * (depth + 1)),
-                                             ' ');
-    const std::string close_pad =
-        indent < 0
-            ? ""
-            : "\n" + std::string(static_cast<std::size_t>(indent * depth), ' ');
+    if (indent >= 0) {
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * depth), ' ');
+    }
+}
+
+void dump_impl(std::string& out, const Json& value, int indent, int depth)
+{
     switch (value.get_kind()) {
     case Json::kind::null:
-        os << "null";
+        out += "null";
         break;
     case Json::kind::boolean:
-        os << (value.as_bool() ? "true" : "false");
+        out += value.as_bool() ? "true" : "false";
         break;
     case Json::kind::integer:
-        os << value.as_int();
+        out += std::to_string(value.as_int());
         break;
     case Json::kind::real: {
-        std::ostringstream tmp;
-        tmp.precision(17);
-        tmp << value.as_double();
-        auto s = tmp.str();
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value.as_double());
+        std::string s{buffer};
         // Keep reals recognizable as reals.
         if (s.find_first_of(".eE") == std::string::npos) {
             s += ".0";
         }
-        os << s;
+        out += s;
         break;
     }
     case Json::kind::string:
-        dump_string(os, value.as_string());
+        dump_string(out, value.as_string());
         break;
     case Json::kind::array: {
-        os << '[';
+        out += '[';
         bool first = true;
         for (const auto& e : value.elements()) {
             if (!first) {
-                os << ',';
+                out += ',';
             }
-            os << pad;
-            dump_impl(os, e, indent, depth + 1);
+            append_pad(out, indent, depth + 1);
+            dump_impl(out, e, indent, depth + 1);
             first = false;
         }
-        os << close_pad << ']';
+        append_pad(out, indent, depth);
+        out += ']';
         break;
     }
     case Json::kind::object: {
-        os << '{';
+        out += '{';
         bool first = true;
         for (const auto& [key, e] : value.items()) {
             if (!first) {
-                os << ',';
+                out += ',';
             }
-            os << pad;
-            dump_string(os, key);
-            os << (indent < 0 ? ":" : ": ");
-            dump_impl(os, e, indent, depth + 1);
+            append_pad(out, indent, depth + 1);
+            dump_string(out, key);
+            out += indent < 0 ? ":" : ": ";
+            dump_impl(out, e, indent, depth + 1);
             first = false;
         }
-        os << close_pad << '}';
+        append_pad(out, indent, depth);
+        out += '}';
         break;
     }
     }
@@ -362,9 +368,9 @@ Json Json::parse(std::istream& stream)
 
 std::string Json::dump(int indent) const
 {
-    std::ostringstream os;
-    dump_impl(os, *this, indent, 0);
-    return os.str();
+    std::string out;
+    dump_impl(out, *this, indent, 0);
+    return out;
 }
 
 

@@ -10,6 +10,7 @@
 #include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
 #include "log/trace.hpp"
+#include "log/trace_context.hpp"
 #include "log/work_model.hpp"
 #include "serve/solve_server.hpp"
 #include "serve/telemetry_server.hpp"
@@ -108,6 +109,10 @@ void* Executor::alloc_bytes(size_type bytes) const
     if (ptr == nullptr) {
         throw BadAlloc(__FILE__, __LINE__, bytes);
     }
+    // Pool traffic is part of a request's cost whether or not loggers are
+    // attached; the note is a thread-local pointer check when no sampled
+    // request context is active.
+    log::note_request_alloc(static_cast<double>(bytes));
     if (has_loggers()) {
         log_event([&](log::EventLogger& l) {
             if (pool_hit) {
@@ -184,24 +189,34 @@ void Executor::synchronize() const
 void Executor::run(const Operation& op) const
 {
     const bool logged = has_loggers();
-    log::op_work saved{};
     if (logged) {
         log_event([&](log::EventLogger& l) {
             l.on_operation_launched(this, op.name());
         });
-        // Zero the thread's work accumulator for the duration of the
-        // dispatch (keeping whatever an enclosing logged run accumulated),
-        // so the completion event reports exactly this operation's work.
-        saved = log::exchange_work({});
     }
+    // Zero the thread's work accumulator for the duration of the dispatch
+    // (keeping whatever an enclosing run accumulated), so the completion
+    // event and the request-cost attribution report exactly this
+    // operation's work.  Kernels tick their work unconditionally, so the
+    // drain is correct with or without loggers attached — which is what
+    // lets a sampled request's cost block work on servers that never
+    // started telemetry.
+    const log::op_work saved = log::exchange_work({});
     const double t0 = now_wall_ns();
     dispatch(op);
     const double wall = now_wall_ns() - t0;
     kernel_wall_ns_.fetch_add(wall, std::memory_order_relaxed);
     launches_.fetch_add(1, std::memory_order_relaxed);
     clock_.tick(model_.launch_latency_ns);
+    const log::op_work work = log::exchange_work(saved);
+    // Attribute the drained work to the active request context.  The
+    // kernels tick their work from the dispatching thread (even when the
+    // dispatch fans out over an OpenMP parallel region), so the
+    // thread-local context set by the request's scope guard is the right
+    // owner here — no capture/restore is needed inside the parallel
+    // region itself.
+    log::note_request_kernel(op.name(), wall, work.flops, work.bytes);
     if (logged) {
-        const log::op_work work = log::exchange_work(saved);
         log_event([&](log::EventLogger& l) {
             l.on_operation_completed(this, op.name(), wall, work.flops,
                                      work.bytes);

@@ -1,5 +1,7 @@
 #include "log/flight_recorder.hpp"
 
+#include "log/trace_context.hpp"
+
 #include <fcntl.h>
 #include <signal.h>
 #include <unistd.h>
@@ -47,8 +49,13 @@ struct tid_free_list {
 
 tid_free_list& tid_pool()
 {
-    static tid_free_list pool;
-    return pool;
+    // Intentionally leaked: ~tid_holder runs from thread TLS destructors,
+    // and env-started server workers can still be exiting while
+    // function-local statics are torn down at process exit.  A destroyed
+    // pool would hand those late destructors a dangling vector, so the
+    // pool must outlive every thread.
+    static tid_free_list* pool = new tid_free_list;
+    return *pool;
 }
 
 int acquire_flight_tid()
@@ -175,6 +182,20 @@ std::string json_number(double value)
     return out.str();
 }
 
+/// 16 lowercase hex digits — the textual form of a record's trace word,
+/// matching the tail of the 32-hex W3C trace id it was stamped from.
+std::string trace_hex(std::uint64_t value)
+{
+    std::string out;
+    out.reserve(16);
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        const auto nibble = (value >> shift) & 0xF;
+        out += static_cast<char>(nibble < 10 ? '0' + nibble
+                                             : 'a' + (nibble - 10));
+    }
+    return out;
+}
+
 }  // namespace
 
 
@@ -219,12 +240,14 @@ void FlightRecorder::emit(event_kind kind, const char* tag, double a, double b)
     const std::uint16_t id = intern(tag);
     const std::uint64_t ts = steady_now_ns() - origin_ns_;
     const std::uint64_t seq = r->head.load(std::memory_order_relaxed);
-    auto* w = r->words.get() + 4 * (seq & (r->capacity - 1));
+    auto* w =
+        r->words.get() + ring::words_per_slot * (seq & (r->capacity - 1));
     w[0].store(ts, std::memory_order_relaxed);
     w[1].store(static_cast<std::uint64_t>(kind) | (std::uint64_t{id} << 8),
                std::memory_order_relaxed);
     w[2].store(std::bit_cast<std::uint64_t>(a), std::memory_order_relaxed);
     w[3].store(std::bit_cast<std::uint64_t>(b), std::memory_order_relaxed);
+    w[4].store(current_trace_word(), std::memory_order_relaxed);
     r->head.store(seq + 1, std::memory_order_release);
 }
 
@@ -337,7 +360,8 @@ void FlightRecorder::visit_records(Visitor&& visit) const
         const std::uint64_t begin =
             h1 > r->capacity ? h1 - r->capacity + 1 : 0;
         for (std::uint64_t seq = begin; seq < h1; ++seq) {
-            const auto* w = r->words.get() + 4 * (seq & (r->capacity - 1));
+            const auto* w = r->words.get() +
+                            ring::words_per_slot * (seq & (r->capacity - 1));
             record rec{};
             rec.seq = seq;
             rec.ts_ns = w[0].load(std::memory_order_relaxed);
@@ -349,6 +373,7 @@ void FlightRecorder::visit_records(Visitor&& visit) const
                 w[2].load(std::memory_order_relaxed));
             rec.b = std::bit_cast<double>(
                 w[3].load(std::memory_order_relaxed));
+            rec.trace = w[4].load(std::memory_order_relaxed);
             rec.tid = static_cast<int>(tid);
             const std::uint64_t h2 = r->head.load(std::memory_order_acquire);
             const std::uint64_t valid_begin =
@@ -376,9 +401,17 @@ std::vector<FlightRecorder::record> FlightRecorder::snapshot() const
 }
 
 
-std::string FlightRecorder::to_chrome_trace_json() const
+std::string FlightRecorder::to_chrome_trace_json(
+    std::uint64_t trace_filter) const
 {
-    const auto snap = snapshot();
+    auto snap = snapshot();
+    if (trace_filter != 0) {
+        // One request's records only: the span-repair pass below then
+        // yields just that request's well-nested spans per thread.
+        std::erase_if(snap, [trace_filter](const record& rec) {
+            return rec.trace != trace_filter;
+        });
+    }
     std::ostringstream out;
     out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
     bool first = true;
@@ -401,6 +434,18 @@ std::string FlightRecorder::to_chrome_trace_json() const
         out << "}";
         first = false;
     };
+    // Attributed records carry their trace word so a trace id found in a
+    // metric exemplar or a /v1/requests summary resolves to concrete
+    // slices here.
+    auto with_trace = [](std::string args, const record& rec) {
+        if (rec.trace != 0) {
+            if (!args.empty()) {
+                args += ", ";
+            }
+            args += "\"trace_id\": \"" + trace_hex(rec.trace) + "\"";
+        }
+        return args;
+    };
     // Records arrive grouped per tid in ring order; convert each thread's
     // run and repair span pairing at its boundaries (the ring may have
     // dropped a span_begin to wraparound, or hold a still-open span).
@@ -419,8 +464,10 @@ std::string FlightRecorder::to_chrome_trace_json() const
                     static_cast<double>(rec.ts_ns) - wall;
                 emit_event(rec.tag, "op", 'X', std::max(start, 0.0), wall,
                            tid,
-                           "\"wall_ns\": " + json_number(rec.a) +
-                               ", \"flops\": " + json_number(rec.b));
+                           with_trace("\"wall_ns\": " + json_number(rec.a) +
+                                          ", \"flops\": " +
+                                          json_number(rec.b),
+                                      rec));
                 break;
             }
             case event_kind::binding: {
@@ -429,14 +476,17 @@ std::string FlightRecorder::to_chrome_trace_json() const
                     static_cast<double>(rec.ts_ns) - wall;
                 emit_event(rec.tag, "bind", 'X', std::max(start, 0.0), wall,
                            tid,
-                           "\"wall_ns\": " + json_number(rec.a) +
-                               ", \"gil_wait_ns\": " + json_number(rec.b));
+                           with_trace("\"wall_ns\": " + json_number(rec.a) +
+                                          ", \"gil_wait_ns\": " +
+                                          json_number(rec.b),
+                                      rec));
                 break;
             }
             case event_kind::span_begin:
                 open_spans.push_back(&rec);
                 emit_event(rec.tag, "span", 'B',
-                           static_cast<double>(rec.ts_ns), 0, tid, "");
+                           static_cast<double>(rec.ts_ns), 0, tid,
+                           with_trace("", rec));
                 break;
             case event_kind::span_end:
                 // An end without a surviving begin means the begin was
@@ -451,8 +501,9 @@ std::string FlightRecorder::to_chrome_trace_json() const
             default:
                 emit_event(rec.tag, kind_category(rec.kind), 'i',
                            static_cast<double>(rec.ts_ns), 0, tid,
-                           "\"a\": " + json_number(rec.a) +
-                               ", \"b\": " + json_number(rec.b));
+                           with_trace("\"a\": " + json_number(rec.a) +
+                                          ", \"b\": " + json_number(rec.b),
+                                      rec));
                 break;
             }
         }
@@ -581,7 +632,7 @@ void FlightRecorder::write_postmortem(int fd, const char* reason) const
         write_str(fd, reason);
         write_str(fd, "\n");
     }
-    write_str(fd, "# columns: tid seq ts_ns kind tag a b\n");
+    write_str(fd, "# columns: tid seq ts_ns kind tag a b trace\n");
     // Same traversal as visit_records, but with no allocation: only
     // atomic loads, stack formatting, and write(2).
     for (size_type tid = 0; tid < max_threads; ++tid) {
@@ -593,7 +644,8 @@ void FlightRecorder::write_postmortem(int fd, const char* reason) const
         const std::uint64_t begin =
             head > r->capacity ? head - r->capacity + 1 : 0;
         for (std::uint64_t seq = begin; seq < head; ++seq) {
-            const auto* w = r->words.get() + 4 * (seq & (r->capacity - 1));
+            const auto* w = r->words.get() +
+                            ring::words_per_slot * (seq & (r->capacity - 1));
             const std::uint64_t ts = w[0].load(std::memory_order_relaxed);
             const std::uint64_t packed =
                 w[1].load(std::memory_order_relaxed);
@@ -620,6 +672,8 @@ void FlightRecorder::write_postmortem(int fd, const char* reason) const
             write_double_as_int(
                 fd,
                 std::bit_cast<double>(w[3].load(std::memory_order_relaxed)));
+            write_str(fd, " ");
+            write_u64(fd, w[4].load(std::memory_order_relaxed));
             write_str(fd, "\n");
         }
     }

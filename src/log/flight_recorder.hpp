@@ -2,7 +2,7 @@
 //
 // Where ProfilerLogger aggregates and TraceLogger keeps an unbounded
 // timeline (both opt-in, both taking a lock per event), FlightRecorder is
-// built to stay attached in production: every event becomes one 32-byte
+// built to stay attached in production: every event becomes one 40-byte
 // binary record in a lock-free per-thread ring buffer, so steady state
 // costs a few relaxed atomic stores and never allocates, locks, or copies
 // a string.  The ring keeps the last `capacity_per_thread` events per
@@ -88,6 +88,10 @@ public:
         double a;
         double b;
         int tid;
+        /// Low 64 bits of the sampled request context active when the
+        /// event was emitted; 0 for unattributed events (see
+        /// log/trace_context.hpp).
+        std::uint64_t trace;
     };
 
     explicit FlightRecorder(size_type capacity_per_thread = default_capacity);
@@ -116,16 +120,20 @@ public:
     /// Chrome Trace Event JSON of snapshot() — same document shape as
     /// TraceLogger::to_json(), loadable in Perfetto / chrome://tracing,
     /// with B/E span events repaired to stay well nested even when the
-    /// ring wrapped mid-span.
-    std::string to_chrome_trace_json() const;
+    /// ring wrapped mid-span.  A nonzero `trace_filter` keeps only the
+    /// records stamped with that trace word (the low 64 bits of a request
+    /// trace id), which is what /trace.json?trace_id=<id> serves; events
+    /// with a trace word carry it as a "trace_id" arg either way.
+    std::string to_chrome_trace_json(std::uint64_t trace_filter = 0) const;
 
     /// snapshot() aggregated per tag to ProfilerLogger's JSON schema:
     /// {"tags": {tag: {"count": n, "wall_ns": w}}}.
     std::string to_profile_json() const;
 
     /// Async-signal-safe text dump of the rings to an open descriptor:
-    /// header lines ("# ..."), then one "tid seq ts_ns kind tag a b" line
-    /// per record.  Uses only write(2) and stack buffers.
+    /// header lines ("# ..."), then one "tid seq ts_ns kind tag a b
+    /// trace" line per record (trace in decimal, 0 when unattributed).
+    /// Uses only write(2) and stack buffers.
     void write_postmortem(int fd, const char* reason) const;
 
     /// Interns `name` and returns its id (or overflow_tag).  Exposed for
@@ -172,14 +180,15 @@ public:
                                    double interpreter_ns) override;
 
 private:
-    // One single-writer ring: 4 atomic 64-bit words per slot
-    // (ts | kind+tag | a | b), head counts records ever written.  The
-    // writer publishes with a release store of head; readers re-check head
-    // after copying to discard slots the writer may have reused.
+    // One single-writer ring: 5 atomic 64-bit words per slot
+    // (ts | kind+tag | a | b | trace), head counts records ever written.
+    // The writer publishes with a release store of head; readers re-check
+    // head after copying to discard slots the writer may have reused.
     struct ring {
+        static constexpr std::uint64_t words_per_slot = 5;
         explicit ring(size_type capacity)
             : capacity{static_cast<std::uint64_t>(capacity)},
-              words{new std::atomic<std::uint64_t>[4 * capacity]{}}
+              words{new std::atomic<std::uint64_t>[words_per_slot * capacity]{}}
         {}
         const std::uint64_t capacity;
         std::atomic<std::uint64_t> head{0};

@@ -9,6 +9,7 @@
 
 #include "batch/batch_log.hpp"
 #include "log/dump_path.hpp"
+#include "log/trace_context.hpp"
 
 namespace mgko::log {
 
@@ -64,6 +65,21 @@ std::string label_escape(const std::string& text)
 }
 
 }  // namespace
+
+
+std::string MetricsRegistry::exemplar::trace_id_hex() const
+{
+    std::string out;
+    out.reserve(32);
+    for (const std::uint64_t word : {trace_high, trace_low}) {
+        for (int shift = 60; shift >= 0; shift -= 4) {
+            const auto nibble = (word >> shift) & 0xF;
+            out += static_cast<char>(nibble < 10 ? '0' + nibble
+                                                 : 'a' + (nibble - 10));
+        }
+    }
+    return out;
+}
 
 
 double MetricsRegistry::histogram::quantile(double q) const
@@ -128,9 +144,17 @@ void MetricsRegistry::observe(const std::string& name, const std::string& tag,
 {
     std::lock_guard<std::mutex> guard{mutex_};
     auto& h = histograms_[name][tag];
-    ++h.buckets[bucket_index(value)];
+    const size_type bucket = bucket_index(value);
+    ++h.buckets[bucket];
     ++h.count;
     h.sum += value;
+    // Last-observation-wins exemplar per bucket, written under the same
+    // mutex every scrape and reset takes: an exemplar's trace id can
+    // never tear across a concurrent prometheus_text().
+    const auto ctx = current_trace_context();
+    if (ctx.sampled && ctx.valid()) {
+        h.exemplars[bucket] = {ctx.trace_high, ctx.trace_low, value};
+    }
 }
 
 
@@ -204,7 +228,15 @@ std::string MetricsRegistry::prometheus_text() const
                     continue;
                 }
                 out << name << "_bucket{tag=\"" << label << "\",le=\""
-                    << bucket_bound(i) << "\"} " << cumulative << "\n";
+                    << bucket_bound(i) << "\"} " << cumulative;
+                // OpenMetrics exemplar: the last sampled request that
+                // landed in this bucket, as a navigable trace id.
+                if (h.exemplars[i].valid()) {
+                    out << " # {trace_id=\""
+                        << h.exemplars[i].trace_id_hex() << "\"} "
+                        << format_value(h.exemplars[i].value);
+                }
+                out << "\n";
             }
             out << name << "_sum{tag=\"" << label << "\"} "
                 << format_value(h.sum) << "\n";

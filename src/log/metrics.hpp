@@ -40,8 +40,24 @@ public:
     /// when fed nanosecond latencies.
     static constexpr size_type num_buckets = 40;
 
+    /// The last sampled request context observed into a bucket — the
+    /// metrics→trace navigation hook.  prometheus_text() emits these as
+    /// OpenMetrics exemplars ("# {trace_id=\"...\"} value") so a p99
+    /// spike in a latency histogram resolves to a concrete trace id,
+    /// which /trace.json?trace_id= turns into that request's spans.
+    struct exemplar {
+        std::uint64_t trace_high{0};
+        std::uint64_t trace_low{0};
+        double value{0.0};
+
+        bool valid() const { return (trace_high | trace_low) != 0; }
+        /// The 32-lowercase-hex trace id.
+        std::string trace_id_hex() const;
+    };
+
     struct histogram {
         std::array<std::uint64_t, num_buckets> buckets{};
+        std::array<exemplar, num_buckets> exemplars{};
         std::uint64_t count{0};
         double sum{0.0};
 
@@ -60,6 +76,10 @@ public:
     void add_gauge(const std::string& name, const std::string& tag,
                    double delta);
     /// Records `value` (a latency in ns, typically) into the histogram.
+    /// When the calling thread has a sampled trace context active, the
+    /// bucket's exemplar is updated to that context's trace id (under the
+    /// registry mutex, so a concurrent scrape or reset never sees a torn
+    /// id).
     void observe(const std::string& name, const std::string& tag,
                  double value);
 
@@ -74,7 +94,8 @@ public:
 
     /// Prometheus text exposition format: one # TYPE line per metric
     /// family, then one sample per tag (histograms expand into _bucket/
-    /// _sum/_count series with cumulative `le` labels).
+    /// _sum/_count series with cumulative `le` labels; buckets that hold
+    /// an exemplar append it in OpenMetrics form).
     std::string prometheus_text() const;
 
     /// The same data as JSON: {"counters": {name: {tag: v}}, "gauges":

@@ -1,0 +1,174 @@
+#include "log/trace_context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace mgko::log {
+
+namespace {
+
+char hex_digit(std::uint64_t nibble)
+{
+    return static_cast<char>(nibble < 10 ? '0' + nibble
+                                         : 'a' + (nibble - 10));
+}
+
+void append_hex64(std::string& out, std::uint64_t value)
+{
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        out += hex_digit((value >> shift) & 0xF);
+    }
+}
+
+std::mt19937_64& thread_rng()
+{
+    thread_local std::mt19937_64 rng = [] {
+        std::random_device device;
+        std::seed_seq seed{
+            static_cast<std::uint64_t>(device()),
+            static_cast<std::uint64_t>(device()),
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()),
+            static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(&detail::tl_context))};
+        return std::mt19937_64{seed};
+    }();
+    return rng;
+}
+
+std::uint64_t random_nonzero()
+{
+    std::uint64_t value = 0;
+    while (value == 0) {
+        value = thread_rng()();
+    }
+    return value;
+}
+
+/// Sample rate is read on every minted context, written rarely; a packed
+/// atomic (rate scaled to parts-per-million) keeps reads lock-free.
+std::atomic<std::uint32_t>& sample_rate_ppm()
+{
+    static std::atomic<std::uint32_t> ppm = [] {
+        double rate = 1.0;
+        if (const char* value = std::getenv("MGKO_TRACE_SAMPLE")) {
+            char* end = nullptr;
+            const double parsed = std::strtod(value, &end);
+            if (end != value) {
+                rate = parsed;
+            }
+        }
+        rate = std::clamp(rate, 0.0, 1.0);
+        return std::atomic<std::uint32_t>{
+            static_cast<std::uint32_t>(rate * 1e6)};
+    }();
+    return ppm;
+}
+
+}  // namespace
+
+
+std::string TraceContext::trace_id_hex() const
+{
+    std::string out;
+    out.reserve(32);
+    append_hex64(out, trace_high);
+    append_hex64(out, trace_low);
+    return out;
+}
+
+
+std::string TraceContext::span_id_hex() const
+{
+    std::string out;
+    out.reserve(16);
+    append_hex64(out, span_id);
+    return out;
+}
+
+
+std::string TraceContext::traceparent() const
+{
+    std::string out;
+    out.reserve(55);
+    out += "00-";
+    out += trace_id_hex();
+    out += '-';
+    out += span_id_hex();
+    out += sampled ? "-01" : "-00";
+    return out;
+}
+
+
+// --- RequestCost ---------------------------------------------------------
+
+RequestCost::totals RequestCost::snapshot() const
+{
+    totals out;
+    out.flops = flops_;
+    out.bytes = bytes_;
+    out.alloc_bytes = alloc_bytes_;
+    out.kernels = kernels_;
+    for (std::size_t i = 0; i < used_; ++i) {
+        // Distinct literals with equal text (e.g. the same kernel compiled
+        // into two translation units) merge here.
+        auto& slice =
+            out.per_kernel[slots_[i].name != nullptr ? slots_[i].name
+                                                     : "<null>"];
+        slice.count += slots_[i].cost.count;
+        slice.wall_ns += slots_[i].cost.wall_ns;
+        slice.flops += slots_[i].cost.flops;
+        slice.bytes += slots_[i].cost.bytes;
+    }
+    if (overflow_.count != 0) {
+        out.per_kernel["<other>"] = overflow_;
+    }
+    return out;
+}
+
+
+// --- thread-local propagation ----------------------------------------------
+
+TraceContext make_trace_context()
+{
+    TraceContext ctx;
+    ctx.trace_high = random_nonzero();
+    ctx.trace_low = random_nonzero();
+    ctx.span_id = random_nonzero();
+    const std::uint32_t ppm =
+        sample_rate_ppm().load(std::memory_order_relaxed);
+    if (ppm >= 1000000u) {
+        ctx.sampled = true;
+    } else if (ppm == 0u) {
+        ctx.sampled = false;
+    } else {
+        std::uniform_int_distribution<std::uint32_t> dist{0, 999999u};
+        ctx.sampled = dist(thread_rng()) < ppm;
+    }
+    return ctx;
+}
+
+
+std::uint64_t mint_span_id() { return random_nonzero(); }
+
+
+double trace_sample_rate()
+{
+    return static_cast<double>(
+               sample_rate_ppm().load(std::memory_order_relaxed)) /
+           1e6;
+}
+
+
+void set_trace_sample_rate(double rate)
+{
+    rate = std::clamp(rate, 0.0, 1.0);
+    sample_rate_ppm().store(static_cast<std::uint32_t>(rate * 1e6),
+                            std::memory_order_relaxed);
+}
+
+
+}  // namespace mgko::log

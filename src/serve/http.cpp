@@ -302,4 +302,110 @@ std::string http_response(int status, const char* content_type,
 }
 
 
+config::Json error_json(const std::string& message)
+{
+    config::Json body = config::Json::make_object();
+    body["error"] = config::Json{message};
+    return body;
+}
+
+
+std::string json_response(int status, const config::Json& body,
+                          const std::string& extra_headers)
+{
+    return http_response(status, "application/json", body.dump() + "\n",
+                         extra_headers);
+}
+
+
+std::string with_response_header(std::string response,
+                                 const std::string& header_line)
+{
+    const auto blank = response.find("\r\n\r\n");
+    if (blank == std::string::npos) {
+        return response;  // not a formatted response; leave it alone
+    }
+    response.insert(blank + 2, header_line);
+    return response;
+}
+
+
+namespace {
+
+/// True when `text` is exactly `len` lowercase hex digits; `nonzero_out`
+/// reports whether any digit was nonzero (the spec forbids all-zero trace
+/// and parent ids).
+bool parse_hex_field(const std::string& text, std::size_t pos,
+                     std::size_t len, bool& nonzero_out)
+{
+    nonzero_out = false;
+    if (pos + len > text.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+        const char c = text[pos + i];
+        const bool hex =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) {
+            return false;  // uppercase is malformed per W3C
+        }
+        nonzero_out = nonzero_out || c != '0';
+    }
+    return true;
+}
+
+std::uint64_t hex_to_u64(const std::string& text, std::size_t pos,
+                         std::size_t len)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        const char c = text[pos + i];
+        value = (value << 4) |
+                static_cast<std::uint64_t>(
+                    c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    return value;
+}
+
+}  // namespace
+
+
+log::TraceContext parse_traceparent(const std::string& header_value)
+{
+    // 00-<32 hex>-<16 hex>-<2 hex>: 55 characters, fixed dashes.  Version
+    // 00 admits no trailing fields; "ff" is forbidden outright.
+    bool nonzero = false;
+    if (header_value.size() != 55 || header_value[2] != '-' ||
+        header_value[35] != '-' || header_value[52] != '-') {
+        return {};
+    }
+    if (!parse_hex_field(header_value, 0, 2, nonzero) ||
+        header_value.compare(0, 2, "ff") == 0 ||
+        header_value.compare(0, 2, "00") != 0) {
+        return {};
+    }
+    if (!parse_hex_field(header_value, 3, 32, nonzero) || !nonzero) {
+        return {};
+    }
+    log::TraceContext ctx;
+    ctx.trace_high = hex_to_u64(header_value, 3, 16);
+    ctx.trace_low = hex_to_u64(header_value, 19, 16);
+    if (!parse_hex_field(header_value, 36, 16, nonzero) || !nonzero) {
+        return {};
+    }
+    ctx.span_id = hex_to_u64(header_value, 36, 16);
+    if (!parse_hex_field(header_value, 53, 2, nonzero)) {
+        return {};
+    }
+    ctx.sampled = (hex_to_u64(header_value, 53, 2) & 1) != 0;
+    return ctx;
+}
+
+
+std::string emit_traceparent(const log::TraceContext& ctx)
+{
+    return "traceparent: " + ctx.traceparent() + "\r\n";
+}
+
+
 }  // namespace mgko::serve

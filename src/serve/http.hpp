@@ -20,6 +20,16 @@
 //   * http_response()     formats a full HTTP/1.0 response with
 //                         Content-Length and Connection: close, plus any
 //                         extra headers (e.g. Retry-After for 429s).
+//   * json_response() /   the one error shape every serve:: endpoint
+//     error_json()        answers with ({"error": "..."} as
+//                         application/json), so clients need one parser
+//                         for telemetry and solve traffic alike.
+//   * parse_traceparent() W3C Trace Context propagation: servers adopt a
+//     emit_traceparent()  caller's trace id from its `traceparent` header
+//                         (malformed headers are ignored, never rejected),
+//                         mint one when absent, and echo the context on
+//                         every response (see log/trace_context.hpp and
+//                         DESIGN.md §17).
 //
 // Servers put accepted client sockets into non-blocking mode (see
 // set_nonblocking) so every wait happens in poll() under an explicit
@@ -29,6 +39,9 @@
 #include <cstddef>
 #include <map>
 #include <string>
+
+#include "config/json.hpp"
+#include "log/trace_context.hpp"
 
 namespace mgko::serve {
 
@@ -95,6 +108,35 @@ const char* http_status_text(int status);
 std::string http_response(int status, const char* content_type,
                           const std::string& body,
                           const std::string& extra_headers = {});
+
+/// The structured error body every serve:: endpoint answers with:
+/// {"error": message}.
+config::Json error_json(const std::string& message);
+
+/// http_response() for a JSON body (the body is dumped with a trailing
+/// newline so curl output stays readable).
+std::string json_response(int status, const config::Json& body,
+                          const std::string& extra_headers = {});
+
+/// Inserts one "Name: value\r\n" header line into an already formatted
+/// response, just before the blank line ending the header block.  Lets a
+/// server stamp a response-wide header (the traceparent echo) without
+/// threading extra_headers through every route.
+std::string with_response_header(std::string response,
+                                 const std::string& header_line);
+
+/// Parses a W3C `traceparent` header value
+/// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>") into a
+/// TraceContext carrying the caller's trace id and sampled flag.  Any
+/// malformed value — wrong version, wrong field lengths, non-hex or
+/// uppercase characters, all-zero trace or parent id, missing fields —
+/// yields a zero (invalid) context: propagation headers are ignored when
+/// broken, never a reason to reject the request.
+log::TraceContext parse_traceparent(const std::string& header_value);
+
+/// The "traceparent: 00-...-...-0?\r\n" header line for `ctx`, ready for
+/// extra_headers or with_response_header.
+std::string emit_traceparent(const log::TraceContext& ctx);
 
 
 }  // namespace mgko::serve

@@ -23,6 +23,7 @@
 #include "core/mtx_io.hpp"
 #include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
+#include "log/trace_context.hpp"
 
 namespace mgko::serve {
 
@@ -45,20 +46,6 @@ size_type config_element_bytes(const Json& config)
 {
     return size_of(config::config_value_type(config)) +
            size_of(config::config_index_type(config));
-}
-
-Json error_json(const std::string& message)
-{
-    Json body = Json::make_object();
-    body["error"] = Json{message};
-    return body;
-}
-
-std::string json_response(int status, const Json& body,
-                          const std::string& extra_headers = {})
-{
-    return http_response(status, "application/json", body.dump() + "\n",
-                         extra_headers);
 }
 
 /// Parses the matrix payload of an upload or inline-solve body: either a
@@ -147,11 +134,47 @@ struct SolveServer::Impl {
     std::uint64_t next_handle{0};
 
     // --- request queue ---
+    /// One accepted connection awaiting a worker.  The acceptor captures
+    /// its trace context at enqueue time and the worker re-enters it
+    /// before serving, so request-scoped attribution survives the
+    /// accept -> queue -> worker-pool thread hop explicitly instead of
+    /// leaking whatever context the worker last held.
+    struct pending {
+        int fd{-1};
+        log::TraceContext ambient{};
+    };
     std::mutex queue_mutex;
     std::condition_variable queue_cv;
-    std::deque<int> queue;
+    std::deque<pending> queue;
     bool draining{false};
     std::vector<std::thread> workers;
+
+    // --- recent-request ring (GET /v1/requests) ---
+    /// One served request's summary: identity plus the cost attributed to
+    /// it while its context was in scope.
+    struct RequestSummary {
+        std::string trace_id;
+        std::string route;
+        int status{0};
+        bool sampled{false};
+        double wall_ns{0.0};
+        double flops{0.0};
+        double bytes{0.0};
+        double alloc_bytes{0.0};
+        std::uint64_t kernels{0};
+    };
+    static constexpr std::size_t recent_capacity = 256;
+    std::mutex recent_mutex;
+    std::deque<RequestSummary> recent;  ///< front = oldest
+
+    void record_request(RequestSummary summary)
+    {
+        std::lock_guard<std::mutex> guard{recent_mutex};
+        recent.push_back(std::move(summary));
+        while (recent.size() > recent_capacity) {
+            recent.pop_front();
+        }
+    }
 
     // --- counters (relaxed: each is independently monotone) ---
     std::atomic<std::uint64_t> requests_total{0};
@@ -269,7 +292,11 @@ void SolveServer::accept_loop()
             std::lock_guard<std::mutex> guard{impl_->queue_mutex};
             if (impl_->queue.size() <
                 static_cast<std::size_t>(options_.queue_capacity)) {
-                impl_->queue.push_back(client);
+                // Capture the acceptor's context for the worker to
+                // restore; the request's own traceparent (parsed on the
+                // worker once the headers are read) then nests under it.
+                impl_->queue.push_back(
+                    {client, log::current_trace_context()});
                 const auto depth =
                     static_cast<std::uint64_t>(impl_->queue.size());
                 auto& peak = impl_->queue_peak;
@@ -305,7 +332,7 @@ void SolveServer::accept_loop()
 void SolveServer::worker_loop()
 {
     for (;;) {
-        int fd = -1;
+        Impl::pending next;
         {
             std::unique_lock<std::mutex> lock{impl_->queue_mutex};
             impl_->queue_cv.wait(lock, [this] {
@@ -314,13 +341,17 @@ void SolveServer::worker_loop()
             if (impl_->queue.empty()) {
                 return;  // draining and nothing left: graceful exit
             }
-            fd = impl_->queue.front();
+            next = impl_->queue.front();
             impl_->queue.pop_front();
         }
         if (options_.worker_test_hook) {
             options_.worker_test_hook();
         }
-        serve_connection(fd);
+        // Restore the context captured at enqueue time for the duration
+        // of this connection — the explicit half of the accept -> worker
+        // handoff.
+        log::TraceContextScope scope{next.ambient};
+        serve_connection(next.fd);
     }
 }
 
@@ -339,17 +370,20 @@ void SolveServer::serve_connection(int fd)
     case read_result::timeout:
         impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
         impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
-        response = json_response(408, error_json("request timeout"));
+        response = json_response(408, error_json("request timeout"),
+                                 emit_traceparent(log::make_trace_context()));
         break;
     case read_result::too_large:
         impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
         impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
-        response = json_response(413, error_json("request too large"));
+        response = json_response(413, error_json("request too large"),
+                                 emit_traceparent(log::make_trace_context()));
         break;
     case read_result::malformed:
         impl_->requests_total.fetch_add(1, std::memory_order_relaxed);
         impl_->client_errors.fetch_add(1, std::memory_order_relaxed);
-        response = json_response(400, error_json("malformed request"));
+        response = json_response(400, error_json("malformed request"),
+                                 emit_traceparent(log::make_trace_context()));
         break;
     case read_result::closed:
     case read_result::error:
@@ -371,7 +405,24 @@ std::string SolveServer::handle(const HttpRequest& request)
     const char* route = path == "/v1/solve"       ? "serve.solve"
                         : path == "/v1/operators" ? "serve.upload"
                         : path == "/v1/stats"     ? "serve.stats"
+                        : path == "/v1/requests"  ? "serve.requests"
                                                   : "serve.other";
+    // Adopt the caller's W3C trace context (its trace id and sampling
+    // decision, under a fresh span of our own) or mint one; a malformed
+    // traceparent header is ignored, never rejected.  The scope makes
+    // every span, kernel dispatch, metric observation, and pool
+    // allocation below attributable to exactly this request.
+    log::TraceContext ctx = parse_traceparent(request.header("traceparent"));
+    if (ctx.valid()) {
+        ctx.span_id = log::mint_span_id();
+    } else {
+        ctx = log::make_trace_context();
+    }
+    log::RequestCost cost;
+    if (ctx.sampled) {
+        ctx.cost = &cost;
+    }
+    log::TraceContextScope scope{ctx};
     auto& registry = log::shared_metrics()->registry();
     auto recorder = log::shared_flight_recorder();
     recorder->on_span_begin(route);
@@ -395,6 +446,16 @@ std::string SolveServer::handle(const HttpRequest& request)
                 status = 200;
                 response = http_response(200, "application/json",
                                          stats_json() + "\n");
+            }
+        } else if (path == "/v1/requests") {
+            if (request.method != "GET") {
+                status = 405;
+                response = json_response(
+                    405, error_json("requests is GET-only"));
+            } else {
+                status = 200;
+                response = http_response(200, "application/json",
+                                         requests_json() + "\n");
             }
         } else if (path == "/v1/operators") {
             if (request.method != "POST") {
@@ -452,7 +513,52 @@ std::string SolveServer::handle(const HttpRequest& request)
     } else {
         impl_->server_errors.fetch_add(1, std::memory_order_relaxed);
     }
-    return response;
+    {
+        const auto totals = cost.quick_totals();
+        Impl::RequestSummary summary;
+        summary.trace_id = ctx.trace_id_hex();
+        summary.route = route;
+        summary.status = status;
+        summary.sampled = ctx.sampled;
+        summary.wall_ns = wall_ns;
+        summary.flops = totals.flops;
+        summary.bytes = totals.bytes;
+        summary.alloc_bytes = totals.alloc_bytes;
+        summary.kernels = totals.kernels;
+        impl_->record_request(std::move(summary));
+    }
+    // Echo the context on every response so the caller can navigate from
+    // its own logs to /trace.json?trace_id= and /v1/requests.
+    return with_response_header(std::move(response), emit_traceparent(ctx));
+}
+
+
+std::string SolveServer::requests_json() const
+{
+    Json doc = Json::make_object();
+    Json list = Json::make_array();
+    {
+        std::lock_guard<std::mutex> guard{impl_->recent_mutex};
+        for (const auto& summary : impl_->recent) {
+            Json entry = Json::make_object();
+            entry["trace_id"] = Json{summary.trace_id};
+            entry["route"] = Json{summary.route};
+            entry["status"] =
+                Json{static_cast<std::int64_t>(summary.status)};
+            entry["sampled"] = Json{summary.sampled};
+            entry["wall_ns"] = Json{summary.wall_ns};
+            entry["flops"] = Json{summary.flops};
+            entry["bytes"] = Json{summary.bytes};
+            entry["alloc_bytes"] = Json{summary.alloc_bytes};
+            entry["kernels"] =
+                Json{static_cast<std::int64_t>(summary.kernels)};
+            list.push_back(std::move(entry));
+        }
+    }
+    doc["requests"] = std::move(list);
+    doc["capacity"] =
+        Json{static_cast<std::int64_t>(Impl::recent_capacity)};
+    return doc.dump();
 }
 
 
@@ -607,7 +713,50 @@ std::string SolveServer::handle_solve(const HttpRequest& request)
     if (!handle_name.empty()) {
         response["operator"] = Json{handle_name};
     }
-    return json_response(200, response);
+    // Sampled requests answer "what did this solve cost": the work the
+    // executor attributed to this request's context while it was in
+    // scope, down to a per-kernel breakdown.  Serialized by hand and
+    // spliced into the dumped body: this runs on every sampled request,
+    // and a Json subtree (one map node per kernel) costs more to build
+    // and walk than serializing the numbers directly.  Kernel names are
+    // identifier-like literals, so no string escaping is needed.
+    const auto ctx = log::current_trace_context();
+    if (ctx.cost == nullptr) {
+        return json_response(200, response);
+    }
+    const auto totals = ctx.cost->snapshot();
+    std::string cost;
+    cost.reserve(256 + totals.per_kernel.size() * 128);
+    const auto number = [&cost](const char* key, double value) {
+        char buffer[48];
+        std::snprintf(buffer, sizeof(buffer), "\"%s\": %.6g", key, value);
+        cost += buffer;
+    };
+    cost += ",\"cost\": {\"trace_id\": \"" + ctx.trace_id_hex() + "\", ";
+    number("flops", totals.flops);
+    cost += ", ";
+    number("bytes", totals.bytes);
+    cost += ", ";
+    number("alloc_bytes", totals.alloc_bytes);
+    cost += ", \"kernels\": " + std::to_string(totals.kernels) +
+            ", \"per_kernel\": {";
+    bool first = true;
+    for (const auto& [name, slice] : totals.per_kernel) {
+        cost += first ? "\"" : ", \"";
+        first = false;
+        cost += name;
+        cost += "\": {\"count\": " + std::to_string(slice.count) + ", ";
+        number("wall_ns", slice.wall_ns);
+        cost += ", ";
+        number("flops", slice.flops);
+        cost += ", ";
+        number("bytes", slice.bytes);
+        cost += "}";
+    }
+    cost += "}}";
+    auto payload = response.dump();
+    payload.insert(payload.size() - 1, cost);
+    return http_response(200, "application/json", payload + "\n");
 }
 
 

@@ -27,6 +27,21 @@
 //   GET  /v1/stats       live counters: requests by outcome, cache
 //                        hits/misses/evictions and resident bytes, queue
 //                        high-water mark, rejected (429) count.
+//   GET  /v1/requests    bounded ring of recent per-request summaries:
+//                        trace id, route, status, wall time, and the cost
+//                        attributed to each request (flops, bytes, pool
+//                        alloc bytes, kernel launches).
+//
+// Request-scoped tracing (DESIGN.md §17): every request adopts the trace
+// id and sampled flag of a valid W3C `traceparent` header (malformed
+// headers are ignored and a fresh context minted — never a 400), mints a
+// context otherwise (sampled per MGKO_TRACE_SAMPLE / "trace_sample"), and
+// echoes the context as a `traceparent` response header.  While the
+// request is in flight its context scopes the worker thread, so
+// FlightRecorder records carry its trace id (filterable via
+// /trace.json?trace_id= on the telemetry endpoint), metric observations
+// leave OpenMetrics exemplars, and sampled /v1/solve responses gain a
+// "cost" block with a per-kernel breakdown.
 //   GET  /metrics        Prometheus text: the shared MetricsRegistry plus
 //                        the server's own mgko_solve_* series.
 //   GET  /healthz        liveness probe.
@@ -124,6 +139,8 @@ public:
     Stats stats() const;
     /// Stats as a JSON object (the /v1/stats body).
     std::string stats_json() const;
+    /// The bounded recent-request ring as JSON (the /v1/requests body).
+    std::string requests_json() const;
 
     /// Routes one parsed request to a full HTTP response; exposed so unit
     /// tests can exercise routing, parsing, and the cache without

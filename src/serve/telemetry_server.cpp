@@ -19,12 +19,73 @@
 namespace mgko::serve {
 
 
+namespace {
+
+/// The value of `key` in a "?k=v&k2=v2" query string; empty when absent.
+std::string query_param(const std::string& target, const std::string& key)
+{
+    const auto question = target.find('?');
+    if (question == std::string::npos) {
+        return {};
+    }
+    std::string query = target.substr(question + 1);
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        auto next = query.find('&', pos);
+        if (next == std::string::npos) {
+            next = query.size();
+        }
+        const auto eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < next &&
+            query.compare(pos, eq - pos, key) == 0) {
+            return query.substr(eq + 1, next - eq - 1);
+        }
+        pos = next + 1;
+    }
+    return {};
+}
+
+/// Parses a trace id filter: 32 or 16 lowercase hex digits (the full W3C
+/// trace id or just its low 64 bits — records carry the low word).
+/// Returns 0 on malformed input, with `ok` false.
+std::uint64_t parse_trace_filter(const std::string& value, bool& ok)
+{
+    ok = false;
+    if (value.size() != 16 && value.size() != 32) {
+        return 0;
+    }
+    std::uint64_t word = 0;
+    for (std::size_t i = value.size() - 16; i < value.size(); ++i) {
+        const char c = value[i];
+        const bool hex =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) {
+            return 0;
+        }
+        word = (word << 4) |
+               static_cast<std::uint64_t>(c <= '9' ? c - '0'
+                                                   : c - 'a' + 10);
+    }
+    // The high half must still be hex when a full 32-hex id was given.
+    for (std::size_t i = 0; i + 16 < value.size(); ++i) {
+        const char c = value[i];
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+            return 0;
+        }
+    }
+    ok = true;
+    return word;
+}
+
+}  // namespace
+
+
 std::string TelemetryServer::respond(const std::string& method,
                                      const std::string& target,
                                      std::uint64_t requests_so_far)
 {
     if (method != "GET") {
-        return http_response(405, "text/plain", "method not allowed\n");
+        return json_response(405, error_json("method not allowed"));
     }
     // Strip any query string: scrapers commonly append cache busters.
     std::string path = target.substr(0, target.find('?'));
@@ -48,11 +109,25 @@ std::string TelemetryServer::respond(const std::string& method,
                              log::shared_flight_recorder()->to_profile_json());
     }
     if (path == "/trace.json") {
+        // ?trace_id=<32-or-16 hex> narrows the dump to one request's
+        // records — the navigation target for metric exemplars and
+        // traceparent echoes.
+        std::uint64_t filter = 0;
+        const auto wanted = query_param(target, "trace_id");
+        if (!wanted.empty()) {
+            bool ok = false;
+            filter = parse_trace_filter(wanted, ok);
+            if (!ok) {
+                return json_response(
+                    400, error_json("trace_id must be 16 or 32 lowercase "
+                                    "hex characters"));
+            }
+        }
         return http_response(
             200, "application/json",
-            log::shared_flight_recorder()->to_chrome_trace_json());
+            log::shared_flight_recorder()->to_chrome_trace_json(filter));
     }
-    return http_response(404, "text/plain", "not found\n");
+    return json_response(404, error_json("not found: " + path));
 }
 
 
@@ -114,13 +189,15 @@ void TelemetryServer::serve_loop()
                      respond(request.method, request.target, count));
         } else if (result == read_result::timeout) {
             send_all(client,
-                     http_response(408, "text/plain", "request timeout\n"));
+                     json_response(408, error_json("request timeout")));
         } else if (result == read_result::too_large ||
                    result == read_result::malformed) {
             send_all(client,
-                     http_response(
+                     json_response(
                          result == read_result::too_large ? 431 : 400,
-                         "text/plain", "bad request\n"));
+                         error_json(result == read_result::too_large
+                                        ? "request header fields too large"
+                                        : "malformed request")));
         }
         ::close(client);
     }

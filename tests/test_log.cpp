@@ -6,6 +6,8 @@
 // exposition, roofline work accounting, batch stop-reason export).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -28,6 +30,7 @@
 #include "log/metrics.hpp"
 #include "log/profiler.hpp"
 #include "log/trace.hpp"
+#include "log/trace_context.hpp"
 #include "log/work_model.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
@@ -818,6 +821,90 @@ TEST(MetricsRegistry, ExportersCarryTheQuantileEstimates)
     EXPECT_NEAR(hist.at("p50").as_double(), 96.0, 1e-9);
     EXPECT_NEAR(hist.at("p95").as_double(), 124.8, 1e-9);
     EXPECT_NEAR(hist.at("p99").as_double(), 127.36, 1e-9);
+}
+
+TEST(MetricsRegistry, HistogramExemplarsCarryTheSampledTraceId)
+{
+    log::MetricsRegistry reg;
+
+    // Observations without a sampled context leave no exemplars behind.
+    reg.observe("mgko_latency_ns", "op.x", 100.0);
+    EXPECT_EQ(reg.prometheus_text().find("trace_id"), std::string::npos);
+
+    log::TraceContext ctx;
+    ctx.trace_high = 0x0123456789abcdefULL;
+    ctx.trace_low = 0xfedcba9876543210ULL;
+    ctx.span_id = 1;
+    ctx.sampled = true;
+    {
+        log::TraceContextScope scope{ctx};
+        reg.observe("mgko_latency_ns", "op.x", 100.0);
+    }
+    // OpenMetrics exemplar syntax on the bucket the observation landed in.
+    const auto text = reg.prometheus_text();
+    EXPECT_NE(
+        text.find(
+            " # {trace_id=\"0123456789abcdeffedcba9876543210\"} 100"),
+        std::string::npos)
+        << text;
+
+    // reset() clears exemplars along with the samples.
+    reg.reset();
+    reg.observe("mgko_latency_ns", "op.x", 100.0);
+    EXPECT_EQ(reg.prometheus_text().find("trace_id"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentObservesScrapesAndResetsNeverTearExemplars)
+{
+    // TSan witness for the exemplar state: observer threads hammer the
+    // same histogram under distinct sampled contexts while one thread
+    // scrapes prometheus_text() and another resets.  Every exemplar a
+    // scrape sees must be one of the two observers' ids in full — a torn
+    // exemplar would surface as a mixed or malformed id.
+    log::MetricsRegistry reg;
+    const std::string id_a = "00000000000000aa00000000000000aa";
+    const std::string id_b = "00000000000000bb00000000000000bb";
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+
+    auto observer = [&reg, &stop](std::uint64_t word) {
+        log::TraceContext ctx;
+        ctx.trace_high = word;
+        ctx.trace_low = word;
+        ctx.span_id = 1;
+        ctx.sampled = true;
+        log::TraceContextScope scope{ctx};
+        while (!stop.load(std::memory_order_relaxed)) {
+            reg.observe("mgko_latency_ns", "op.x", 100.0);
+        }
+    };
+    std::thread a{observer, 0xaaULL};
+    std::thread b{observer, 0xbbULL};
+    std::thread scraper{[&] {
+        const std::string marker = "# {trace_id=\"";
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto text = reg.prometheus_text();
+            for (auto pos = text.find(marker); pos != std::string::npos;
+                 pos = text.find(marker, pos + 1)) {
+                const auto id = text.substr(pos + marker.size(), 32);
+                if (id != id_a && id != id_b) {
+                    violations.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        }
+    }};
+    std::thread resetter{[&] {
+        for (int i = 0; i < 50; ++i) {
+            reg.reset();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        stop.store(true, std::memory_order_relaxed);
+    }};
+    a.join();
+    b.join();
+    scraper.join();
+    resetter.join();
+    EXPECT_EQ(violations.load(), 0);
 }
 
 

@@ -66,7 +66,8 @@ std::string recv_all(int fd)
 }
 
 std::string http_request(int port, const std::string& method,
-                         const std::string& target, const std::string& body)
+                         const std::string& target, const std::string& body,
+                         const std::string& extra_headers = {})
 {
     const int fd = connect_loopback(port);
     if (fd < 0) {
@@ -77,6 +78,7 @@ std::string http_request(int port, const std::string& method,
         request += "Content-Length: " + std::to_string(body.size()) +
                    "\r\nContent-Type: application/json\r\n";
     }
+    request += extra_headers;
     request += "\r\n" + body;
     std::size_t sent = 0;
     while (sent < request.size()) {
@@ -97,6 +99,18 @@ int status_of(const std::string& response)
 {
     // "HTTP/1.0 NNN ..."
     return response.size() > 12 ? std::atoi(response.c_str() + 9) : -1;
+}
+
+std::string header_of(const std::string& response, const std::string& name)
+{
+    const auto head = response.substr(0, response.find("\r\n\r\n"));
+    const auto key = name + ": ";
+    auto pos = head.find(key);
+    if (pos == std::string::npos) {
+        return {};
+    }
+    pos += key.size();
+    return head.substr(pos, head.find("\r\n", pos) - pos);
 }
 
 std::string body_of(const std::string& response)
@@ -464,6 +478,164 @@ TEST(SolveServer, StatsAndMetricsExposeTraffic)
     EXPECT_NE(metrics.find("mgko_solve_requests_served_total"),
               std::string::npos);
     EXPECT_NE(metrics.find("mgko_solve_cache_bytes"), std::string::npos);
+    server->stop();
+}
+
+
+// --- request-scoped tracing ------------------------------------------------
+
+constexpr const char* kTraceparent =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+constexpr const char* kTraceId = "4bf92f3577b34da6a3ce929d0e0e4736";
+
+TEST(SolveServerTracing, AdoptsTheCallersTraceIdAndEchoesIt)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 16);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+
+    const auto response = http_request(
+        server->port(), "POST", "/v1/solve", solve.dump(),
+        std::string{"traceparent: "} + kTraceparent + "\r\n");
+    ASSERT_EQ(status_of(response), 200) << response;
+
+    // The echo carries the caller's trace id under a span of our own.
+    const auto echoed = header_of(response, "traceparent");
+    ASSERT_EQ(echoed.size(), 55u) << echoed;
+    EXPECT_EQ(echoed.substr(3, 32), kTraceId);
+    EXPECT_NE(echoed.substr(36, 16), "00f067aa0ba902b7");
+    EXPECT_EQ(echoed.substr(53), "01");  // sampled flag adopted
+
+    // Sampled requests answer with the attribution block, tagged with the
+    // same trace id.
+    const auto result = Json::parse(body_of(response));
+    ASSERT_TRUE(result.contains("cost")) << body_of(response);
+    const auto& cost = result.at("cost");
+    EXPECT_EQ(cost.at("trace_id").as_string(), kTraceId);
+    EXPECT_GT(cost.at("flops").as_double(), 0.0);
+    EXPECT_GT(cost.at("kernels").as_int(), 0);
+    EXPECT_GT(cost.at("per_kernel").size(), 0u);
+    double breakdown_flops = 0.0;
+    for (const auto& [name, slice] : cost.at("per_kernel").items()) {
+        (void)name;
+        EXPECT_GT(slice.at("count").as_int(), 0);
+        breakdown_flops += slice.at("flops").as_double();
+    }
+    EXPECT_NEAR(breakdown_flops, cost.at("flops").as_double(),
+                1e-6 * cost.at("flops").as_double() + 1e-9);
+    server->stop();
+}
+
+TEST(SolveServerTracing, UnsampledCallerContextSkipsTheCostBlock)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 16);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+
+    // Same trace id, sampled flag 00: adopted as-is per W3C, so no
+    // attribution is collected for this request.
+    const auto response = http_request(
+        server->port(), "POST", "/v1/solve", solve.dump(),
+        std::string{"traceparent: 00-"} + kTraceId +
+            "-00f067aa0ba902b7-00\r\n");
+    ASSERT_EQ(status_of(response), 200) << response;
+    const auto echoed = header_of(response, "traceparent");
+    ASSERT_EQ(echoed.size(), 55u);
+    EXPECT_EQ(echoed.substr(3, 32), kTraceId);
+    EXPECT_EQ(echoed.substr(53), "00");
+    EXPECT_FALSE(Json::parse(body_of(response)).contains("cost"));
+    server->stop();
+}
+
+TEST(SolveServerTracing, MalformedTraceparentIsIgnoredNeverRejected)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 8);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+
+    const char* malformed[] = {
+        "traceparent: not-a-traceparent\r\n",
+        "traceparent: 01-4bf92f3577b34da6a3ce929d0e0e4736-"
+        "00f067aa0ba902b7-01\r\n",
+        "traceparent: 00-00000000000000000000000000000000-"
+        "00f067aa0ba902b7-01\r\n",
+        "traceparent: 00-4BF92F3577B34DA6A3CE929D0E0E4736-"
+        "00f067aa0ba902b7-01\r\n",
+    };
+    for (const char* header : malformed) {
+        const auto response = http_request(server->port(), "POST",
+                                           "/v1/solve", solve.dump(), header);
+        // Never a client error: the header is dropped and a fresh context
+        // minted, so the response still echoes a *valid* traceparent with
+        // a different trace id.
+        ASSERT_EQ(status_of(response), 200) << header << response;
+        const auto echoed = header_of(response, "traceparent");
+        ASSERT_EQ(echoed.size(), 55u) << header;
+        EXPECT_TRUE(serve::parse_traceparent(echoed).valid()) << echoed;
+        EXPECT_NE(echoed.substr(3, 32), kTraceId);
+        EXPECT_NE(echoed.substr(3, 32),
+                  "00000000000000000000000000000000");
+    }
+    server->stop();
+}
+
+TEST(SolveServerTracing, EveryRouteEchoesATraceparent)
+{
+    auto server = serve::SolveServer::start({});
+    for (const char* target : {"/healthz", "/v1/stats", "/v1/requests",
+                               "/metrics", "/definitely-not-a-route"}) {
+        const auto response =
+            http_request(server->port(), "GET", target, "");
+        const auto echoed = header_of(response, "traceparent");
+        EXPECT_EQ(echoed.size(), 55u) << target;
+        EXPECT_TRUE(serve::parse_traceparent(echoed).valid()) << target;
+    }
+    server->stop();
+}
+
+TEST(SolveServerTracing, RecentRequestsRingExposesPerRequestSummaries)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 16);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+    const auto solved = http_request(
+        server->port(), "POST", "/v1/solve", solve.dump(),
+        std::string{"traceparent: "} + kTraceparent + "\r\n");
+    ASSERT_EQ(status_of(solved), 200);
+
+    const auto response =
+        http_request(server->port(), "GET", "/v1/requests", "");
+    ASSERT_EQ(status_of(response), 200) << response;
+    const auto doc = Json::parse(body_of(response));
+    EXPECT_GT(doc.at("capacity").as_int(), 0);
+    const auto& requests = doc.at("requests").elements();
+    ASSERT_GE(requests.size(), 2u);  // the upload and the solve at least
+    bool found_solve = false;
+    for (const auto& entry : requests) {
+        EXPECT_EQ(entry.at("trace_id").as_string().size(), 32u);
+        EXPECT_GT(entry.at("wall_ns").as_double(), 0.0);
+        if (entry.at("trace_id").as_string() == kTraceId) {
+            found_solve = true;
+            EXPECT_EQ(entry.at("route").as_string(), "serve.solve");
+            EXPECT_EQ(entry.at("status").as_int(), 200);
+            EXPECT_TRUE(entry.at("sampled").as_bool());
+            EXPECT_GT(entry.at("flops").as_double(), 0.0);
+            EXPECT_GT(entry.at("kernels").as_int(), 0);
+        }
+    }
+    EXPECT_TRUE(found_solve) << body_of(response);
+    // The ring is GET-only.
+    EXPECT_EQ(status_of(http_request(server->port(), "POST",
+                                     "/v1/requests", "{}")),
+              405);
     server->stop();
 }
 

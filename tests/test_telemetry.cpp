@@ -19,6 +19,7 @@
 #include "core/executor.hpp"
 #include "log/flight_recorder.hpp"
 #include "log/metrics.hpp"
+#include "log/trace_context.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
 #include "serve/telemetry_server.hpp"
@@ -138,6 +139,58 @@ TEST(TelemetryRouting, QueryStringsAreIgnored)
     const auto response =
         serve::TelemetryServer::respond("GET", "/healthz?probe=1", 0);
     EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+}
+
+TEST(TelemetryRouting, TraceIdFilterNarrowsTheDumpToOneRequest)
+{
+    // Events recorded under a known sampled context...
+    log::TraceContext ctx;
+    ctx.trace_high = 0x4bf92f3577b34da6ULL;
+    ctx.trace_low = 0xa3ce929d0e0e4736ULL;
+    ctx.span_id = 1;
+    ctx.sampled = true;
+    {
+        log::TraceContextScope scope{ctx};
+        generate_telemetry_events();
+    }
+    // ...and unrelated traffic with no context at all.
+    generate_telemetry_events();
+
+    const auto filtered = body_of(serve::TelemetryServer::respond(
+        "GET", "/trace.json?trace_id=4bf92f3577b34da6a3ce929d0e0e4736",
+        0));
+    auto doc = config::Json::parse(filtered);
+    const auto& events = doc.at("traceEvents").elements();
+    ASSERT_FALSE(events.empty());
+    for (const auto& event : events) {
+        EXPECT_EQ(event.at("args").at("trace_id").as_string(),
+                  "a3ce929d0e0e4736");
+    }
+    // The 16-hex low-word form (what records actually carry) selects the
+    // same request.
+    const auto low_form = body_of(serve::TelemetryServer::respond(
+        "GET", "/trace.json?trace_id=a3ce929d0e0e4736", 0));
+    EXPECT_EQ(config::Json::parse(low_form).at("traceEvents").size(),
+              events.size());
+}
+
+TEST(TelemetryRouting, MalformedTraceIdFilterIsATypedJson400)
+{
+    const char* malformed[] = {
+        "/trace.json?trace_id=zz",
+        "/trace.json?trace_id=123",  // neither 16 nor 32 digits
+        "/trace.json?trace_id=A3CE929D0E0E4736",  // uppercase
+        "/trace.json?trace_id=a3ce929d0e0e473X",
+        "/trace.json?trace_id=XYZ92f3577b34da6a3ce929d0e0e4736",
+    };
+    for (const char* target : malformed) {
+        const auto response =
+            serve::TelemetryServer::respond("GET", target, 0);
+        EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos)
+            << target;
+        EXPECT_NE(body_of(response).find("\"error\""), std::string::npos)
+            << target;
+    }
 }
 
 

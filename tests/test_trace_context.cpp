@@ -1,0 +1,315 @@
+// Request-scoped tracing (log/trace_context.hpp, serve/http.hpp): W3C
+// traceparent parse/emit round trips and the malformed-header table,
+// RAII scope nesting on the thread-local context, explicit capture /
+// restore across thread handoffs, the sampling knob, and the RequestCost
+// accumulator a sampled context carries (per-kernel slots, overflow,
+// quick_totals vs snapshot agreement).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "log/trace_context.hpp"
+#include "serve/http.hpp"
+
+namespace {
+
+using namespace mgko;
+
+
+/// Restores the global sample rate on scope exit so tests compose.
+struct SampleRateGuard {
+    double previous{log::trace_sample_rate()};
+    ~SampleRateGuard() { log::set_trace_sample_rate(previous); }
+};
+
+
+// --- traceparent wire format -----------------------------------------------
+
+TEST(Traceparent, MintedContextRoundTripsThroughTheHeader)
+{
+    SampleRateGuard guard;
+    log::set_trace_sample_rate(1.0);
+    const auto ctx = log::make_trace_context();
+    ASSERT_TRUE(ctx.valid());
+    ASSERT_TRUE(ctx.sampled);
+
+    const auto header = ctx.traceparent();
+    ASSERT_EQ(header.size(), 55u);
+    EXPECT_EQ(header.substr(0, 3), "00-");
+    EXPECT_EQ(header.substr(52), "-01");
+
+    const auto parsed = serve::parse_traceparent(header);
+    EXPECT_EQ(parsed.trace_high, ctx.trace_high);
+    EXPECT_EQ(parsed.trace_low, ctx.trace_low);
+    EXPECT_EQ(parsed.span_id, ctx.span_id);
+    EXPECT_TRUE(parsed.sampled);
+}
+
+
+TEST(Traceparent, ParsesTheCanonicalW3cExample)
+{
+    const auto ctx = serve::parse_traceparent(
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+    ASSERT_TRUE(ctx.valid());
+    EXPECT_EQ(ctx.trace_id_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+    EXPECT_EQ(ctx.span_id_hex(), "00f067aa0ba902b7");
+    EXPECT_TRUE(ctx.sampled);
+
+    const auto unsampled = serve::parse_traceparent(
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+    ASSERT_TRUE(unsampled.valid());
+    EXPECT_FALSE(unsampled.sampled);
+}
+
+
+TEST(Traceparent, MalformedHeadersParseAsTheInvalidContext)
+{
+    // Every entry must yield !valid(): the serve layer treats that as
+    // "mint a fresh context", never as a client error.
+    const char* malformed[] = {
+        "",
+        "not-a-traceparent",
+        // wrong version
+        "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        // version ff is forbidden outright
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        // all-zero trace id
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+        // all-zero span id
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+        // too short / too long
+        "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+        // non-hex characters
+        "00-4bf92f3577b34da6a3ce929d0e0eXYZW-00f067aa0ba902b7-01",
+        // uppercase hex is invalid per W3C
+        "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+        // dashes in the wrong place
+        "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",
+    };
+    for (const char* header : malformed) {
+        EXPECT_FALSE(serve::parse_traceparent(header).valid())
+            << "accepted: " << header;
+    }
+}
+
+
+TEST(Traceparent, EmitHelperProducesAHeaderLine)
+{
+    const auto ctx = serve::parse_traceparent(
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00");
+    EXPECT_EQ(serve::emit_traceparent(ctx),
+              "traceparent: "
+              "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+              "\r\n");
+}
+
+
+// --- thread-local scopes ---------------------------------------------------
+
+TEST(TraceContextScope, NestsAndRestoresOnUnwind)
+{
+    EXPECT_FALSE(log::current_trace_context().valid());
+
+    log::TraceContext outer;
+    outer.trace_high = 1;
+    outer.trace_low = 2;
+    outer.span_id = 3;
+    outer.sampled = true;
+    {
+        log::TraceContextScope outer_scope{outer};
+        EXPECT_EQ(log::current_trace_context().trace_low, 2u);
+        EXPECT_EQ(log::current_trace_word(), 2u);
+
+        log::TraceContext inner = outer;
+        inner.trace_low = 7;
+        inner.sampled = false;
+        {
+            log::TraceContextScope inner_scope{inner};
+            EXPECT_EQ(log::current_trace_context().trace_low, 7u);
+            // Unsampled context: the flight-recorder word is zero.
+            EXPECT_EQ(log::current_trace_word(), 0u);
+        }
+        EXPECT_EQ(log::current_trace_context().trace_low, 2u);
+        EXPECT_EQ(log::current_trace_word(), 2u);
+    }
+    EXPECT_FALSE(log::current_trace_context().valid());
+    EXPECT_EQ(log::current_trace_word(), 0u);
+}
+
+
+TEST(TraceContextScope, CapturedContextCrossesAThreadHandoff)
+{
+    log::TraceContext ctx;
+    ctx.trace_high = 0xabc;
+    ctx.trace_low = 0xdef;
+    ctx.span_id = 0x123;
+    ctx.sampled = true;
+
+    log::TraceContextScope scope{ctx};
+    const auto captured = log::current_trace_context();
+
+    std::uint64_t seen_before = 1;  // sentinel: must become 0
+    std::uint64_t seen_inside = 0;
+    std::thread worker{[&] {
+        seen_before = log::current_trace_word();
+        log::TraceContextScope restored{captured};
+        seen_inside = log::current_trace_word();
+    }};
+    worker.join();
+
+    // A fresh thread starts with no context; restoring the captured one
+    // makes the request id visible there.
+    EXPECT_EQ(seen_before, 0u);
+    EXPECT_EQ(seen_inside, 0xdefu);
+    EXPECT_EQ(log::current_trace_context().trace_low, 0xdefu);
+}
+
+
+// --- sampling --------------------------------------------------------------
+
+TEST(TraceSampling, RateZeroAndOneAreDeterministic)
+{
+    SampleRateGuard guard;
+    log::set_trace_sample_rate(0.0);
+    EXPECT_EQ(log::trace_sample_rate(), 0.0);
+    for (int i = 0; i < 64; ++i) {
+        const auto ctx = log::make_trace_context();
+        EXPECT_TRUE(ctx.valid());
+        EXPECT_FALSE(ctx.sampled);
+    }
+    log::set_trace_sample_rate(1.0);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_TRUE(log::make_trace_context().sampled);
+    }
+}
+
+
+TEST(TraceSampling, RateIsClampedToTheUnitInterval)
+{
+    SampleRateGuard guard;
+    log::set_trace_sample_rate(7.5);
+    EXPECT_EQ(log::trace_sample_rate(), 1.0);
+    log::set_trace_sample_rate(-2.0);
+    EXPECT_EQ(log::trace_sample_rate(), 0.0);
+}
+
+
+TEST(TraceSampling, MintedIdsAreNonzeroAndDistinct)
+{
+    const auto a = log::make_trace_context();
+    const auto b = log::make_trace_context();
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_NE(a.span_id, 0u);
+    EXPECT_NE(log::mint_span_id(), 0u);
+    EXPECT_FALSE(a.trace_high == b.trace_high && a.trace_low == b.trace_low);
+}
+
+
+// --- per-request cost attribution ------------------------------------------
+
+TEST(RequestCost, AccumulatesTotalsAndPerKernelSlices)
+{
+    log::RequestCost cost;
+    cost.note_kernel("csr::spmv", 100.0, 10.0, 20.0);
+    cost.note_kernel("csr::spmv", 50.0, 10.0, 20.0);
+    cost.note_kernel("blas::dot", 25.0, 5.0, 8.0);
+    cost.note_alloc(4096.0);
+
+    const auto quick = cost.quick_totals();
+    EXPECT_EQ(quick.flops, 25.0);
+    EXPECT_EQ(quick.bytes, 48.0);
+    EXPECT_EQ(quick.alloc_bytes, 4096.0);
+    EXPECT_EQ(quick.kernels, 3u);
+
+    const auto totals = cost.snapshot();
+    EXPECT_EQ(totals.flops, quick.flops);
+    EXPECT_EQ(totals.bytes, quick.bytes);
+    EXPECT_EQ(totals.alloc_bytes, quick.alloc_bytes);
+    EXPECT_EQ(totals.kernels, quick.kernels);
+    ASSERT_EQ(totals.per_kernel.size(), 2u);
+    EXPECT_EQ(totals.per_kernel.at("csr::spmv").count, 2u);
+    EXPECT_EQ(totals.per_kernel.at("csr::spmv").wall_ns, 150.0);
+    EXPECT_EQ(totals.per_kernel.at("blas::dot").flops, 5.0);
+}
+
+
+TEST(RequestCost, DistinctPointersWithEqualTextMergeAtSnapshot)
+{
+    // The hot path keys slots by pointer identity; two literals with the
+    // same characters (e.g. the same kernel name compiled into two
+    // translation units) must still fold into one breakdown row.
+    const char a[] = "dup::kernel";
+    const char b[] = "dup::kernel";
+    ASSERT_NE(static_cast<const void*>(a), static_cast<const void*>(b));
+
+    log::RequestCost cost;
+    cost.note_kernel(a, 1.0, 1.0, 1.0);
+    cost.note_kernel(b, 1.0, 1.0, 1.0);
+    const auto totals = cost.snapshot();
+    ASSERT_EQ(totals.per_kernel.size(), 1u);
+    EXPECT_EQ(totals.per_kernel.at("dup::kernel").count, 2u);
+}
+
+
+TEST(RequestCost, OverflowBeyondTheSlotArrayLandsInOther)
+{
+    // More distinct kernel names than slots: totals stay exact, the
+    // breakdown gains an "<other>" row for the excess.
+    std::vector<std::string> names;
+    for (int i = 0; i < 80; ++i) {
+        names.push_back("kernel_" + std::to_string(i));
+    }
+    log::RequestCost cost;
+    for (const auto& name : names) {
+        cost.note_kernel(name.c_str(), 1.0, 2.0, 3.0);
+    }
+    const auto totals = cost.snapshot();
+    EXPECT_EQ(totals.kernels, 80u);
+    EXPECT_EQ(totals.flops, 160.0);
+    ASSERT_TRUE(totals.per_kernel.count("<other>"));
+    EXPECT_EQ(totals.per_kernel.at("<other>").count, 80u - 64u);
+    EXPECT_EQ(totals.per_kernel.size(), 64u + 1u);
+}
+
+
+TEST(RequestCost, NoteHelpersAreNoOpsWithoutACostCarryingContext)
+{
+    // No context at all.
+    log::note_request_kernel("orphan", 1.0, 1.0, 1.0);
+    log::note_request_alloc(64.0);
+
+    // Sampled context without an accumulator attached.
+    log::TraceContext ctx;
+    ctx.trace_high = 1;
+    ctx.trace_low = 1;
+    ctx.span_id = 1;
+    ctx.sampled = true;
+    {
+        log::TraceContextScope scope{ctx};
+        log::note_request_kernel("orphan", 1.0, 1.0, 1.0);
+    }
+
+    // With the accumulator attached, the same calls land in it.
+    log::RequestCost cost;
+    ctx.cost = &cost;
+    {
+        log::TraceContextScope scope{ctx};
+        log::note_request_kernel("kernel", 10.0, 2.0, 4.0);
+        log::note_request_alloc(128.0);
+    }
+    // After the scope unwinds the helpers detach again.
+    log::note_request_kernel("kernel", 10.0, 2.0, 4.0);
+
+    const auto quick = cost.quick_totals();
+    EXPECT_EQ(quick.kernels, 1u);
+    EXPECT_EQ(quick.flops, 2.0);
+    EXPECT_EQ(quick.alloc_bytes, 128.0);
+}
+
+}  // namespace
