@@ -19,6 +19,9 @@
 // "cost" flops must reconcile with the process-wide work model within 1%,
 // and tracing must cost under 3% per request versus MGKO_TRACE_SAMPLE=0
 // (min-of-batches, reported as the solve_server_attrib result block).
+// The same interleaved methodology then gates the measured tier
+// (DESIGN.md §18): the 199 Hz SIGPROF sampling profiler must cost <= 3%
+// per request (the solve_server_sampling result block).
 //
 // MGKO_BENCH_SMOKE=1 shrinks the load to 8 clients x 50 requests (the CI
 // observability job's smoke configuration).  --port binds the server to a
@@ -45,6 +48,7 @@
 #include "bench/common/harness.hpp"
 #include "config/json.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace_context.hpp"
 #include "serve/solve_server.hpp"
 #include "serve/telemetry_server.hpp"
@@ -477,6 +481,32 @@ int main(int argc, char** argv)
         untraced_ns > 0.0 ? (traced_ns - untraced_ns) / untraced_ns * 100.0
                           : 0.0;
 
+    // --- sampling-profiler overhead ----------------------------------------
+    // The measured tier's own budget: the SIGPROF sampler at 199 Hz must
+    // cost <= 3% per request versus sampling off, measured with the same
+    // interleaved min-of-batches methodology as the tracing gate above
+    // (tracing stays fully on in both arms so only the sampler varies).
+    const int sampling_hz = 199;
+    const int restore_hz = log::sampling_hz();
+    double sampled_ns = std::numeric_limits<double>::infinity();
+    double unsampled_ns = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < overhead_repeats; ++rep) {
+        log::sampling_start(sampling_hz);
+        sampled_ns = std::min(sampled_ns, run_batch());
+        log::sampling_stop();
+        unsampled_ns = std::min(unsampled_ns, run_batch());
+    }
+    const std::uint64_t sampling_samples = log::sampling_samples();
+    // Restore whatever the environment configured (CI runs the serve
+    // window under MGKO_SAMPLING_HZ so curl sees a live flamegraph).
+    if (restore_hz > 0) {
+        log::sampling_start(restore_hz);
+    }
+    const double sampling_overhead_percent =
+        unsampled_ns > 0.0
+            ? (sampled_ns - unsampled_ns) / unsampled_ns * 100.0
+            : 0.0;
+
     if (serve_seconds > 0) {
         // Fresh slate for external scrapers: the serve window's own
         // traffic repopulates the registry, so every exemplar a scraper
@@ -520,6 +550,18 @@ int main(int argc, char** argv)
                         bench::fmt(untraced_ns * 1e-3),
                         bench::fmt(overhead_percent, "%.3f")});
     attrib_csv.print();
+
+    bench::CsvBlock sampling_csv{
+        "solve_server_sampling",
+        {"hz", "batch", "sampled_us_per_req", "unsampled_us_per_req",
+         "overhead_percent", "samples"}};
+    sampling_csv.add_row({std::to_string(sampling_hz),
+                          std::to_string(overhead_batch),
+                          bench::fmt(sampled_ns * 1e-3),
+                          bench::fmt(unsampled_ns * 1e-3),
+                          bench::fmt(sampling_overhead_percent, "%.3f"),
+                          std::to_string(sampling_samples)});
+    sampling_csv.print();
 
     const auto sent = totals.sent.load();
     const auto ok = totals.ok.load();
@@ -587,6 +629,24 @@ int main(int argc, char** argv)
                      "FAIL: tracing overhead %.3f%% exceeds the 3%% "
                      "budget\n",
                      overhead_percent);
+        failed = true;
+    }
+    std::printf("sampling: %d Hz cost %.3f%% per request (%.3g us sampled "
+                "vs %.3g us unsampled), %llu samples captured\n",
+                sampling_hz, sampling_overhead_percent, sampled_ns * 1e-3,
+                unsampled_ns * 1e-3,
+                static_cast<unsigned long long>(sampling_samples));
+    if (!std::isfinite(sampling_overhead_percent) ||
+        sampling_overhead_percent > 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: sampling overhead %.3f%% at %d Hz exceeds the "
+                     "3%% budget\n",
+                     sampling_overhead_percent, sampling_hz);
+        failed = true;
+    }
+    if (sampling_samples == 0) {
+        std::fprintf(stderr,
+                     "FAIL: the sampled arm captured zero samples\n");
         failed = true;
     }
     return failed ? 1 : 0;

@@ -48,7 +48,21 @@
 //                 the 3% budget;
 //   * diff:       two comma-separated result blocks (committed baseline,
 //                 fresh run) — same figure/columns/row count, every
-//                 numeric cell within 10% relative, metadata ignored.
+//                 numeric cell within 10% relative, metadata ignored;
+//   * drift:      a BENCH_measured_drift.json result block, optionally
+//                 followed by a comma and the expected counter source —
+//                 on every benched kernel with modeled work and enough
+//                 measured CPU time, the measured/modeled join must sit
+//                 inside loose directional bands (cpu/wall ratio near 1,
+//                 plausible GFLOP/s and GB/s proxies, and on the
+//                 perf_event rung an instructions-per-flop ratio a real
+//                 CPU can produce) — the model-drift gate;
+//   * folded:     a /flamegraph.txt dump — at least one line, every line
+//                 matching the folded-stack grammar
+//                 `frame(;frame)* count` flamegraph.pl consumes;
+//   * sampling:   a BENCH_solve_server_sampling.json result block — the
+//                 199 Hz sampling profiler's per-request overhead must be
+//                 finite and <= 3%, with samples actually captured.
 //
 // Exits 0 when every given file validates, 1 (with a diagnostic on stderr)
 // otherwise, so the CI observability job fails on malformed output.
@@ -865,6 +879,251 @@ bool validate_diff(const std::string& pair)
     return true;
 }
 
+// BENCH_measured_drift.json (+ optional ',expected_source'): the
+// model-drift gate.  Every row joins measured counters against the
+// modeled flops/bytes for one kernel tag; the bands are deliberately
+// loose (directional, ~2x around the plausible range) because the gate
+// exists to catch a *broken* model or measurement — a 10x disagreement —
+// not to benchmark the machine.  Rows below the CPU-time noise floor or
+// without modeled work are reported but not gated.
+bool validate_drift(const std::string& arg)
+{
+    const auto comma = arg.find(',');
+    const auto file = comma == std::string::npos ? arg : arg.substr(0, comma);
+    const auto expected_source =
+        comma == std::string::npos ? std::string{} : arg.substr(comma + 1);
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("figure") ||
+        doc.at("figure").as_string() != "measured_drift") {
+        return fail(file, "not a measured_drift result block");
+    }
+    if (!doc.contains("columns") || !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto kernel = column_of("kernel");
+    const auto model_flops = column_of("model_flops");
+    const auto cpu_ns = column_of("cpu_ns");
+    const auto instructions = column_of("instructions");
+    const auto gflops = column_of("gflops_proxy");
+    const auto gbps = column_of("gbps_proxy");
+    const auto ratio = column_of("cpu_wall_ratio");
+    const auto source = column_of("source");
+    if (kernel == columns.size() || model_flops == columns.size() ||
+        cpu_ns == columns.size() || instructions == columns.size() ||
+        gflops == columns.size() || gbps == columns.size() ||
+        ratio == columns.size() || source == columns.size()) {
+        return fail(file, "missing drift-gate columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    // Below this the dispatching thread barely ran: scheduler noise
+    // dominates and no band is meaningful.
+    constexpr double noise_floor_ns = 1e6;
+    std::size_t gated = 0;
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <= std::max({kernel, model_flops, cpu_ns,
+                                      instructions, gflops, gbps, ratio,
+                                      source})) {
+            return fail(file, "row shorter than the gate columns");
+        }
+        const auto name = cells[kernel].as_string();
+        const auto row_source = cells[source].as_string();
+        if (!expected_source.empty() && row_source != expected_source) {
+            return fail(file, "'" + name + "' measured via '" + row_source +
+                                  "', expected '" + expected_source + "'");
+        }
+        const double row_cpu_ns = cells[cpu_ns].as_double();
+        const double row_flops = cells[model_flops].as_double();
+        if (!std::isfinite(row_cpu_ns) || row_cpu_ns < 0.0) {
+            return fail(file, "'" + name + "' has malformed cpu_ns");
+        }
+        if (row_cpu_ns < noise_floor_ns || row_flops <= 0.0) {
+            continue;
+        }
+        const double row_ratio = cells[ratio].as_double();
+        const double row_gflops = cells[gflops].as_double();
+        const double row_gbps = cells[gbps].as_double();
+        // The dispatching thread is the only worker (single-threaded
+        // executor), so its CPU time tracks the scope's wall time: 2x
+        // slack each way around 1.
+        if (!std::isfinite(row_ratio) || row_ratio < 0.2 ||
+            row_ratio > 5.0) {
+            std::ostringstream what;
+            what << "'" << name << "': cpu/wall ratio " << row_ratio
+                 << " outside [0.2, 5]";
+            return fail(file, what.str());
+        }
+        // Modeled work over measured CPU time must land where a real CPU
+        // can: a kernel doing > 0.001 and < 2000 GFLOP/s, < 4 TB/s.
+        if (!std::isfinite(row_gflops) || row_gflops <= 1e-3 ||
+            row_gflops >= 2000.0) {
+            std::ostringstream what;
+            what << "'" << name << "': modeled-flops/measured-cpu proxy "
+                 << row_gflops << " GFLOP/s outside (0.001, 2000)";
+            return fail(file, what.str());
+        }
+        if (!std::isfinite(row_gbps) || row_gbps < 0.0 ||
+            row_gbps >= 4000.0) {
+            std::ostringstream what;
+            what << "'" << name << "': modeled-bytes/measured-cpu proxy "
+                 << row_gbps << " GB/s outside [0, 4000)";
+            return fail(file, what.str());
+        }
+        if (row_source == "perf_event") {
+            // Directional instruction check: SIMD caps flops/instruction
+            // at ~16 (AVX-512 FMA on doubles), loop overhead caps
+            // instructions/flop loosely from above.
+            const double per_flop =
+                cells[instructions].as_double() / row_flops;
+            if (!std::isfinite(per_flop) || per_flop < 1.0 / 32.0 ||
+                per_flop > 1e4) {
+                std::ostringstream what;
+                what << "'" << name << "': " << per_flop
+                     << " measured instructions per modeled flop outside "
+                     << "[1/32, 1e4]";
+                return fail(file, what.str());
+            }
+        }
+        ++gated;
+    }
+    if (gated == 0) {
+        return fail(file, "no row cleared the noise floor with modeled "
+                          "work — nothing was actually gated");
+    }
+    std::printf("[observability] %s: %zu/%zu kernels inside the drift "
+                "bands (source %s) OK\n",
+                file.c_str(), gated, rows.size(),
+                expected_source.empty() ? "any" : expected_source.c_str());
+    return true;
+}
+
+
+// /flamegraph.txt: the folded-stack grammar flamegraph.pl consumes.
+// Every line must be `frame(;frame)* count` — non-empty frames without
+// spaces, a positive integer count after the final space.
+bool validate_folded(const std::string& file)
+{
+    std::ifstream stream{file};
+    if (!stream) {
+        return fail(file, "cannot open file");
+    }
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t stacks = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto bad = [&](const std::string& what) {
+            return fail(file, "line " + std::to_string(line_no) + ": " +
+                                  what + ": " + line);
+        };
+        if (line.empty()) {
+            return bad("empty line in folded output");
+        }
+        const auto space = line.rfind(' ');
+        if (space == std::string::npos || space == 0 ||
+            space + 1 >= line.size()) {
+            return bad("expected 'frames count'");
+        }
+        const auto count_text = line.substr(space + 1);
+        for (const char c : count_text) {
+            if (!std::isdigit(static_cast<unsigned char>(c))) {
+                return bad("count must be a positive integer");
+            }
+        }
+        if (std::strtoull(count_text.c_str(), nullptr, 10) == 0) {
+            return bad("count must be positive");
+        }
+        const auto frames = line.substr(0, space);
+        if (frames.front() == ';' || frames.back() == ';' ||
+            frames.find(";;") != std::string::npos) {
+            return bad("empty frame in stack");
+        }
+        if (frames.find(' ') != std::string::npos) {
+            return bad("frames must not contain spaces");
+        }
+        ++stacks;
+    }
+    if (stacks == 0) {
+        return fail(file, "no folded stacks (did sampling run?)");
+    }
+    std::printf("[observability] %s: %zu folded stacks OK\n", file.c_str(),
+                stacks);
+    return true;
+}
+
+
+// BENCH_solve_server_sampling.json: the sampling profiler's per-request
+// overhead gate (<= 3% at 199 Hz) plus proof the sampled arm actually
+// captured samples.
+bool validate_sampling(const std::string& file)
+{
+    Json doc;
+    if (!load(file, doc)) {
+        return false;
+    }
+    if (!doc.is_object() || !doc.contains("figure") ||
+        doc.at("figure").as_string() != "solve_server_sampling") {
+        return fail(file, "not a solve_server_sampling result block");
+    }
+    if (!doc.contains("columns") || !doc.contains("rows")) {
+        return fail(file, "missing 'columns'/'rows'");
+    }
+    const auto& columns = doc.at("columns").elements();
+    auto column_of = [&](const std::string& name) {
+        for (std::size_t i = 0; i < columns.size(); ++i) {
+            if (columns[i].as_string() == name) {
+                return i;
+            }
+        }
+        return columns.size();
+    };
+    const auto overhead = column_of("overhead_percent");
+    const auto samples = column_of("samples");
+    if (overhead == columns.size() || samples == columns.size()) {
+        return fail(file, "missing overhead_percent/samples columns");
+    }
+    const auto& rows = doc.at("rows").elements();
+    if (rows.empty()) {
+        return fail(file, "no result rows");
+    }
+    for (const auto& row : rows) {
+        const auto& cells = row.elements();
+        if (cells.size() <= std::max(overhead, samples)) {
+            return fail(file, "row shorter than the gate columns");
+        }
+        const double overhead_percent = cells[overhead].as_double();
+        if (!std::isfinite(overhead_percent) || overhead_percent > 3.0) {
+            std::ostringstream what;
+            what << "sampling overhead " << overhead_percent
+                 << "% above the 3% budget";
+            return fail(file, what.str());
+        }
+        if (cells[samples].as_double() <= 0) {
+            return fail(file, "the sampled arm captured no samples");
+        }
+        std::printf("[observability] %s: sampling overhead %.3f%% <= 3%%, "
+                    "%g samples OK\n",
+                    file.c_str(), overhead_percent,
+                    cells[samples].as_double());
+    }
+    return true;
+}
+
 }  // namespace
 
 
@@ -899,6 +1158,12 @@ int main(int argc, char** argv)
             ok = validate_amg(file) && ok;
         } else if (flag == "--diff") {
             ok = validate_diff(file) && ok;
+        } else if (flag == "--drift") {
+            ok = validate_drift(file) && ok;
+        } else if (flag == "--folded") {
+            ok = validate_folded(file) && ok;
+        } else if (flag == "--sampling") {
+            ok = validate_sampling(file) && ok;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return 2;
@@ -912,7 +1177,8 @@ int main(int argc, char** argv)
             "[--metrics f] [--prometheus f] [--flight f] [--overhead f] "
             "[--sellcs f] [--solveserver f] [--exemplars metrics,trace] "
             "[--requestattrib f] [--amg results[,trace]] "
-            "[--diff baseline,fresh]\n");
+            "[--diff baseline,fresh] [--drift results[,source]] "
+            "[--folded f] [--sampling f]\n");
         return 2;
     }
     return ok ? 0 : 1;

@@ -20,7 +20,9 @@
 #include "core/dispatch.hpp"
 #include "core/mtx_io.hpp"
 #include "log/flight_recorder.hpp"
+#include "log/hw_counters.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace.hpp"
 #include "matrix/convolution.hpp"
 #include "serve/solve_server.hpp"
@@ -874,6 +876,72 @@ void register_observability_bindings(Module& m)
     });
     m.def("solve_server_stats", [](const List&) -> Value {
         return Value{serve::solve_server_stats_json()};
+    });
+
+    // --- measured tier (sampling profiler + hardware counters) ---
+
+    // args: [hz] — starts (or retunes) the SIGPROF sampling profiler at
+    // `hz` samples per second (default 99); hz 0 stops it.  Returns the
+    // active rate.
+    m.def("sampling_start", [](const List& args) -> Value {
+        int hz = 99;
+        if (!args.empty() && !args.at(0).is_none()) {
+            hz = static_cast<int>(args.at(0).as_int());
+        }
+        if (hz == 0) {
+            log::sampling_stop();
+        } else {
+            log::sampling_start(hz);
+        }
+        return Value{static_cast<std::int64_t>(log::sampling_hz())};
+    });
+    m.def("sampling_stop", [](const List&) -> Value {
+        log::sampling_stop();
+        return {};
+    });
+    m.def("sampling_hz", [](const List&) -> Value {
+        return Value{static_cast<std::int64_t>(log::sampling_hz())};
+    });
+    // The aggregated samples as folded stacks ("frame;frame;... count"
+    // lines, flamegraph.pl-ready).
+    m.def("sampling_folded", [](const List&) -> Value {
+        return Value{log::sampling_folded()};
+    });
+    // The aggregated samples as pprof-like JSON (the /profile_cpu.json
+    // body).
+    m.def("sampling_profile", [](const List&) -> Value {
+        return Value{log::sampling_profile_json()};
+    });
+    m.def("sampling_reset", [](const List&) -> Value {
+        log::sampling_reset();
+        return {};
+    });
+
+    // args: [mode] — enables the hardware-counter tier: "auto" (default)
+    // probes perf_event_open and falls back to rusage, "rusage" forces
+    // the fallback, "off" disables.  Returns the active source.
+    m.def("hw_counters", [](const List& args) -> Value {
+        std::string mode = "auto";
+        if (!args.empty() && !args.at(0).is_none()) {
+            mode = args.at(0).as_string();
+        }
+        if (mode == "off") {
+            log::hw_counters_disable();
+        } else {
+            log::hw_counters_enable(mode);
+        }
+        return Value{std::string{log::hw_counters_source()}};
+    });
+    m.def("hw_counters_source", [](const List&) -> Value {
+        return Value{std::string{log::hw_counters_source()}};
+    });
+    // Per-kernel accumulated counters as JSON.
+    m.def("hw_counters_json", [](const List&) -> Value {
+        return Value{log::hw_counters_json()};
+    });
+    m.def("hw_counters_reset", [](const List&) -> Value {
+        log::hw_counters_reset();
+        return {};
     });
 
     // args: [path] — with a path, writes the flight recorder's black box

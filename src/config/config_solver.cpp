@@ -9,6 +9,8 @@
 #include "batch/batch_cg.hpp"
 #include "batch/batch_jacobi.hpp"
 #include "core/dispatch.hpp"
+#include "log/hw_counters.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace.hpp"
 #include "log/trace_context.hpp"
 #include "matrix/coo.hpp"
@@ -66,7 +68,8 @@ std::vector<std::string> solver_config_keys(
     std::vector<std::string> valid{
         "type",          "value_type", "index_type", "format",
         "reorder",       "slice_size", "sorting_window", "trace",
-        "trace_sample",  "telemetry",  "solve_server"};
+        "trace_sample",  "telemetry",  "solve_server", "sampling_hz",
+        "hw_counters"};
     valid.insert(valid.end(), extra.begin(), extra.end());
     return valid;
 }
@@ -423,7 +426,8 @@ std::shared_ptr<const batch::BatchLinOpFactory> parse_batch_factory_typed(
         config,
         {"type", "batch", "value_type", "index_type", "criteria", "max_iters",
          "reduction_factor", "baseline", "preconditioner", "trace",
-         "trace_sample", "telemetry", "solve_server"},
+         "trace_sample", "telemetry", "solve_server", "sampling_hz",
+         "hw_counters"},
         "batched solver \"" + type + "\"");
 
     auto criteria = parse_criteria(config);
@@ -558,6 +562,55 @@ void apply_trace_sample_key(const Json& config)
     log::set_trace_sample_rate(rate);
 }
 
+/// A `"sampling_hz"` key controls the measured-tier sampling profiler
+/// (the config twin of MGKO_SAMPLING_HZ): a positive integer starts (or
+/// retunes) sampling at that rate, 0 stops it.
+void apply_sampling_key(const Json& config)
+{
+    if (!config.contains("sampling_hz")) {
+        return;
+    }
+    const auto hz = config.at("sampling_hz").as_int();
+    MGKO_ENSURE(hz >= 0 && hz <= 1000,
+                "'sampling_hz' must be an integer in [0, 1000], got " +
+                    std::to_string(hz));
+    if (hz == 0) {
+        log::sampling_stop();
+    } else {
+        log::sampling_start(static_cast<int>(hz));
+    }
+}
+
+/// A `"hw_counters"` key controls the hardware-counter tier (the config
+/// twin of MGKO_HW_COUNTERS): `true`/"auto" probes perf_event_open and
+/// falls back to rusage, "rusage" forces the fallback (deterministic for
+/// CI), `false`/"off" disables.
+void apply_hw_counters_key(const Json& config)
+{
+    if (!config.contains("hw_counters")) {
+        return;
+    }
+    const auto& value = config.at("hw_counters");
+    if (value.is_bool()) {
+        if (value.as_bool()) {
+            log::hw_counters_enable("auto");
+        } else {
+            log::hw_counters_disable();
+        }
+        return;
+    }
+    const auto mode = value.as_string();
+    if (mode == "off" || mode == "false" || mode == "0") {
+        log::hw_counters_disable();
+        return;
+    }
+    MGKO_ENSURE(mode == "auto" || mode == "rusage" || mode == "perf_event",
+                "'hw_counters' must be a bool or one of \"auto\", "
+                "\"rusage\", \"perf_event\", \"off\", got \"" +
+                    mode + "\"");
+    log::hw_counters_enable(mode);
+}
+
 }  // namespace
 
 
@@ -575,6 +628,8 @@ std::unique_ptr<LinOp> config_solver(const Json& config,
     apply_telemetry_key(config);
     apply_solve_server_key(config);
     apply_trace_sample_key(config);
+    apply_sampling_key(config);
+    apply_hw_counters_key(config);
     return solver;
 }
 
@@ -686,6 +741,8 @@ std::unique_ptr<batch::BatchLinOp> batch_config_solver(
     apply_telemetry_key(config);
     apply_solve_server_key(config);
     apply_trace_sample_key(config);
+    apply_sampling_key(config);
+    apply_hw_counters_key(config);
     return solver;
 }
 

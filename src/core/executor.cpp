@@ -8,7 +8,9 @@
 #include <omp.h>
 
 #include "log/flight_recorder.hpp"
+#include "log/hw_counters.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace.hpp"
 #include "log/trace_context.hpp"
 #include "log/work_model.hpp"
@@ -45,6 +47,8 @@ template <typename ExecPtr>
 ExecPtr with_env_observers(ExecPtr exec)
 {
     log::install_crash_handler_from_env();
+    log::sampling_from_env();
+    log::hw_counters_from_env();
     serve::telemetry_from_env();
     serve::solve_server_from_env();
     exec->add_logger(log::tracer_from_env());
@@ -203,7 +207,17 @@ void Executor::run(const Operation& op) const
     // started telemetry.
     const log::op_work saved = log::exchange_work({});
     const double t0 = now_wall_ns();
-    dispatch(op);
+    {
+        // Measured tier (both no-ops costing one relaxed load when off):
+        // the sampling profiler's frame stack gets the kernel tag for the
+        // dispatch window, and the hardware-counter scope accumulates
+        // measured cycles/instructions/LLC misses under the same tag the
+        // work model attributes flops/bytes to — which is exactly the
+        // join the --drift gate checks.
+        log::SampleFrame sample_frame{op.name()};
+        log::HwCounterScope hw_scope{op.name()};
+        dispatch(op);
+    }
     const double wall = now_wall_ns() - t0;
     kernel_wall_ns_.fetch_add(wall, std::memory_order_relaxed);
     launches_.fetch_add(1, std::memory_order_relaxed);

@@ -105,8 +105,13 @@ double MetricsRegistry::histogram::quantile(double q) const
         const double lower =
             i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
         const double upper = std::ldexp(1.0, static_cast<int>(i));
+        // The continue above guarantees buckets[i] > 0, but keep the
+        // interpolation division explicitly guarded: a zero divisor here
+        // would turn a scrape into NaN text for every quantile series.
         const double fraction =
-            (target - below) / static_cast<double>(buckets[i]);
+            buckets[i] > 0
+                ? (target - below) / static_cast<double>(buckets[i])
+                : 0.0;
         return lower + fraction * (upper - lower);
     }
     return std::ldexp(1.0, static_cast<int>(num_buckets));
@@ -155,6 +160,14 @@ void MetricsRegistry::observe(const std::string& name, const std::string& tag,
     if (ctx.sampled && ctx.valid()) {
         h.exemplars[bucket] = {ctx.trace_high, ctx.trace_low, value};
     }
+}
+
+
+void MetricsRegistry::declare_histogram(const std::string& name,
+                                        const std::string& tag)
+{
+    std::lock_guard<std::mutex> guard{mutex_};
+    histograms_[name][tag];
 }
 
 
@@ -224,7 +237,13 @@ std::string MetricsRegistry::prometheus_text() const
                 cumulative += h.buckets[i];
                 // Prometheus buckets are cumulative; skip interior empties
                 // to keep the exposition readable but always emit +Inf.
-                if (h.buckets[i] == 0 && i + 1 < num_buckets) {
+                // A zero-observation histogram (declared but never
+                // observed) emits its full bucket ladder instead: an
+                // exposition with only {le="+Inf"} 0 breaks
+                // histogram_quantile() and recording rules that expect a
+                // stable bucket set from first scrape.
+                if (h.count > 0 && h.buckets[i] == 0 &&
+                    i + 1 < num_buckets) {
                     continue;
                 }
                 out << name << "_bucket{tag=\"" << label << "\",le=\""

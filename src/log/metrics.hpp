@@ -83,6 +83,13 @@ public:
     void observe(const std::string& name, const std::string& tag,
                  double value);
 
+    /// Registers a histogram series before its first observation, so
+    /// scrapes show the zeroed _count/_sum and the full bucket ladder
+    /// from the start (dashboards and recording rules then see a stable
+    /// series set instead of one that appears on first traffic).
+    /// Idempotent; an existing histogram is left untouched.
+    void declare_histogram(const std::string& name, const std::string& tag);
+
     /// Current counter value; 0 when never incremented.
     double counter_value(const std::string& name,
                          const std::string& tag) const;

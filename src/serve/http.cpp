@@ -330,6 +330,58 @@ std::string with_response_header(std::string response,
 }
 
 
+std::string query_param(const std::string& target, const std::string& key)
+{
+    const auto question = target.find('?');
+    if (question == std::string::npos) {
+        return {};
+    }
+    std::string query = target.substr(question + 1);
+    std::size_t pos = 0;
+    while (pos < query.size()) {
+        auto next = query.find('&', pos);
+        if (next == std::string::npos) {
+            next = query.size();
+        }
+        const auto eq = query.find('=', pos);
+        if (eq != std::string::npos && eq < next &&
+            query.compare(pos, eq - pos, key) == 0) {
+            return query.substr(eq + 1, next - eq - 1);
+        }
+        pos = next + 1;
+    }
+    return {};
+}
+
+
+std::uint64_t parse_trace_filter(const std::string& value, bool& ok)
+{
+    ok = false;
+    if (value.size() != 16 && value.size() != 32) {
+        return 0;
+    }
+    std::uint64_t word = 0;
+    for (std::size_t i = value.size() - 16; i < value.size(); ++i) {
+        const char c = value[i];
+        const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) {
+            return 0;
+        }
+        word = (word << 4) |
+               static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    // The high half must still be hex when a full 32-hex id was given.
+    for (std::size_t i = 0; i + 16 < value.size(); ++i) {
+        const char c = value[i];
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
+            return 0;
+        }
+    }
+    ok = true;
+    return word;
+}
+
+
 namespace {
 
 /// True when `text` is exactly `len` lowercase hex digits; `nonzero_out`

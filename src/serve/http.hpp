@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -124,6 +125,18 @@ std::string json_response(int status, const config::Json& body,
 /// threading extra_headers through every route.
 std::string with_response_header(std::string response,
                                  const std::string& header_line);
+
+/// The value of `key` in a request target's "?k=v&k2=v2" query string;
+/// empty when the query or the key is absent.  Shared by every endpoint
+/// that takes filters (/trace.json, /v1/requests), so all of them parse
+/// queries identically.
+std::string query_param(const std::string& target, const std::string& key);
+
+/// Parses a trace id filter: 32 or 16 lowercase hex digits (the full W3C
+/// trace id or just its low 64 bits — records carry the low word).
+/// Returns 0 on malformed input, with `ok` false; endpoints turn that
+/// into the one typed 400 every filter answers with.
+std::uint64_t parse_trace_filter(const std::string& value, bool& ok);
 
 /// Parses a W3C `traceparent` header value
 /// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>") into a

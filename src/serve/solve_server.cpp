@@ -22,7 +22,9 @@
 #include "core/executor.hpp"
 #include "core/mtx_io.hpp"
 #include "log/flight_recorder.hpp"
+#include "log/hw_counters.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace_context.hpp"
 
 namespace mgko::serve {
@@ -407,6 +409,10 @@ std::string SolveServer::handle(const HttpRequest& request)
                         : path == "/v1/stats"     ? "serve.stats"
                         : path == "/v1/requests"  ? "serve.requests"
                                                   : "serve.other";
+    // Measured tier: the route becomes a sampling-profiler frame, so
+    // flamegraphs show serve.solve -> kernel stacks (one relaxed load
+    // when the profiler is off).
+    log::SampleFrame sample_frame{route};
     // Adopt the caller's W3C trace context (its trace id and sampling
     // decision, under a fresh span of our own) or mint one; a malformed
     // traceparent header is ignored, never rejected.  The scope makes
@@ -433,6 +439,24 @@ std::string SolveServer::handle(const HttpRequest& request)
         if (path == "/healthz") {
             status = 200;
             response = http_response(200, "text/plain", "ok\n");
+        } else if (path == "/readyz") {
+            // Readiness is stricter than liveness: a load balancer pulls
+            // the instance on the first 503 here, while /healthz stays 200
+            // until the process exits.  Three states, one transition each:
+            // accepting -> draining (stop() running, queue still served)
+            // -> stopped (drain complete).
+            Json ready = Json::make_object();
+            const bool accepting =
+                accepting_.load(std::memory_order_acquire);
+            const char* state =
+                accepting ? "accepting"
+                          : (drained_.load(std::memory_order_acquire)
+                                 ? "stopped"
+                                 : "draining");
+            ready["state"] = Json{std::string{state}};
+            ready["accepting"] = Json{accepting};
+            status = accepting ? 200 : 503;
+            response = json_response(status, ready);
         } else if (path == "/metrics") {
             status = 200;
             response = http_response(200, "text/plain; version=0.0.4",
@@ -453,9 +477,55 @@ std::string SolveServer::handle(const HttpRequest& request)
                 response = json_response(
                     405, error_json("requests is GET-only"));
             } else {
-                status = 200;
-                response = http_response(200, "application/json",
-                                         requests_json() + "\n");
+                // ?limit=N bounds the answer to the N most recent entries,
+                // ?trace_id= narrows it to one request.  Malformed values
+                // are typed 400s in the same shape /trace.json answers
+                // with, not silently ignored filters.
+                std::size_t limit = 0;
+                std::uint64_t trace_filter = 0;
+                bool bad = false;
+                const auto limit_text =
+                    query_param(request.target, "limit");
+                if (!limit_text.empty()) {
+                    char* end = nullptr;
+                    const long parsed =
+                        std::strtol(limit_text.c_str(), &end, 10);
+                    if (end == limit_text.c_str() || *end != '\0' ||
+                        parsed < 1 ||
+                        parsed >
+                            static_cast<long>(Impl::recent_capacity)) {
+                        status = 400;
+                        response = json_response(
+                            400,
+                            error_json(
+                                "limit must be an integer in [1, " +
+                                std::to_string(Impl::recent_capacity) +
+                                "]"));
+                        bad = true;
+                    } else {
+                        limit = static_cast<std::size_t>(parsed);
+                    }
+                }
+                const auto wanted =
+                    query_param(request.target, "trace_id");
+                if (!bad && !wanted.empty()) {
+                    bool ok = false;
+                    trace_filter = parse_trace_filter(wanted, ok);
+                    if (!ok) {
+                        status = 400;
+                        response = json_response(
+                            400,
+                            error_json("trace_id must be 16 or 32 "
+                                       "lowercase hex characters"));
+                        bad = true;
+                    }
+                }
+                if (!bad) {
+                    status = 200;
+                    response = http_response(
+                        200, "application/json",
+                        requests_json(limit, trace_filter) + "\n");
+                }
             }
         } else if (path == "/v1/operators") {
             if (request.method != "POST") {
@@ -533,13 +603,40 @@ std::string SolveServer::handle(const HttpRequest& request)
 }
 
 
-std::string SolveServer::requests_json() const
+std::string SolveServer::requests_json(std::size_t limit,
+                                       std::uint64_t trace_filter) const
 {
+    // Trace ids are stored as 32-hex text; a filter (parsed to the low
+    // 64 bits, same as /trace.json) matches when the id's last 16 hex
+    // digits equal the filter's — so both 16- and 32-digit queries find
+    // their request.
+    char filter_hex[17] = {0};
+    if (trace_filter != 0) {
+        std::snprintf(filter_hex, sizeof(filter_hex), "%016llx",
+                      static_cast<unsigned long long>(trace_filter));
+    }
     Json doc = Json::make_object();
     Json list = Json::make_array();
     {
         std::lock_guard<std::mutex> guard{impl_->recent_mutex};
+        std::vector<const Impl::RequestSummary*> selected;
+        selected.reserve(impl_->recent.size());
         for (const auto& summary : impl_->recent) {
+            if (trace_filter != 0 &&
+                (summary.trace_id.size() < 16 ||
+                 summary.trace_id.compare(summary.trace_id.size() - 16, 16,
+                                          filter_hex) != 0)) {
+                continue;
+            }
+            selected.push_back(&summary);
+        }
+        // The ring is oldest-first; "the N most recent" keeps the tail.
+        const std::size_t start =
+            (limit > 0 && selected.size() > limit)
+                ? selected.size() - limit
+                : 0;
+        for (std::size_t i = start; i < selected.size(); ++i) {
+            const auto& summary = *selected[i];
             Json entry = Json::make_object();
             entry["trace_id"] = Json{summary.trace_id};
             entry["route"] = Json{summary.route};
@@ -598,6 +695,10 @@ std::string SolveServer::handle_upload(const HttpRequest& request)
 
 std::string SolveServer::handle_solve(const HttpRequest& request)
 {
+    // Measured tier: counter reading at entry, delta at response time.
+    // Costs two clock reads when counters are off (hw_read_now always
+    // fills cpu_ns/wall_ns so the "measured" block degrades, never lies).
+    const auto hw_begin = log::hw_read_now();
     auto body = Json::parse(request.body);
     MGKO_ENSURE(body.contains("config"),
                 "solve request requires a 'config' object");
@@ -754,6 +855,29 @@ std::string SolveServer::handle_solve(const HttpRequest& request)
         cost += "}";
     }
     cost += "}}";
+    // The "measured" sibling of "cost": the same request seen by the
+    // hardware-counter tier instead of the model.  gflops/gbps proxies
+    // divide the *modeled* work by the *measured* CPU time — the
+    // model-drift gate compares exactly these two views.
+    const auto hw_delta = log::hw_read_now() - hw_begin;
+    const double cpu_ns = hw_delta.cpu_ns > 0.0 ? hw_delta.cpu_ns : 0.0;
+    cost += ",\"measured\": {\"source\": \"";
+    cost += log::hw_counters_source();
+    cost += "\", ";
+    number("wall_ns", hw_delta.wall_ns);
+    cost += ", ";
+    number("cpu_ns", cpu_ns);
+    cost += ", ";
+    number("cycles", hw_delta.cycles);
+    cost += ", ";
+    number("instructions", hw_delta.instructions);
+    cost += ", ";
+    number("llc_misses", hw_delta.llc_misses);
+    cost += ", ";
+    number("gflops_proxy", cpu_ns > 0.0 ? totals.flops / cpu_ns : 0.0);
+    cost += ", ";
+    number("gbps_proxy", cpu_ns > 0.0 ? totals.bytes / cpu_ns : 0.0);
+    cost += "}";
     auto payload = response.dump();
     payload.insert(payload.size() - 1, cost);
     return http_response(200, "application/json", payload + "\n");
@@ -779,6 +903,16 @@ std::string SolveServer::metrics_text() const
          << "mgko_solve_cache_bytes " << s.cache_bytes << "\n"
          << "# TYPE mgko_solve_queue_peak gauge\n"
          << "mgko_solve_queue_peak " << s.queue_peak << "\n";
+    // Measured tier: the same mgko_hw_*/mgko_sampling_* series the
+    // telemetry endpoint scrapes, so either server alone tells the story.
+    body << log::hw_counters_prometheus();
+    body << "# TYPE mgko_sampling_hz gauge\n"
+         << "mgko_sampling_hz " << log::sampling_hz() << "\n"
+         << "# TYPE mgko_sampling_samples_total counter\n"
+         << "mgko_sampling_samples_total " << log::sampling_samples() << "\n"
+         << "# TYPE mgko_sampling_dropped_total counter\n"
+         << "mgko_sampling_dropped_total " << log::sampling_dropped()
+         << "\n";
     return body.str();
 }
 
@@ -877,6 +1011,8 @@ void SolveServer::stop()
         ::close(listen_fd_);
         listen_fd_ = -1;
     }
+    // Drain complete: /readyz flips from "draining" to "stopped".
+    drained_.store(true, std::memory_order_release);
 }
 
 

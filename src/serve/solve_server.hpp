@@ -30,7 +30,11 @@
 //   GET  /v1/requests    bounded ring of recent per-request summaries:
 //                        trace id, route, status, wall time, and the cost
 //                        attributed to each request (flops, bytes, pool
-//                        alloc bytes, kernel launches).
+//                        alloc bytes, kernel launches).  Filters:
+//                        ?limit=N keeps the N most recent entries
+//                        (1..256), ?trace_id=<16-or-32 hex> keeps one
+//                        request's entries; malformed values answer the
+//                        same typed JSON 400 as /trace.json.
 //
 // Request-scoped tracing (DESIGN.md §17): every request adopts the trace
 // id and sampled flag of a valid W3C `traceparent` header (malformed
@@ -43,8 +47,17 @@
 // leave OpenMetrics exemplars, and sampled /v1/solve responses gain a
 // "cost" block with a per-kernel breakdown.
 //   GET  /metrics        Prometheus text: the shared MetricsRegistry plus
-//                        the server's own mgko_solve_* series.
-//   GET  /healthz        liveness probe.
+//                        the server's own mgko_solve_* series and the
+//                        measured tier's mgko_hw_*/mgko_sampling_* series.
+//   GET  /healthz        liveness probe: 200 while the process serves,
+//                        including during drain (the process is alive and
+//                        still answering queued work).
+//   GET  /readyz         readiness probe: 200 {"state": "accepting"} only
+//                        while new connections are admitted; 503 with
+//                        "draining" (stop() running, queued work still
+//                        being served) or "stopped" (drain complete) —
+//                        the signal a load balancer needs to pull the
+//                        instance before /healthz ever flips.
 //
 // Concurrency: one acceptor thread feeds a bounded queue drained by a
 // worker pool.  Admission control is explicit backpressure — when the
@@ -140,7 +153,11 @@ public:
     /// Stats as a JSON object (the /v1/stats body).
     std::string stats_json() const;
     /// The bounded recent-request ring as JSON (the /v1/requests body).
-    std::string requests_json() const;
+    /// `limit` keeps only the most recent N entries (0 means all);
+    /// `trace_filter` (the low 64 bits of a trace id, 0 meaning no
+    /// filter) keeps only entries whose trace id ends in that word.
+    std::string requests_json(std::size_t limit = 0,
+                              std::uint64_t trace_filter = 0) const;
 
     /// Routes one parsed request to a full HTTP response; exposed so unit
     /// tests can exercise routing, parsing, and the cache without
@@ -166,6 +183,10 @@ private:
     int port_{0};
     std::atomic<bool> accepting_{false};
     std::atomic<bool> stopped_{false};
+    /// Set when stop() finishes draining; /readyz distinguishes
+    /// "draining" (stopped_ set, workers still serving the queue) from
+    /// "stopped" (drain complete) with it.
+    std::atomic<bool> drained_{false};
     std::thread acceptor_;
 };
 

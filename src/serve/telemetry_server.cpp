@@ -13,71 +13,12 @@
 
 #include "core/exception.hpp"
 #include "log/flight_recorder.hpp"
+#include "log/hw_counters.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "serve/http.hpp"
 
 namespace mgko::serve {
-
-
-namespace {
-
-/// The value of `key` in a "?k=v&k2=v2" query string; empty when absent.
-std::string query_param(const std::string& target, const std::string& key)
-{
-    const auto question = target.find('?');
-    if (question == std::string::npos) {
-        return {};
-    }
-    std::string query = target.substr(question + 1);
-    std::size_t pos = 0;
-    while (pos < query.size()) {
-        auto next = query.find('&', pos);
-        if (next == std::string::npos) {
-            next = query.size();
-        }
-        const auto eq = query.find('=', pos);
-        if (eq != std::string::npos && eq < next &&
-            query.compare(pos, eq - pos, key) == 0) {
-            return query.substr(eq + 1, next - eq - 1);
-        }
-        pos = next + 1;
-    }
-    return {};
-}
-
-/// Parses a trace id filter: 32 or 16 lowercase hex digits (the full W3C
-/// trace id or just its low 64 bits — records carry the low word).
-/// Returns 0 on malformed input, with `ok` false.
-std::uint64_t parse_trace_filter(const std::string& value, bool& ok)
-{
-    ok = false;
-    if (value.size() != 16 && value.size() != 32) {
-        return 0;
-    }
-    std::uint64_t word = 0;
-    for (std::size_t i = value.size() - 16; i < value.size(); ++i) {
-        const char c = value[i];
-        const bool hex =
-            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
-        if (!hex) {
-            return 0;
-        }
-        word = (word << 4) |
-               static_cast<std::uint64_t>(c <= '9' ? c - '0'
-                                                   : c - 'a' + 10);
-    }
-    // The high half must still be hex when a full 32-hex id was given.
-    for (std::size_t i = 0; i + 16 < value.size(); ++i) {
-        const char c = value[i];
-        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) {
-            return 0;
-        }
-    }
-    ok = true;
-    return word;
-}
-
-}  // namespace
 
 
 std::string TelemetryServer::respond(const std::string& method,
@@ -102,11 +43,33 @@ std::string TelemetryServer::respond(const std::string& method,
              << "mgko_flight_dropped_total " << recorder->dropped() << "\n"
              << "# TYPE mgko_telemetry_requests_total counter\n"
              << "mgko_telemetry_requests_total " << requests_so_far << "\n";
+        // Measured tier: hardware-counter series plus the sampling
+        // profiler's own health counters.
+        body << log::hw_counters_prometheus();
+        body << "# TYPE mgko_sampling_hz gauge\n"
+             << "mgko_sampling_hz " << log::sampling_hz() << "\n"
+             << "# TYPE mgko_sampling_samples_total counter\n"
+             << "mgko_sampling_samples_total " << log::sampling_samples()
+             << "\n"
+             << "# TYPE mgko_sampling_dropped_total counter\n"
+             << "mgko_sampling_dropped_total " << log::sampling_dropped()
+             << "\n";
         return http_response(200, "text/plain; version=0.0.4", body.str());
     }
     if (path == "/profile.json") {
         return http_response(200, "application/json",
                              log::shared_flight_recorder()->to_profile_json());
+    }
+    if (path == "/profile_cpu.json") {
+        // The measured profile: aggregated SIGPROF samples, pprof-like
+        // shape.  Valid (with zero stacks) when sampling never ran.
+        return http_response(200, "application/json",
+                             log::sampling_profile_json());
+    }
+    if (path == "/flamegraph.txt") {
+        // Folded stacks, one "frame;frame;... count" line per distinct
+        // stack — pipe straight into flamegraph.pl.
+        return http_response(200, "text/plain", log::sampling_folded());
     }
     if (path == "/trace.json") {
         // ?trace_id=<32-or-16 hex> narrows the dump to one request's

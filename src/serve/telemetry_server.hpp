@@ -4,13 +4,20 @@
 // POSIX sockets: one background thread accepts loopback or scrape traffic
 // and serves
 //
-//   GET /healthz       "ok" liveness probe
-//   GET /metrics       Prometheus text from the shared MetricsRegistry,
-//                      plus the server's own mgko_flight_*/mgko_telemetry_*
-//                      series (so a scrape is never empty)
-//   GET /profile.json  flight-recorder snapshot aggregated per tag
-//                      (ProfilerLogger's {"tags": ...} schema)
-//   GET /trace.json    flight-recorder snapshot as Chrome Trace JSON
+//   GET /healthz           "ok" liveness probe
+//   GET /metrics           Prometheus text from the shared MetricsRegistry,
+//                          plus the server's own mgko_flight_*/
+//                          mgko_telemetry_* series (so a scrape is never
+//                          empty) and the measured tier's mgko_hw_* /
+//                          mgko_sampling_* series
+//   GET /profile.json      flight-recorder snapshot aggregated per tag
+//                          (ProfilerLogger's {"tags": ...} schema)
+//   GET /profile_cpu.json  sampling-profiler aggregate, pprof-like JSON
+//                          (log/sampling_profiler.hpp)
+//   GET /flamegraph.txt    the same samples as folded stacks, one
+//                          "frame;frame;... count" line per stack —
+//                          flamegraph.pl-ready
+//   GET /trace.json        flight-recorder snapshot as Chrome Trace JSON
 //
 // so a production host can be inspected while it runs instead of waiting
 // for an exit-time dump (cf. Koch et al. on observability surviving

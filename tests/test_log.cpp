@@ -823,6 +823,62 @@ TEST(MetricsRegistry, ExportersCarryTheQuantileEstimates)
     EXPECT_NEAR(hist.at("p99").as_double(), 127.36, 1e-9);
 }
 
+TEST(MetricsRegistry, EmptyHistogramExposesItsFullZeroBucketLadder)
+{
+    log::MetricsRegistry reg;
+    // Declared-but-never-observed: the exposition must still carry the
+    // whole series family — a scrape with only {le="+Inf"} (or nothing)
+    // breaks histogram_quantile() and recording rules that expect a
+    // stable bucket set from the first scrape on.
+    reg.declare_histogram("mgko_latency_ns", "op.idle");
+    const auto text = reg.prometheus_text();
+    EXPECT_NE(text.find("# TYPE mgko_latency_ns histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("mgko_latency_ns_count{tag=\"op.idle\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("mgko_latency_ns_sum{tag=\"op.idle\"} 0"),
+              std::string::npos);
+    // Every bucket appears, all cumulative zero, ending in +Inf.
+    std::size_t buckets = 0;
+    const std::string needle = "mgko_latency_ns_bucket{tag=\"op.idle\",le=\"";
+    for (auto pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+        const auto line_end = text.find('\n', pos);
+        EXPECT_EQ(text.substr(line_end - 2, 2), " 0")
+            << text.substr(pos, line_end - pos);
+        ++buckets;
+    }
+    EXPECT_EQ(buckets, log::MetricsRegistry::num_buckets);
+    EXPECT_NE(text.find("mgko_latency_ns_bucket{tag=\"op.idle\",le=\"1\"} 0"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("mgko_latency_ns_bucket{tag=\"op.idle\",le=\"+Inf\"} 0"),
+        std::string::npos);
+    // Quantiles of nothing are 0, never NaN text.
+    EXPECT_NE(text.find("mgko_latency_ns{tag=\"op.idle\",quantile=\"0.5\"} 0"),
+              std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("-nan"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SingleObservationQuantilesStayFinite)
+{
+    log::MetricsRegistry reg;
+    reg.observe("mgko_latency_ns", "op.once", 100.0);
+    const auto hist = reg.histogram_snapshot("mgko_latency_ns", "op.once");
+    ASSERT_EQ(hist.count, 1u);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+        const double estimate = hist.quantile(q);
+        EXPECT_TRUE(std::isfinite(estimate)) << q;
+        EXPECT_GE(estimate, 0.0) << q;
+        // 100 lands in bucket (64, 128]; every rank estimate stays there.
+        EXPECT_LE(estimate, 128.0) << q;
+    }
+    const auto text = reg.prometheus_text();
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
 TEST(MetricsRegistry, HistogramExemplarsCarryTheSampledTraceId)
 {
     log::MetricsRegistry reg;

@@ -639,6 +639,85 @@ TEST(SolveServerTracing, RecentRequestsRingExposesPerRequestSummaries)
     server->stop();
 }
 
+TEST(SolveServerTracing, RequestsRingHonorsLimitAndTraceFilters)
+{
+    auto server = serve::SolveServer::start({});
+    const auto handle = upload_laplacian(server->port(), 16);
+    Json solve = Json::make_object();
+    solve["operator"] = Json{handle};
+    solve["config"] = cg_config();
+    ASSERT_EQ(status_of(http_request(
+                  server->port(), "POST", "/v1/solve", solve.dump(),
+                  std::string{"traceparent: "} + kTraceparent + "\r\n")),
+              200);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(status_of(http_request(server->port(), "GET", "/v1/stats",
+                                         "")),
+                  200);
+    }
+
+    // ?limit=N keeps the N most recent summaries.
+    auto response =
+        http_request(server->port(), "GET", "/v1/requests?limit=2", "");
+    ASSERT_EQ(status_of(response), 200) << response;
+    auto doc = Json::parse(body_of(response));
+    EXPECT_EQ(doc.at("requests").elements().size(), 2u);
+    for (const auto& entry : doc.at("requests").elements()) {
+        EXPECT_EQ(entry.at("route").as_string(), "serve.stats");
+    }
+
+    // ?trace_id= selects by W3C trace id, full 32-hex or last-16 forms.
+    for (const auto& filter :
+         {std::string{kTraceId}, std::string{kTraceId}.substr(16)}) {
+        response = http_request(server->port(), "GET",
+                                "/v1/requests?trace_id=" + filter, "");
+        ASSERT_EQ(status_of(response), 200) << response;
+        doc = Json::parse(body_of(response));
+        const auto& matched = doc.at("requests").elements();
+        ASSERT_EQ(matched.size(), 1u) << filter;
+        EXPECT_EQ(matched[0].at("trace_id").as_string(), kTraceId);
+        EXPECT_EQ(matched[0].at("route").as_string(), "serve.solve");
+    }
+
+    // Filters compose; a trace id with no matches is an empty selection,
+    // not an error.
+    response = http_request(
+        server->port(), "GET",
+        std::string{"/v1/requests?limit=1&trace_id="} + kTraceId, "");
+    ASSERT_EQ(status_of(response), 200) << response;
+    EXPECT_EQ(Json::parse(body_of(response)).at("requests").elements().size(),
+              1u);
+    response = http_request(server->port(), "GET",
+                            "/v1/requests?trace_id=ffffffffffffffff", "");
+    ASSERT_EQ(status_of(response), 200) << response;
+    EXPECT_TRUE(
+        Json::parse(body_of(response)).at("requests").elements().empty());
+
+    // Malformed filters answer typed 400s, never a truncated default view.
+    for (const char* bad : {"/v1/requests?limit=0", "/v1/requests?limit=999",
+                            "/v1/requests?limit=abc",
+                            "/v1/requests?limit=-3"}) {
+        response = http_request(server->port(), "GET", bad, "");
+        EXPECT_EQ(status_of(response), 400) << bad << response;
+        EXPECT_NE(body_of(response).find(
+                      "limit must be an integer in [1, 256]"),
+                  std::string::npos)
+            << bad;
+    }
+    for (const char* bad :
+         {"/v1/requests?trace_id=xyz",
+          "/v1/requests?trace_id=4BF92F3577B34DA6",
+          "/v1/requests?trace_id=4bf92f3577b34da6a3"}) {
+        response = http_request(server->port(), "GET", bad, "");
+        EXPECT_EQ(status_of(response), 400) << bad << response;
+        EXPECT_NE(body_of(response).find(
+                      "trace_id must be 16 or 32 lowercase hex characters"),
+                  std::string::npos)
+            << bad;
+    }
+    server->stop();
+}
+
 
 // --- cache eviction --------------------------------------------------------
 
@@ -778,6 +857,72 @@ TEST(SolveServer, StopDrainsQueuedAndInFlightRequests)
     ::close(queued);
     // New connections are refused after stop.
     EXPECT_EQ(http_request(server->port(), "GET", "/healthz", ""), "");
+}
+
+TEST(SolveServer, ReadyzDistinguishesAcceptingDrainingAndStopped)
+{
+    auto stall = std::make_shared<WorkerStall>();
+    serve::SolveServerOptions options;
+    options.num_workers = 1;
+    options.queue_capacity = 8;
+    options.worker_test_hook = [stall] { stall->maybe_block(); };
+    auto server = serve::SolveServer::start(std::move(options));
+
+    // Accepting: readiness and liveness agree.  All probes go through
+    // handle() directly — the stall hook pauses every *worker*, so
+    // socket-borne probes would just park in the queue.
+    serve::HttpRequest readyz;
+    readyz.method = "GET";
+    readyz.target = "/readyz";
+    serve::HttpRequest healthz;
+    healthz.method = "GET";
+    healthz.target = "/healthz";
+    auto response = server->handle(readyz);
+    ASSERT_EQ(status_of(response), 200) << response;
+    auto doc = Json::parse(body_of(response));
+    EXPECT_EQ(doc.at("state").as_string(), "accepting");
+    EXPECT_TRUE(doc.at("accepting").as_bool());
+
+    // Occupy the only worker, then stop() on another thread: the server
+    // enters its drain window (not accepting, pool still finishing work).
+    const int in_flight = connect_loopback(server->port());
+    ASSERT_GE(in_flight, 0);
+    const std::string request = "GET /v1/stats HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(in_flight, request.data(), request.size(), 0), 0);
+    stall->await_entered(1);
+    std::thread stopper{[&] { server->stop(); }};
+
+    // The listener is already closed during the drain, so readiness is
+    // probed in process via handle() — the same code path the route serves.
+    std::string draining;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        draining = server->handle(readyz);
+        if (status_of(draining) == 503) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(status_of(draining), 503) << draining;
+    doc = Json::parse(body_of(draining));
+    EXPECT_EQ(doc.at("state").as_string(), "draining");
+    EXPECT_FALSE(doc.at("accepting").as_bool());
+    // Liveness stays green while draining: the process is healthy, it just
+    // must be rotated out of the load balancer.
+    EXPECT_EQ(status_of(server->handle(healthz)), 200);
+
+    stall->release();
+    stopper.join();
+    EXPECT_NE(recv_all(in_flight).find("HTTP/1.0 200"), std::string::npos);
+    ::close(in_flight);
+
+    // Fully drained: still 503 (never re-add to rotation), now "stopped".
+    const auto stopped = server->handle(readyz);
+    EXPECT_EQ(status_of(stopped), 503) << stopped;
+    doc = Json::parse(body_of(stopped));
+    EXPECT_EQ(doc.at("state").as_string(), "stopped");
+    EXPECT_FALSE(doc.at("accepting").as_bool());
 }
 
 

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -18,7 +19,9 @@
 #include "config/json.hpp"
 #include "core/executor.hpp"
 #include "log/flight_recorder.hpp"
+#include "log/hw_counters.hpp"
 #include "log/metrics.hpp"
+#include "log/sampling_profiler.hpp"
 #include "log/trace_context.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/dense.hpp"
@@ -122,6 +125,70 @@ TEST(TelemetryRouting, ProfileAndTraceAreParseableJson)
     auto doc = config::Json::parse(trace);
     ASSERT_TRUE(doc.contains("traceEvents"));
     EXPECT_FALSE(doc.at("traceEvents").elements().empty());
+}
+
+TEST(TelemetryRouting, MeasuredTierRoutesServeProfileAndFlamegraph)
+{
+    log::sampling_stop();
+    log::sampling_reset();
+    // Inactive sampling still answers well-formed (empty) exports.
+    auto response =
+        serve::TelemetryServer::respond("GET", "/profile_cpu.json", 0);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    auto doc = config::Json::parse(body_of(response));
+    EXPECT_EQ(doc.at("profile").as_string(), "cpu_samples");
+    EXPECT_EQ(doc.at("hz").as_int(), 0);
+    EXPECT_TRUE(doc.at("stacks").elements().empty());
+    response = serve::TelemetryServer::respond("GET", "/flamegraph.txt", 0);
+    EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+    EXPECT_EQ(body_of(response), "");
+
+    // With samples captured, both exports carry the tagged stacks.
+    ASSERT_TRUE(log::sampling_start(997));
+    volatile double sink = 1.0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (log::sampling_samples() < 10 &&
+           std::chrono::steady_clock::now() < deadline) {
+        log::SampleFrame frame{"telemetry.unit"};
+        for (int i = 0; i < 50000; ++i) {
+            sink = sink * 1.0000001 + 1e-9;
+        }
+    }
+    log::sampling_stop();
+    doc = config::Json::parse(body_of(
+        serve::TelemetryServer::respond("GET", "/profile_cpu.json", 0)));
+    EXPECT_GT(doc.at("samples").as_int(), 0);
+    ASSERT_FALSE(doc.at("stacks").elements().empty());
+    const auto folded = body_of(
+        serve::TelemetryServer::respond("GET", "/flamegraph.txt", 0));
+    EXPECT_NE(folded.find("mgko;telemetry.unit "), std::string::npos);
+    log::sampling_reset();
+}
+
+TEST(TelemetryRouting, MetricsCarryTheMeasuredTierSeries)
+{
+    log::hw_counters_enable("rusage");
+    {
+        log::HwCounterScope scope{"telemetry.scrape"};
+        volatile double sink = 1.0;
+        for (int i = 0; i < 200000; ++i) {
+            sink = sink * 1.0000001 + 1e-9;
+        }
+    }
+    const auto body =
+        body_of(serve::TelemetryServer::respond("GET", "/metrics", 0));
+    EXPECT_NE(body.find("mgko_hw_active 1"), std::string::npos);
+    EXPECT_NE(body.find("mgko_hw_source{source=\"rusage\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("mgko_hw_cpu_ns_total{kernel=\"telemetry.scrape\"}"),
+              std::string::npos);
+    EXPECT_NE(body.find("mgko_sampling_hz "), std::string::npos);
+    EXPECT_NE(body.find("mgko_sampling_samples_total "), std::string::npos);
+    EXPECT_NE(body.find("mgko_sampling_dropped_total "), std::string::npos);
+    log::hw_counters_disable();
+    log::hw_counters_reset();
 }
 
 TEST(TelemetryRouting, UnknownTargetIs404AndNonGetIs405)
